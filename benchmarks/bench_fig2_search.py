@@ -1,0 +1,69 @@
+"""Figure 2: DFS vs BFS trials as the error scenario varies."""
+
+import statistics
+
+from repro.experiments.fig2 import (
+    render_fig2,
+    run_fig2a,
+    run_fig2b,
+    run_fig2c,
+)
+
+INJECTION_DAYS = (2.0, 6.0, 10.0, 14.0)
+SPURIOUS = (0, 1, 2)
+BOUNDS = (10.0, 20.0, 40.0, 80.0)
+
+
+def test_fig2a_trials_by_injection_age(benchmark, report):
+    series = benchmark.pedantic(
+        run_fig2a, kwargs={"injection_days": INJECTION_DAYS},
+        rounds=1, iterations=1,
+    )
+    report(
+        "fig2a",
+        render_fig2(
+            "injection days", INJECTION_DAYS, series,
+            "Figure 2a: trials vs time of error (avg over 16 cases)",
+        ),
+    )
+    # Both strategies degrade as the error moves into the past...
+    for name in ("DFS", "BFS"):
+        assert series[name][-1] >= series[name][0]
+    # ...and DFS outperforms BFS overall, as in the paper.
+    assert statistics.mean(series["DFS"]) <= statistics.mean(series["BFS"])
+
+
+def test_fig2b_trials_by_spurious_writes(benchmark, report):
+    series = benchmark.pedantic(
+        run_fig2b, kwargs={"spurious_counts": SPURIOUS}, rounds=1, iterations=1
+    )
+    report(
+        "fig2b",
+        render_fig2(
+            "spurious writes", SPURIOUS, series,
+            "Figure 2b: trials vs spurious writes (avg over 16 cases)",
+        ),
+    )
+    # BFS is highly sensitive to spurious writes (to reach a deeper
+    # version it must retry every other cluster); DFS much less so.
+    bfs_growth = series["BFS"][-1] - series["BFS"][0]
+    dfs_growth = series["DFS"][-1] - series["DFS"][0]
+    assert bfs_growth > 0
+    assert bfs_growth > dfs_growth
+
+
+def test_fig2c_trials_by_search_bound(benchmark, report):
+    series = benchmark.pedantic(
+        run_fig2c, kwargs={"bound_days": BOUNDS}, rounds=1, iterations=1
+    )
+    report(
+        "fig2c",
+        render_fig2(
+            "time bound (days)", BOUNDS, series,
+            "Figure 2c: trials vs search time bound (avg over 16 cases)",
+        ),
+    )
+    # Trials grow roughly monotonically with the width of the search
+    # window, for both strategies.
+    for name in ("DFS", "BFS"):
+        assert series[name][-1] > series[name][0]

@@ -1,0 +1,40 @@
+"""Figure 3: sensitivity of average cluster size to window and threshold."""
+
+from repro.experiments.fig3 import (
+    render_fig3,
+    run_fig3a,
+    run_fig3b,
+)
+
+
+def test_fig3a_window_size(benchmark, report):
+    windows, sizes = benchmark.pedantic(run_fig3a, rounds=1, iterations=1)
+    report(
+        "fig3a",
+        render_fig3("window (s)", windows, sizes, "Figure 3a: avg cluster size vs window"),
+    )
+    by_window = dict(zip(windows, sizes))
+    # The paper's cliff: window=0 (identical quantised timestamps only)
+    # collapses multi-key updates that straddle a second boundary.
+    assert by_window[0.0] < by_window[1.0]
+    # Away from the cliff the curve is comparatively flat: from 1 s to
+    # 600 s the average stays within a modest band (paper: ~3.5-4.5).
+    plateau = [s for w, s in by_window.items() if w >= 1.0]
+    assert max(plateau) <= 2.0 * min(plateau)
+    assert 2.0 <= by_window[1.0] <= 6.0
+
+
+def test_fig3b_threshold(benchmark, report):
+    thresholds, sizes = benchmark.pedantic(run_fig3b, rounds=1, iterations=1)
+    report(
+        "fig3b",
+        render_fig3(
+            "corr threshold", thresholds, sizes,
+            "Figure 3b: avg cluster size vs clustering threshold",
+        ),
+    )
+    by_threshold = dict(zip(thresholds, sizes))
+    # Lower thresholds can only merge more: size non-increasing in the
+    # threshold, and overall the curve is flat-ish (paper: ~25% swing).
+    assert by_threshold[0.5] >= by_threshold[2.0]
+    assert max(sizes) <= 2.5 * min(sizes)

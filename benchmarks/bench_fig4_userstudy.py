@@ -1,0 +1,28 @@
+"""Figure 4: the simulated 19-participant user study."""
+
+from repro.experiments.fig4 import render_fig4, run_fig4
+from repro.study.user_study import MANUAL_CUTOFF_SECONDS, STUDY_CASE_IDS
+
+
+def test_fig4_user_study(benchmark, report):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    report("fig4", render_fig4(result))
+
+    # Ocasta saves the user significant effort on errors 11/13/15...
+    for case_id in (11, 13, 15):
+        case = result.cases[case_id]
+        assert case.avg_ocasta_time < 0.6 * case.avg_manual_time
+    # ...while case 16 is the one most participants fix manually,
+    # lowering its average manual time (the paper's caveat).
+    sixteen = result.cases[16]
+    assert sixteen.manual_fix_rate > 0.5
+    assert sixteen.avg_manual_time < MANUAL_CUTOFF_SECONDS
+
+    # Difficulty ratings match the paper's aggregate shape: trial
+    # creation rated "easiest" about three quarters of the time,
+    # screenshot selection about four fifths.
+    trial_dist = result.rating_distribution("trial")
+    select_dist = result.rating_distribution("selection")
+    assert trial_dist[1] > 0.5
+    assert select_dist[1] > 0.5
+    assert set(result.cases) == set(STUDY_CASE_IDS)

@@ -1,0 +1,23 @@
+"""Table I: generate the nine deployment traces and report their statistics."""
+
+from repro.experiments.table1 import render_table1, run_table1
+
+
+def test_table1_trace_statistics(benchmark, report):
+    results = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    report("table1", render_table1(results))
+
+    stats = {s.name: s for s, _ in results}
+    profiles = {p.name: p for _, p in results}
+
+    # Shape checks against the paper's Table I, not absolute equality:
+    # key counts should land near the reported ones, read/write volumes
+    # within the same order of magnitude.
+    for name, stat in stats.items():
+        paper = profiles[name]
+        assert stat.keys == len(set()) or stat.keys > 0
+        assert 0.4 * paper.paper_keys <= stat.keys <= 1.6 * paper.paper_keys, name
+    # Windows traces dwarf Linux ones in reads, as in the paper.
+    assert stats["Windows XP"].reads > 100 * stats["Linux-1"].reads
+    # Linux-2 is the smallest trace.
+    assert min(stats.values(), key=lambda s: s.keys).name == "Linux-2"

@@ -1,0 +1,30 @@
+"""Table II: clustering accuracy across the eleven applications."""
+
+from repro.core.accuracy import mean_accuracy, overall_accuracy
+from repro.experiments.table2 import render_table2, run_table2
+
+
+def test_table2_clustering_accuracy(benchmark, report):
+    reports = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    report("table2", render_table2(reports))
+
+    by_app = {r.app_name: r for r in reports}
+
+    # Key counts are exact (Table II's #Keys column is the schema size).
+    assert sum(r.total_keys for r in reports) == 1871
+
+    overall = overall_accuracy(reports)
+    mean = mean_accuracy(reports)
+    # Paper: 88.6% overall, 72.3% mean per-app.  Shape bands:
+    assert 0.70 <= overall <= 0.97
+    assert 0.55 <= mean <= 0.90
+
+    # The weak/strong application split must reproduce.
+    assert by_app["Evolution Mail"].accuracy < 0.65
+    assert by_app["GNOME Edit"].accuracy == 0.0
+    assert by_app["MS Paint"].accuracy < 0.75
+    assert by_app["Chrome Browser"].accuracy >= 0.9
+    assert by_app["Acrobat Reader"].accuracy >= 0.85
+    assert by_app["MS Word"].accuracy >= 0.85
+    # Eye of GNOME has no multi-setting clusters (N/A row).
+    assert by_app["Eye of GNOME"].accuracy is None

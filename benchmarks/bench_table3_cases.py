@@ -1,0 +1,33 @@
+"""Table III: the sixteen real-world configuration errors (the catalogue
+itself plus a validation that every case is live against its application)."""
+
+from repro.apps.catalog import create_app
+from repro.errors.cases import ERROR_CASES
+from repro.experiments.table3 import render_table3
+from repro.repair.replay import replay_trial
+from repro.repair.trial import Trial
+from repro.ttkv.store import DELETED
+
+
+def _run_all_cases() -> int:
+    """Drive every case's injection + trial on a fresh app; count symptoms."""
+    symptomatic = 0
+    for case in ERROR_CASES:
+        app = create_app(case.app_name)
+        for local, value in {**case.good_values, **case.injection}.items():
+            store_key = app.store_key(local)
+            if value is DELETED:
+                app.store._data.pop(store_key, None)
+            else:
+                app.store._data[store_key] = value
+        shot = replay_trial(
+            app, Trial.record(case.app_name, list(case.trial_actions))
+        )
+        symptomatic += case.symptomatic(shot)
+    return symptomatic
+
+
+def test_table3_error_catalogue(benchmark, report):
+    symptomatic = benchmark.pedantic(_run_all_cases, rounds=1, iterations=1)
+    report("table3", render_table3())
+    assert symptomatic == 16  # every Table III error exhibits its symptom

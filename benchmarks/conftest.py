@@ -1,0 +1,38 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+rendered rows/series, and archives them under ``benchmarks/out/`` so
+EXPERIMENTS.md can be refreshed from a single run:
+
+    pytest benchmarks/ --benchmark-only
+
+Experiment benches run once (``pedantic`` with one round): they are
+end-to-end reproductions, not micro-benchmarks, and their interesting
+output is the table itself plus a single wall-clock figure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def report(out_dir, capsys):
+    """Print a rendered experiment report and archive it."""
+
+    def _report(name: str, text: str) -> None:
+        (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _report

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Full repair walkthrough: the paper's §III-B workflow on error #13.
+
+Steps, mirroring how a user drives Ocasta:
+
+1. a multi-week deployment trace is recorded (here: generated for the
+   Linux-2 machine, whose user runs Chrome);
+2. the configuration error appears — the bookmark bar vanishes (Table
+   III error #13), injected 14 days before the end of the trace;
+3. the user records a *trial* that makes the symptom visible;
+4. Ocasta clusters the settings, sorts the clusters, and rolls cluster
+   versions back in a sandbox, taking a screenshot after each trial;
+5. the user picks the screenshot showing a fixed application, and
+   Ocasta applies the fix permanently.
+
+Run:  python examples/repair_walkthrough.py
+"""
+
+from repro import generate_trace, prepare_scenario, case_by_id, profile_by_name
+from repro.common.format import format_mmss
+from repro.core.search import SearchStrategy
+from repro.repair.controller import OcastaRepairTool
+from repro.repair.sandbox import Sandbox
+
+
+def main() -> None:
+    print("1. recording 84 days of Chrome usage on the Linux-2 machine ...")
+    trace = generate_trace(profile_by_name("Linux-2"))
+    stats = trace.ttkv
+    print(
+        f"   trace: {len(stats)} keys, {stats.total_writes()} writes, "
+        f"{stats.total_reads()} reads"
+    )
+
+    print("2. injecting error #13 (bookmark bar is missing) 14 days ago ...")
+    scenario = prepare_scenario(trace, case_by_id(13), days_before_end=14)
+
+    print("3. the user's trial: launch Chrome, browse to a page")
+    erroneous = Sandbox(scenario.app).execute(scenario.trial, None)
+    print(f"   erroneous screen shows: bookmark_bar = "
+          f"{erroneous.element('bookmark_bar')!r}")
+    assert scenario.case.symptomatic(erroneous)
+
+    print("4. searching historical cluster versions (DFS) ...")
+    tool = OcastaRepairTool(scenario.app, scenario.ttkv)
+    report = tool.repair(
+        scenario.trial,
+        scenario.is_fixed,
+        start_time=scenario.injection_time,
+        strategy=SearchStrategy.DFS,
+    )
+    outcome = report.outcome
+    assert report.fixed, "Ocasta must find the fix in the recorded history"
+    print(
+        f"   fixed after {outcome.trials_to_fix} trials "
+        f"({format_mmss(outcome.time_to_fix)} simulated); the user examined "
+        f"{outcome.unique_screenshots} unique screenshot(s)"
+    )
+    print(
+        f"   offending cluster: {sorted(report.offending_cluster.keys)} "
+        f"(size {report.offending_cluster_size})"
+    )
+
+    print("5. applying the fix permanently and re-running the trial ...")
+    tool.apply_fix(report)
+    healed = Sandbox(scenario.app).execute(scenario.trial, None)
+    print(f"   screen now shows: bookmark_bar = {healed.element('bookmark_bar')!r}")
+    assert scenario.is_fixed(healed)
+    print("done: the application is repaired and Ocasta returns to recording mode")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Ocasta: clustering configuration settings for error recovery.
+
+A from-scratch reproduction of Huang & Lie, DSN 2014.  The library has
+three layers:
+
+- **substrates** — a time-travel key-value store (:mod:`repro.ttkv`),
+  configuration-store emulators with loggers (:mod:`repro.stores`,
+  :mod:`repro.loggers`), eleven simulated desktop applications
+  (:mod:`repro.apps`) and a workload generator (:mod:`repro.workload`);
+- **core** — the paper's contribution: sliding-window write groups, the
+  correlation metric, complete-linkage hierarchical clustering with
+  threshold pruning, cluster-version search and the repair engine
+  (:mod:`repro.core`);
+- **evaluation** — the sixteen Table III error cases
+  (:mod:`repro.errors`), the GUI-repair-tool equivalent
+  (:mod:`repro.repair`), the simulated user study (:mod:`repro.study`)
+  and one experiment driver per paper table/figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import TTKV, cluster_settings
+
+    ttkv = TTKV()
+    ttkv.record_write("app/feature_on", True, 10.0)
+    ttkv.record_write("app/feature_level", 3, 10.0)
+    ttkv.record_write("app/feature_on", False, 95.0)
+    ttkv.record_write("app/feature_level", 0, 95.0)
+    clusters = cluster_settings(ttkv)          # paper defaults: 1 s, corr 2
+    [c.sorted_keys() for c in clusters]
+    # [['app/feature_level', 'app/feature_on']]
+"""
+
+from repro.exceptions import OcastaError
+from repro.ttkv import DELETED, MISSING, TTKV, RollbackPlan, SnapshotView
+from repro.core import (
+    Cluster,
+    ClusterSet,
+    ClusterVersion,
+    RepairEngine,
+    SearchStrategy,
+    cluster_settings,
+    singleton_clusters,
+)
+from repro.apps import SimulatedApplication, Screenshot, create_app, app_names
+from repro.workload import generate_trace, profile_by_name, PROFILES
+from repro.errors import ERROR_CASES, case_by_id, prepare_scenario
+from repro.repair import OcastaRepairTool, Trial
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OcastaError",
+    "DELETED",
+    "MISSING",
+    "TTKV",
+    "RollbackPlan",
+    "SnapshotView",
+    "Cluster",
+    "ClusterSet",
+    "ClusterVersion",
+    "RepairEngine",
+    "SearchStrategy",
+    "cluster_settings",
+    "singleton_clusters",
+    "SimulatedApplication",
+    "Screenshot",
+    "create_app",
+    "app_names",
+    "generate_trace",
+    "profile_by_name",
+    "PROFILES",
+    "ERROR_CASES",
+    "case_by_id",
+    "prepare_scenario",
+    "OcastaRepairTool",
+    "Trial",
+    "__version__",
+]

@@ -1,0 +1,86 @@
+"""Summary statistics over cluster sets and repair outcomes.
+
+Small, dependency-free helpers the reports and notebooks use to describe
+experiment results: cluster-size distributions and trial/time summaries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.cluster_model import ClusterSet
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """Distribution of cluster sizes in one clustering result."""
+
+    histogram: dict[int, int]
+    total_clusters: int
+    multi_clusters: int
+    mean_multi_size: float
+    max_size: int
+
+    def fraction_multi(self) -> float:
+        if self.total_clusters == 0:
+            return 0.0
+        return self.multi_clusters / self.total_clusters
+
+
+def cluster_size_distribution(cluster_set: ClusterSet) -> SizeDistribution:
+    """Describe the size structure of a ClusterSet."""
+    sizes = [len(c) for c in cluster_set]
+    histogram = dict(sorted(Counter(sizes).items()))
+    multi = [s for s in sizes if s > 1]
+    return SizeDistribution(
+        histogram=histogram,
+        total_clusters=len(sizes),
+        multi_clusters=len(multi),
+        mean_multi_size=(sum(multi) / len(multi)) if multi else 0.0,
+        max_size=max(sizes) if sizes else 0,
+    )
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence (report-friendly)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Iterable[float], fraction: float) -> float:
+    """Nearest-rank percentile, ``fraction`` in [0, 1].
+
+    >>> percentile([1, 2, 3, 4], 0.5)
+    3
+    >>> percentile([5], 0.99)
+    5
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of an empty sequence")
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Aggregate of trials-to-fix across repair runs (Table IV style)."""
+
+    count: int
+    mean_trials: float
+    median_trials: float
+    worst_trials: float
+
+    @classmethod
+    def from_trials(cls, trials: Sequence[float]) -> "TrialSummary":
+        if not trials:
+            raise ValueError("no trials to summarise")
+        return cls(
+            count=len(trials),
+            mean_trials=mean(trials),
+            median_trials=percentile(trials, 0.5),
+            worst_trials=max(trials),
+        )

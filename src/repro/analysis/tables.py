@@ -1,0 +1,72 @@
+"""ASCII table rendering for the benchmark reports.
+
+Every benchmark regenerating a paper table or figure prints its rows/series
+through these helpers, so EXPERIMENTS.md and the bench output share one
+format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table.
+
+    >>> print(ascii_table(["a", "b"], [[1, 22]]))
+    a | b
+    --+---
+    1 | 22
+    """
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def series_table(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render figure data: one x column plus one column per series."""
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, "
+                f"expected {len(x_values)}"
+            )
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [_round(series[name][i]) for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return ascii_table(headers, rows, title=title)
+
+
+def _round(value: Any) -> Any:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return value
+
+
+def format_percent(fraction: float | None) -> str:
+    """Render Table II's accuracy column ('88.6%' or 'N/A')."""
+    if fraction is None:
+        return "N/A"
+    return f"{fraction * 100:.1f}%"

@@ -1,0 +1,37 @@
+"""Simulated desktop applications.
+
+One module per application in the paper's Table II.  Each application has a
+configuration schema whose *dependency groups* are the ground truth for the
+clustering accuracy evaluation, user-visible behaviour (``render()`` returns
+a screenshot abstraction) and UI actions that update related settings
+together the way the real applications do.
+"""
+
+from repro.apps.schema import (
+    ConfigSchema,
+    DependencyGroup,
+    EnablerParamsGroup,
+    GenericGroup,
+    LimiterListGroup,
+    ModeListGroup,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.apps.base import SimulatedApplication, Screenshot
+from repro.apps.catalog import APP_FACTORIES, create_app, app_names
+
+__all__ = [
+    "ConfigSchema",
+    "DependencyGroup",
+    "EnablerParamsGroup",
+    "GenericGroup",
+    "LimiterListGroup",
+    "ModeListGroup",
+    "SettingSpec",
+    "ValueDomain",
+    "SimulatedApplication",
+    "Screenshot",
+    "APP_FACTORIES",
+    "create_app",
+    "app_names",
+]

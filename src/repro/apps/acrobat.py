@@ -1,0 +1,104 @@
+"""Acrobat Reader simulation.
+
+The largest application in Table II (751 keys) and the paper's Fig. 1b
+example: ``InlineAutoComplete`` enables the form auto-complete feature
+whose behaviour ``RecordNewEntries`` and ``ShowDropDown`` specify.
+Preferences are stored in a PostScript-style file.  Hosts errors #15
+("menu bar disappears for certain PDF document") and #16 ("find box is
+missing from the tool bar").
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import STORE_FILE, SimulatedApplication
+from repro.apps.build import mru_group, pad_schema
+from repro.apps.schema import (
+    BOOL,
+    EnablerParamsGroup,
+    FRACTION,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.common.clock import SimClock
+
+APP_NAME = "Acrobat Reader"
+TOTAL_KEYS = 751  # Table II
+CONFIG_PATH = "/home/user/.adobe/Acrobat/Preferences"
+
+AUTOCOMPLETE_ENABLER = "Forms/InlineAutoComplete"
+AUTOCOMPLETE_RECORD = "Forms/RecordNewEntries"
+AUTOCOMPLETE_DROPDOWN = "Forms/ShowDropDown"
+
+MENU_HIDDEN_DOCS = "AVGeneral/MenuBarHiddenDocs"
+FIND_BOX = "Toolbars/Find/Visible"
+
+_PDF_POOL = (
+    "thesis.pdf", "paper.pdf", "manual.pdf", "invoice.pdf",
+    "datasheet.pdf", "slides.pdf", "form.pdf", "report.pdf",
+)
+
+
+def _build_schema():
+    settings = [
+        SettingSpec(AUTOCOMPLETE_ENABLER, BOOL, default=False),
+        SettingSpec(AUTOCOMPLETE_RECORD, BOOL, default=True),
+        SettingSpec(AUTOCOMPLETE_DROPDOWN, BOOL, default=True),
+        SettingSpec(
+            MENU_HIDDEN_DOCS,
+            ValueDomain("strlist", pool=_PDF_POOL, max_len=3),
+            default=[],
+        ),
+        SettingSpec(FIND_BOX, BOOL, default=True),
+        SettingSpec("AVGeneral/Zoom", FRACTION, default=1.0, visible=True),
+    ]
+    mru_specs, mru = mru_group(
+        name="RecentFiles",
+        limiter="AVGeneral/MaxRecentFiles",
+        item_prefix="RecentFiles/Item",
+        max_items=6,
+        default_limit=4,
+        item_domain=ValueDomain("string", pool=_PDF_POOL),
+    )
+    settings += mru_specs
+    groups = [
+        EnablerParamsGroup(
+            name="FormAutoComplete",
+            enabler=AUTOCOMPLETE_ENABLER,
+            params=[AUTOCOMPLETE_RECORD, AUTOCOMPLETE_DROPDOWN],
+        ),
+        mru,
+    ]
+    return pad_schema(settings, groups, TOTAL_KEYS, seed=0xACB0)
+
+
+class AcrobatReader(SimulatedApplication):
+    """Document reader with PostScript-file preferences."""
+
+    trial_cost_seconds = 20.0
+    pref_burst_prob = 0.05
+    page_apply_prob = 0.05
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(
+            name=APP_NAME,
+            schema=_build_schema(),
+            store_kind=STORE_FILE,
+            config_path=CONFIG_PATH,
+            clock=clock,
+            file_format="postscript",
+        )
+
+    def derived_elements(self):
+        elements = [
+            ("find_box", "shown" if self.value(FIND_BOX) else "missing"),
+        ]
+        doc = self._session.get("document")
+        if doc is not None:
+            hidden_for = self.value(MENU_HIDDEN_DOCS) or []
+            visible = doc not in hidden_for
+            elements.append(("menu_bar", "shown" if visible else "missing"))
+        return elements
+
+
+def create(clock: SimClock | None = None) -> AcrobatReader:
+    return AcrobatReader(clock=clock)

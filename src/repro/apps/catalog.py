@@ -1,0 +1,73 @@
+"""Catalogue of the eleven simulated applications (Table II).
+
+Maps application names to factories plus the metadata the benchmarks use:
+expected key count, store kind and the paper's reported accuracy (for
+EXPERIMENTS.md side-by-side reporting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.apps import (
+    acrobat,
+    chrome,
+    eog,
+    evolution,
+    explorer,
+    gnome_edit,
+    iexplore,
+    mspaint,
+    outlook,
+    wmp,
+    word,
+)
+from repro.apps.base import SimulatedApplication
+from repro.common.clock import SimClock
+
+AppFactory = Callable[..., SimulatedApplication]
+
+
+@dataclass(frozen=True)
+class AppInfo:
+    """Catalogue entry for one simulated application."""
+
+    name: str
+    description: str
+    factory: AppFactory
+    table2_keys: int
+    paper_accuracy: float | None  # Table II's %Accuracy, None for N/A
+
+
+_ENTRIES = [
+    AppInfo("MS Outlook", "E-mail Client", outlook.create, 182, 0.970),
+    AppInfo("Evolution Mail", "E-mail Client", evolution.create, 183, 0.389),
+    AppInfo("Internet Explorer", "Web Browser", iexplore.create, 33, 0.667),
+    AppInfo("Chrome Browser", "Web Browser", chrome.create, 35, 1.000),
+    AppInfo("MS Word", "Word Processor", word.create, 143, 1.000),
+    AppInfo("GNOME Edit", "Word Processor", gnome_edit.create, 10, 0.000),
+    AppInfo("MS Paint", "Image Editor", mspaint.create, 66, 0.500),
+    AppInfo("Eye of GNOME", "Image Viewer", eog.create, 5, None),
+    AppInfo("Acrobat Reader", "Document Reader", acrobat.create, 751, 0.958),
+    AppInfo("Explorer", "Windows Shell", explorer.create, 298, 0.844),
+    AppInfo("Windows Media Player", "Media Player", wmp.create, 165, 0.905),
+]
+
+APP_FACTORIES: dict[str, AppInfo] = {entry.name: entry for entry in _ENTRIES}
+
+
+def app_names() -> list[str]:
+    """Application names in Table II order."""
+    return [entry.name for entry in _ENTRIES]
+
+
+def create_app(name: str, clock: SimClock | None = None) -> SimulatedApplication:
+    """Instantiate one application by its Table II name."""
+    try:
+        info = APP_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; known: {app_names()}"
+        ) from None
+    return info.factory(clock=clock)

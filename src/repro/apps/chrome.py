@@ -1,0 +1,92 @@
+"""Chrome Browser simulation.
+
+A file-backed application: preferences live in a JSON file the logger
+diffs across flushes.  Hosts errors #13 ("bookmark bar is missing") and
+#14 ("home button is missing from the tool bar").
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import STORE_FILE, SimulatedApplication
+from repro.apps.build import pad_schema
+from repro.apps.schema import (
+    BOOL,
+    EnablerParamsGroup,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.common.clock import SimClock
+
+APP_NAME = "Chrome Browser"
+TOTAL_KEYS = 35  # Table II
+CONFIG_PATH = "/home/user/.config/google-chrome/Preferences"
+
+BOOKMARK_BAR = "bookmark_bar/show_on_all_tabs"
+HOME_BUTTON = "browser/show_home_button"
+HOMEPAGE_IS_NEWTAB = "homepage/is_newtabpage"
+HOMEPAGE_URL = "homepage/url"
+
+
+def _build_schema():
+    settings = [
+        SettingSpec(BOOKMARK_BAR, BOOL, default=True),
+        SettingSpec(HOME_BUTTON, BOOL, default=True),
+        SettingSpec(HOMEPAGE_IS_NEWTAB, BOOL, default=True),
+        SettingSpec(
+            HOMEPAGE_URL,
+            ValueDomain(
+                "string",
+                pool=("chrome://newtab", "news.site", "mail.site", "wiki.site"),
+            ),
+            default="chrome://newtab",
+        ),
+        SettingSpec(
+            "profile/default_zoom",
+            ValueDomain("float", lo=0.5, hi=3.0),
+            default=1.0,
+            visible=True,
+        ),
+    ]
+    groups = [
+        EnablerParamsGroup(
+            name="Homepage",
+            enabler=HOMEPAGE_IS_NEWTAB,
+            params=[HOMEPAGE_URL],
+        ),
+    ]
+    return pad_schema(settings, groups, TOTAL_KEYS, seed=0xC407)
+
+
+class ChromeBrowser(SimulatedApplication):
+    """Web browser storing its preferences in a JSON file."""
+
+    trial_cost_seconds = 8.0
+    pref_burst_prob = 0.10
+    page_apply_prob = 0.3
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(
+            name=APP_NAME,
+            schema=_build_schema(),
+            store_kind=STORE_FILE,
+            config_path=CONFIG_PATH,
+            clock=clock,
+            file_format="json",
+        )
+        self.register_action("browse", self.browse)
+
+    def browse(self, url: str = "news.site") -> None:
+        self._session["url"] = url
+
+    def derived_elements(self):
+        elements = [
+            ("bookmark_bar", "shown" if self.value(BOOKMARK_BAR) else "missing"),
+            ("home_button", "shown" if self.value(HOME_BUTTON) else "missing"),
+        ]
+        if "url" in self._session:
+            elements.append(("page", self._session["url"]))
+        return elements
+
+
+def create(clock: SimClock | None = None) -> ChromeBrowser:
+    return ChromeBrowser(clock=clock)

@@ -1,0 +1,75 @@
+"""Eye of GNOME (image viewer) simulation.
+
+The smallest application in Table II (5 keys, no multi-setting clusters).
+Hosts error #11: "user is unable to print image files".
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import STORE_GCONF, SimulatedApplication
+from repro.apps.schema import (
+    BOOL,
+    ConfigSchema,
+    FRACTION,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.common.clock import SimClock
+
+APP_NAME = "Eye of GNOME"
+
+PRINT_BACKEND = "print/backend"
+_VALID_BACKENDS = ("cups", "lpr")
+
+
+def _build_schema():
+    # Five keys, all independent: Table II reports 0 multi-setting
+    # clusters for this application.
+    settings = [
+        SettingSpec(
+            PRINT_BACKEND,
+            ValueDomain("enum", options=_VALID_BACKENDS),
+            default="cups",
+        ),
+        SettingSpec("view/interpolate", BOOL, default=True, visible=True),
+        SettingSpec("view/zoom", FRACTION, default=1.0, visible=True),
+        SettingSpec("view/fullscreen_loop", BOOL, default=False),
+        SettingSpec(
+            "view/slideshow_delay", ValueDomain("int", lo=1, hi=30), default=5
+        ),
+    ]
+    return ConfigSchema(settings, groups=[])
+
+
+class EyeOfGnome(SimulatedApplication):
+    """Image viewer with an independent print-backend setting."""
+
+    trial_cost_seconds = 6.0
+    pref_burst_prob = 0.10
+    page_apply_prob = 0.0
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(
+            name=APP_NAME,
+            schema=_build_schema(),
+            store_kind=STORE_GCONF,
+            config_path="/apps/eog",
+            clock=clock,
+        )
+        self.register_action("print_image", self.print_image)
+
+    def print_image(self) -> None:
+        self._session["print_attempted"] = True
+
+    def derived_elements(self):
+        elements = []
+        if self._session.get("print_attempted"):
+            ok = self.value(PRINT_BACKEND) in _VALID_BACKENDS
+            elements.append(
+                ("print_result", "printed" if ok else "error: cannot print")
+            )
+        return elements
+
+
+def create(clock: SimClock | None = None) -> EyeOfGnome:
+    return EyeOfGnome(clock=clock)

@@ -1,0 +1,116 @@
+"""Evolution Mail simulation.
+
+The paper's Fig. 1c application: ``mark_seen_timeout`` only has meaning
+while ``mark_seen`` is true.  Hosts errors #8 ("starts in offline mode
+unexpectedly"), #9 ("does not mark read mail automatically") and #10
+("does not start a reply at the top of an e-mail").
+
+Evolution is also Table II's least accurately clustered application
+(38.9%): its preference dialog applies several groups in the same second,
+which the 1-second trace granularity merges into oversized clusters.  The
+high ``pref_burst_prob`` reproduces that behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import STORE_GCONF, SimulatedApplication
+from repro.apps.build import pad_schema
+from repro.apps.schema import (
+    BOOL,
+    EnablerParamsGroup,
+    GenericGroup,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.common.clock import SimClock
+
+APP_NAME = "Evolution Mail"
+TOTAL_KEYS = 183  # Table II
+
+START_OFFLINE = "shell/start_offline"
+OFFLINE_SYNC = "shell/offline_sync"
+MARK_SEEN = "mail/mark_seen"
+MARK_SEEN_TIMEOUT = "mail/mark_seen_timeout"
+REPLY_STYLE = "mail/reply_style"
+REPLY_QUOTE = "mail/reply_quote"
+
+
+def _build_schema():
+    settings = [
+        SettingSpec(START_OFFLINE, BOOL, default=False),
+        SettingSpec(OFFLINE_SYNC, BOOL, default=True),
+        SettingSpec(MARK_SEEN, BOOL, default=True),
+        SettingSpec(
+            MARK_SEEN_TIMEOUT,
+            ValueDomain("int", lo=100, hi=5000),
+            default=1500,
+        ),
+        SettingSpec(
+            REPLY_STYLE,
+            ValueDomain("enum", options=("top", "bottom", "inline")),
+            default="top",
+        ),
+        SettingSpec(REPLY_QUOTE, BOOL, default=True),
+        SettingSpec("mail/show_preview", BOOL, default=True, visible=True),
+    ]
+    groups = [
+        EnablerParamsGroup(
+            name="OfflineMode",
+            enabler=START_OFFLINE,
+            params=[OFFLINE_SYNC],
+        ),
+        EnablerParamsGroup(
+            name="MarkSeen",
+            enabler=MARK_SEEN,
+            params=[MARK_SEEN_TIMEOUT],
+        ),
+        GenericGroup("ReplyStyle", [REPLY_STYLE, REPLY_QUOTE]),
+    ]
+    return pad_schema(settings, groups, TOTAL_KEYS, seed=0xE701)
+
+
+class EvolutionMail(SimulatedApplication):
+    """E-mail client with the Fig. 1c mark-seen coupling."""
+
+    trial_cost_seconds = 13.0
+    pref_burst_prob = 0.60
+    page_apply_prob = 0.92
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(
+            name=APP_NAME,
+            schema=_build_schema(),
+            store_kind=STORE_GCONF,
+            config_path="/apps/evolution",
+            clock=clock,
+        )
+        self.register_action("read_email", self.read_email)
+        self.register_action("compose_reply", self.compose_reply)
+
+    def read_email(self, message: str = "inbox/1") -> None:
+        """Open a message and leave it open past the mark-seen timeout."""
+        self._session["reading"] = message
+
+    def compose_reply(self) -> None:
+        self._session["composing_reply"] = True
+
+    def derived_elements(self):
+        elements = [
+            (
+                "connection_mode",
+                "offline" if self.value(START_OFFLINE) else "online",
+            )
+        ]
+        if "reading" in self._session:
+            timeout = self.value(MARK_SEEN_TIMEOUT)
+            auto = bool(self.value(MARK_SEEN)) and isinstance(timeout, int) and timeout > 0
+            elements.append(
+                ("mark_read", "automatic" if auto else "manual-only")
+            )
+        if self._session.get("composing_reply"):
+            elements.append(("reply_cursor", self.value(REPLY_STYLE)))
+        return elements
+
+
+def create(clock: SimClock | None = None) -> EvolutionMail:
+    return EvolutionMail(clock=clock)

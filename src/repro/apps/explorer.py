@@ -1,0 +1,124 @@
+"""Windows Explorer (shell) simulation.
+
+Hosts error #4 ('"Open with" menu does not show installed applications
+that can open .flv file') — the paper's mode/ordered-list archetype — and
+error #7 ("image files are always opened in a maximized window"), a
+two-setting window-placement group.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import STORE_REGISTRY, SimulatedApplication
+from repro.apps.build import pad_schema
+from repro.apps.schema import (
+    BOOL,
+    GenericGroup,
+    ModeListGroup,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.common.clock import SimClock
+
+APP_NAME = "Explorer"
+TOTAL_KEYS = 298  # Table II
+
+FLV_MRU_LIST = "FileExts/.flv/OpenWithList/MRUList"
+FLV_APP_A = "FileExts/.flv/OpenWithList/a"
+FLV_APP_B = "FileExts/.flv/OpenWithList/b"
+FLV_APP_C = "FileExts/.flv/OpenWithList/c"
+
+IMAGE_WINDOW_STATE = "Streams/ImageWindowState"
+IMAGE_WINDOW_POS = "Streams/ImageWindowPos"
+
+_PLAYERS = ("wmplayer.exe", "vlc.exe", "mplayer.exe", "quicktime.exe")
+
+
+def _valid_pos(pos) -> bool:
+    if not isinstance(pos, str) or "," not in pos:
+        return False
+    left, _, top = pos.partition(",")
+    return left.strip().isdigit() and top.strip().isdigit()
+
+
+def _build_schema():
+    settings = [
+        SettingSpec(
+            FLV_MRU_LIST,
+            ValueDomain("strlist", pool=("a", "b", "c"), max_len=3),
+            default=["a", "b"],
+        ),
+        SettingSpec(FLV_APP_A, ValueDomain("string", pool=_PLAYERS), default="wmplayer.exe"),
+        SettingSpec(FLV_APP_B, ValueDomain("string", pool=_PLAYERS), default="vlc.exe"),
+        SettingSpec(FLV_APP_C, ValueDomain("string", pool=_PLAYERS), default="mplayer.exe"),
+        SettingSpec(
+            IMAGE_WINDOW_STATE,
+            ValueDomain("enum", options=("normal", "maximized")),
+            default="normal",
+        ),
+        SettingSpec(
+            IMAGE_WINDOW_POS,
+            ValueDomain("string", pool=("100,100", "200,150", "320,240", "64,48")),
+            default="100,100",
+        ),
+        SettingSpec("Advanced/ShowHidden", BOOL, default=False, visible=True),
+    ]
+    groups = [
+        ModeListGroup(
+            name="OpenWithFlv",
+            list_key=FLV_MRU_LIST,
+            entry_keys=[FLV_APP_A, FLV_APP_B, FLV_APP_C],
+            entry_domain=ValueDomain("string", pool=_PLAYERS),
+        ),
+        GenericGroup("ImageWindow", [IMAGE_WINDOW_STATE, IMAGE_WINDOW_POS]),
+    ]
+    return pad_schema(settings, groups, TOTAL_KEYS, seed=0xE897)
+
+
+class WindowsExplorer(SimulatedApplication):
+    """The Windows shell: context menus and window-placement streams."""
+
+    trial_cost_seconds = 8.0
+    pref_burst_prob = 0.15
+    page_apply_prob = 0.1
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(
+            name=APP_NAME,
+            schema=_build_schema(),
+            store_kind=STORE_REGISTRY,
+            config_path="Microsoft\\Windows\\CurrentVersion\\Explorer",
+            clock=clock,
+        )
+        self.register_action("open_context_menu", self.open_context_menu)
+        self.register_action("open_image", self.open_image)
+
+    def open_context_menu(self, doc: str = "video.flv") -> None:
+        """Right-click a file: the 'Open with' menu becomes visible."""
+        self._session["context_menu_target"] = doc
+
+    def open_image(self, doc: str = "photo.png") -> None:
+        """Open an image file in its viewer window."""
+        self._session["image_open"] = doc
+
+    def derived_elements(self):
+        elements = []
+        if self._session.get("context_menu_target", "").endswith(".flv"):
+            # The group's ModeListGroup render already shows the menu; add
+            # an explicit emptiness element for the error predicate.
+            group = self.schema.group("OpenWithFlv")
+            (_, menu), = group.render(self)
+            elements.append(
+                ("open_with_flv", menu if menu else "no applications")
+            )
+        if "image_open" in self._session:
+            state = self.value(IMAGE_WINDOW_STATE)
+            pos = self.value(IMAGE_WINDOW_POS)
+            maximized = state != "normal" or not _valid_pos(pos)
+            elements.append(
+                ("image_window", "maximized" if maximized else "normal")
+            )
+        return elements
+
+
+def create(clock: SimClock | None = None) -> WindowsExplorer:
+    return WindowsExplorer(clock=clock)

@@ -1,0 +1,87 @@
+"""GNOME Edit (gedit) simulation.
+
+A tiny GConf application (10 keys in Table II).  Hosts error #12: "user is
+unable to save any document" — a broken backup-scheme setting makes every
+save fail.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import STORE_GCONF, SimulatedApplication
+from repro.apps.build import pad_schema
+from repro.apps.schema import (
+    BOOL,
+    EnablerParamsGroup,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.common.clock import SimClock
+
+APP_NAME = "GNOME Edit"
+TOTAL_KEYS = 10  # Table II
+
+BACKUP_SCHEME = "save/backup_scheme"
+_VALID_SCHEMES = ("local", "none", "vfs")
+
+
+def _build_schema():
+    settings = [
+        SettingSpec(
+            BACKUP_SCHEME,
+            ValueDomain("enum", options=_VALID_SCHEMES),
+            default="local",
+        ),
+        SettingSpec("autosave/enabled", BOOL, default=False),
+        SettingSpec(
+            "autosave/interval", ValueDomain("int", lo=1, hi=60), default=10
+        ),
+        SettingSpec("view/show_line_numbers", BOOL, default=True, visible=True),
+        SettingSpec(
+            "view/tab_width", ValueDomain("int", lo=2, hi=8), default=4, visible=True
+        ),
+    ]
+    groups = [
+        EnablerParamsGroup(
+            name="AutoSave",
+            enabler="autosave/enabled",
+            params=["autosave/interval"],
+        ),
+    ]
+    return pad_schema(settings, groups, TOTAL_KEYS, seed=0x6ED1)
+
+
+class GnomeEdit(SimulatedApplication):
+    """Text editor whose save path depends on a backup-scheme setting."""
+
+    trial_cost_seconds = 6.0
+    pref_burst_prob = 0.50
+    page_apply_prob = 1.0
+    # gedit's whole preferences dialog is one page; Apply rewrites all of
+    # it, which is why the paper finds its single multi-setting cluster
+    # incorrectly identified (Table II: 0%).
+    dedicated_group_pages = False
+    page_size = 16
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(
+            name=APP_NAME,
+            schema=_build_schema(),
+            store_kind=STORE_GCONF,
+            config_path="/apps/gedit",
+            clock=clock,
+        )
+        self.register_action("save_document", self.save_document)
+
+    def save_document(self) -> None:
+        self._session["save_attempted"] = True
+
+    def derived_elements(self):
+        elements = []
+        if self._session.get("save_attempted"):
+            ok = self.value(BACKUP_SCHEME) in _VALID_SCHEMES
+            elements.append(("save_result", "saved" if ok else "error: cannot save"))
+        return elements
+
+
+def create(clock: SimClock | None = None) -> GnomeEdit:
+    return GnomeEdit(clock=clock)

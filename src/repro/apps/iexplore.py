@@ -1,0 +1,83 @@
+"""Internet Explorer simulation.
+
+Hosts error #3: "dialog to disable add-ons always pops up" — a
+registry-backed nag-dialog feature.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import STORE_REGISTRY, SimulatedApplication
+from repro.apps.build import pad_schema
+from repro.apps.schema import (
+    BOOL,
+    EnablerParamsGroup,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.common.clock import SimClock
+
+APP_NAME = "Internet Explorer"
+TOTAL_KEYS = 33  # Table II
+
+ADDON_DIALOG = "Main/ShowAddonDialog"
+ADDON_THRESHOLD = "Main/AddonDialogThreshold"
+
+
+def _build_schema():
+    settings = [
+        SettingSpec(ADDON_DIALOG, BOOL, default=False),
+        SettingSpec(
+            ADDON_THRESHOLD, ValueDomain("float", lo=0.1, hi=10.0), default=0.2
+        ),
+        SettingSpec(
+            "Main/StartPage",
+            ValueDomain(
+                "string",
+                pool=("about:blank", "msn.com", "corp.intranet", "news.site"),
+            ),
+            default="about:blank",
+            visible=True,
+        ),
+        SettingSpec("Main/ShowStatusBar", BOOL, default=True, visible=True),
+    ]
+    groups = [
+        EnablerParamsGroup(
+            name="AddonWatchdog",
+            enabler=ADDON_DIALOG,
+            params=[ADDON_THRESHOLD],
+        ),
+    ]
+    return pad_schema(settings, groups, TOTAL_KEYS, seed=0x1E06)
+
+
+class InternetExplorer(SimulatedApplication):
+    """Web browser with an add-on watchdog dialog."""
+
+    trial_cost_seconds = 9.0
+    pref_burst_prob = 0.35
+    page_apply_prob = 0.9
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(
+            name=APP_NAME,
+            schema=_build_schema(),
+            store_kind=STORE_REGISTRY,
+            config_path="Microsoft\\Internet Explorer",
+            clock=clock,
+        )
+        self.register_action("browse", self.browse)
+
+    def browse(self, url: str = "news.site") -> None:
+        self._session["url"] = url
+
+    def derived_elements(self):
+        elements = []
+        if "url" in self._session:
+            elements.append(("page", self._session["url"]))
+        popup = bool(self.value(ADDON_DIALOG))
+        elements.append(("addon_dialog", "pops-up" if popup else "hidden"))
+        return elements
+
+
+def create(clock: SimClock | None = None) -> InternetExplorer:
+    return InternetExplorer(clock=clock)

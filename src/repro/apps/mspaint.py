@@ -1,0 +1,84 @@
+"""MS Paint simulation.
+
+Hosts error #6: "text tool bar does not pop up automatically when entering
+text".  The toolbar's behaviour depends on two settings at once (the
+enabler and the popup mode), which is why Ocasta-NoClust cannot fix the
+error by rolling back one key at a time (Table IV).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import STORE_REGISTRY, SimulatedApplication
+from repro.apps.build import pad_schema
+from repro.apps.schema import (
+    BOOL,
+    EnablerParamsGroup,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.common.clock import SimClock
+
+APP_NAME = "MS Paint"
+TOTAL_KEYS = 66  # Table II
+
+TOOLBAR_ENABLED = "View/ShowTextToolbar"
+TOOLBAR_MODE = "View/TextToolbarMode"
+TOOLBAR_X = "View/TextToolbarX"
+TOOLBAR_Y = "View/TextToolbarY"
+
+
+def _build_schema():
+    settings = [
+        SettingSpec(TOOLBAR_ENABLED, BOOL, default=True),
+        SettingSpec(
+            TOOLBAR_MODE,
+            ValueDomain("enum", options=("auto", "manual")),
+            default="auto",
+        ),
+        SettingSpec(TOOLBAR_X, ValueDomain("int", lo=0, hi=1600), default=480),
+        SettingSpec(TOOLBAR_Y, ValueDomain("int", lo=0, hi=1200), default=120),
+        SettingSpec("View/GridLines", BOOL, default=False, visible=True),
+    ]
+    groups = [
+        EnablerParamsGroup(
+            name="TextToolbar",
+            enabler=TOOLBAR_ENABLED,
+            params=[TOOLBAR_MODE, TOOLBAR_X, TOOLBAR_Y],
+        ),
+    ]
+    return pad_schema(settings, groups, TOTAL_KEYS, seed=0x9A17)
+
+
+class MSPaint(SimulatedApplication):
+    """Image editor with a two-setting text-toolbar popup behaviour."""
+
+    trial_cost_seconds = 7.0
+    pref_burst_prob = 0.40
+    page_apply_prob = 0.9
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(
+            name=APP_NAME,
+            schema=_build_schema(),
+            store_kind=STORE_REGISTRY,
+            config_path="Microsoft\\Applets\\Paint",
+            clock=clock,
+        )
+        self.register_action("enter_text", self.enter_text)
+
+    def enter_text(self) -> None:
+        """The trial action for error #6: start typing on the canvas."""
+        self._session["text_mode"] = True
+
+    def derived_elements(self):
+        elements = []
+        if self._session.get("text_mode"):
+            pops = bool(self.value(TOOLBAR_ENABLED)) and self.value(TOOLBAR_MODE) == "auto"
+            elements.append(
+                ("text_toolbar", "pops-up" if pops else "stays-hidden")
+            )
+        return elements
+
+
+def create(clock: SimClock | None = None) -> MSPaint:
+    return MSPaint(clock=clock)

@@ -1,0 +1,98 @@
+"""MS Outlook simulation.
+
+Hosts error #1: "user is unable to use Navigation Panel" — the navigation
+pane is an enabler/parameters dependency group in the registry.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import STORE_REGISTRY, SimulatedApplication
+from repro.apps.build import mru_group, pad_schema
+from repro.apps.schema import (
+    BOOL,
+    EnablerParamsGroup,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.common.clock import SimClock
+
+APP_NAME = "MS Outlook"
+TOTAL_KEYS = 182  # Table II
+
+NAV_ENABLER = "Preferences/ShowNavPane"
+NAV_MODULES = "Preferences/NavPaneModules"
+NAV_WIDTH = "Preferences/NavPaneWidth"
+
+_MODULES = ValueDomain(
+    "strlist",
+    pool=("Mail", "Calendar", "Contacts", "Tasks", "Notes", "Folders"),
+    max_len=6,
+)
+
+
+def _build_schema():
+    settings = [
+        SettingSpec(NAV_ENABLER, BOOL, default=True),
+        SettingSpec(NAV_MODULES, _MODULES, default=["Mail", "Calendar"]),
+        SettingSpec(NAV_WIDTH, ValueDomain("int", lo=80, hi=400), default=200),
+        SettingSpec("Preferences/ReadingPane", BOOL, default=True, visible=True),
+        SettingSpec(
+            "Preferences/CheckInterval",
+            ValueDomain("int", lo=1, hi=120),
+            default=15,
+        ),
+    ]
+    mru_specs, mru = mru_group(
+        name="RecentContacts",
+        limiter="Contacts/MaxRecent",
+        item_prefix="Contacts/Recent",
+        max_items=5,
+        default_limit=4,
+    )
+    settings += mru_specs
+    groups = [
+        EnablerParamsGroup(
+            name="NavigationPane",
+            enabler=NAV_ENABLER,
+            params=[NAV_MODULES, NAV_WIDTH],
+        ),
+        mru,
+        EnablerParamsGroup(
+            name="MailCheck",
+            enabler="Preferences/ReadingPane",
+            params=["Preferences/CheckInterval"],
+        ),
+    ]
+    return pad_schema(settings, groups, TOTAL_KEYS, seed=0x0071)
+
+
+class MSOutlook(SimulatedApplication):
+    """E-mail client whose navigation pane is a dependency group."""
+
+    trial_cost_seconds = 12.0
+    pref_burst_prob = 0.10
+    page_apply_prob = 0.05
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(
+            name=APP_NAME,
+            schema=_build_schema(),
+            store_kind=STORE_REGISTRY,
+            config_path="Microsoft\\Office\\Outlook",
+            clock=clock,
+        )
+        self.register_action("click_nav_pane", self.click_nav_pane)
+
+    def click_nav_pane(self) -> None:
+        """The trial action for error #1: try to use the navigation pane."""
+        self._session["nav_pane_clicked"] = True
+
+    def derived_elements(self):
+        enabled = bool(self.value(NAV_ENABLER))
+        modules = self.value(NAV_MODULES) or []
+        usable = enabled and len(modules) > 0
+        return [("navigation_pane", tuple(modules) if usable else "unusable")]
+
+
+def create(clock: SimClock | None = None) -> MSOutlook:
+    return MSOutlook(clock=clock)

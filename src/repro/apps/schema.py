@@ -1,0 +1,433 @@
+"""Application configuration schemas with ground-truth dependency groups.
+
+The paper characterises three archetypes of related configuration settings
+(§II, Fig. 1), all reproduced here as group classes:
+
+- :class:`LimiterListGroup` — MS Word: ``Max Display`` limits how many
+  ``Item N`` settings are valid; changing the limit trims the items.
+- :class:`EnablerParamsGroup` — Acrobat Reader: ``InlineAutoComplete``
+  enables a feature whose behaviour is specified by parameter settings.
+- :class:`ModeListGroup` — Explorer's "Open with": an ordered list setting
+  names a set of companion entry settings.
+
+:class:`GenericGroup` covers plain always-written-together settings.
+Settings outside any group are *independent* — the ground truth says they
+are related to nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import SchemaError
+
+#: Setting volatility classes.  ``config`` settings change only when the
+#: user explicitly edits preferences (rare); ``state`` settings are touched
+#: by normal application activity (window geometry, MRU lists — frequent).
+VOLATILITY_CONFIG = "config"
+VOLATILITY_STATE = "state"
+
+
+class ValueDomain:
+    """Generates and perturbs plausible values for one setting.
+
+    Kinds: ``bool``, ``int`` (with lo/hi), ``float`` (lo/hi), ``enum``
+    (options), ``string`` (pool of realistic tokens), ``strlist`` (list of
+    strings from the pool).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        lo: float = 0,
+        hi: float = 100,
+        options: tuple[str, ...] = (),
+        pool: tuple[str, ...] = (),
+        max_len: int = 4,
+    ) -> None:
+        if kind not in ("bool", "int", "float", "enum", "string", "strlist"):
+            raise SchemaError(f"unknown value domain kind {kind!r}")
+        if kind == "enum" and len(options) < 2:
+            raise SchemaError("enum domains need at least two options")
+        self.kind = kind
+        self.lo = lo
+        self.hi = hi
+        self.options = options
+        self.pool = pool or _DEFAULT_POOL
+        self.max_len = max_len
+
+    def sample(self, rng: random.Random) -> Any:
+        if self.kind == "bool":
+            return rng.random() < 0.5
+        if self.kind == "int":
+            return rng.randint(int(self.lo), int(self.hi))
+        if self.kind == "float":
+            return round(rng.uniform(self.lo, self.hi), 3)
+        if self.kind == "enum":
+            return rng.choice(self.options)
+        if self.kind == "string":
+            return rng.choice(self.pool)
+        return [
+            rng.choice(self.pool) for _ in range(rng.randint(0, self.max_len))
+        ]
+
+    def perturb(self, rng: random.Random, current: Any) -> Any:
+        """A fresh value different from ``current`` whenever possible."""
+        for _ in range(16):
+            value = self.sample(rng)
+            if value != current:
+                return value
+        if self.kind == "bool":
+            return not current
+        return self.sample(rng)
+
+
+_DEFAULT_POOL = (
+    "report.doc", "draft.doc", "notes.txt", "thesis.pdf", "budget.xls",
+    "photo.png", "scan.jpg", "letter.doc", "slides.ppt", "paper.pdf",
+    "memo.txt", "archive.zip", "track.mp3", "clip.avi", "readme.md",
+)
+
+BOOL = ValueDomain("bool")
+SMALL_INT = ValueDomain("int", lo=0, hi=30)
+PERCENT = ValueDomain("int", lo=0, hi=100)
+FRACTION = ValueDomain("float", lo=0.0, hi=4.0)
+FILENAME = ValueDomain("string")
+FILELIST = ValueDomain("strlist")
+
+
+@dataclass(frozen=True)
+class SettingSpec:
+    """One configuration setting in an application's schema."""
+
+    name: str
+    domain: ValueDomain = field(default=BOOL)
+    default: Any = None
+    visible: bool = False
+    volatility: str = VOLATILITY_CONFIG
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("setting name cannot be empty")
+        if self.volatility not in (VOLATILITY_CONFIG, VOLATILITY_STATE):
+            raise SchemaError(f"unknown volatility {self.volatility!r}")
+
+
+class DependencyGroup:
+    """Base class: a named set of mutually related settings."""
+
+    #: filler groups (schema padding) share preference-dialog pages with
+    #: other settings; hand-authored feature groups live on their own
+    #: page/dialog, like real applications' dedicated editors.
+    is_filler = False
+
+    def __init__(self, name: str, member_names: list[str]) -> None:
+        if len(member_names) != len(set(member_names)):
+            raise SchemaError(f"group {name!r} has duplicate members")
+        self.name = name
+        self._members = tuple(member_names)
+
+    def keys(self) -> frozenset[str]:
+        """Member setting names (local, un-prefixed)."""
+        return frozenset(self._members)
+
+    # Behavioural hooks; implemented by archetypes.  ``app`` is a
+    # SimulatedApplication — typed loosely to avoid an import cycle.
+
+    def coherent_update(self, app: Any, rng: random.Random) -> None:
+        """A user preference change updating the group consistently."""
+        raise NotImplementedError
+
+    def partial_update(self, app: Any, rng: random.Random) -> None:
+        """A legal update touching only part of the group (if any)."""
+        self.coherent_update(app, rng)
+
+    def render(self, app: Any) -> list[tuple[str, Any]]:
+        """Visible screen elements this group contributes."""
+        return []
+
+
+class GenericGroup(DependencyGroup):
+    """Settings the application always writes together."""
+
+    def coherent_update(self, app: Any, rng: random.Random) -> None:
+        for name in self._members:
+            app.user_set(name, app.spec(name).domain.perturb(rng, app.value(name)))
+
+    def render(self, app: Any) -> list[tuple[str, Any]]:
+        return [
+            (f"{self.name}/{name}", app.value(name))
+            for name in self._members
+            if app.spec(name).visible
+        ]
+
+
+class LimiterListGroup(DependencyGroup):
+    """A dominant limiter setting plus the item settings it governs.
+
+    MS Word's recently-used list: "the number of Item settings should never
+    exceed the value of Max Display"; reducing the limit deletes extra
+    items.  Items churn frequently (every document open), the limiter
+    rarely — the exact structure behind the paper's error #2.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        limiter: str,
+        item_prefix: str,
+        max_items: int,
+        item_domain: ValueDomain = FILENAME,
+    ) -> None:
+        if max_items < 1:
+            raise SchemaError("limiter list needs at least one item slot")
+        self.limiter = limiter
+        self.item_prefix = item_prefix
+        self.max_items = max_items
+        self.item_domain = item_domain
+        items = [f"{item_prefix}{i}" for i in range(1, max_items + 1)]
+        super().__init__(name, [limiter] + items)
+
+    def item_name(self, index: int) -> str:
+        return f"{self.item_prefix}{index}"
+
+    def current_limit(self, app: Any) -> int:
+        value = app.value(self.limiter)
+        return int(value) if value is not None else self.max_items
+
+    def current_items(self, app: Any) -> list[Any]:
+        items = []
+        for i in range(1, self.max_items + 1):
+            value = app.value(self.item_name(i))
+            if value is None:
+                break
+            items.append(value)
+        return items
+
+    def push_item(self, app: Any, value: Any) -> None:
+        """MRU push: new head item, others shift down, honours the limit.
+
+        This is *application* behaviour triggered by normal use (state
+        volatility): the limiter is not rewritten.
+        """
+        limit = max(0, min(self.current_limit(app), self.max_items))
+        items = [value] + [v for v in self.current_items(app) if v != value]
+        items = items[:limit]
+        for i, item in enumerate(items, start=1):
+            app.app_set(self.item_name(i), item)
+        for i in range(len(items) + 1, self.max_items + 1):
+            app.app_delete(self.item_name(i))
+
+    def set_limit(self, app: Any, new_limit: int) -> None:
+        """Preference change: writes the limiter AND maintains the items.
+
+        Like MS Word, the application rewrites the whole MRU block when
+        the limit changes: surviving items are re-written, items beyond
+        the new limit are deleted.  (Re-writing survivors is what makes
+        the limiter/item correlation reach 1 — the paper recovered error
+        #2 by lowering the threshold to 1 and widening the window.)
+        """
+        new_limit = max(0, min(new_limit, self.max_items))
+        survivors = self.current_items(app)[:new_limit]
+        app.user_set(self.limiter, new_limit)
+        for i, item in enumerate(survivors, start=1):
+            app.app_set(self.item_name(i), item)
+        for i in range(max(new_limit, len(survivors)) + 1, self.max_items + 1):
+            app.app_delete(self.item_name(i))
+
+    def coherent_update(self, app: Any, rng: random.Random) -> None:
+        # The limiter is the paper's "rarely-changing dominant setting":
+        # ordinary preference activity does not resize the recent list
+        # (that is precisely the rare deliberate act behind error #2), so
+        # a random preference edit near this group just churns the list.
+        # A lone mid-trace ``set_limit`` while the list is short would
+        # leave limiter write-groups missing some item slots, capping the
+        # limiter/item correlation below 1 and making the paper's tuned
+        # recovery (threshold 1) seed-dependent.
+        self.push_item(app, self.item_domain.sample(rng))
+
+    def partial_update(self, app: Any, rng: random.Random) -> None:
+        self.push_item(app, self.item_domain.sample(rng))
+
+    def render(self, app: Any) -> list[tuple[str, Any]]:
+        limit = max(0, self.current_limit(app))
+        shown = tuple(self.current_items(app)[:limit])
+        return [(f"{self.name}/list", shown)]
+
+
+class EnablerParamsGroup(DependencyGroup):
+    """A boolean enabler controlling the meaning of parameter settings.
+
+    Evolution's ``mark_seen``/``mark_seen_timeout``; Acrobat's auto-complete
+    family.  The feature's visible behaviour depends on the parameters only
+    while enabled.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        enabler: str,
+        params: list[str],
+        visible: bool = True,
+    ) -> None:
+        if not params:
+            raise SchemaError("enabler group needs at least one parameter")
+        self.enabler = enabler
+        self.params = tuple(params)
+        self.visible = visible
+        super().__init__(name, [enabler] + list(params))
+
+    def enable(self, app: Any, rng: random.Random) -> None:
+        """Turn the feature on and (re)configure its parameters together."""
+        app.user_set(self.enabler, True)
+        for param in self.params:
+            app.user_set(
+                param, app.spec(param).domain.perturb(rng, app.value(param))
+            )
+
+    def coherent_update(self, app: Any, rng: random.Random) -> None:
+        if rng.random() < 0.7:
+            self.enable(app, rng)
+        else:
+            # Disabling rewrites the whole family back to a consistent
+            # "off" state, the way preference dialogs apply a page at once.
+            app.user_set(self.enabler, False)
+            for param in self.params:
+                app.user_set(param, app.value(param))
+
+    def partial_update(self, app: Any, rng: random.Random) -> None:
+        """Enabler families are applied as a whole preference page.
+
+        The paper's two undersized-cluster failures (errors #2 and #4) are
+        the limiter-list and mode-list archetypes; its enabler families
+        clustered correctly at the default threshold, which requires that
+        ordinary traces not contain lone-enabler writes.  The dialog-apply
+        behaviour modelled here produces exactly that.
+        """
+        self.coherent_update(app, rng)
+
+    def render(self, app: Any) -> list[tuple[str, Any]]:
+        if not self.visible:
+            return []
+        if bool(app.value(self.enabler)):
+            behaviour = tuple(app.value(p) for p in self.params)
+        else:
+            behaviour = "disabled"
+        return [(f"feature/{self.name}", behaviour)]
+
+
+class ModeListGroup(DependencyGroup):
+    """An ordered list setting naming companion entry settings.
+
+    Explorer's "Open with" menu (error #4): one setting stores an ordered
+    list of names of settings that store application commands.  The list
+    changes even when the entries do not.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        list_key: str,
+        entry_keys: list[str],
+        entry_domain: ValueDomain = FILENAME,
+    ) -> None:
+        if not entry_keys:
+            raise SchemaError("mode list group needs at least one entry")
+        self.list_key = list_key
+        self.entry_keys = tuple(entry_keys)
+        self.entry_domain = entry_domain
+        super().__init__(name, [list_key] + list(entry_keys))
+
+    def coherent_update(self, app: Any, rng: random.Random) -> None:
+        """Rewrite entries and the ordering list together."""
+        order = list(self.entry_keys)
+        rng.shuffle(order)
+        cut = rng.randint(1, len(order))
+        for entry in self.entry_keys:
+            app.user_set(
+                entry, app.spec(entry).domain.perturb(rng, app.value(entry))
+            )
+        app.user_set(self.list_key, [e.rsplit("/", 1)[-1] for e in order[:cut]])
+
+    def partial_update(self, app: Any, rng: random.Random) -> None:
+        """Reorder/trim the list without touching the entries."""
+        current = app.value(self.list_key) or []
+        universe = [e.rsplit("/", 1)[-1] for e in self.entry_keys]
+        rng.shuffle(universe)
+        cut = rng.randint(1, len(universe))
+        new = universe[:cut]
+        if new == current:
+            new = list(reversed(new)) if len(new) > 1 else universe[: cut + 1]
+        app.user_set(self.list_key, new)
+
+    def render(self, app: Any) -> list[tuple[str, Any]]:
+        order = app.value(self.list_key) or []
+        suffix_to_entry = {e.rsplit("/", 1)[-1]: e for e in self.entry_keys}
+        menu = tuple(
+            app.value(suffix_to_entry[suffix])
+            for suffix in order
+            if suffix in suffix_to_entry and app.value(suffix_to_entry[suffix])
+        )
+        return [(f"menu/{self.name}", menu)]
+
+
+class ConfigSchema:
+    """All settings and dependency groups of one application."""
+
+    def __init__(
+        self, settings: list[SettingSpec], groups: list[DependencyGroup]
+    ) -> None:
+        self._specs: dict[str, SettingSpec] = {}
+        for spec in settings:
+            if spec.name in self._specs:
+                raise SchemaError(f"duplicate setting {spec.name!r}")
+            self._specs[spec.name] = spec
+        claimed: set[str] = set()
+        for group in groups:
+            for key in group.keys():
+                if key not in self._specs:
+                    raise SchemaError(
+                        f"group {group.name!r} references unknown setting {key!r}"
+                    )
+                if key in claimed:
+                    raise SchemaError(
+                        f"setting {key!r} belongs to more than one group"
+                    )
+                claimed.add(key)
+        self.groups = list(groups)
+        self._claimed = claimed
+
+    @property
+    def settings(self) -> list[SettingSpec]:
+        return list(self._specs.values())
+
+    def names(self) -> list[str]:
+        return list(self._specs)
+
+    def spec(self, name: str) -> SettingSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise SchemaError(f"unknown setting {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def group(self, name: str) -> DependencyGroup:
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise SchemaError(f"unknown group {name!r}")
+
+    def independent_settings(self) -> list[str]:
+        """Settings outside every dependency group."""
+        return [name for name in self._specs if name not in self._claimed]
+
+    def ground_truth_groups(self) -> list[frozenset[str]]:
+        """Dependency groups as local-name key sets (for accuracy scoring)."""
+        return [group.keys() for group in self.groups]

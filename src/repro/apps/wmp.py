@@ -1,0 +1,107 @@
+"""Windows Media Player simulation.
+
+Hosts error #5: "caption is not shown while playing video" — a
+four-setting captions feature group in the registry.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import STORE_REGISTRY, SimulatedApplication
+from repro.apps.build import mru_group, pad_schema
+from repro.apps.schema import (
+    BOOL,
+    EnablerParamsGroup,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.common.clock import SimClock
+
+APP_NAME = "Windows Media Player"
+TOTAL_KEYS = 165  # Table II
+
+CAPTIONS_ENABLED = "Player/ShowCaptions"
+CAPTIONS_LANG = "Player/CaptionLang"
+CAPTIONS_SIZE = "Player/CaptionSize"
+CAPTIONS_POS = "Player/CaptionPos"
+
+
+def _build_schema():
+    settings = [
+        SettingSpec(CAPTIONS_ENABLED, BOOL, default=True),
+        SettingSpec(
+            CAPTIONS_LANG,
+            ValueDomain("enum", options=("en", "fr", "de", "es")),
+            default="en",
+        ),
+        SettingSpec(CAPTIONS_SIZE, ValueDomain("int", lo=8, hi=32), default=14),
+        SettingSpec(
+            CAPTIONS_POS,
+            ValueDomain("enum", options=("top", "bottom")),
+            default="bottom",
+        ),
+        SettingSpec("Player/Volume", ValueDomain("int", lo=0, hi=100), default=50, visible=True),
+    ]
+    mru_specs, mru = mru_group(
+        name="RecentMedia",
+        limiter="Player/MaxRecentMedia",
+        item_prefix="RecentMedia/Item",
+        max_items=6,
+        default_limit=4,
+        item_domain=ValueDomain(
+            "string", pool=("clip.avi", "track.mp3", "movie.mp4", "show.mkv")
+        ),
+    )
+    settings += mru_specs
+    groups = [
+        EnablerParamsGroup(
+            name="Captions",
+            enabler=CAPTIONS_ENABLED,
+            params=[CAPTIONS_LANG, CAPTIONS_SIZE, CAPTIONS_POS],
+        ),
+        mru,
+    ]
+    return pad_schema(settings, groups, TOTAL_KEYS, seed=0x3390)
+
+
+class WindowsMediaPlayer(SimulatedApplication):
+    """Media player with a captions feature group."""
+
+    trial_cost_seconds = 11.0
+    pref_burst_prob = 0.10
+    page_apply_prob = 0.1
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(
+            name=APP_NAME,
+            schema=_build_schema(),
+            store_kind=STORE_REGISTRY,
+            config_path="Microsoft\\MediaPlayer",
+            clock=clock,
+        )
+        self.register_action("play_video", self.play_video)
+
+    def play_video(self, doc: str = "clip.avi") -> None:
+        self._session["playing"] = doc
+        mru = self._mru_group()
+        if mru is not None:
+            mru.push_item(self, doc)
+
+    def derived_elements(self):
+        elements = []
+        playing = self._session.get("playing")
+        if playing is not None:
+            elements.append(("now_playing", playing))
+            if bool(self.value(CAPTIONS_ENABLED)):
+                caption = (
+                    f"{self.value(CAPTIONS_LANG)}/"
+                    f"{self.value(CAPTIONS_SIZE)}pt/"
+                    f"{self.value(CAPTIONS_POS)}"
+                )
+            else:
+                caption = "no captions"
+            elements.append(("captions", caption))
+        return elements
+
+
+def create(clock: SimClock | None = None) -> WindowsMediaPlayer:
+    return WindowsMediaPlayer(clock=clock)

@@ -1,0 +1,92 @@
+"""MS Word simulation.
+
+The paper's Fig. 1a application: ``Max Display`` limits how many
+``Item N`` settings of the recently-opened-documents list are valid, and
+Word maintains the relationship automatically.  Error #2 ("user loses the
+list of recently accessed documents") lives here.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import STORE_REGISTRY, SimulatedApplication
+from repro.apps.build import mru_group, pad_schema
+from repro.apps.schema import (
+    BOOL,
+    EnablerParamsGroup,
+    PERCENT,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.common.clock import SimClock
+
+APP_NAME = "MS Word"
+TOTAL_KEYS = 143  # Table II
+MRU_LIMITER = "Options/MaxDisplay"
+MRU_ITEM_PREFIX = "RecentFiles/Item"
+MRU_MAX_ITEMS = 9
+MRU_GROUP = "RecentDocuments"
+
+
+def _build_schema():
+    mru_specs, mru = mru_group(
+        name=MRU_GROUP,
+        limiter=MRU_LIMITER,
+        item_prefix=MRU_ITEM_PREFIX,
+        max_items=MRU_MAX_ITEMS,
+        default_limit=9,
+    )
+    settings = list(mru_specs)
+    settings += [
+        SettingSpec("Options/AutoSave", BOOL, default=True),
+        SettingSpec(
+            "Options/AutoSaveInterval",
+            ValueDomain("int", lo=1, hi=60),
+            default=10,
+        ),
+        SettingSpec("View/Ruler", BOOL, default=True, visible=True),
+        SettingSpec("View/Zoom", PERCENT, default=100, visible=True),
+    ]
+    groups = [
+        mru,
+        EnablerParamsGroup(
+            name="AutoSave",
+            enabler="Options/AutoSave",
+            params=["Options/AutoSaveInterval"],
+        ),
+    ]
+    return pad_schema(settings, groups, TOTAL_KEYS, seed=0x3057)
+
+
+class MSWord(SimulatedApplication):
+    """Word processor with the Fig. 1a recently-used-documents coupling."""
+
+    trial_cost_seconds = 14.0
+    pref_burst_prob = 0.10
+    page_apply_prob = 0.05
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(
+            name=APP_NAME,
+            schema=_build_schema(),
+            store_kind=STORE_REGISTRY,
+            config_path="Microsoft\\Office\\Word",
+            clock=clock,
+        )
+        self.register_action("set_max_display", self.set_max_display)
+
+    def set_max_display(self, limit: int) -> None:
+        """Preference change: Word trims extra Items itself (Fig. 1a)."""
+        group = self.schema.group(MRU_GROUP)
+        group.set_limit(self, int(limit))
+
+    def derived_elements(self):
+        # The File-menu recent list is the group's rendered list; expose a
+        # user-facing summary element the error predicates read.
+        group = self.schema.group(MRU_GROUP)
+        limit = max(0, group.current_limit(self))
+        shown = tuple(group.current_items(self)[:limit])
+        return [("recent_documents_menu", shown)]
+
+
+def create(clock: SimClock | None = None) -> MSWord:
+    return MSWord(clock=clock)

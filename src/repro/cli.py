@@ -1,0 +1,234 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table2 --window 1 --threshold 2
+    python -m repro table4
+    python -m repro fig2a --points 2,6,10,14
+    python -m repro fig3a
+    python -m repro fig4
+    python -m repro ablations
+    python -m repro repair --case 13 [--bfs] [--spurious 2]
+    python -m repro list-cases
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _parse_floats(text: str) -> tuple[float, ...]:
+    try:
+        return tuple(float(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ocasta reproduction: regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: trace statistics")
+
+    table2 = sub.add_parser("table2", help="Table II: clustering accuracy")
+    table2.add_argument("--window", type=float, default=1.0)
+    table2.add_argument("--threshold", type=float, default=2.0)
+    table2.add_argument("--days", type=int, default=45)
+    table2.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("table3", help="Table III: the 16 configuration errors")
+
+    table4 = sub.add_parser("table4", help="Table IV: recovery performance")
+    table4.add_argument(
+        "--quick", action="store_true",
+        help="stop each search at the fix instead of exhausting candidates",
+    )
+    table4.add_argument("--no-noclust", action="store_true")
+
+    for name, default in (("fig2a", "2,6,10,14"), ("fig2b", "0,1,2"), ("fig2c", "10,20,40,80")):
+        fig = sub.add_parser(name, help=f"Figure {name[-2:]}: DFS vs BFS trials")
+        fig.add_argument("--points", type=_parse_floats, default=_parse_floats(default))
+
+    sub.add_parser("fig3a", help="Figure 3a: cluster size vs window")
+    sub.add_parser("fig3b", help="Figure 3b: cluster size vs threshold")
+
+    fig4 = sub.add_parser("fig4", help="Figure 4: user study")
+    fig4.add_argument("--seed", type=int, default=19)
+
+    sub.add_parser("ablations", help="design-choice ablations")
+
+    repair = sub.add_parser("repair", help="repair one Table III error")
+    repair.add_argument("--case", type=int, required=True, choices=range(1, 17))
+    repair.add_argument("--bfs", action="store_true", help="use BFS instead of DFS")
+    repair.add_argument("--spurious", type=int, default=0, choices=(0, 1, 2))
+    repair.add_argument("--days-before-end", type=float, default=14.0)
+    repair.add_argument("--noclust", action="store_true", help="run the baseline")
+
+    sub.add_parser("list-cases", help="list the 16 error cases")
+    return parser
+
+
+def _cmd_table1() -> str:
+    from repro.experiments.table1 import render_table1, run_table1
+
+    return render_table1(run_table1())
+
+
+def _cmd_table2(args) -> str:
+    from repro.experiments.table2 import render_table2, run_table2
+
+    return render_table2(
+        run_table2(
+            window=args.window,
+            correlation_threshold=args.threshold,
+            days=args.days,
+            seed=args.seed,
+        )
+    )
+
+
+def _cmd_table3() -> str:
+    from repro.experiments.table3 import render_table3
+
+    return render_table3()
+
+
+def _cmd_table4(args) -> str:
+    from repro.experiments.recovery import render_table4, run_table4
+
+    return render_table4(
+        run_table4(exhaustive=not args.quick, with_noclust=not args.no_noclust)
+    )
+
+
+def _cmd_fig2(which: str, points) -> str:
+    from repro.experiments import fig2
+
+    runners = {
+        "fig2a": (fig2.run_fig2a, "injection days", "Figure 2a: trials vs time of error"),
+        "fig2b": (fig2.run_fig2b, "spurious writes", "Figure 2b: trials vs spurious writes"),
+        "fig2c": (fig2.run_fig2c, "time bound (days)", "Figure 2c: trials vs search bound"),
+    }
+    run, x_label, title = runners[which]
+    if which == "fig2b":
+        points = tuple(int(p) for p in points)
+    series = run(points)
+    return fig2.render_fig2(x_label, points, series, title)
+
+
+def _cmd_fig3(which: str) -> str:
+    from repro.experiments.fig3 import render_fig3, run_fig3a, run_fig3b
+
+    if which == "fig3a":
+        x, sizes = run_fig3a()
+        return render_fig3("window (s)", x, sizes, "Figure 3a: avg cluster size vs window")
+    x, sizes = run_fig3b()
+    return render_fig3("corr threshold", x, sizes, "Figure 3b: avg cluster size vs threshold")
+
+
+def _cmd_fig4(args) -> str:
+    from repro.experiments.fig4 import render_fig4, run_fig4
+
+    return render_fig4(run_fig4(seed=args.seed))
+
+
+def _cmd_ablations() -> str:
+    from repro.experiments.ablations import (
+        render_ablations,
+        run_linkage_ablation,
+        run_quantisation_ablation,
+        run_sort_ablation,
+        run_window_ablation,
+    )
+
+    rows = []
+    rows += run_window_ablation()
+    rows += run_linkage_ablation()
+    rows += run_sort_ablation()
+    rows += run_quantisation_ablation()
+    return render_ablations(rows)
+
+
+def _cmd_repair(args) -> str:
+    from repro.common.format import format_mmss
+    from repro.core.search import SearchStrategy
+    from repro.errors.cases import case_by_id
+    from repro.experiments.recovery import run_case
+
+    case = case_by_id(args.case)
+    strategy = SearchStrategy.BFS if args.bfs else SearchStrategy.DFS
+    report, scenario = run_case(
+        case,
+        strategy=strategy,
+        days_before_end=args.days_before_end,
+        spurious_writes=args.spurious,
+        use_clustering=not args.noclust,
+    )
+    outcome = report.outcome
+    lines = [
+        f"error #{case.case_id} ({case.app_name}): {case.description}",
+        f"trace: {case.trace_name}; strategy: {strategy.name}"
+        + ("; baseline: Ocasta-NoClust" if args.noclust else ""),
+    ]
+    if report.fixed:
+        lines.append(
+            f"FIXED after {outcome.trials_to_fix} trials "
+            f"({format_mmss(outcome.time_to_fix)} simulated), "
+            f"{outcome.unique_screenshots} unique screenshot(s)"
+        )
+        lines.append(
+            "offending cluster "
+            f"({report.offending_cluster_size} setting(s)): "
+            + ", ".join(sorted(report.offending_cluster.keys))
+        )
+    else:
+        lines.append(
+            f"NOT FIXED after {outcome.total_trials} trials — "
+            "the rollback granularity cannot repair this error"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_list_cases() -> str:
+    from repro.experiments.table3 import render_table3
+
+    return render_table3()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command == "table1":
+        output = _cmd_table1()
+    elif command == "table2":
+        output = _cmd_table2(args)
+    elif command == "table3":
+        output = _cmd_table3()
+    elif command == "table4":
+        output = _cmd_table4(args)
+    elif command in ("fig2a", "fig2b", "fig2c"):
+        output = _cmd_fig2(command, args.points)
+    elif command in ("fig3a", "fig3b"):
+        output = _cmd_fig3(command)
+    elif command == "fig4":
+        output = _cmd_fig4(args)
+    elif command == "ablations":
+        output = _cmd_ablations()
+    elif command == "repair":
+        output = _cmd_repair(args)
+    else:
+        output = _cmd_list_cases()
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

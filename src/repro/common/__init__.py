@@ -1,0 +1,6 @@
+"""Small shared utilities: simulated clock, formatting, deterministic RNG."""
+
+from repro.common.clock import SimClock
+from repro.common.format import format_mmss, format_si, quantize_timestamp
+
+__all__ = ["SimClock", "format_mmss", "format_si", "quantize_timestamp"]

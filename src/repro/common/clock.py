@@ -1,0 +1,50 @@
+"""A simulated clock.
+
+The paper reports recovery times in wall-clock minutes, dominated by real
+application start-up.  Our substrate is a simulator, so all components that
+need "time passing" (trial execution, user think time) advance a
+:class:`SimClock` instead of sleeping.  This keeps experiments deterministic
+and instantaneous while still letting the benchmark harness report times in
+the same units as the paper.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Parameters
+    ----------
+    start:
+        Initial time in seconds.  Experiments usually start at ``0.0``.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time.
+
+        Raises
+        ------
+        ValueError
+            If ``seconds`` is negative; simulated time never flows backwards.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self._now += seconds
+        return self._now
+
+    def elapsed_since(self, t0: float) -> float:
+        """Return ``now() - t0``."""
+        return self._now - t0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.3f})"

@@ -1,0 +1,70 @@
+"""Formatting helpers shared by the analysis tables and benchmarks."""
+
+from __future__ import annotations
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def format_mmss(seconds: float) -> str:
+    """Format a duration as ``m:ss`` the way Table IV of the paper does.
+
+    >>> format_mmss(34)
+    '0:34'
+    >>> format_mmss(28 * 60 + 40)
+    '28:40'
+    """
+    if seconds < 0:
+        raise ValueError("duration cannot be negative")
+    total = int(round(seconds))
+    return f"{total // 60}:{total % 60:02d}"
+
+
+def format_si(value: float) -> str:
+    """Format a count with the K/M suffixes used in Table I.
+
+    >>> format_si(6_760_000)
+    '6.76M'
+    >>> format_si(480)
+    '0.48K'
+    >>> format_si(35)
+    '35'
+    """
+    if value < 0:
+        raise ValueError("count cannot be negative")
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.2f}M"
+    if value >= 100:
+        return f"{value / 1_000:.2f}K"
+    return f"{value:g}"
+
+
+def format_bytes(size: int) -> str:
+    """Format a byte count the way Table I reports TTKV sizes.
+
+    >>> format_bytes(85 * 1024 * 1024)
+    '85MB'
+    >>> format_bytes(102_400)
+    '0.1MB'
+    """
+    if size < 0:
+        raise ValueError("size cannot be negative")
+    mb = size / (1024 * 1024)
+    if mb >= 1:
+        return f"{mb:.0f}MB"
+    return f"{mb:.1f}MB"
+
+
+def quantize_timestamp(timestamp: float, precision: float = 1.0) -> float:
+    """Truncate ``timestamp`` to a multiple of ``precision`` seconds.
+
+    The paper's trace collector records modification times "to the precision
+    of the nearest second"; the loggers apply this to every recorded event.
+    ``precision=0`` disables quantisation.
+    """
+    if timestamp < 0:
+        raise ValueError("timestamp cannot be negative")
+    if precision < 0:
+        raise ValueError("precision cannot be negative")
+    if precision == 0:
+        return timestamp
+    return (timestamp // precision) * precision

@@ -1,0 +1,16 @@
+"""Process-stable string hashing.
+
+Python's builtin ``hash(str)`` is salted per process (PYTHONHASHSEED), so
+anything seeded from it changes between runs.  Every seed derived from a
+name in this library goes through :func:`stable_hash` instead, keeping
+trace generation and experiments bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def stable_hash(text: str, mask: int = 0xFFFFFFFF) -> int:
+    """Deterministic 32-bit hash of ``text``, optionally masked."""
+    return zlib.crc32(text.encode("utf-8")) & mask

@@ -1,0 +1,55 @@
+"""Ocasta's core: write-group extraction, correlation, clustering, search.
+
+The high-level entry point is :func:`repro.core.pipeline.cluster_settings`,
+which turns a TTKV into a :class:`~repro.core.cluster_model.ClusterSet`
+using the paper's defaults (1-second sliding window, complete-linkage HAC,
+correlation threshold 2).
+"""
+
+from repro.core.windowing import WriteGroup, extract_write_groups, key_group_sets
+from repro.core.correlation import (
+    CorrelationMatrix,
+    correlation,
+    correlation_to_distance,
+    distance_to_correlation,
+)
+from repro.core.dendrogram import Dendrogram, Merge
+from repro.core.clustering import hac_complete_linkage
+from repro.core.cluster_model import Cluster, ClusterSet, ClusterVersion, cluster_versions
+from repro.core.pipeline import cluster_settings, singleton_clusters
+from repro.core.sorting import sort_clusters_for_search
+from repro.core.search import Candidate, SearchStrategy, search_order
+from repro.core.accuracy import (
+    ClusterVerdict,
+    classify_cluster,
+    evaluate_clustering,
+)
+from repro.core.repair import RepairEngine, RepairOutcome
+
+__all__ = [
+    "WriteGroup",
+    "extract_write_groups",
+    "key_group_sets",
+    "CorrelationMatrix",
+    "correlation",
+    "correlation_to_distance",
+    "distance_to_correlation",
+    "Dendrogram",
+    "Merge",
+    "hac_complete_linkage",
+    "Cluster",
+    "ClusterSet",
+    "ClusterVersion",
+    "cluster_versions",
+    "cluster_settings",
+    "singleton_clusters",
+    "sort_clusters_for_search",
+    "Candidate",
+    "SearchStrategy",
+    "search_order",
+    "ClusterVerdict",
+    "classify_cluster",
+    "evaluate_clustering",
+    "RepairEngine",
+    "RepairOutcome",
+]

@@ -1,0 +1,157 @@
+"""Clustering accuracy against ground-truth dependency groups (Table II).
+
+The paper manually verified each multi-setting cluster: a cluster is
+"correctly identified if and only if there is a dependency relationship
+among every configuration setting of the cluster".  In the simulator the
+ground truth is explicit — each application schema declares its dependency
+groups — so verification is exact:
+
+- *oversized*: the cluster contains settings that are not all mutually
+  related (it spans more than one dependency group, or includes an
+  independent setting);
+- *undersized*: the cluster is a strict subset of a dependency group
+  (related settings were left out);
+- both at once is possible (spans groups *and* misses members).
+
+Following the paper's criterion, the headline accuracy counts a cluster
+correct iff it is not oversized (all pairs related); the stricter
+"exact match" accuracy is also reported for completeness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.cluster_model import Cluster, ClusterSet
+
+
+class ClusterVerdict(enum.Enum):
+    CORRECT = "correct"
+    OVERSIZED = "oversized"
+    UNDERSIZED = "undersized"
+    OVERSIZED_AND_UNDERSIZED = "oversized+undersized"
+
+
+def _group_index(groups: Iterable[frozenset[str]]) -> dict[str, frozenset[str]]:
+    index: dict[str, frozenset[str]] = {}
+    for group in groups:
+        for key in group:
+            if key in index:
+                raise ValueError(
+                    f"key {key!r} appears in more than one dependency group"
+                )
+            index[key] = group
+    return index
+
+
+def classify_cluster(
+    cluster: Cluster | frozenset[str],
+    groups: Iterable[frozenset[str]],
+) -> ClusterVerdict:
+    """Classify one multi-setting cluster against the dependency groups.
+
+    Settings not covered by any declared group are *independent*: they are
+    related to nothing, so any multi-setting cluster containing one is
+    oversized.
+    """
+    keys = cluster.keys if isinstance(cluster, Cluster) else cluster
+    index = _group_index(groups)
+
+    touched = {index[key] for key in keys if key in index}
+    independents = [key for key in keys if key not in index]
+
+    oversized = bool(independents) or len(touched) > 1
+    undersized = any(not group <= keys for group in touched)
+
+    if oversized and undersized:
+        return ClusterVerdict.OVERSIZED_AND_UNDERSIZED
+    if oversized:
+        return ClusterVerdict.OVERSIZED
+    if undersized:
+        return ClusterVerdict.UNDERSIZED
+    return ClusterVerdict.CORRECT
+
+
+@dataclass(frozen=True)
+class ClusteringReport:
+    """Per-application accuracy numbers in Table II's shape."""
+
+    app_name: str
+    total_keys: int
+    total_clusters: int
+    multi_clusters: int
+    correct_multi_clusters: int
+    exact_multi_clusters: int
+    verdicts: Mapping[ClusterVerdict, int]
+
+    @property
+    def accuracy(self) -> float | None:
+        """Paper criterion: fraction of multi-clusters with all pairs related.
+
+        ``None`` when the application produced no multi-setting clusters
+        (Table II prints N/A for Eye of GNOME).
+        """
+        if self.multi_clusters == 0:
+            return None
+        return self.correct_multi_clusters / self.multi_clusters
+
+    @property
+    def exact_accuracy(self) -> float | None:
+        """Strict criterion: cluster exactly equals a dependency group."""
+        if self.multi_clusters == 0:
+            return None
+        return self.exact_multi_clusters / self.multi_clusters
+
+
+def evaluate_clustering(
+    app_name: str,
+    cluster_set: ClusterSet,
+    groups: Iterable[frozenset[str]],
+    total_keys: int | None = None,
+) -> ClusteringReport:
+    """Score a clustering result against ground-truth dependency groups."""
+    groups = [frozenset(g) for g in groups]
+    multi = cluster_set.multi_clusters()
+    verdicts: dict[ClusterVerdict, int] = {v: 0 for v in ClusterVerdict}
+    correct = 0
+    exact = 0
+    group_set = set(groups)
+    for cluster in multi:
+        verdict = classify_cluster(cluster, groups)
+        verdicts[verdict] += 1
+        # Paper criterion: not oversized = every pair in the cluster related.
+        if verdict in (ClusterVerdict.CORRECT, ClusterVerdict.UNDERSIZED):
+            correct += 1
+        if cluster.keys in group_set:
+            exact += 1
+    return ClusteringReport(
+        app_name=app_name,
+        total_keys=total_keys if total_keys is not None else len(cluster_set.keys()),
+        total_clusters=len(cluster_set),
+        multi_clusters=len(multi),
+        correct_multi_clusters=correct,
+        exact_multi_clusters=exact,
+        verdicts=verdicts,
+    )
+
+
+def overall_accuracy(reports: Iterable[ClusteringReport]) -> float | None:
+    """Pooled accuracy across applications (the paper's 88.6% number)."""
+    total = 0
+    correct = 0
+    for report in reports:
+        total += report.multi_clusters
+        correct += report.correct_multi_clusters
+    if total == 0:
+        return None
+    return correct / total
+
+
+def mean_accuracy(reports: Iterable[ClusteringReport]) -> float | None:
+    """Unweighted mean of per-application accuracies (the paper's 72.3%)."""
+    values = [r.accuracy for r in reports if r.accuracy is not None]
+    if not values:
+        return None
+    return sum(values) / len(values)

@@ -1,0 +1,213 @@
+"""Clusters of configuration settings and their version histories.
+
+A :class:`Cluster` is a set of related keys identified by the clustering
+pipeline.  A :class:`ClusterVersion` is a historical joint state of those
+keys, reconstructed from the TTKV: the repair search rolls back *an entire
+cluster at a time* to one of these versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.exceptions import OcastaError
+from repro.ttkv.snapshot import RollbackPlan
+from repro.ttkv.store import TTKV
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """An identified cluster of related configuration settings."""
+
+    cluster_id: int
+    keys: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise OcastaError("a cluster must contain at least one key")
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.keys
+
+    def is_singleton(self) -> bool:
+        return len(self.keys) == 1
+
+    def sorted_keys(self) -> list[str]:
+        return sorted(self.keys)
+
+
+@dataclass(frozen=True)
+class ClusterVersion:
+    """Joint state of a cluster's keys as of one modification timestamp.
+
+    ``values`` maps every member key to its live value at ``timestamp``
+    (possibly the DELETED/MISSING sentinels for keys that did not exist).
+    """
+
+    timestamp: float
+    values: dict[str, Any] = field(hash=False)
+
+    def rollback_plan(self) -> RollbackPlan:
+        """The assignments that restore the cluster to this version."""
+        return RollbackPlan(timestamp=self.timestamp, assignments=dict(self.values))
+
+
+def cluster_versions(
+    store: TTKV,
+    cluster: Cluster,
+    start: float | None = None,
+    end: float | None = None,
+) -> list[ClusterVersion]:
+    """Chronological (oldest-first) distinct versions of a cluster.
+
+    A version point is created at every distinct timestamp at which any
+    member key was modified within ``[start, end]``; the version captures
+    the live values of *all* member keys at that instant.  Consecutive
+    identical states are coalesced (a modification that rewrote the same
+    value creates no new version).
+
+    Keys absent from the TTKV contribute nothing — a cluster may contain a
+    key the store never saw modified only in pathological caller-constructed
+    cases, and the version then simply tracks the remaining keys.
+    """
+    timestamps: set[float] = set()
+    tracked: list[str] = []
+    pre_start = float("-inf")
+    for key in cluster.sorted_keys():
+        if key not in store:
+            continue
+        tracked.append(key)
+        record = store.record_for(key)
+        for entry in record.versions_between(start, end):
+            timestamps.add(entry.timestamp)
+        if start is not None:
+            for entry in record.versions_between(None, start):
+                if entry.timestamp < start:
+                    pre_start = max(pre_start, entry.timestamp)
+    if not tracked:
+        return []
+    if start is not None and pre_start > float("-inf"):
+        # The cluster's state *as of the start bound* is itself a rollback
+        # candidate: the user asserts the error was introduced no earlier
+        # than ``start``, so the newest pre-start version is still good.
+        timestamps.add(pre_start)
+
+    versions: list[ClusterVersion] = []
+    for timestamp in sorted(timestamps):
+        values = {key: store.value_at(key, timestamp) for key in tracked}
+        if versions and versions[-1].values == values:
+            continue
+        versions.append(ClusterVersion(timestamp=timestamp, values=values))
+    return versions
+
+
+def cluster_modification_count(store: TTKV, cluster: Cluster) -> int:
+    """How many times the cluster was modified over the recorded history.
+
+    Counted as distinct modification timestamps touching any member key —
+    a write group that updates three members at once is one modification of
+    the cluster, matching the paper's sort criterion ("the number of times
+    they have been modified").
+    """
+    timestamps: set[float] = set()
+    for key in cluster.keys:
+        if key in store:
+            for entry in store.record_for(key).history:
+                timestamps.add(entry.timestamp)
+    return len(timestamps)
+
+
+def cluster_last_modified(store: TTKV, cluster: Cluster) -> float:
+    """Timestamp of the most recent modification to any member key."""
+    latest = float("-inf")
+    for key in cluster.keys:
+        if key in store:
+            record = store.record_for(key)
+            if record.history:
+                latest = max(latest, record.last_modified())
+    return latest
+
+
+class ClusterSet:
+    """The output of the clustering pipeline for one application trace.
+
+    Holds the clusters, reverse key lookup, and the parameters they were
+    produced with — everything Table II and the repair tool consume.
+    """
+
+    def __init__(
+        self,
+        clusters: list[Cluster],
+        window: float,
+        correlation_threshold: float,
+    ) -> None:
+        self.window = window
+        self.correlation_threshold = correlation_threshold
+        self._clusters = list(clusters)
+        self._by_key: dict[str, Cluster] = {}
+        for cluster in self._clusters:
+            for key in cluster.keys:
+                if key in self._by_key:
+                    raise OcastaError(
+                        f"key {key!r} appears in more than one cluster"
+                    )
+                self._by_key[key] = cluster
+
+    @classmethod
+    def from_key_sets(
+        cls,
+        key_sets: list[frozenset[str]],
+        window: float,
+        correlation_threshold: float,
+    ) -> "ClusterSet":
+        clusters = [
+            Cluster(cluster_id=index, keys=keys)
+            for index, keys in enumerate(key_sets)
+        ]
+        return cls(clusters, window, correlation_threshold)
+
+    def __iter__(self) -> Iterator[Cluster]:
+        return iter(self._clusters)
+
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    @property
+    def clusters(self) -> list[Cluster]:
+        return list(self._clusters)
+
+    def cluster_of(self, key: str) -> Cluster:
+        try:
+            return self._by_key[key]
+        except KeyError:
+            raise OcastaError(f"key {key!r} is not in any cluster") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._by_key
+
+    def keys(self) -> list[str]:
+        return list(self._by_key)
+
+    def multi_clusters(self) -> list[Cluster]:
+        """Clusters with more than one setting (Table II's numerator pool)."""
+        return [c for c in self._clusters if len(c) > 1]
+
+    def singletons(self) -> list[Cluster]:
+        return [c for c in self._clusters if len(c) == 1]
+
+    def average_size(self, include_singletons: bool = False) -> float:
+        """Mean cluster size (Fig. 3's y-axis, over multi-key clusters).
+
+        Fig. 3 of the paper plots averages in the 3.5–4.5 range while the
+        overall keys/clusters ratio is ~1.9, so the figure's average is
+        over clusters that actually group settings; ``include_singletons``
+        gives the other convention.
+        """
+        pool = self._clusters if include_singletons else self.multi_clusters()
+        if not pool:
+            return 0.0
+        return sum(len(c) for c in pool) / len(pool)

@@ -1,0 +1,146 @@
+"""The paper's pairwise correlation metric and its distance transform.
+
+    Correlation = |A ∩ B| / |A|  +  |A ∩ B| / |B|
+
+where ``A`` and ``B`` are the sets of write groups in which keys A and B
+were modified.  The metric lives in ``[0, 2]``: 2 when two keys are always
+modified together, 0 when never.  Hierarchical clustering needs distances
+that shrink as keys become more related, so Ocasta clusters on the inverse,
+``distance = 1 / correlation`` (infinite when the correlation is 0).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+INFINITE_DISTANCE = math.inf
+
+
+def correlation(group_set_a: frozenset | set, group_set_b: frozenset | set) -> float:
+    """Correlation between two keys' write-group index sets.
+
+    Raises
+    ------
+    ValueError
+        If either set is empty — the paper only defines the metric "when
+        both keys have a non-zero number [of] writes".
+    """
+    if not group_set_a or not group_set_b:
+        raise ValueError("correlation is undefined for keys with no writes")
+    common = len(group_set_a & group_set_b)
+    return common / len(group_set_a) + common / len(group_set_b)
+
+
+def correlation_to_distance(value: float) -> float:
+    """Invert a correlation into a clustering distance."""
+    if not 0.0 <= value <= 2.0:
+        raise ValueError(f"correlation must lie in [0, 2], got {value}")
+    if value == 0.0:
+        return INFINITE_DISTANCE
+    return 1.0 / value
+
+
+def distance_to_correlation(value: float) -> float:
+    """Inverse of :func:`correlation_to_distance`."""
+    if value <= 0:
+        raise ValueError(f"distance must be positive, got {value}")
+    if math.isinf(value):
+        return 0.0
+    return 1.0 / value
+
+
+class CorrelationMatrix:
+    """Sparse pairwise correlations over a set of keys.
+
+    Only pairs that co-occur in at least one write group are stored; all
+    other pairs have correlation 0 (infinite distance).  Sparsity is what
+    makes clustering whole applications tractable: a key pair that never
+    co-modifies can never merge, so the finite-distance graph's connected
+    components bound every cluster.
+    """
+
+    def __init__(self, key_groups: Mapping[str, set[int]]) -> None:
+        for key, groups in key_groups.items():
+            if not groups:
+                raise ValueError(f"key {key!r} has no write groups")
+        self._key_groups = {k: frozenset(v) for k, v in key_groups.items()}
+        self._pairs: dict[frozenset[str], float] = {}
+        self._neighbors: dict[str, set[str]] = {k: set() for k in key_groups}
+        self._build()
+
+    def _build(self) -> None:
+        # Invert: group index -> keys in it; only co-grouped pairs matter.
+        by_group: dict[int, list[str]] = {}
+        for key, groups in self._key_groups.items():
+            for index in groups:
+                by_group.setdefault(index, []).append(key)
+        for members in by_group.values():
+            members.sort()
+            for i, key_a in enumerate(members):
+                for key_b in members[i + 1:]:
+                    pair = frozenset((key_a, key_b))
+                    if pair in self._pairs:
+                        continue
+                    self._pairs[pair] = correlation(
+                        self._key_groups[key_a], self._key_groups[key_b]
+                    )
+                    self._neighbors[key_a].add(key_b)
+                    self._neighbors[key_b].add(key_a)
+
+    @property
+    def keys(self) -> list[str]:
+        return list(self._key_groups)
+
+    def correlation_of(self, key_a: str, key_b: str) -> float:
+        """Correlation between two keys (0 when they never co-modify)."""
+        if key_a == key_b:
+            raise ValueError("correlation with itself is not meaningful")
+        self._check(key_a)
+        self._check(key_b)
+        return self._pairs.get(frozenset((key_a, key_b)), 0.0)
+
+    def distance_of(self, key_a: str, key_b: str) -> float:
+        return correlation_to_distance(self.correlation_of(key_a, key_b))
+
+    def neighbors(self, key: str) -> set[str]:
+        """Keys with non-zero correlation to ``key``."""
+        self._check(key)
+        return set(self._neighbors[key])
+
+    def _check(self, key: str) -> None:
+        if key not in self._key_groups:
+            raise KeyError(key)
+
+    def finite_pairs(self) -> Iterable[tuple[str, str, float]]:
+        """All stored (key_a, key_b, correlation) entries."""
+        for pair, value in self._pairs.items():
+            key_a, key_b = sorted(pair)
+            yield key_a, key_b, value
+
+    def connected_components(self) -> list[set[str]]:
+        """Components of the finite-distance graph.
+
+        Every HAC cluster is a subset of one component, so clustering can
+        run per-component.  Keys with no neighbours form singleton
+        components.
+        """
+        seen: set[str] = set()
+        components: list[set[str]] = []
+        for start in self._key_groups:
+            if start in seen:
+                continue
+            stack = [start]
+            component: set[str] = set()
+            while stack:
+                key = stack.pop()
+                if key in component:
+                    continue
+                component.add(key)
+                stack.extend(self._neighbors[key] - component)
+            seen |= component
+            components.append(component)
+        return components
+
+    def __len__(self) -> int:
+        return len(self._key_groups)

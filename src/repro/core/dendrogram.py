@@ -1,0 +1,86 @@
+"""Dendrogram produced by hierarchical agglomerative clustering.
+
+The paper augments an off-the-shelf HAC implementation with the ability "to
+prune the results returned by the hierarchical clustering API according to
+a specified threshold".  :meth:`Dendrogram.cut` is that pruning: it returns
+the flat clusters obtained by stopping agglomeration once the next merge
+distance would exceed the threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step.
+
+    ``left`` and ``right`` are the merged clusters (as frozensets of keys),
+    ``distance`` is the linkage distance at which they merged, and
+    ``members`` is the resulting cluster.
+    """
+
+    left: frozenset[str]
+    right: frozenset[str]
+    distance: float
+    members: frozenset[str]
+
+
+class Dendrogram:
+    """Full merge history over a set of items.
+
+    Merges are stored in non-decreasing distance order (HAC always merges
+    the closest pair next), which :meth:`cut` relies on.
+    """
+
+    def __init__(self, items: set[str] | frozenset[str], merges: list[Merge]) -> None:
+        last = -math.inf
+        for merge in merges:
+            if merge.distance < last:
+                raise ValueError("merges must be in non-decreasing distance order")
+            last = merge.distance
+            if not (merge.left | merge.right) == merge.members:
+                raise ValueError("merge members must be the union of its halves")
+        self.items = frozenset(items)
+        self.merges = list(merges)
+
+    def cut(self, max_distance: float) -> list[frozenset[str]]:
+        """Flat clusters after applying merges with distance <= threshold.
+
+        Items that never merge below the threshold come out as singletons.
+        Order: larger clusters first, then lexicographic, so results are
+        deterministic for tests and reports.
+        """
+        parent: dict[str, str] = {item: item for item in self.items}
+
+        def find(item: str) -> str:
+            root = item
+            while parent[root] != root:
+                root = parent[root]
+            while parent[item] != root:
+                parent[item], item = root, parent[item]
+            return root
+
+        for merge in self.merges:
+            if merge.distance > max_distance:
+                break
+            left_root = find(next(iter(merge.left)))
+            right_root = find(next(iter(merge.right)))
+            if left_root != right_root:
+                parent[right_root] = left_root
+
+        clusters: dict[str, set[str]] = {}
+        for item in self.items:
+            clusters.setdefault(find(item), set()).add(item)
+        return sorted(
+            (frozenset(members) for members in clusters.values()),
+            key=lambda c: (-len(c), tuple(sorted(c))),
+        )
+
+    def merge_distances(self) -> list[float]:
+        return [merge.distance for merge in self.merges]
+
+    def __len__(self) -> int:
+        return len(self.merges)

@@ -1,0 +1,167 @@
+"""The repair engine: drive the search, de-duplicate screenshots, stop at a fix.
+
+This module is deliberately substrate-agnostic.  It consumes:
+
+- a candidate stream (from :mod:`repro.core.search`),
+- a trial executor — ``execute_trial(plan)`` runs the user-recorded trial
+  in a sandbox with the given rollback plan applied and returns a hashable
+  screenshot (``plan=None`` reproduces the erroneous state),
+- a fix oracle — ``is_fixed(screenshot)`` is the (simulated) user looking
+  at the gallery,
+- a simulated clock and per-trial cost model for the reported times.
+
+The concrete wiring of sandboxes, replay and rendering lives in
+:mod:`repro.repair.controller`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.common.clock import SimClock
+from repro.core.search import Candidate
+from repro.ttkv.snapshot import RollbackPlan
+
+TrialExecutor = Callable[[RollbackPlan | None], Hashable]
+FixOracle = Callable[[Hashable], bool]
+TrialCostModel = Callable[[Candidate], float]
+
+
+@dataclass(frozen=True)
+class GalleryEntry:
+    """A unique screenshot the user may be asked to examine."""
+
+    candidate: Candidate
+    screenshot: Hashable
+
+
+@dataclass
+class RepairOutcome:
+    """Everything Table IV reports about one repair run."""
+
+    fixed: bool = False
+    fix_candidate: Candidate | None = None
+    trials_to_fix: int | None = None
+    total_trials: int = 0
+    time_to_fix: float | None = None
+    total_time: float = 0.0
+    gallery: list[GalleryEntry] = field(default_factory=list)
+    #: gallery size when the fix appeared; what the user examined before
+    #: stopping the search (an exhaustive run keeps collecting afterwards)
+    screens_at_fix: int | None = None
+
+    @property
+    def unique_screenshots(self) -> int:
+        """Screenshots the user examined (Table IV's 'Screens').
+
+        Up to and including the fixing screenshot when the search
+        succeeded; everything recorded when it did not.
+        """
+        if self.screens_at_fix is not None:
+            return self.screens_at_fix
+        return len(self.gallery)
+
+    @property
+    def total_unique_screenshots(self) -> int:
+        """All unique screenshots recorded, including post-fix ones
+        collected by an exhaustive search."""
+        return len(self.gallery)
+
+    @property
+    def fix_plan(self) -> RollbackPlan | None:
+        if self.fix_candidate is None:
+            return None
+        return self.fix_candidate.version.rollback_plan()
+
+
+class RepairEngine:
+    """Runs trials over search candidates until a fix appears.
+
+    Parameters
+    ----------
+    execute_trial:
+        Sandboxed trial executor (see module docstring).
+    is_fixed:
+        Oracle deciding whether a screenshot shows a fixed application.
+    clock:
+        Simulated clock advanced by ``trial_cost`` per executed trial.
+    trial_cost:
+        Seconds one trial execution costs; either a constant or a callable
+        of the candidate (app start-up dominates in the paper, so the
+        default concrete models are per-application constants).
+    """
+
+    def __init__(
+        self,
+        execute_trial: TrialExecutor,
+        is_fixed: FixOracle,
+        clock: SimClock | None = None,
+        trial_cost: float | TrialCostModel = 10.0,
+    ) -> None:
+        self.execute_trial = execute_trial
+        self.is_fixed = is_fixed
+        self.clock = clock if clock is not None else SimClock()
+        if callable(trial_cost):
+            self._trial_cost: TrialCostModel = trial_cost
+        else:
+            constant = float(trial_cost)
+            if constant < 0:
+                raise ValueError("trial cost cannot be negative")
+            self._trial_cost = lambda _candidate: constant
+
+    def run(
+        self,
+        candidates: Iterable[Candidate],
+        exhaustive: bool = False,
+    ) -> RepairOutcome:
+        """Execute the search.
+
+        With ``exhaustive=False`` the engine stops at the first fixing
+        candidate.  With ``exhaustive=True`` it keeps executing trials to
+        the end of the candidate stream (recording the first fix), which is
+        how Table IV's "time to search all the clusters" column is
+        measured.
+        """
+        start_time = self.clock.now()
+        outcome = RepairOutcome()
+        # The erroneous screenshot: run the trial once with no rollback.
+        # "Ocasta discards the screenshot if it is identical to either the
+        # erroneous screenshot or any previous screenshots."
+        erroneous = self.execute_trial(None)
+        seen: set[Hashable] = {erroneous}
+
+        for candidate in candidates:
+            self.clock.advance(self._trial_cost(candidate))
+            outcome.total_trials += 1
+            screenshot = self.execute_trial(candidate.version.rollback_plan())
+            if screenshot in seen:
+                continue
+            seen.add(screenshot)
+            outcome.gallery.append(
+                GalleryEntry(candidate=candidate, screenshot=screenshot)
+            )
+            if not outcome.fixed and self.is_fixed(screenshot):
+                outcome.fixed = True
+                outcome.fix_candidate = candidate
+                outcome.trials_to_fix = outcome.total_trials
+                outcome.time_to_fix = self.clock.elapsed_since(start_time)
+                outcome.screens_at_fix = len(outcome.gallery)
+                if not exhaustive:
+                    break
+
+        outcome.total_time = self.clock.elapsed_since(start_time)
+        return outcome
+
+
+def apply_permanent_fix(outcome: RepairOutcome, store: Any) -> None:
+    """Roll the live configuration store back to the fixing version.
+
+    "Ocasta permanently rolls back the cluster to its corresponding value
+    and returns back to recording mode."  ``store`` is any object with
+    ``set``/``delete`` (every :class:`~repro.stores.base.ConfigStore`).
+    """
+    plan = outcome.fix_plan
+    if plan is None:
+        raise ValueError("outcome has no fix to apply")
+    plan.apply_to(store)

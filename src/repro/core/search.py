@@ -1,0 +1,88 @@
+"""DFS/BFS enumeration of (cluster, historical version) candidates.
+
+"In DFS, Ocasta executes the trial on all the historical values of a
+cluster before moving onto the next cluster.  In BFS, Ocasta executes the
+latest historical value of each cluster before moving onto the next
+historical value."  (§III-B)
+
+Both strategies consume the same inputs: clusters already prioritised by
+:mod:`repro.core.sorting` and, per cluster, versions ordered newest first
+(rolling recent states back first is what makes trials grow with the age
+of the error in Fig. 2a).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.cluster_model import Cluster, ClusterVersion, cluster_versions
+from repro.ttkv.store import TTKV
+
+
+class SearchStrategy(enum.Enum):
+    DFS = "dfs"
+    BFS = "bfs"
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One rollback to try: a cluster restored to one historical version."""
+
+    cluster: Cluster
+    version: ClusterVersion
+    cluster_rank: int  # position of the cluster in the sorted order
+    version_rank: int  # 0 = most recent version of that cluster
+
+
+def candidate_versions(
+    store: TTKV,
+    clusters: list[Cluster],
+    start: float | None = None,
+    end: float | None = None,
+) -> dict[int, list[ClusterVersion]]:
+    """Per-cluster rollback candidates, newest first, within [start, end]."""
+    versions: dict[int, list[ClusterVersion]] = {}
+    for cluster in clusters:
+        ordered = cluster_versions(store, cluster, start=start, end=end)
+        ordered.reverse()
+        versions[cluster.cluster_id] = ordered
+    return versions
+
+
+def search_order(
+    clusters: list[Cluster],
+    versions: dict[int, list[ClusterVersion]],
+    strategy: SearchStrategy = SearchStrategy.DFS,
+) -> Iterator[Candidate]:
+    """Yield candidates in the order the chosen strategy explores them.
+
+    DFS exhausts each cluster's history before the next cluster; BFS
+    round-robins one version depth at a time across all clusters.
+    """
+    if strategy is SearchStrategy.DFS:
+        for cluster_rank, cluster in enumerate(clusters):
+            for version_rank, version in enumerate(versions[cluster.cluster_id]):
+                yield Candidate(cluster, version, cluster_rank, version_rank)
+        return
+    if strategy is SearchStrategy.BFS:
+        depth = 0
+        remaining = True
+        while remaining:
+            remaining = False
+            for cluster_rank, cluster in enumerate(clusters):
+                cluster_versions_list = versions[cluster.cluster_id]
+                if depth < len(cluster_versions_list):
+                    remaining = True
+                    yield Candidate(
+                        cluster, cluster_versions_list[depth], cluster_rank, depth
+                    )
+            depth += 1
+        return
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def total_candidates(versions: dict[int, list[ClusterVersion]]) -> int:
+    """How many trials an exhaustive search would execute."""
+    return sum(len(v) for v in versions.values())

@@ -1,0 +1,27 @@
+"""Configuration-error scenarios.
+
+``injection`` rewrites a recorded trace to contain a configuration error
+at a chosen point in time (plus optional spurious fix attempts), exactly
+as §VI-B of the paper does; ``cases`` defines the 16 real-world errors of
+Table III against the simulated applications; ``scenario`` assembles a
+generated trace and an error case into a ready-to-repair environment.
+"""
+
+from repro.errors.injection import (
+    inject_events,
+    rebuild_with_error,
+    sync_app_store,
+)
+from repro.errors.cases import ERROR_CASES, ErrorCase, case_by_id
+from repro.errors.scenario import ErrorScenario, prepare_scenario
+
+__all__ = [
+    "inject_events",
+    "rebuild_with_error",
+    "sync_app_store",
+    "ERROR_CASES",
+    "ErrorCase",
+    "case_by_id",
+    "ErrorScenario",
+    "prepare_scenario",
+]

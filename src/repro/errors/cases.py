@@ -1,0 +1,391 @@
+"""The 16 real-world configuration errors of Table III.
+
+Each case names its trace (Table I machine), application, offending
+settings with their erroneous values, the user-recorded trial that makes
+the symptom visible, and the predicates deciding whether a screenshot
+shows the symptom or the fix.  ``multi_key`` marks the five errors that
+require rolling back more than one setting together — the ones
+Ocasta-NoClust cannot fix (Table IV).
+
+Cases #2 and #4 additionally carry tuned clustering parameters: with the
+defaults (window 1 s, threshold 2) their offending settings split across
+clusters, exactly as §VI-A(b) reports; the tuned values are the ones the
+paper used to fix them (threshold 1, and window 30 s for #2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.apps import acrobat, chrome, eog, evolution, explorer
+from repro.apps import gnome_edit, iexplore, mspaint, outlook, wmp, word
+from repro.apps.base import Screenshot
+from repro.ttkv.store import DELETED
+
+Predicate = Callable[[Screenshot], bool]
+Action = tuple[str, dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class ErrorCase:
+    """One row of Table III, executable."""
+
+    case_id: int
+    trace_name: str
+    app_name: str
+    logger: str
+    description: str
+    #: local setting name -> erroneous value (or DELETED)
+    injection: dict[str, Any]
+    #: the trial: UI actions that make the symptom visible
+    trial_actions: tuple[Action, ...]
+    #: screenshot shows a fixed application
+    fixed: Predicate
+    #: known-good values for the offending settings and their companions;
+    #: the scenario writes these shortly before the injection, modelling
+    #: the paper's precondition that the application worked until the
+    #: error occurred
+    good_values: dict[str, Any] = field(default_factory=dict)
+    #: the five Table IV errors Ocasta-NoClust fails on
+    multi_key: bool = False
+    #: tuned parameters for the two undersized-cluster cases (#2, #4)
+    tuned_window: float | None = None
+    tuned_threshold: float | None = None
+    #: up to two "user tried to fix it" wrong-value variants (Fig. 2b)
+    spurious_options: tuple[dict[str, Any], ...] = field(default=())
+
+    def symptomatic(self, shot: Screenshot) -> bool:
+        return not self.fixed(shot)
+
+
+def _element_is(name: str, expected: Any) -> Predicate:
+    def check(shot: Screenshot) -> bool:
+        return shot.has_element(name) and shot.element(name) == expected
+
+    return check
+
+
+def _element_not(name: str, rejected: Any) -> Predicate:
+    def check(shot: Screenshot) -> bool:
+        return shot.has_element(name) and shot.element(name) != rejected
+
+    return check
+
+
+def _word_good_values() -> dict[str, Any]:
+    # A full recently-used list: the good state co-writes the limiter with
+    # every item slot, which is what lets the tuned clustering (threshold
+    # 1) pull the dominant setting into the items' cluster, as §VI-A(b)
+    # describes for this error.
+    docs = (
+        "report.doc", "notes.txt", "draft.doc", "thesis.pdf", "budget.xls",
+        "letter.doc", "slides.ppt", "memo.txt", "readme.md",
+    )
+    good: dict[str, Any] = {word.MRU_LIMITER: 9}
+    for i, doc in enumerate(docs[: word.MRU_MAX_ITEMS], start=1):
+        good[f"{word.MRU_ITEM_PREFIX}{i}"] = doc
+    return good
+
+
+def _word_injection() -> dict[str, Any]:
+    # The Fig. 1a scenario: MaxDisplay reduced to 0, Word deletes every
+    # Item setting; recovering needs the old limit AND the deleted items.
+    bad: dict[str, Any] = {word.MRU_LIMITER: 0}
+    for i in range(1, word.MRU_MAX_ITEMS + 1):
+        bad[f"{word.MRU_ITEM_PREFIX}{i}"] = DELETED
+    return bad
+
+
+ERROR_CASES: tuple[ErrorCase, ...] = (
+    ErrorCase(
+        case_id=1,
+        trace_name="Windows 7",
+        app_name="MS Outlook",
+        logger="Registry",
+        description="User is unable to use Navigation Panel.",
+        injection={outlook.NAV_ENABLER: False},
+        trial_actions=(("launch", {}), ("click_nav_pane", {})),
+        fixed=_element_not("navigation_pane", "unusable"),
+        good_values={outlook.NAV_ENABLER: True, outlook.NAV_MODULES: ["Mail", "Calendar"], outlook.NAV_WIDTH: 200},
+        spurious_options=(
+            {outlook.NAV_WIDTH: 83},
+            {outlook.NAV_MODULES: ["Mail"]},
+        ),
+    ),
+    ErrorCase(
+        case_id=2,
+        trace_name="Windows 7",
+        app_name="MS Word",
+        logger="Registry",
+        description="User loses the list of recently accessed documents.",
+        injection=_word_injection(),
+        trial_actions=(("launch", {}),),
+        fixed=_element_not("recent_documents_menu", ()),
+        good_values=_word_good_values(),
+        multi_key=True,
+        tuned_window=30.0,
+        tuned_threshold=1.0,
+        spurious_options=(
+            {word.MRU_LIMITER: 1},
+            {word.MRU_LIMITER: 3},
+        ),
+    ),
+    ErrorCase(
+        case_id=3,
+        trace_name="Windows 7",
+        app_name="Internet Explorer",
+        logger="Registry",
+        description="Dialog to disable add-ons always pops up.",
+        injection={iexplore.ADDON_DIALOG: True},
+        trial_actions=(("launch", {}), ("browse", {"url": "news.site"})),
+        fixed=_element_is("addon_dialog", "hidden"),
+        good_values={iexplore.ADDON_DIALOG: False},
+        spurious_options=(
+            {iexplore.ADDON_THRESHOLD: 11.5},
+            {iexplore.ADDON_THRESHOLD: 12.25},
+        ),
+    ),
+    ErrorCase(
+        case_id=4,
+        trace_name="Windows Vista",
+        app_name="Explorer",
+        logger="Registry",
+        description=(
+            '"Open with" menu does not show installed applications that '
+            "can open .flv file."
+        ),
+        injection={
+            explorer.FLV_MRU_LIST: [],
+            explorer.FLV_APP_A: "",
+            explorer.FLV_APP_B: "",
+            explorer.FLV_APP_C: "",
+        },
+        trial_actions=(
+            ("launch", {}),
+            ("open_context_menu", {"doc": "video.flv"}),
+        ),
+        fixed=_element_not("open_with_flv", "no applications"),
+        good_values={explorer.FLV_MRU_LIST: ["a", "b"], explorer.FLV_APP_A: "wmplayer.exe", explorer.FLV_APP_B: "vlc.exe", explorer.FLV_APP_C: "mplayer.exe"},
+        multi_key=True,
+        tuned_threshold=1.0,
+        spurious_options=(
+            {explorer.FLV_MRU_LIST: ["c"]},
+            {explorer.FLV_APP_A: "openwith.exe"},
+        ),
+    ),
+    ErrorCase(
+        case_id=5,
+        trace_name="Windows XP",
+        app_name="Windows Media Player",
+        logger="Registry",
+        description="Caption is not shown while playing video.",
+        injection={wmp.CAPTIONS_ENABLED: False},
+        trial_actions=(("launch", {}), ("play_video", {"doc": "clip.avi"})),
+        fixed=_element_not("captions", "no captions"),
+        good_values={wmp.CAPTIONS_ENABLED: True, wmp.CAPTIONS_LANG: "en", wmp.CAPTIONS_SIZE: 14, wmp.CAPTIONS_POS: "bottom"},
+        spurious_options=(
+            {wmp.CAPTIONS_LANG: "fi"},
+            {wmp.CAPTIONS_SIZE: 33},
+        ),
+    ),
+    ErrorCase(
+        case_id=6,
+        trace_name="Windows XP",
+        app_name="MS Paint",
+        logger="Registry",
+        description=(
+            "Text tool bar does not pop up automatically when entering text."
+        ),
+        injection={
+            mspaint.TOOLBAR_ENABLED: False,
+            mspaint.TOOLBAR_MODE: "manual",
+        },
+        trial_actions=(("launch", {}), ("enter_text", {})),
+        fixed=_element_is("text_toolbar", "pops-up"),
+        good_values={mspaint.TOOLBAR_ENABLED: True, mspaint.TOOLBAR_MODE: "auto", mspaint.TOOLBAR_X: 480, mspaint.TOOLBAR_Y: 120},
+        multi_key=True,
+        spurious_options=(
+            {mspaint.TOOLBAR_X: 1601, mspaint.TOOLBAR_Y: 1201},
+            {mspaint.TOOLBAR_X: 1602},
+        ),
+    ),
+    ErrorCase(
+        case_id=7,
+        trace_name="Windows XP",
+        app_name="Explorer",
+        logger="Registry",
+        description="Image files are always opened in a maximized window.",
+        injection={
+            explorer.IMAGE_WINDOW_STATE: "maximized",
+            explorer.IMAGE_WINDOW_POS: "",
+        },
+        trial_actions=(("launch", {}), ("open_image", {"doc": "photo.png"})),
+        fixed=_element_is("image_window", "normal"),
+        good_values={explorer.IMAGE_WINDOW_STATE: "normal", explorer.IMAGE_WINDOW_POS: "100,100"},
+        multi_key=True,
+        spurious_options=(
+            {explorer.IMAGE_WINDOW_POS: "-5,-5"},
+            {explorer.IMAGE_WINDOW_POS: "-7,-7"},
+        ),
+    ),
+    ErrorCase(
+        case_id=8,
+        trace_name="Linux-1",
+        app_name="Evolution Mail",
+        logger="GConf",
+        description="Evolution Mail starts in offline mode unexpectedly.",
+        injection={evolution.START_OFFLINE: True},
+        trial_actions=(("launch", {}),),
+        fixed=_element_is("connection_mode", "online"),
+        good_values={evolution.START_OFFLINE: False, evolution.OFFLINE_SYNC: True},
+        spurious_options=(
+            {evolution.OFFLINE_SYNC: False},
+            {evolution.OFFLINE_SYNC: True},
+        ),
+    ),
+    ErrorCase(
+        case_id=9,
+        trace_name="Linux-1",
+        app_name="Evolution Mail",
+        logger="GConf",
+        description="Evolution Mail does not mark read mail automatically.",
+        injection={
+            evolution.MARK_SEEN: False,
+            evolution.MARK_SEEN_TIMEOUT: 0,
+        },
+        trial_actions=(("launch", {}), ("read_email", {"message": "inbox/1"})),
+        fixed=_element_is("mark_read", "automatic"),
+        good_values={evolution.MARK_SEEN: True, evolution.MARK_SEEN_TIMEOUT: 1500},
+        multi_key=True,
+        spurious_options=(
+            {evolution.MARK_SEEN_TIMEOUT: 51},
+            {evolution.MARK_SEEN_TIMEOUT: 99},
+        ),
+    ),
+    ErrorCase(
+        case_id=10,
+        trace_name="Linux-1",
+        app_name="Evolution Mail",
+        logger="GConf",
+        description=(
+            "Evolution Mail does not start a reply at the top of an e-mail."
+        ),
+        injection={evolution.REPLY_STYLE: "bottom"},
+        trial_actions=(("launch", {}), ("compose_reply", {})),
+        fixed=_element_is("reply_cursor", "top"),
+        good_values={evolution.REPLY_STYLE: "top", evolution.REPLY_QUOTE: True},
+        spurious_options=(
+            {evolution.REPLY_STYLE: "inline"},
+            {evolution.REPLY_QUOTE: False},
+        ),
+    ),
+    ErrorCase(
+        case_id=11,
+        trace_name="Linux-1",
+        app_name="Eye of GNOME",
+        logger="GConf",
+        description="User is unable to print image files.",
+        injection={eog.PRINT_BACKEND: "gnomeprint"},
+        trial_actions=(
+            ("launch", {}),
+            ("open_document", {"doc": "photo.png"}),
+            ("print_image", {}),
+        ),
+        fixed=_element_is("print_result", "printed"),
+        good_values={eog.PRINT_BACKEND: "cups"},
+        spurious_options=(
+            {eog.PRINT_BACKEND: "gnomeprint2"},
+            {eog.PRINT_BACKEND: "parallel0"},
+        ),
+    ),
+    ErrorCase(
+        case_id=12,
+        trace_name="Linux-1",
+        app_name="GNOME Edit",
+        logger="GConf",
+        description="User is unable to save any document.",
+        injection={gnome_edit.BACKUP_SCHEME: "gvfs-obsolete"},
+        trial_actions=(
+            ("launch", {}),
+            ("open_document", {"doc": "notes.txt"}),
+            ("save_document", {}),
+        ),
+        fixed=_element_is("save_result", "saved"),
+        good_values={gnome_edit.BACKUP_SCHEME: "local"},
+        spurious_options=(
+            {gnome_edit.BACKUP_SCHEME: "gvfs"},
+            {gnome_edit.BACKUP_SCHEME: "remote"},
+        ),
+    ),
+    ErrorCase(
+        case_id=13,
+        trace_name="Linux-2",
+        app_name="Chrome Browser",
+        logger="File",
+        description="Bookmark bar is missing.",
+        injection={chrome.BOOKMARK_BAR: False},
+        trial_actions=(("launch", {}), ("browse", {"url": "news.site"})),
+        fixed=_element_is("bookmark_bar", "shown"),
+        good_values={chrome.BOOKMARK_BAR: True},
+        spurious_options=(
+            {chrome.HOMEPAGE_URL: "help.site/missing-bookmark-bar"},
+            {chrome.HOMEPAGE_URL: "forum.site/chrome-bookmarks"},
+        ),
+    ),
+    ErrorCase(
+        case_id=14,
+        trace_name="Linux-2",
+        app_name="Chrome Browser",
+        logger="File",
+        description="Home button is missing from the tool bar.",
+        injection={chrome.HOME_BUTTON: False},
+        trial_actions=(("launch", {}), ("browse", {"url": "news.site"})),
+        fixed=_element_is("home_button", "shown"),
+        good_values={chrome.HOME_BUTTON: True},
+        spurious_options=(
+            {chrome.HOMEPAGE_URL: "help.site/missing-home-button"},
+            {chrome.HOMEPAGE_URL: "forum.site/chrome-toolbar"},
+        ),
+    ),
+    ErrorCase(
+        case_id=15,
+        trace_name="Linux-3",
+        app_name="Acrobat Reader",
+        logger="File",
+        description="Menu bar disappears for certain PDF document.",
+        injection={acrobat.MENU_HIDDEN_DOCS: ["thesis.pdf"]},
+        trial_actions=(
+            ("launch", {}),
+            ("open_document", {"doc": "thesis.pdf"}),
+        ),
+        fixed=_element_is("menu_bar", "shown"),
+        good_values={acrobat.MENU_HIDDEN_DOCS: []},
+        spurious_options=(
+            {acrobat.MENU_HIDDEN_DOCS: ["thesis.pdf", "paper.pdf"]},
+            {acrobat.MENU_HIDDEN_DOCS: ["thesis.pdf", "form.pdf"]},
+        ),
+    ),
+    ErrorCase(
+        case_id=16,
+        trace_name="Linux-4",
+        app_name="Acrobat Reader",
+        logger="File",
+        description="Find box is missing from the tool bar.",
+        injection={acrobat.FIND_BOX: False},
+        trial_actions=(("launch", {}),),
+        fixed=_element_is("find_box", "shown"),
+        good_values={acrobat.FIND_BOX: True},
+        spurious_options=(
+            {"AVGeneral/Zoom": 5.55},
+            {"AVGeneral/Zoom": 7.77},
+        ),
+    ),
+)
+
+
+def case_by_id(case_id: int) -> ErrorCase:
+    for case in ERROR_CASES:
+        if case.case_id == case_id:
+            return case
+    raise ValueError(f"no error case #{case_id}; valid ids are 1..16")

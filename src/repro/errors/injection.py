@@ -1,0 +1,101 @@
+"""Trace rewriting: inject configuration errors into a recorded TTKV.
+
+"We simulate configuration errors by injecting a write into the trace at
+the point in time at which we want the error to occur, that changes the
+offending setting to the erroneous value.  If the configuration error is
+caused by presence or absence of the offending setting, we insert or
+delete the setting in the trace."  (§VI-B)
+
+TTKV histories are append-only and time-ordered, so injection rebuilds the
+store from the merged event stream.  Modifications of the offending keys
+*after* the injection point are dropped: the error persisted until the
+user noticed it — a later legitimate rewrite would have cured it, which is
+not the scenario being evaluated.  Read counters are carried over.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.apps.base import SimulatedApplication
+from repro.exceptions import InjectionError
+from repro.ttkv.store import DELETED, MISSING, TTKV
+
+
+def inject_events(
+    store: TTKV,
+    new_events: Iterable[tuple[float, str, Any]],
+    drop_after: dict[str, float] | None = None,
+) -> TTKV:
+    """Rebuild ``store`` with ``new_events`` merged into its history.
+
+    ``drop_after`` maps keys to cut-off times: recorded modifications of
+    those keys strictly after their cut-off are removed.  Values of
+    :data:`DELETED` in events record deletions.
+    """
+    drop_after = drop_after or {}
+    merged: list[tuple[float, str, Any]] = []
+    for timestamp, key, value in store.write_events():
+        cutoff = drop_after.get(key)
+        if cutoff is not None and timestamp > cutoff:
+            continue
+        merged.append((timestamp, key, value))
+    merged.extend(new_events)
+    rebuilt = TTKV.from_events(merged)
+    # Preserve read counters: clustering ignores them but Table I's
+    # statistics and the sort's notion of "modification" vs "read" don't.
+    for key in store.keys():
+        reads = store.record_for(key).reads
+        if reads:
+            rebuilt.record_reads(key, reads)
+    return rebuilt
+
+
+def rebuild_with_error(
+    store: TTKV,
+    assignments: dict[str, Any],
+    at_time: float,
+    seed_events: Iterable[tuple[float, str, Any]] = (),
+) -> TTKV:
+    """Inject an error (canonical-key ``assignments``) at ``at_time``.
+
+    ``seed_events`` are optional earlier good-value writes guaranteeing
+    the offending keys have a recorded history (the paper's precondition:
+    "any configuration key that is misconfigured must have a modification
+    history on a particular system").
+    """
+    if not assignments:
+        raise InjectionError("an error needs at least one offending setting")
+    try:
+        start, _end = store.span()
+    except Exception as exc:
+        raise InjectionError("cannot inject into an empty trace") from exc
+    if at_time < start:
+        raise InjectionError(
+            f"injection time {at_time} precedes the trace start {start}"
+        )
+    events = list(seed_events)
+    events.extend(
+        (at_time, key, value) for key, value in assignments.items()
+    )
+    drop_after = {key: at_time for key in assignments}
+    return inject_events(store, events, drop_after=drop_after)
+
+
+def sync_app_store(app: SimulatedApplication, store: TTKV) -> None:
+    """Silently set the app's live configuration to the TTKV's final state.
+
+    Used after injection so the running application actually exhibits the
+    error.  Only this app's keys are touched; nothing is logged.
+    """
+    prefix = app.key_prefix
+    for canonical in store.keys():
+        if not canonical.startswith(prefix):
+            continue
+        value = store.current_value(canonical)
+        store_key = app.store_key(app.setting_name(canonical))
+        if value is DELETED or value is MISSING:
+            # Direct, observer-silent removal.
+            app.store._data.pop(store_key, None)
+        else:
+            app.store.load_dict({store_key: value}, notify=False)

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the Ocasta reproduction.
+
+All library-specific errors derive from :class:`OcastaError` so callers can
+catch one base type at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class OcastaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class KeyNotTrackedError(OcastaError, KeyError):
+    """A TTKV operation referenced a key with no recorded history."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"key {key!r} has no recorded history")
+        self.key = key
+
+
+class NoValueError(OcastaError, LookupError):
+    """A key has no live value at the requested point in time."""
+
+    def __init__(self, key: str, timestamp: float) -> None:
+        super().__init__(f"key {key!r} has no value at t={timestamp}")
+        self.key = key
+        self.timestamp = timestamp
+
+
+class StoreError(OcastaError):
+    """A configuration-store operation failed (bad path, bad type, ...)."""
+
+
+class ParseError(StoreError):
+    """A configuration file could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class SchemaError(OcastaError):
+    """An application configuration schema is inconsistent."""
+
+
+class UnknownActionError(OcastaError):
+    """A trial referenced a UI action the application does not implement."""
+
+    def __init__(self, app: str, action: str) -> None:
+        super().__init__(f"application {app!r} has no UI action {action!r}")
+        self.app = app
+        self.action = action
+
+
+class ReplayError(OcastaError):
+    """Deterministic replay of a trial failed."""
+
+
+class SandboxError(OcastaError):
+    """A sandboxed execution attempted to escape or was misused."""
+
+
+class SearchExhaustedError(OcastaError):
+    """The repair search examined every candidate without finding a fix."""
+
+
+class InjectionError(OcastaError):
+    """A configuration error could not be injected into the trace/TTKV."""
+
+
+class PersistenceError(OcastaError):
+    """The TTKV append-only log is corrupt or unreadable."""

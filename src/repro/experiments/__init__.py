@@ -1,0 +1,45 @@
+"""Experiment drivers: one module per paper table/figure.
+
+The benchmark harness (``benchmarks/``) and the examples call these; they
+return structured results and render the same rows/series the paper
+reports.
+"""
+
+from repro.experiments.table1 import run_table1, render_table1
+from repro.experiments.table2 import run_table2, render_table2
+from repro.experiments.table3 import render_table3
+from repro.experiments.recovery import (
+    CaseResult,
+    run_case,
+    run_table4,
+    render_table4,
+)
+from repro.experiments.fig2 import (
+    run_fig2a,
+    run_fig2b,
+    run_fig2c,
+    render_fig2,
+)
+from repro.experiments.fig3 import run_fig3a, run_fig3b, render_fig3
+from repro.experiments.fig4 import run_fig4, render_fig4
+
+__all__ = [
+    "run_table1",
+    "render_table1",
+    "run_table2",
+    "render_table2",
+    "render_table3",
+    "CaseResult",
+    "run_case",
+    "run_table4",
+    "render_table4",
+    "run_fig2a",
+    "run_fig2b",
+    "run_fig2c",
+    "render_fig2",
+    "run_fig3a",
+    "run_fig3b",
+    "render_fig3",
+    "run_fig4",
+    "render_fig4",
+]

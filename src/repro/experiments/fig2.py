@@ -1,0 +1,115 @@
+"""Figure 2: DFS vs BFS search behaviour.
+
+(a) average trials vs how long ago the error was injected;
+(b) average trials vs number of spurious writes after the error;
+(c) average trials vs the start-time bound of the search.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import series_table
+from repro.core.search import SearchStrategy
+from repro.errors.cases import ERROR_CASES, ErrorCase
+from repro.experiments.recovery import run_case
+
+#: default case subset: all sixteen, as the paper sweeps
+DEFAULT_CASES = tuple(ERROR_CASES)
+
+_STRATEGIES = (SearchStrategy.BFS, SearchStrategy.DFS)
+
+
+def _average_trials(
+    cases: tuple[ErrorCase, ...],
+    strategy: SearchStrategy,
+    **kwargs,
+) -> float:
+    """Mean trials-to-fix over the cases (failed searches count all trials)."""
+    totals = []
+    for case in cases:
+        report, _scenario = run_case(case, strategy=strategy, **kwargs)
+        trials = report.outcome.trials_to_fix
+        if trials is None:
+            trials = report.outcome.total_trials
+        totals.append(trials)
+    return sum(totals) / len(totals)
+
+
+def run_fig2a(
+    injection_days: tuple[float, ...] = (2, 6, 10, 14),
+    cases: tuple[ErrorCase, ...] = DEFAULT_CASES,
+    scale: float = 1.0,
+) -> dict[str, list[float]]:
+    """Trials vs injection age; start bound stays at the injection."""
+    series: dict[str, list[float]] = {s.name: [] for s in _STRATEGIES}
+    for days in injection_days:
+        for strategy in _STRATEGIES:
+            series[strategy.name].append(
+                _average_trials(
+                    cases, strategy, days_before_end=days, scale=scale
+                )
+            )
+    return series
+
+
+def run_fig2b(
+    spurious_counts: tuple[int, ...] = (0, 1, 2),
+    cases: tuple[ErrorCase, ...] = DEFAULT_CASES,
+    scale: float = 1.0,
+) -> dict[str, list[float]]:
+    """Trials vs spurious fix attempts after the injected error."""
+    series: dict[str, list[float]] = {s.name: [] for s in _STRATEGIES}
+    for count in spurious_counts:
+        for strategy in _STRATEGIES:
+            series[strategy.name].append(
+                _average_trials(
+                    cases, strategy, spurious_writes=count, scale=scale
+                )
+            )
+    return series
+
+
+def run_fig2c(
+    bound_days: tuple[float, ...] = (10, 20, 40, 80),
+    cases: tuple[ErrorCase, ...] = DEFAULT_CASES,
+    scale: float = 1.0,
+    error_age_days: float = 7.0,
+) -> dict[str, list[float]]:
+    """Trials vs the user-supplied start-time bound.
+
+    The error sits ``error_age_days`` before the end — inside even the
+    narrowest bound, so the fix is always reachable; the search window
+    opens wider and wider into the past (capped at the trace start), so
+    the candidate pool — and with it the number of trials — grows.
+    """
+    if error_age_days >= min(bound_days):
+        raise ValueError(
+            "the error must lie inside the narrowest search bound; "
+            f"got age {error_age_days} vs bounds {bound_days}"
+        )
+    series: dict[str, list[float]] = {s.name: [] for s in _STRATEGIES}
+    for days in bound_days:
+        for strategy in _STRATEGIES:
+            totals = []
+            for case in cases:
+                report, scenario = run_case(
+                    case,
+                    strategy=strategy,
+                    days_before_end=error_age_days,
+                    start_bound_days=days,
+                    scale=scale,
+                )
+                trials = report.outcome.trials_to_fix
+                if trials is None:
+                    trials = report.outcome.total_trials
+                totals.append(trials)
+            series[strategy.name].append(sum(totals) / len(totals))
+    return series
+
+
+def render_fig2(
+    x_label: str,
+    x_values: tuple,
+    series: dict[str, list[float]],
+    title: str,
+) -> str:
+    return series_table(x_label, list(x_values), series, title=title)

@@ -1,0 +1,94 @@
+"""Figure 3: sensitivity of average cluster size.
+
+(a) to the sliding-window size (0–600 s).  The paper's collector records
+    timestamps at 1-second precision, so the window=0 point — where only
+    identical timestamps group — collapses multi-key updates that straddle
+    a second boundary, producing the sharp drop on the left of the plot.
+(b) to the clustering threshold (correlation 0.5–2).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import series_table
+from repro.apps.catalog import app_names
+from repro.core.pipeline import cluster_settings
+from repro.experiments.table2 import lab_profile
+from repro.workload.tracegen import GeneratedTrace, generate_trace
+
+#: window sweep points, seconds (paper's x-axis reaches 600)
+WINDOW_POINTS = (0.0, 1.0, 5.0, 30.0, 60.0, 120.0, 300.0, 600.0)
+#: threshold sweep points, correlation units
+THRESHOLD_POINTS = (0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0)
+
+#: a representative application mix: registry, GConf and file flavours,
+#: accurate and page-fused dialogs, small and large schemas
+DEFAULT_APPS = (
+    "MS Outlook",
+    "Chrome Browser",
+    "Acrobat Reader",
+    "Explorer",
+    "Windows Media Player",
+)
+
+
+def _traces(apps: tuple[str, ...], days: int, seed: int) -> list[GeneratedTrace]:
+    return [
+        generate_trace(lab_profile(name, days=days, seed=seed))
+        for name in apps
+    ]
+
+
+def _average_cluster_size(
+    traces: list[GeneratedTrace],
+    window: float,
+    threshold: float,
+) -> float:
+    """Mean multi-cluster size pooled over the applications."""
+    total = 0
+    count = 0
+    for trace in traces:
+        app = next(iter(trace.apps.values()))
+        cluster_set = cluster_settings(
+            trace.ttkv,
+            window=window,
+            correlation_threshold=threshold,
+            key_filter=app.key_prefix,
+        )
+        for cluster in cluster_set.multi_clusters():
+            total += len(cluster)
+            count += 1
+    return total / count if count else 0.0
+
+
+def run_fig3a(
+    apps: tuple[str, ...] = DEFAULT_APPS,
+    windows: tuple[float, ...] = WINDOW_POINTS,
+    threshold: float = 2.0,
+    days: int = 45,
+    seed: int = 7,
+) -> tuple[tuple[float, ...], list[float]]:
+    """Average cluster size vs window size."""
+    traces = _traces(apps, days, seed)
+    sizes = [_average_cluster_size(traces, w, threshold) for w in windows]
+    return windows, sizes
+
+
+def run_fig3b(
+    apps: tuple[str, ...] = DEFAULT_APPS,
+    thresholds: tuple[float, ...] = THRESHOLD_POINTS,
+    window: float = 1.0,
+    days: int = 45,
+    seed: int = 7,
+) -> tuple[tuple[float, ...], list[float]]:
+    """Average cluster size vs clustering threshold."""
+    traces = _traces(apps, days, seed)
+    sizes = [_average_cluster_size(traces, window, t) for t in thresholds]
+    return thresholds, sizes
+
+
+def render_fig3(
+    x_label: str, x_values: tuple[float, ...], sizes: list[float], title: str
+) -> str:
+    return series_table(
+        x_label, list(x_values), {"avg cluster size": sizes}, title=title
+    )

@@ -1,0 +1,45 @@
+"""Figure 4: user-study time, Ocasta vs manual repair."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import ascii_table
+from repro.common.format import format_mmss
+from repro.study.user_study import STUDY_CASE_IDS, StudyResult, run_user_study
+
+
+def run_fig4(
+    screenshots_per_case: dict[int, int] | None = None, seed: int = 19
+) -> StudyResult:
+    return run_user_study(
+        screenshots_per_case=screenshots_per_case, seed=seed
+    )
+
+
+def render_fig4(result: StudyResult) -> str:
+    headers = ["Case", "Ocasta (avg)", "Manual (avg)", "Manual fix rate"]
+    rows = []
+    for case_id in STUDY_CASE_IDS:
+        case = result.cases[case_id]
+        rows.append(
+            [
+                case_id,
+                format_mmss(case.avg_ocasta_time),
+                format_mmss(case.avg_manual_time),
+                f"{case.manual_fix_rate * 100:.0f}%",
+            ]
+        )
+    table = ascii_table(
+        headers, rows, title="Figure 4: Ocasta vs manual repair time"
+    )
+    trial_dist = result.rating_distribution("trial")
+    select_dist = result.rating_distribution("selection")
+    lines = [
+        table,
+        "trial-creation difficulty ratings: "
+        + ", ".join(f"{k}:{v * 100:.0f}%" for k, v in trial_dist.items() if v)
+        + "  (paper: 1:74%, 2:21%, 3:5%)",
+        "screenshot-selection difficulty ratings: "
+        + ", ".join(f"{k}:{v * 100:.0f}%" for k, v in select_dist.items() if v)
+        + "  (paper: 1:80%, 2:11%, 3:8%, 4:1%)",
+    ]
+    return "\n".join(lines)

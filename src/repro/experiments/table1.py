@@ -1,0 +1,42 @@
+"""Table I: summary statistics of the nine deployment traces."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import ascii_table
+from repro.workload.machines import PROFILES, MachineProfile
+from repro.workload.trace import TraceStats, compute_stats
+from repro.workload.tracegen import generate_trace
+
+
+def run_table1(
+    profiles: tuple[MachineProfile, ...] = PROFILES,
+    scale: float = 1.0,
+    days: float | None = None,
+) -> list[tuple[TraceStats, MachineProfile]]:
+    """Generate every machine trace and compute its Table I row."""
+    results = []
+    for profile in profiles:
+        trace = generate_trace(profile, scale=scale, days=days)
+        stats = compute_stats(profile.name, trace.ttkv, trace.days)
+        results.append((stats, profile))
+    return results
+
+
+def render_table1(results: list[tuple[TraceStats, MachineProfile]]) -> str:
+    """Side-by-side measured vs paper-reported trace statistics."""
+    headers = [
+        "Name", "Days", "Reads", "Writes", "#Keys", "Size",
+        "paper:Reads", "paper:Writes", "paper:#Keys", "paper:Size",
+    ]
+    rows = []
+    for stats, profile in results:
+        rows.append(
+            stats.row()
+            + [
+                profile.paper_reads,
+                profile.paper_writes,
+                f"{profile.paper_keys:,}",
+                profile.paper_size,
+            ]
+        )
+    return ascii_table(headers, rows, title="Table I: trace statistics")

@@ -1,0 +1,15 @@
+"""Table III: the sixteen real-world configuration errors."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import ascii_table
+from repro.errors.cases import ERROR_CASES
+
+
+def render_table3() -> str:
+    headers = ["Case", "Trace", "Application", "Logger", "Description"]
+    rows = [
+        [case.case_id, case.trace_name, case.app_name, case.logger, case.description]
+        for case in ERROR_CASES
+    ]
+    return ascii_table(headers, rows, title="Table III: configuration errors")

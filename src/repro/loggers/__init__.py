@@ -1,0 +1,23 @@
+"""Loggers: intercept configuration accesses and record them in the TTKV.
+
+The paper implements three interception mechanisms — Detours-style API
+hooking for the Windows registry, an ``LD_PRELOAD`` shim for GConf, and a
+file watcher that diffs configuration files across flushes.  Here each is an
+observer attached to the corresponding store emulator.  All loggers share
+the trace collector's timestamp quantisation (1-second precision by
+default), which the paper identifies as the main source of oversized
+clusters.
+"""
+
+from repro.loggers.base import Logger, TIMESTAMP_PRECISION
+from repro.loggers.registry_logger import RegistryLogger
+from repro.loggers.gconf_logger import GConfLogger
+from repro.loggers.file_logger import FileLogger
+
+__all__ = [
+    "Logger",
+    "TIMESTAMP_PRECISION",
+    "RegistryLogger",
+    "GConfLogger",
+    "FileLogger",
+]

@@ -1,0 +1,53 @@
+"""Logger base: event filtering, timestamp quantisation, TTKV recording."""
+
+from __future__ import annotations
+
+from repro.common.format import quantize_timestamp
+from repro.stores.events import AccessEvent, AccessKind
+from repro.ttkv.store import TTKV
+
+#: The paper's trace collector records modification times "to the precision
+#: of the nearest second".
+TIMESTAMP_PRECISION = 1.0
+
+
+class Logger:
+    """Records access events into a TTKV with quantised timestamps.
+
+    Parameters
+    ----------
+    ttkv:
+        Destination store.
+    precision:
+        Timestamp quantisation in seconds; ``0`` records exact times.
+        The default reproduces the paper's 1-second collector.
+    record_reads:
+        Whether read accesses are counted.  Registry and GConf loggers see
+        reads; the file logger cannot (it only sees flushes), so it disables
+        this.
+    """
+
+    def __init__(
+        self,
+        ttkv: TTKV,
+        precision: float = TIMESTAMP_PRECISION,
+        record_reads: bool = True,
+    ) -> None:
+        self.ttkv = ttkv
+        self.precision = precision
+        self.record_reads = record_reads
+        self.events_recorded = 0
+
+    def __call__(self, event: AccessEvent) -> None:
+        """Observer entry point: record one access event."""
+        timestamp = quantize_timestamp(event.timestamp, self.precision)
+        if event.kind is AccessKind.READ:
+            if self.record_reads:
+                self.ttkv.record_read(event.key, timestamp)
+                self.events_recorded += 1
+        elif event.kind is AccessKind.WRITE:
+            self.ttkv.record_write(event.key, event.value, timestamp)
+            self.events_recorded += 1
+        else:
+            self.ttkv.record_delete(event.key, timestamp)
+            self.events_recorded += 1

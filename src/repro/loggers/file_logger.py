@@ -1,0 +1,105 @@
+"""Application-file logger: diffs configuration files across flushes.
+
+File-backed applications give the logger strictly coarser information than
+registry/GConf applications:
+
+* only *flushes* are visible, so several in-memory writes to the same key
+  between flushes collapse into one observed change;
+* reads are invisible (the application reads its own in-memory copy);
+* a key's change is observed at the flush timestamp, not the write time.
+
+Canonical TTKV key names are ``<file path>:<key>``, so settings from
+different configuration files never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.format import quantize_timestamp
+from repro.exceptions import ParseError
+from repro.loggers.base import Logger, TIMESTAMP_PRECISION
+from repro.stores.filestore import VirtualFile
+from repro.stores.parsers import get_parser
+from repro.ttkv.store import TTKV
+
+
+def file_key(path: str, key: str) -> str:
+    """Canonical TTKV key for a setting stored in a configuration file."""
+    return f"{path}:{key}"
+
+
+class FileLogger(Logger):
+    """Watches configuration files and records flush-level diffs."""
+
+    def __init__(
+        self,
+        ttkv: TTKV,
+        format_name: str,
+        precision: float = TIMESTAMP_PRECISION,
+    ) -> None:
+        super().__init__(ttkv, precision=precision, record_reads=False)
+        self.format_name = format_name
+        self._parser = get_parser(format_name)
+        self._watched: list[VirtualFile] = []
+        self.parse_failures = 0
+
+    def attach(self, file: VirtualFile) -> None:
+        """Start watching ``file`` for flushes."""
+        file.watch(self._on_flush)
+        self._watched.append(file)
+
+    def detach(self, file: VirtualFile) -> None:
+        file.unwatch(self._on_flush)
+        self._watched.remove(file)
+
+    @property
+    def watched_paths(self) -> list[str]:
+        return [f.path for f in self._watched]
+
+    # -- flush handling -----------------------------------------------------
+
+    def _on_flush(
+        self, path: str, old_text: str, new_text: str, timestamp: float
+    ) -> None:
+        try:
+            before = self._parser.loads(old_text)
+            after = self._parser.loads(new_text)
+        except ParseError:
+            # A half-written or foreign-format file: skip this flush rather
+            # than corrupt the trace.  Counted so tests can assert on it.
+            self.parse_failures += 1
+            return
+        quantized = quantize_timestamp(timestamp, self.precision)
+        for key, old_value, new_value in diff_flush(before, after):
+            canonical = file_key(path, key)
+            if new_value is _ABSENT:
+                self.ttkv.record_delete(canonical, quantized)
+            else:
+                self.ttkv.record_write(canonical, new_value, quantized)
+            self.events_recorded += 1
+
+
+_ABSENT = object()
+
+
+def diff_flush(
+    before: dict[str, Any], after: dict[str, Any]
+) -> list[tuple[str, Any, Any]]:
+    """Key-level diff between two parsed file states.
+
+    Returns ``(key, old_value, new_value)`` triples for changed keys, with
+    ``new_value`` set to an absent marker for deletions.  Keys present with
+    equal values in both states produce nothing — the logger cannot know a
+    key was rewritten with the same value.
+    """
+    changes: list[tuple[str, Any, Any]] = []
+    for key, new_value in after.items():
+        if key not in before:
+            changes.append((key, _ABSENT, new_value))
+        elif before[key] != new_value:
+            changes.append((key, before[key], new_value))
+    for key, old_value in before.items():
+        if key not in after:
+            changes.append((key, old_value, _ABSENT))
+    return changes

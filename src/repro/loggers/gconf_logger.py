@@ -1,0 +1,39 @@
+"""GConf logger.
+
+The paper interposes on the GConf client library with ``LD_PRELOAD``; every
+process loads the shim, which forwards calls to the real library after
+logging.  The emulator equivalent observes a
+:class:`~repro.stores.gconf.GConfStore`.
+"""
+
+from __future__ import annotations
+
+from repro.loggers.base import Logger, TIMESTAMP_PRECISION
+from repro.stores.gconf import GConfStore
+from repro.ttkv.store import TTKV
+
+
+class GConfLogger(Logger):
+    """Preload shim equivalent: observes a GConf store."""
+
+    def __init__(
+        self, ttkv: TTKV, precision: float = TIMESTAMP_PRECISION
+    ) -> None:
+        super().__init__(ttkv, precision=precision, record_reads=True)
+        self._store: GConfStore | None = None
+
+    def attach(self, store: GConfStore) -> None:
+        if self._store is not None:
+            raise RuntimeError("logger is already attached")
+        store.subscribe(self)
+        self._store = store
+
+    def detach(self) -> None:
+        if self._store is None:
+            raise RuntimeError("logger is not attached")
+        self._store.unsubscribe(self)
+        self._store = None
+
+    @property
+    def attached(self) -> bool:
+        return self._store is not None

@@ -1,0 +1,42 @@
+"""Windows-registry logger.
+
+The paper injects a shared library into Explorer and hooks the registry
+API (Detours-style) so every application started through the shell is
+monitored.  The emulator equivalent is an observer subscribed to a
+:class:`~repro.stores.registry.RegistryStore`; the ``attach``/``detach``
+pair models injection and removal of the hook library.
+"""
+
+from __future__ import annotations
+
+from repro.loggers.base import Logger, TIMESTAMP_PRECISION
+from repro.stores.registry import RegistryStore
+from repro.ttkv.store import TTKV
+
+
+class RegistryLogger(Logger):
+    """Hooks a registry store and records its accesses."""
+
+    def __init__(
+        self, ttkv: TTKV, precision: float = TIMESTAMP_PRECISION
+    ) -> None:
+        super().__init__(ttkv, precision=precision, record_reads=True)
+        self._store: RegistryStore | None = None
+
+    def attach(self, store: RegistryStore) -> None:
+        """Inject the hook: start observing ``store``."""
+        if self._store is not None:
+            raise RuntimeError("logger is already attached")
+        store.subscribe(self)
+        self._store = store
+
+    def detach(self) -> None:
+        """Remove the hook."""
+        if self._store is None:
+            raise RuntimeError("logger is not attached")
+        self._store.unsubscribe(self)
+        self._store = None
+
+    @property
+    def attached(self) -> bool:
+        return self._store is not None

@@ -1,0 +1,25 @@
+"""The Ocasta repair tool.
+
+Wires the core repair engine to the simulated substrate: trial recording
+and deterministic replay (the paper's UI record/replay component),
+sandboxed execution (no persistent changes escape a trial), screenshot
+capture/de-duplication, and the controller coordinating the whole
+recovery search.
+"""
+
+from repro.repair.trial import Trial
+from repro.repair.replay import AdaptiveReplayer, replay_trial
+from repro.repair.screenshot import ScreenshotGallery, capture
+from repro.repair.sandbox import Sandbox
+from repro.repair.controller import OcastaRepairTool, RepairReport
+
+__all__ = [
+    "Trial",
+    "AdaptiveReplayer",
+    "replay_trial",
+    "ScreenshotGallery",
+    "capture",
+    "Sandbox",
+    "OcastaRepairTool",
+    "RepairReport",
+]

@@ -1,0 +1,80 @@
+"""Trial replay: strict (the paper's prototype) and adaptive (its
+suggested extension).
+
+The paper's replay tool re-executes recorded UI actions against the
+application and "deterministically replays trials and thus does not
+guarantee the same trial can be replayed correctly across different
+configuration settings.  A robust adaptive replay can probably address
+this limitation."  :func:`replay_trial` is the strict prototype;
+:class:`AdaptiveReplayer` implements the suggested extension — failing
+steps are skipped (and counted) instead of aborting the trial, so a
+rollback that removes a menu the trial clicks on still yields a usable
+screenshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import Screenshot, SimulatedApplication
+from repro.exceptions import ReplayError, UnknownActionError
+from repro.repair.trial import Trial
+
+
+def _check_target(app: SimulatedApplication, trial: Trial) -> None:
+    if trial.app_name != app.name:
+        raise ReplayError(
+            f"trial was recorded against {trial.app_name!r}, "
+            f"cannot replay on {app.name!r}"
+        )
+
+
+def replay_trial(app: SimulatedApplication, trial: Trial) -> Screenshot:
+    """Strictly replay ``trial`` on ``app``; capture the final screenshot.
+
+    Raises
+    ------
+    ReplayError
+        When the trial targets a different application or references an
+        action the application does not implement.
+    """
+    _check_target(app, trial)
+    for action, params in trial.actions:
+        try:
+            app.perform(action, **params)
+        except UnknownActionError as exc:
+            raise ReplayError(str(exc)) from exc
+        except TypeError as exc:
+            raise ReplayError(
+                f"action {action!r} rejected parameters {params!r}: {exc}"
+            ) from exc
+    return app.render()
+
+
+@dataclass
+class AdaptiveReplayer:
+    """Replay that degrades gracefully when a step cannot execute.
+
+    Each failing step is skipped and recorded in :attr:`skipped`; the
+    replay still produces a screenshot as long as at least one step ran,
+    so the repair search can judge the rollback instead of aborting.
+    """
+
+    #: (action, reason) for each step that could not be executed
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+
+    def replay(self, app: SimulatedApplication, trial: Trial) -> Screenshot:
+        _check_target(app, trial)
+        executed = 0
+        self.skipped = []
+        for action, params in trial.actions:
+            try:
+                app.perform(action, **params)
+                executed += 1
+            except (UnknownActionError, TypeError) as exc:
+                self.skipped.append((action, str(exc)))
+        if executed == 0:
+            raise ReplayError(
+                "adaptive replay could not execute any step of the trial"
+            )
+        return app.render()

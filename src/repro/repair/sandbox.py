@@ -1,0 +1,67 @@
+"""Sandboxed trial execution.
+
+"Ocasta then executes the user-provided trial on the historical values of
+the clusters by rolling back an entire cluster of configuration settings
+at a time and running the trial in a sandbox, which prevents the execution
+[from leaving] any persistent changes."
+
+The sandbox clones the application (configuration store included) with no
+observers attached, translates the rollback plan's canonical TTKV keys to
+the clone's store keys, applies it, and replays the trial.  Nothing the
+trial does can reach the real store or the recorded trace.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Screenshot, SimulatedApplication
+from repro.common.clock import SimClock
+from repro.exceptions import SandboxError, SchemaError
+from repro.repair.replay import replay_trial
+from repro.repair.trial import Trial
+from repro.ttkv.snapshot import RollbackPlan
+from repro.ttkv.store import DELETED, MISSING
+
+
+class Sandbox:
+    """Disposable execution environment around one application."""
+
+    def __init__(self, app: SimulatedApplication) -> None:
+        self._origin = app
+
+    def fresh_app(self) -> SimulatedApplication:
+        """A clone with its own store, clock and session."""
+        clone = self._origin.clone_sandboxed(
+            clock=SimClock(self._origin.clock.now())
+        )
+        if clone.store is self._origin.store:  # pragma: no cover - safety net
+            raise SandboxError("sandbox clone shares the live store")
+        return clone
+
+    def apply_plan(
+        self, app: SimulatedApplication, plan: RollbackPlan
+    ) -> None:
+        """Apply a canonical-key rollback plan to a sandboxed app's store.
+
+        Keys that do not belong to this application are rejected: a plan
+        built for the wrong app would silently do nothing, which would
+        make a failed search look like an unfixable error.
+        """
+        for canonical, value in plan.assignments.items():
+            try:
+                local = app.setting_name(canonical)
+            except SchemaError as exc:
+                raise SandboxError(str(exc)) from exc
+            store_key = app.store_key(local)
+            if value is DELETED or value is MISSING:
+                app.store._data.pop(store_key, None)
+            else:
+                app.store._data[store_key] = value
+
+    def execute(
+        self, trial: Trial, plan: RollbackPlan | None
+    ) -> Screenshot:
+        """Roll back (optionally) and replay the trial; return the shot."""
+        app = self.fresh_app()
+        if plan is not None:
+            self.apply_plan(app, plan)
+        return replay_trial(app, trial)

@@ -1,0 +1,45 @@
+"""Screenshot capture and the de-duplicating gallery.
+
+"After each trial execution, the tool takes a screenshot.  Ocasta discards
+the screenshot if it is identical to either the erroneous screenshot or
+any previous screenshots it has recorded."
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Screenshot, SimulatedApplication
+
+
+def capture(app: SimulatedApplication) -> Screenshot:
+    """Take a screenshot of the application's current visible state."""
+    return app.render()
+
+
+class ScreenshotGallery:
+    """Ordered, de-duplicated screenshots for the user to review."""
+
+    def __init__(self, erroneous: Screenshot | None = None) -> None:
+        self._seen: set[Screenshot] = set()
+        self._entries: list[Screenshot] = []
+        self.discarded = 0
+        if erroneous is not None:
+            self._seen.add(erroneous)
+
+    def add(self, screenshot: Screenshot) -> bool:
+        """Record a screenshot; returns True when it is new to the user."""
+        if screenshot in self._seen:
+            self.discarded += 1
+            return False
+        self._seen.add(screenshot)
+        self._entries.append(screenshot)
+        return True
+
+    @property
+    def entries(self) -> list[Screenshot]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, screenshot: Screenshot) -> bool:
+        return screenshot in self._seen

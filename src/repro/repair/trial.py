@@ -1,0 +1,60 @@
+"""Trials: recorded UI-action scripts that reproduce a configuration error.
+
+"To use Ocasta, the user must first create a trial, which tells Ocasta how
+to recreate the error and makes the symptoms of the error visible on the
+screen."  A trial is a deterministic sequence of UI actions against one
+application; Ocasta extracts the application identity automatically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ReplayError
+
+
+@dataclass(frozen=True)
+class Trial:
+    """A recorded trial: the app it drives and the actions to replay."""
+
+    app_name: str
+    actions: tuple[tuple[str, dict[str, Any]], ...]
+
+    def __post_init__(self) -> None:
+        if not self.actions:
+            raise ReplayError("a trial must contain at least one action")
+        for action in self.actions:
+            if not (isinstance(action, tuple) and len(action) == 2):
+                raise ReplayError(f"malformed trial action {action!r}")
+
+    @classmethod
+    def record(
+        cls, app_name: str, actions: list[tuple[str, dict[str, Any]]]
+    ) -> "Trial":
+        """Build a trial from a list of (action, params) steps."""
+        return cls(app_name=app_name, actions=tuple(actions))
+
+    def to_json(self) -> str:
+        """Serialise for storage alongside the TTKV."""
+        return json.dumps(
+            {
+                "app": self.app_name,
+                "actions": [[name, params] for name, params in self.actions],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trial":
+        try:
+            payload = json.loads(text)
+            actions = tuple(
+                (name, dict(params)) for name, params in payload["actions"]
+            )
+            return cls(app_name=payload["app"], actions=actions)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReplayError(f"malformed trial JSON: {exc}") from exc
+
+    def __len__(self) -> int:
+        return len(self.actions)

@@ -1,0 +1,26 @@
+"""Configuration-store emulators.
+
+The paper's loggers intercept three kinds of configuration stores: the
+Windows registry, the GConf configuration system, and application-specific
+files (INI, plain text, XML, JSON, PostScript).  Each is rebuilt here as an
+in-memory emulator exposing the same structure and the change notifications
+the loggers need.
+"""
+
+from repro.stores.events import AccessEvent, AccessKind
+from repro.stores.base import ConfigStore, DictStore
+from repro.stores.registry import RegistryStore, RegistryType
+from repro.stores.gconf import GConfStore
+from repro.stores.filestore import FileStore, VirtualFile
+
+__all__ = [
+    "AccessEvent",
+    "AccessKind",
+    "ConfigStore",
+    "DictStore",
+    "RegistryStore",
+    "RegistryType",
+    "GConfStore",
+    "FileStore",
+    "VirtualFile",
+]

@@ -1,0 +1,164 @@
+"""Abstract configuration store with change notification.
+
+All store emulators derive from :class:`ConfigStore`, which provides the
+flat canonical key-value interface the rest of the system consumes
+(clustering, rollback, sandboxing) plus an observer mechanism that loggers
+subscribe to.  Concrete stores add their native flavoured APIs (registry
+paths and value types, GConf typed getters, file flush semantics) on top.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Iterator
+
+from repro.common.clock import SimClock
+from repro.exceptions import StoreError
+from repro.stores.events import AccessEvent
+
+Observer = Callable[[AccessEvent], None]
+
+
+class ConfigStore:
+    """In-memory key-value configuration store with observers.
+
+    Parameters
+    ----------
+    clock:
+        Time source used to stamp access events.  Stores created inside a
+        sandbox share the sandbox clock so replayed trials see consistent
+        time.
+    """
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self._data: dict[str, Any] = {}
+        self._observers: list[Observer] = []
+        self.clock = clock if clock is not None else SimClock()
+
+    # -- observer plumbing ---------------------------------------------------
+
+    def subscribe(self, observer: Observer) -> None:
+        """Register ``observer`` to receive every subsequent access event."""
+        if observer in self._observers:
+            raise StoreError("observer already subscribed")
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Observer) -> None:
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            raise StoreError("observer was not subscribed") from None
+
+    def _notify(self, event: AccessEvent) -> None:
+        for observer in self._observers:
+            observer(event)
+
+    # -- flat key-value interface ---------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read a key, notifying observers of the read access."""
+        self._notify(AccessEvent.read(key, self.clock.now()))
+        return self._data.get(key, default)
+
+    def set(self, key: str, value: Any) -> None:
+        """Write a key, notifying observers of the write access."""
+        _validate_key(key)
+        _validate_value(value)
+        self._data[key] = value
+        self._notify(AccessEvent.write(key, value, self.clock.now()))
+
+    def delete(self, key: str) -> None:
+        """Delete a key if present, notifying observers.
+
+        Deleting an absent key is a silent no-op, matching registry/GConf
+        semantics where removal of a missing entry is not an error worth
+        surfacing to the logger.
+        """
+        if key in self._data:
+            del self._data[key]
+            self._notify(AccessEvent.delete(key, self.clock.now()))
+
+    def peek(self, key: str, default: Any = None) -> Any:
+        """Read a key *without* notifying observers.
+
+        Used by internal machinery (rendering, sandbox diffing) that must
+        not pollute the recorded trace with artificial reads.
+        """
+        return self._data.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> list[str]:
+        return list(self._data)
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        return iter(list(self._data.items()))
+
+    def as_dict(self) -> dict[str, Any]:
+        """Deep copy of the current contents (observer-silent)."""
+        return copy.deepcopy(self._data)
+
+    def load_dict(self, data: dict[str, Any], notify: bool = False) -> None:
+        """Bulk-load contents.
+
+        With ``notify=False`` (the default) the load is silent — used to
+        install an initial configuration that predates logging, which is how
+        the paper models keys "not modified from their initial value".
+        """
+        for key, value in data.items():
+            _validate_key(key)
+            _validate_value(value)
+            if notify:
+                self.set(key, value)
+            else:
+                self._data[key] = value
+
+    def clone(self, clock: SimClock | None = None) -> "ConfigStore":
+        """Copy of this store's contents with *no* observers attached.
+
+        This is the sandbox primitive: trial executions run against a clone
+        so that no persistent changes (and no logged events) escape.
+        """
+        twin = type(self)(clock=clock if clock is not None else self.clock)
+        twin._data = copy.deepcopy(self._data)
+        return twin
+
+
+class DictStore(ConfigStore):
+    """The plainest concrete store: exactly the base behaviour.
+
+    Useful in tests and for applications whose configuration store flavour
+    is irrelevant to the scenario being exercised.
+    """
+
+
+def _validate_key(key: str) -> None:
+    if not isinstance(key, str) or not key:
+        raise StoreError(f"configuration keys must be non-empty strings, got {key!r}")
+    if "\n" in key:
+        raise StoreError("configuration keys cannot contain newlines")
+
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _validate_value(value: Any) -> None:
+    if isinstance(value, _SCALAR_TYPES):
+        return
+    if isinstance(value, list):
+        for item in value:
+            _validate_value(item)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise StoreError("dict-valued settings must have string keys")
+            _validate_value(item)
+        return
+    raise StoreError(
+        f"unsupported configuration value type {type(value).__name__}"
+    )

@@ -1,0 +1,55 @@
+"""Access events emitted by configuration stores.
+
+Every read, write and deletion performed against a store is described by an
+:class:`AccessEvent`.  Loggers subscribe to stores and forward these events
+(after timestamp quantisation) into the TTKV.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class AccessKind(enum.Enum):
+    """The three access types the paper's loggers intercept."""
+
+    READ = "read"
+    WRITE = "write"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One access to one configuration key.
+
+    Attributes
+    ----------
+    kind:
+        Read, write or delete.
+    key:
+        Canonical flat key name (e.g. ``HKCU\\Software\\Word\\Max Display``
+        or ``/apps/evolution/mail/mark_seen``).
+    value:
+        The written value for writes; ``None`` for reads and deletions.
+    timestamp:
+        Simulated time of the access, in seconds since the trace epoch.
+    """
+
+    kind: AccessKind
+    key: str
+    value: Any
+    timestamp: float
+
+    @classmethod
+    def read(cls, key: str, timestamp: float) -> "AccessEvent":
+        return cls(AccessKind.READ, key, None, timestamp)
+
+    @classmethod
+    def write(cls, key: str, value: Any, timestamp: float) -> "AccessEvent":
+        return cls(AccessKind.WRITE, key, value, timestamp)
+
+    @classmethod
+    def delete(cls, key: str, timestamp: float) -> "AccessEvent":
+        return cls(AccessKind.DELETE, key, None, timestamp)

@@ -1,0 +1,133 @@
+"""File-backed configuration store with flush semantics.
+
+Applications that do not use an OS-provided store keep an in-memory
+key-value working set and periodically *flush* it to a configuration file.
+The paper's file logger cannot see individual in-memory writes; it "compares
+the files before and after each flush" to infer which keys changed.  This
+module reproduces that information loss:
+
+* :class:`VirtualFile` stands in for an on-disk file and notifies watchers
+  (the file logger) when its content is replaced;
+* :class:`FileStore` is the application-side in-memory store; ``flush()``
+  serialises the working set through one of the format parsers into the
+  backing file.
+
+With ``autoflush=True`` (the common case the paper observes: "applications
+typically flush their in-memory store after each key modification") every
+``set``/``delete`` triggers an immediate flush.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.clock import SimClock
+from repro.exceptions import StoreError
+from repro.stores.base import ConfigStore
+from repro.stores.parsers import get_parser
+
+#: watcher(path, old_text, new_text, timestamp)
+FileWatcher = Callable[[str, str, str, float], None]
+
+
+class VirtualFile:
+    """An in-memory stand-in for a configuration file on disk."""
+
+    def __init__(self, path: str, content: str = "") -> None:
+        if not path:
+            raise StoreError("file path cannot be empty")
+        self.path = path
+        self._content = content
+        self._mtime = 0.0
+        self._watchers: list[FileWatcher] = []
+
+    @property
+    def content(self) -> str:
+        return self._content
+
+    @property
+    def mtime(self) -> float:
+        return self._mtime
+
+    def watch(self, watcher: FileWatcher) -> None:
+        """Register an inotify-style watcher for content replacements."""
+        if watcher in self._watchers:
+            raise StoreError("watcher already registered")
+        self._watchers.append(watcher)
+
+    def unwatch(self, watcher: FileWatcher) -> None:
+        try:
+            self._watchers.remove(watcher)
+        except ValueError:
+            raise StoreError("watcher was not registered") from None
+
+    def write(self, text: str, timestamp: float) -> None:
+        """Replace the file content, notifying watchers of the change."""
+        old = self._content
+        self._content = text
+        self._mtime = timestamp
+        for watcher in self._watchers:
+            watcher(self.path, old, text, timestamp)
+
+
+class FileStore(ConfigStore):
+    """Application-side in-memory configuration with file flushes.
+
+    Parameters
+    ----------
+    file:
+        The backing :class:`VirtualFile`.
+    format_name:
+        One of :func:`repro.stores.parsers.known_formats`.
+    autoflush:
+        Flush after every modification (default, matching observed
+        application behaviour).  Set to ``False`` to batch modifications and
+        exercise the logger's flush-granularity information loss.
+    """
+
+    def __init__(
+        self,
+        file: VirtualFile,
+        format_name: str,
+        clock: SimClock | None = None,
+        autoflush: bool = True,
+    ) -> None:
+        super().__init__(clock=clock)
+        self.file = file
+        self.format_name = format_name
+        self.autoflush = autoflush
+        self._parser = get_parser(format_name)
+        if file.content:
+            self.reload()
+
+    def reload(self) -> None:
+        """Parse the backing file into the working set (observer-silent)."""
+        self._data = dict(self._parser.loads(self.file.content))
+
+    def flush(self) -> None:
+        """Serialise the working set into the backing file."""
+        self.file.write(self._parser.dumps(dict(self._data)), self.clock.now())
+
+    def set(self, key: str, value: Any) -> None:
+        super().set(key, value)
+        if self.autoflush:
+            self.flush()
+
+    def delete(self, key: str) -> None:
+        had_key = key in self._data
+        super().delete(key)
+        if had_key and self.autoflush:
+            self.flush()
+
+    def clone(self, clock: SimClock | None = None) -> "FileStore":
+        """Sandbox copy backed by a fresh, unwatched virtual file."""
+        effective_clock = clock if clock is not None else self.clock
+        twin_file = VirtualFile(self.file.path, self.file.content)
+        twin = FileStore(
+            twin_file,
+            self.format_name,
+            clock=effective_clock,
+            autoflush=self.autoflush,
+        )
+        twin._data = self.as_dict()
+        return twin

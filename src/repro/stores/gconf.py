@@ -1,0 +1,142 @@
+"""GConf configuration-system emulator.
+
+GConf (the GNOME 2-era configuration store the paper intercepts with an
+``LD_PRELOAD`` shim) is a tree of slash-separated paths with typed leaves.
+Canonical flat keys are the GConf paths themselves, e.g.
+``/apps/evolution/mail/mark_seen``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.clock import SimClock
+from repro.exceptions import StoreError
+from repro.stores.base import ConfigStore
+
+_GCONF_TYPES = {
+    "bool": bool,
+    "int": int,
+    "float": float,
+    "string": str,
+    "list": list,
+}
+
+
+def validate_path(path: str) -> None:
+    """GConf paths are absolute, slash-separated, with no empty segments."""
+    if not path.startswith("/"):
+        raise StoreError(f"GConf path must be absolute: {path!r}")
+    if path != "/" and (path.endswith("/") or "//" in path):
+        raise StoreError(f"malformed GConf path: {path!r}")
+
+
+class GConfStore(ConfigStore):
+    """Typed, path-addressed store mirroring the GConf client API."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(clock=clock)
+        self._types: dict[str, str] = {}
+
+    # -- typed setters (gconf_client_set_*) -------------------------------
+
+    def set_bool(self, path: str, value: bool) -> None:
+        self._set_typed(path, value, "bool")
+
+    def set_int(self, path: str, value: int) -> None:
+        if isinstance(value, bool):
+            raise StoreError("use set_bool for booleans")
+        self._set_typed(path, value, "int")
+
+    def set_float(self, path: str, value: float) -> None:
+        self._set_typed(path, float(value), "float")
+
+    def set_string(self, path: str, value: str) -> None:
+        self._set_typed(path, value, "string")
+
+    def set_list(self, path: str, value: list) -> None:
+        self._set_typed(path, list(value), "list")
+
+    def _set_typed(self, path: str, value: Any, type_name: str) -> None:
+        validate_path(path)
+        expected = _GCONF_TYPES[type_name]
+        if not isinstance(value, expected):
+            raise StoreError(
+                f"GConf {type_name} expected for {path!r}, got {type(value).__name__}"
+            )
+        declared = self._types.get(path)
+        if declared is not None and declared != type_name:
+            raise StoreError(
+                f"GConf key {path!r} already has type {declared}, cannot "
+                f"write a {type_name}"
+            )
+        self._types[path] = type_name
+        self.set(path, value)
+
+    # -- typed getters (gconf_client_get_*) --------------------------------
+
+    def get_bool(self, path: str, default: bool = False) -> bool:
+        return self._get_typed(path, "bool", default)
+
+    def get_int(self, path: str, default: int = 0) -> int:
+        return self._get_typed(path, "int", default)
+
+    def get_float(self, path: str, default: float = 0.0) -> float:
+        return self._get_typed(path, "float", default)
+
+    def get_string(self, path: str, default: str = "") -> str:
+        return self._get_typed(path, "string", default)
+
+    def get_list(self, path: str, default: list | None = None) -> list:
+        return self._get_typed(path, "list", default if default is not None else [])
+
+    def _get_typed(self, path: str, type_name: str, default: Any) -> Any:
+        validate_path(path)
+        sentinel = object()
+        value = self.get(path, sentinel)
+        if value is sentinel:
+            return default
+        declared = self._types.get(path)
+        if declared is not None and declared != type_name:
+            raise StoreError(
+                f"GConf key {path!r} has type {declared}, not {type_name}"
+            )
+        return value
+
+    def unset(self, path: str) -> None:
+        """gconf_client_unset equivalent."""
+        validate_path(path)
+        self._types.pop(path, None)
+        self.delete(path)
+
+    def all_entries(self, directory: str) -> list[str]:
+        """Keys directly inside ``directory`` (observer-silent)."""
+        validate_path(directory)
+        prefix = directory.rstrip("/") + "/"
+        return [
+            key
+            for key in self.keys()
+            if key.startswith(prefix) and "/" not in key[len(prefix):]
+        ]
+
+    def all_dirs(self, directory: str) -> list[str]:
+        """Immediate sub-directories of ``directory`` (observer-silent)."""
+        validate_path(directory)
+        prefix = directory.rstrip("/") + "/"
+        dirs: list[str] = []
+        seen: set[str] = set()
+        for key in self.keys():
+            if key.startswith(prefix):
+                rest = key[len(prefix):]
+                if "/" in rest:
+                    first = rest.split("/", 1)[0]
+                    if first not in seen:
+                        seen.add(first)
+                        dirs.append(prefix + first)
+        return dirs
+
+    def clone(self, clock: SimClock | None = None) -> "GConfStore":
+        twin = super().clone(clock=clock)
+        assert isinstance(twin, GConfStore)
+        twin._types = dict(self._types)
+        return twin

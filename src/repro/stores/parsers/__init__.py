@@ -1,0 +1,41 @@
+"""Configuration-file format parsers.
+
+The paper's study of application-specific configuration files found five
+common formats: JSON, XML, PostScript, and two ``key=value`` list formats
+(hierarchical "INI" and flat "plain text").  Each parser module exposes::
+
+    loads(text) -> dict[str, value]   # flat canonical keys
+    dumps(data) -> str
+
+Flat canonical keys use ``/`` as the hierarchy separator.  Values are
+scalars (str, int, float, bool, None) or lists of scalars.
+"""
+
+from repro.stores.parsers import ini, json_format, plaintext, pskv, xml_format
+
+_FORMATS = {
+    "ini": ini,
+    "plaintext": plaintext,
+    "json": json_format,
+    "xml": xml_format,
+    "postscript": pskv,
+}
+
+
+def get_parser(name: str):
+    """Return the parser module for ``name``.
+
+    >>> get_parser("json").__name__
+    'repro.stores.parsers.json_format'
+    """
+    try:
+        return _FORMATS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown configuration file format {name!r}; "
+            f"known formats: {sorted(_FORMATS)}"
+        ) from None
+
+
+def known_formats() -> list[str]:
+    return sorted(_FORMATS)

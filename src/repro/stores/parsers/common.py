@@ -1,0 +1,113 @@
+"""Helpers shared by the text-based configuration parsers."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ParseError
+
+#: Scalar types every format can represent.
+SCALARS = (str, int, float, bool, type(None))
+
+
+def coerce_scalar(text: str) -> Any:
+    """Interpret a raw text token as the most specific scalar type.
+
+    Mirrors how desktop applications round-trip settings through untyped
+    text formats: booleans and numbers are recognised, everything else
+    stays a string.
+
+    >>> coerce_scalar("true"), coerce_scalar("42"), coerce_scalar("1.5")
+    (True, 42, 1.5)
+    >>> coerce_scalar("hello")
+    'hello'
+    """
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("null", "none", ""):
+        return None if lowered != "" else ""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def render_scalar(value: Any) -> str:
+    """Inverse of :func:`coerce_scalar` for supported scalars."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return value
+    raise ParseError(f"cannot render value of type {type(value).__name__}")
+
+
+def check_flat_value(key: str, value: Any) -> None:
+    """Validate that ``value`` is a scalar or a list of scalars."""
+    if isinstance(value, SCALARS):
+        return
+    if isinstance(value, list):
+        for item in value:
+            if not isinstance(item, SCALARS):
+                raise ParseError(
+                    f"key {key!r}: lists may only contain scalars, "
+                    f"found {type(item).__name__}"
+                )
+        return
+    raise ParseError(
+        f"key {key!r}: unsupported value type {type(value).__name__}"
+    )
+
+
+def flatten(nested: dict, separator: str = "/", prefix: str = "") -> dict[str, Any]:
+    """Flatten a nested dict into canonical slash-joined keys.
+
+    Raises ParseError on non-dict/non-scalar intermediate values.
+    """
+    flat: dict[str, Any] = {}
+    for key, value in nested.items():
+        if not isinstance(key, str) or not key:
+            raise ParseError(f"invalid key {key!r}")
+        path = f"{prefix}{separator}{key}" if prefix else key
+        if isinstance(value, dict):
+            flat.update(flatten(value, separator, path))
+        else:
+            check_flat_value(path, value)
+            flat[path] = value
+    return flat
+
+
+def unflatten(flat: dict[str, Any], separator: str = "/") -> dict:
+    """Inverse of :func:`flatten`.
+
+    Raises ParseError if a key is both a leaf and an interior node
+    (e.g. ``a`` and ``a/b`` both present).
+    """
+    nested: dict = {}
+    for key, value in flat.items():
+        parts = key.split(separator)
+        node = nested
+        for part in parts[:-1]:
+            child = node.get(part)
+            if child is None:
+                child = {}
+                node[part] = child
+            elif not isinstance(child, dict):
+                raise ParseError(f"key {key!r} conflicts with leaf {part!r}")
+            node = child
+        leaf = parts[-1]
+        if isinstance(node.get(leaf), dict):
+            raise ParseError(f"leaf {key!r} conflicts with interior node")
+        node[leaf] = value
+    return nested

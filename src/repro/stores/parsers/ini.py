@@ -1,0 +1,62 @@
+"""Hierarchical ``key=value`` configuration files (the paper's "INI").
+
+``[section]`` headers introduce hierarchy; keys inside a section get the
+canonical flat name ``section/key``.  Nested sections are written as
+``[outer/inner]``.  Keys before any section header are top-level.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ParseError
+from repro.stores.parsers import plaintext
+from repro.stores.parsers.common import check_flat_value
+
+
+def loads(text: str) -> dict[str, Any]:
+    data: dict[str, Any] = {}
+    section = ""
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("#", ";")):
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise ParseError(f"unterminated section header {line!r}", line=lineno)
+            section = line[1:-1].strip()
+            if not section:
+                raise ParseError("empty section name", line=lineno)
+            continue
+        if "=" not in line:
+            raise ParseError(f"expected 'key=value', got {line!r}", line=lineno)
+        key, _, value = line.partition("=")
+        key = key.strip()
+        if not key:
+            raise ParseError("empty key", line=lineno)
+        flat_key = f"{section}/{key}" if section else key
+        data[flat_key] = plaintext._parse_value(value.strip())
+    return data
+
+
+def dumps(data: dict[str, Any]) -> str:
+    """Render grouped by section, preserving first-seen section order."""
+    sections: dict[str, dict[str, Any]] = {}
+    for flat_key, value in data.items():
+        check_flat_value(flat_key, value)
+        if "/" in flat_key:
+            section, _, key = flat_key.rpartition("/")
+        else:
+            section, key = "", flat_key
+        if "=" in key or "[" in key:
+            raise ParseError(f"INI keys cannot contain '=' or '[': {key!r}")
+        sections.setdefault(section, {})[key] = value
+
+    chunks: list[str] = []
+    top = sections.pop("", None)
+    if top:
+        chunks.append(plaintext.dumps(top).rstrip("\n"))
+    for section, entries in sections.items():
+        body = plaintext.dumps(entries).rstrip("\n")
+        chunks.append(f"[{section}]\n{body}")
+    return "\n\n".join(chunks) + ("\n" if chunks else "")

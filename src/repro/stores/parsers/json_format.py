@@ -1,0 +1,29 @@
+"""JSON configuration files (e.g. Chrome's ``Preferences``).
+
+Nested objects are flattened to ``/``-joined canonical keys on load and
+rebuilt on dump.  Lists are kept as leaf values and must contain scalars
+only — nested structure inside lists is rejected, since a list element has
+no stable canonical key for the TTKV to track.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.exceptions import ParseError
+from repro.stores.parsers.common import flatten, unflatten
+
+
+def loads(text: str) -> dict[str, Any]:
+    try:
+        document = json.loads(text) if text.strip() else {}
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ParseError("top-level JSON value must be an object")
+    return flatten(document)
+
+
+def dumps(data: dict[str, Any]) -> str:
+    return json.dumps(unflatten(data), indent=2, sort_keys=False) + "\n"

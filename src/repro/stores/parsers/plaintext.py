@@ -1,0 +1,53 @@
+"""Flat ``key=value`` configuration files (the paper's "plain text" format).
+
+Lines are ``key = value``; ``#`` and ``;`` start comments; blank lines are
+ignored.  Lists are rendered comma-separated between square brackets.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ParseError
+from repro.stores.parsers.common import check_flat_value, coerce_scalar, render_scalar
+
+
+def loads(text: str) -> dict[str, Any]:
+    data: dict[str, Any] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("#", ";")):
+            continue
+        if "=" not in line:
+            raise ParseError(f"expected 'key=value', got {line!r}", line=lineno)
+        key, _, value = line.partition("=")
+        key = key.strip()
+        if not key:
+            raise ParseError("empty key", line=lineno)
+        data[key] = _parse_value(value.strip())
+    return data
+
+
+def _parse_value(token: str) -> Any:
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [coerce_scalar(part.strip()) for part in inner.split(",")]
+    return coerce_scalar(token)
+
+
+def dumps(data: dict[str, Any]) -> str:
+    lines = []
+    for key, value in data.items():
+        check_flat_value(key, value)
+        if "=" in key:
+            raise ParseError(f"plain-text keys cannot contain '=': {key!r}")
+        lines.append(f"{key}={_render_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, list):
+        return "[" + ", ".join(render_scalar(item) for item in value) + "]"
+    return render_scalar(value)

@@ -1,0 +1,139 @@
+"""PostScript-style key-value configuration files.
+
+Acrobat-family products store preferences in a PostScript-like syntax; the
+paper lists PostScript among the formats its file logger parses.  The
+emulated dialect is one definition per line::
+
+    /MenuBarVisible true def
+    /OpenInPlace false def
+    /RecentFiles [ (a.pdf) (b.pdf) ] def
+    /Title (Acrobat Reader) def
+    /Zoom 1.25 def
+
+Strings are parenthesised, numbers and booleans bare, lists bracketed.
+Keys keep hierarchical structure with ``/`` separators *inside* the name,
+e.g. ``/Toolbar/Find/Visible``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.exceptions import ParseError
+from repro.stores.parsers.common import check_flat_value
+
+_LINE_RE = re.compile(r"^/(?P<key>\S+)\s+(?P<value>.+?)\s+def$")
+_STRING_RE = re.compile(r"\((?P<body>(?:[^()\\]|\\.)*)\)")
+
+
+def loads(text: str) -> dict[str, Any]:
+    data: dict[str, Any] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("%"):
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise ParseError(f"expected '/Key value def', got {line!r}", line=lineno)
+        key = match.group("key")
+        data[key] = _parse_value(match.group("value"), lineno)
+    return data
+
+
+def _parse_value(token: str, lineno: int) -> Any:
+    token = token.strip()
+    if token.startswith("(") :
+        match = _STRING_RE.fullmatch(token)
+        if match is None:
+            raise ParseError(f"malformed string {token!r}", line=lineno)
+        return _unescape(match.group("body"))
+    if token.startswith("["):
+        if not token.endswith("]"):
+            raise ParseError(f"malformed array {token!r}", line=lineno)
+        return [
+            _parse_value(item, lineno)
+            for item in _split_array(token[1:-1], lineno)
+        ]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if token == "null":
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    raise ParseError(f"unrecognised token {token!r}", line=lineno)
+
+
+def _split_array(body: str, lineno: int) -> list[str]:
+    """Split array body into item tokens, respecting parenthesised strings."""
+    items: list[str] = []
+    i = 0
+    n = len(body)
+    while i < n:
+        ch = body[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "(":
+            depth = 0
+            j = i
+            while j < n:
+                if body[j] == "\\":
+                    j += 2
+                    continue
+                if body[j] == "(":
+                    depth += 1
+                elif body[j] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string in array", line=lineno)
+            items.append(body[i : j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and not body[j].isspace():
+                j += 1
+            items.append(body[i:j])
+            i = j
+    return items
+
+
+def _unescape(body: str) -> str:
+    return body.replace(r"\)", ")").replace(r"\(", "(").replace("\\\\", "\\")
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("(", r"\(").replace(")", r"\)")
+
+
+def dumps(data: dict[str, Any]) -> str:
+    lines = []
+    for key, value in data.items():
+        check_flat_value(key, value)
+        if any(ch.isspace() for ch in key):
+            raise ParseError(f"PostScript keys cannot contain whitespace: {key!r}")
+        lines.append(f"/{key} {_render_value(value)} def")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "null"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return f"({_escape(value)})"
+    return "[ " + " ".join(_render_value(item) for item in value) + " ]"

@@ -1,0 +1,133 @@
+"""XML configuration files.
+
+The emulated dialect covers what desktop-application config files use:
+
+* element hierarchy maps to ``/``-joined canonical keys;
+* leaf elements carry a ``type`` attribute (``string``/``int``/``float``/
+  ``bool``/``null``) and their text is the value;
+* list values are leaf elements containing repeated ``<li>`` children.
+
+Example::
+
+    <config>
+      <toolbar>
+        <visible type="bool">true</visible>
+        <buttons type="list"><li>home</li><li>find</li></buttons>
+      </toolbar>
+    </config>
+
+loads() -> ``{"toolbar/visible": True, "toolbar/buttons": ["home", "find"]}``
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any
+
+from repro.exceptions import ParseError
+from repro.stores.parsers.common import check_flat_value, coerce_scalar, render_scalar
+
+_ROOT_TAG = "config"
+
+
+def loads(text: str) -> dict[str, Any]:
+    if not text.strip():
+        return {}
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ParseError(f"invalid XML: {exc}") from exc
+    if root.tag != _ROOT_TAG:
+        raise ParseError(f"expected root element <{_ROOT_TAG}>, got <{root.tag}>")
+    data: dict[str, Any] = {}
+    for child in root:
+        _walk(child, "", data)
+    return data
+
+
+def _walk(element: ET.Element, prefix: str, data: dict[str, Any]) -> None:
+    key = f"{prefix}/{element.tag}" if prefix else element.tag
+    type_attr = element.get("type")
+    if type_attr is not None:
+        data[key] = _parse_leaf(element, type_attr, key)
+        return
+    children = list(element)
+    if not children:
+        # Untyped leaf: coerce the text like the key=value formats do.
+        data[key] = coerce_scalar((element.text or "").strip())
+        return
+    for child in children:
+        _walk(child, key, data)
+
+
+def _parse_leaf(element: ET.Element, type_attr: str, key: str) -> Any:
+    text = (element.text or "").strip()
+    if type_attr == "string":
+        return element.text or ""
+    if type_attr == "int":
+        try:
+            return int(text)
+        except ValueError:
+            raise ParseError(f"key {key!r}: bad int {text!r}") from None
+    if type_attr == "float":
+        try:
+            return float(text)
+        except ValueError:
+            raise ParseError(f"key {key!r}: bad float {text!r}") from None
+    if type_attr == "bool":
+        if text not in ("true", "false"):
+            raise ParseError(f"key {key!r}: bad bool {text!r}")
+        return text == "true"
+    if type_attr == "null":
+        return None
+    if type_attr == "list":
+        items = []
+        for child in element:
+            if child.tag != "li":
+                raise ParseError(f"key {key!r}: list children must be <li>")
+            items.append(coerce_scalar((child.text or "").strip()))
+        return items
+    raise ParseError(f"key {key!r}: unknown type {type_attr!r}")
+
+
+def dumps(data: dict[str, Any]) -> str:
+    root = ET.Element(_ROOT_TAG)
+    nodes: dict[str, ET.Element] = {"": root}
+    for flat_key, value in data.items():
+        check_flat_value(flat_key, value)
+        parts = flat_key.split("/")
+        prefix = ""
+        parent = root
+        for part in parts[:-1]:
+            prefix = f"{prefix}/{part}" if prefix else part
+            node = nodes.get(prefix)
+            if node is None:
+                node = ET.SubElement(parent, part)
+                nodes[prefix] = node
+            parent = node
+        leaf = ET.SubElement(parent, parts[-1])
+        _render_leaf(leaf, value)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode") + "\n"
+
+
+def _render_leaf(leaf: ET.Element, value: Any) -> None:
+    if isinstance(value, bool):
+        leaf.set("type", "bool")
+        leaf.text = "true" if value else "false"
+    elif isinstance(value, int):
+        leaf.set("type", "int")
+        leaf.text = str(value)
+    elif isinstance(value, float):
+        leaf.set("type", "float")
+        leaf.text = repr(value)
+    elif value is None:
+        leaf.set("type", "null")
+    elif isinstance(value, str):
+        leaf.set("type", "string")
+        leaf.text = value
+    else:  # list of scalars, validated by check_flat_value
+        leaf.set("type", "list")
+        for item in value:
+            li = ET.SubElement(leaf, "li")
+            li.text = render_scalar(item)

@@ -1,0 +1,174 @@
+"""Windows-registry emulator.
+
+Reproduces the structure the paper's registry logger observes: hives
+(``HKCU``, ``HKLM``, ...), backslash-separated key paths, named values with
+REG_* types, and the Win32-flavoured access API (``set_value`` /
+``query_value`` / ``delete_value`` / ``enum_values`` / ``enum_subkeys``).
+
+Canonical flat key names are ``<hive>\\<path>\\<value name>``, which is how
+the TTKV and the clustering pipeline identify registry settings.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.common.clock import SimClock
+from repro.exceptions import StoreError
+from repro.stores.base import ConfigStore
+
+HIVES = ("HKCU", "HKLM", "HKCR", "HKU", "HKCC")
+
+
+class RegistryType(enum.Enum):
+    """The registry value types applications commonly use."""
+
+    REG_SZ = "REG_SZ"
+    REG_EXPAND_SZ = "REG_EXPAND_SZ"
+    REG_DWORD = "REG_DWORD"
+    REG_QWORD = "REG_QWORD"
+    REG_BINARY = "REG_BINARY"
+    REG_MULTI_SZ = "REG_MULTI_SZ"
+
+    def validate(self, value: Any) -> None:
+        """Raise StoreError when ``value`` is not representable as this type."""
+        if self in (RegistryType.REG_SZ, RegistryType.REG_EXPAND_SZ):
+            ok = isinstance(value, str)
+        elif self in (RegistryType.REG_DWORD, RegistryType.REG_QWORD):
+            bits = 32 if self is RegistryType.REG_DWORD else 64
+            ok = (
+                isinstance(value, int)
+                and not isinstance(value, bool)
+                and 0 <= value < 2**bits
+            )
+        elif self is RegistryType.REG_BINARY:
+            # Binary payloads are modelled as hex strings to stay
+            # JSON-serialisable in the TTKV log.
+            ok = isinstance(value, str) and all(
+                c in "0123456789abcdefABCDEF" for c in value
+            )
+        else:  # REG_MULTI_SZ
+            ok = isinstance(value, list) and all(isinstance(s, str) for s in value)
+        if not ok:
+            raise StoreError(f"value {value!r} is not a valid {self.value}")
+
+
+def join_key(hive: str, path: str, name: str) -> str:
+    """Canonical flat key for a registry value.
+
+    >>> join_key("HKCU", "Software\\\\Word", "Max Display")
+    'HKCU\\\\Software\\\\Word\\\\Max Display'
+    """
+    _validate_hive(hive)
+    parts = [hive]
+    if path:
+        parts.append(path.strip("\\"))
+    parts.append(name)
+    return "\\".join(parts)
+
+
+def split_key(key: str) -> tuple[str, str, str]:
+    """Inverse of :func:`join_key`: (hive, path, value name)."""
+    parts = key.split("\\")
+    if len(parts) < 2:
+        raise StoreError(f"malformed registry key {key!r}")
+    hive, *middle, name = parts
+    _validate_hive(hive)
+    return hive, "\\".join(middle), name
+
+
+def _validate_hive(hive: str) -> None:
+    if hive not in HIVES:
+        raise StoreError(f"unknown registry hive {hive!r}")
+
+
+class RegistryStore(ConfigStore):
+    """Hierarchical registry with typed values over the flat base store.
+
+    The flat :class:`~repro.stores.base.ConfigStore` data holds canonical
+    keys; this class adds the registry-shaped API and a parallel type map.
+    """
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        super().__init__(clock=clock)
+        self._types: dict[str, RegistryType] = {}
+
+    # -- Win32-flavoured API ---------------------------------------------------
+
+    def set_value(
+        self,
+        hive: str,
+        path: str,
+        name: str,
+        value: Any,
+        reg_type: RegistryType = RegistryType.REG_SZ,
+    ) -> None:
+        """RegSetValueEx equivalent."""
+        reg_type.validate(value)
+        key = join_key(hive, path, name)
+        self._types[key] = reg_type
+        self.set(key, value)
+
+    def query_value(self, hive: str, path: str, name: str) -> Any:
+        """RegQueryValueEx equivalent; raises StoreError when absent."""
+        key = join_key(hive, path, name)
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            raise StoreError(f"registry value {key!r} does not exist")
+        return value
+
+    def delete_value(self, hive: str, path: str, name: str) -> None:
+        """RegDeleteValue equivalent (silent when absent, like the base)."""
+        key = join_key(hive, path, name)
+        self._types.pop(key, None)
+        self.delete(key)
+
+    def value_type(self, hive: str, path: str, name: str) -> RegistryType:
+        key = join_key(hive, path, name)
+        try:
+            return self._types[key]
+        except KeyError:
+            raise StoreError(f"registry value {key!r} does not exist") from None
+
+    def enum_values(self, hive: str, path: str) -> list[str]:
+        """Value names directly under ``hive\\path`` (observer-silent)."""
+        prefix = join_key(hive, path, "")
+        names = []
+        for key in self.keys():
+            if key.startswith(prefix):
+                rest = key[len(prefix):]
+                if rest and "\\" not in rest:
+                    names.append(rest)
+        return names
+
+    def enum_subkeys(self, hive: str, path: str) -> list[str]:
+        """Immediate sub-key names under ``hive\\path`` (observer-silent)."""
+        prefix = join_key(hive, path, "")
+        subkeys: list[str] = []
+        seen: set[str] = set()
+        for key in self.keys():
+            if key.startswith(prefix):
+                rest = key[len(prefix):]
+                if "\\" in rest:
+                    first = rest.split("\\", 1)[0]
+                    if first not in seen:
+                        seen.add(first)
+                        subkeys.append(first)
+        return subkeys
+
+    def delete_tree(self, hive: str, path: str) -> int:
+        """RegDeleteTree equivalent; returns the number of values removed."""
+        prefix = join_key(hive, path, "")
+        doomed = [key for key in self.keys() if key.startswith(prefix)]
+        for key in doomed:
+            self._types.pop(key, None)
+            self.delete(key)
+        return len(doomed)
+
+    def clone(self, clock: SimClock | None = None) -> "RegistryStore":
+        twin = super().clone(clock=clock)
+        assert isinstance(twin, RegistryStore)
+        twin._types = dict(self._types)
+        return twin

@@ -1,0 +1,18 @@
+"""Simulated user study (§VI-D, Fig. 4).
+
+The paper's 19-participant study cannot be rerun offline, so this package
+models the participants: per-error distributions for trial creation time,
+screenshot selection time, difficulty ratings and manual-fix behaviour
+(capped at 5 minutes, as the study protocol was).
+"""
+
+from repro.study.participants import Participant, make_participants
+from repro.study.user_study import StudyResult, run_user_study, STUDY_CASE_IDS
+
+__all__ = [
+    "Participant",
+    "make_participants",
+    "StudyResult",
+    "run_user_study",
+    "STUDY_CASE_IDS",
+]

@@ -1,0 +1,68 @@
+"""Participant models for the simulated user study.
+
+The paper's cohort: 2 faculty, 13 graduate students (4 departments), a
+system administrator, an administrative assistant and 2 software engineers;
+6 of 19 are non-technical.  Technical proficiency scales how fast a
+participant creates trials, scans screenshots and troubleshoots manually.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+ROLE_FACULTY = "faculty"
+ROLE_GRAD = "graduate student"
+ROLE_SYSADMIN = "system administrator"
+ROLE_ADMIN = "administrative assistant"
+ROLE_ENGINEER = "software engineer"
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One study participant."""
+
+    participant_id: int
+    role: str
+    technical: bool
+    #: multiplicative speed factor (lower = faster), ~1.0 for the median
+    speed: float
+    #: manual troubleshooting skill in [0, 1]
+    troubleshooting: float
+
+    def familiarity(self, rng: random.Random) -> int:
+        """Self-reported familiarity with an application (1-5)."""
+        base = 3 if self.technical else 2
+        return max(1, min(5, base + rng.randint(-1, 2)))
+
+
+_COHORT: tuple[tuple[str, bool], ...] = (
+    (ROLE_FACULTY, True),
+    (ROLE_FACULTY, True),
+    *[(ROLE_GRAD, True)] * 9,
+    *[(ROLE_GRAD, False)] * 4,
+    (ROLE_SYSADMIN, True),
+    (ROLE_ADMIN, False),
+    (ROLE_ENGINEER, True),
+    (ROLE_ENGINEER, False),
+)
+
+
+def make_participants(rng: random.Random) -> list[Participant]:
+    """The 19-person cohort with individually sampled speed/skill."""
+    participants = []
+    for index, (role, technical) in enumerate(_COHORT, start=1):
+        speed = rng.uniform(0.7, 1.3) * (1.0 if technical else 1.4)
+        troubleshooting = (
+            rng.uniform(0.5, 0.9) if technical else rng.uniform(0.1, 0.4)
+        )
+        participants.append(
+            Participant(
+                participant_id=index,
+                role=role,
+                technical=technical,
+                speed=speed,
+                troubleshooting=troubleshooting,
+            )
+        )
+    return participants

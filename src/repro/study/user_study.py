@@ -1,0 +1,175 @@
+"""The simulated user study (Fig. 4).
+
+Reproduces the protocol of §VI-D on errors #11, #13, #15 and #16:
+
+1. the participant creates the trial (time recorded, difficulty rated);
+2. the participant scans the screenshot gallery Ocasta produced and picks
+   the fixed one (time recorded, correctness recorded);
+3. the system is reset and the participant fixes the error manually, cut
+   off at 5 minutes.
+
+Ocasta time = trial creation + screenshot selection.  Calibration targets
+the paper's aggregate observations: trial creation rated "easiest" 74% of
+the time, screenshot selection 80%; manual fixing usually hits the cut-off
+except error #16, where most participants succeed quickly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors.cases import case_by_id
+from repro.study.participants import Participant, make_participants
+
+#: the four Table III errors the study used
+STUDY_CASE_IDS = (11, 13, 15, 16)
+
+MANUAL_CUTOFF_SECONDS = 300.0
+
+#: per-case calibration: (manual success probability for a median
+#: technical participant, manual base time in seconds, trial base time)
+_CASE_PARAMS: dict[int, tuple[float, float, float]] = {
+    11: (0.30, 210.0, 35.0),
+    13: (0.45, 180.0, 25.0),
+    15: (0.30, 220.0, 30.0),
+    16: (0.85, 90.0, 20.0),
+}
+
+#: seconds a participant spends judging one screenshot
+_PER_SCREENSHOT_SECONDS = 6.0
+
+
+@dataclass
+class CaseStudyResult:
+    """Aggregates for one error case across all participants."""
+
+    case_id: int
+    ocasta_times: list[float] = field(default_factory=list)
+    trial_times: list[float] = field(default_factory=list)
+    selection_times: list[float] = field(default_factory=list)
+    manual_times: list[float] = field(default_factory=list)
+    manual_fixed: int = 0
+    correct_selection: int = 0
+    trial_difficulty: list[int] = field(default_factory=list)
+    selection_difficulty: list[int] = field(default_factory=list)
+
+    @property
+    def avg_ocasta_time(self) -> float:
+        return sum(self.ocasta_times) / len(self.ocasta_times)
+
+    @property
+    def avg_manual_time(self) -> float:
+        return sum(self.manual_times) / len(self.manual_times)
+
+    @property
+    def manual_fix_rate(self) -> float:
+        return self.manual_fixed / len(self.manual_times)
+
+
+@dataclass
+class StudyResult:
+    """The whole study: per-case aggregates plus cohort-level ratings."""
+
+    cases: dict[int, CaseStudyResult]
+    participants: list[Participant]
+
+    def rating_distribution(self, which: str) -> dict[int, float]:
+        """Fraction of ratings at each difficulty level (1=easiest)."""
+        ratings: list[int] = []
+        for case in self.cases.values():
+            ratings.extend(
+                case.trial_difficulty if which == "trial" else case.selection_difficulty
+            )
+        total = len(ratings)
+        return {
+            level: sum(1 for r in ratings if r == level) / total
+            for level in range(1, 6)
+        }
+
+
+def _difficulty_from_time(seconds: float, easy_below: float, rng: random.Random) -> int:
+    """Map task duration to a 1-5 difficulty self-rating."""
+    ratio = seconds / easy_below
+    if ratio < 1.0:
+        return 1
+    if ratio < 1.6:
+        return 1 if rng.random() < 0.5 else 2
+    if ratio < 2.4:
+        return 2 if rng.random() < 0.7 else 3
+    return 3 if rng.random() < 0.8 else 4
+
+
+def run_user_study(
+    screenshots_per_case: dict[int, int] | None = None,
+    seed: int = 19,
+) -> StudyResult:
+    """Run the 19-participant simulation.
+
+    ``screenshots_per_case`` is how many unique screenshots Ocasta's search
+    produced for each error (from a Table IV run); defaults approximate
+    the paper's gallery sizes.
+    """
+    screenshots = {11: 1, 13: 2, 15: 2, 16: 4}
+    if screenshots_per_case:
+        screenshots.update(screenshots_per_case)
+    rng = random.Random(seed)
+    participants = make_participants(rng)
+    cases: dict[int, CaseStudyResult] = {
+        case_id: CaseStudyResult(case_id=case_id) for case_id in STUDY_CASE_IDS
+    }
+
+    for participant in participants:
+        for case_id in STUDY_CASE_IDS:
+            case_def = case_by_id(case_id)  # validates the id is real
+            manual_p, manual_base, trial_base = _CASE_PARAMS[case_id]
+            result = cases[case_id]
+
+            # 1. trial creation: a couple of UI actions, scaled by speed.
+            n_actions = len(case_def.trial_actions)
+            trial_time = (
+                trial_base
+                * (0.6 + 0.2 * n_actions)
+                * participant.speed
+                * rng.uniform(0.7, 1.6)
+            )
+            result.trial_times.append(trial_time)
+            result.trial_difficulty.append(
+                _difficulty_from_time(trial_time, easy_below=90.0, rng=rng)
+            )
+
+            # 2. screenshot selection from the de-duplicated gallery.
+            gallery = screenshots[case_id]
+            examined = rng.randint(max(1, gallery // 2), gallery)
+            selection_time = (
+                (8.0 + examined * _PER_SCREENSHOT_SECONDS)
+                * participant.speed
+                * rng.uniform(0.7, 1.4)
+            )
+            result.selection_times.append(selection_time)
+            result.selection_difficulty.append(
+                _difficulty_from_time(selection_time, easy_below=45.0, rng=rng)
+            )
+            # Selecting the wrong screenshot was rare in the paper.
+            correct = rng.random() < (0.97 if participant.technical else 0.92)
+            result.correct_selection += int(correct)
+
+            result.ocasta_times.append(trial_time + selection_time)
+
+            # 3. manual repair, cut off at 5 minutes.
+            success_p = min(
+                0.98, manual_p * (0.4 + participant.troubleshooting)
+            )
+            if rng.random() < success_p:
+                manual_time = min(
+                    MANUAL_CUTOFF_SECONDS,
+                    manual_base * participant.speed * rng.uniform(0.5, 1.8),
+                )
+                fixed = manual_time < MANUAL_CUTOFF_SECONDS
+            else:
+                manual_time = MANUAL_CUTOFF_SECONDS
+                fixed = False
+            result.manual_times.append(manual_time)
+            result.manual_fixed += int(fixed)
+
+    return StudyResult(cases=cases, participants=participants)

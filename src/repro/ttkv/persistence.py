@@ -1,0 +1,90 @@
+"""Append-only JSONL persistence for the TTKV.
+
+The on-disk format is one JSON object per line::
+
+    {"t": 12.0, "k": "apps/word/max_display", "op": "w", "v": 9}
+    {"t": 13.0, "k": "apps/word/item_9",      "op": "d"}
+    {"t": 13.0, "k": "apps/word/item_1",      "op": "r"}
+
+``op`` is ``w`` (write, with value ``v``), ``d`` (delete) or ``r`` (read).
+Values must be JSON-serialisable; the configuration stores only produce
+strings, numbers, booleans, ``None`` and lists/dicts thereof, which all are.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.exceptions import PersistenceError
+from repro.ttkv.store import TTKV
+
+
+def _iter_log_entries(store: TTKV) -> Iterable[dict]:
+    for timestamp, key, value in store.write_events():
+        from repro.ttkv.store import DELETED  # local to avoid cycle at import
+
+        if value is DELETED:
+            yield {"t": timestamp, "k": key, "op": "d"}
+        else:
+            yield {"t": timestamp, "k": key, "op": "w", "v": value}
+
+
+def save_ttkv(store: TTKV, path: str | Path) -> int:
+    """Write the store's modification log to ``path``; return entry count.
+
+    Read counts are not persisted: the clustering and repair algorithms only
+    consume modifications, and the paper's Redis TTKV likewise records reads
+    as counters rather than history.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        for entry in _iter_log_entries(store):
+            fh.write(json.dumps(entry, separators=(",", ":")))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def _parse_line(line: str, lineno: int) -> dict:
+    try:
+        entry = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"line {lineno}: invalid JSON: {exc}") from exc
+    if not isinstance(entry, dict):
+        raise PersistenceError(f"line {lineno}: expected object, got {type(entry).__name__}")
+    for field in ("t", "k", "op"):
+        if field not in entry:
+            raise PersistenceError(f"line {lineno}: missing field {field!r}")
+    if entry["op"] not in ("w", "d", "r"):
+        raise PersistenceError(f"line {lineno}: unknown op {entry['op']!r}")
+    if entry["op"] == "w" and "v" not in entry:
+        raise PersistenceError(f"line {lineno}: write entry missing value")
+    return entry
+
+
+def load_entries(source: TextIO) -> Iterable[dict]:
+    """Parse and validate log entries from an open text stream."""
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        yield _parse_line(line, lineno)
+
+
+def load_ttkv(path: str | Path) -> TTKV:
+    """Rebuild a TTKV by replaying the append-only log at ``path``."""
+    path = Path(path)
+    store = TTKV()
+    with path.open("r", encoding="utf-8") as fh:
+        for entry in load_entries(fh):
+            op = entry["op"]
+            if op == "w":
+                store.record_write(entry["k"], entry["v"], float(entry["t"]))
+            elif op == "d":
+                store.record_delete(entry["k"], float(entry["t"]))
+            else:
+                store.record_read(entry["k"], float(entry["t"]))
+    return store

@@ -1,0 +1,106 @@
+"""Point-in-time views of a TTKV and rollback plans.
+
+The repair tool rolls back *an entire cluster of configuration settings at a
+time* to a historical point.  A :class:`RollbackPlan` is the materialised
+set of per-key assignments (value, deletion or removal) that brings a live
+configuration store to the state the TTKV records for a chosen timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.exceptions import KeyNotTrackedError
+from repro.ttkv.store import DELETED, MISSING, TTKV
+
+
+class SnapshotView(Mapping[str, Any]):
+    """Read-only mapping of key -> live value as of a fixed timestamp.
+
+    Keys that were missing or deleted at the snapshot time are absent from
+    the mapping, so iteration yields exactly the keys that were live.
+    """
+
+    def __init__(self, store: TTKV, timestamp: float) -> None:
+        self._store = store
+        self._timestamp = timestamp
+
+    @property
+    def timestamp(self) -> float:
+        return self._timestamp
+
+    def __getitem__(self, key: str) -> Any:
+        value = self._store.value_at(key, self._timestamp)
+        if value is MISSING or value is DELETED:
+            raise KeyError(key)
+        return value
+
+    def __iter__(self) -> Iterator[str]:
+        for key in self._store.keys():
+            value = self._store.value_at(key, self._timestamp)
+            if value is not MISSING and value is not DELETED:
+                yield key
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def state_of(self, key: str) -> Any:
+        """Like ``[]`` but returns the MISSING/DELETED sentinels instead of
+        raising, for callers that need to distinguish the two."""
+        return self._store.value_at(key, self._timestamp)
+
+
+@dataclass(frozen=True)
+class RollbackPlan:
+    """Assignments restoring a set of keys to a historical state.
+
+    ``assignments`` maps each key to either a plain value (write it), the
+    :data:`DELETED` sentinel (delete it from the live store) or the
+    :data:`MISSING` sentinel (the key did not exist yet; delete it too).
+    """
+
+    timestamp: float
+    assignments: dict[str, Any]
+
+    def keys(self) -> list[str]:
+        return list(self.assignments)
+
+    def apply_to(self, store: "_WritableStore") -> None:
+        """Apply the plan to any object exposing ``set``/``delete``."""
+        for key, value in self.assignments.items():
+            if value is DELETED or value is MISSING:
+                store.delete(key)
+            else:
+                store.set(key, value)
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+
+class _WritableStore:
+    """Structural protocol for :meth:`RollbackPlan.apply_to` targets."""
+
+    def set(self, key: str, value: Any) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+def rollback_plan(
+    store: TTKV, keys: Iterable[str], timestamp: float
+) -> RollbackPlan:
+    """Build the plan restoring ``keys`` to their state at ``timestamp``.
+
+    Raises
+    ------
+    KeyNotTrackedError
+        If any requested key has no history in the store at all.
+    """
+    assignments: dict[str, Any] = {}
+    for key in keys:
+        if key not in store:
+            raise KeyNotTrackedError(key)
+        assignments[key] = store.value_at(key, timestamp)
+    return RollbackPlan(timestamp=timestamp, assignments=assignments)

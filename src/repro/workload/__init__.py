@@ -1,0 +1,25 @@
+"""Synthetic workload generation.
+
+The paper deploys loggers on 29 desktop machines used by real people for
+18–84 days (Table I).  This package replaces the deployment with a seeded
+stochastic user model driving the simulated applications, producing traces
+whose summary statistics land in the ranges Table I reports and whose
+dynamics exercise the same clustering signal and failure modes.
+"""
+
+from repro.workload.machines import MachineProfile, PROFILES, profile_by_name
+from repro.workload.user_model import UserModel, UserBehaviour
+from repro.workload.tracegen import GeneratedTrace, generate_trace
+from repro.workload.trace import TraceStats, compute_stats
+
+__all__ = [
+    "MachineProfile",
+    "PROFILES",
+    "profile_by_name",
+    "UserModel",
+    "UserBehaviour",
+    "GeneratedTrace",
+    "generate_trace",
+    "TraceStats",
+    "compute_stats",
+]

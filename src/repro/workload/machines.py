@@ -1,0 +1,132 @@
+"""Machine/trace profiles mirroring Table I of the paper.
+
+Each profile describes one deployment: platform, length in days, the
+applications in use, and activity rates tuned so the generated trace's
+summary statistics (reads, writes, key counts, TTKV size) land in the same
+ranges as the paper's measured traces.  The Linux profiles are per-user
+aggregations, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+PLATFORM_WINDOWS = "windows"
+PLATFORM_LINUX = "linux"
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """One row of Table I, as generation parameters.
+
+    ``noise_keys`` is the pool of non-application system keys (services,
+    other software) that pad the trace's key count up to Table I's #Keys;
+    ``noise_writes_per_day`` drives the write volume those keys see;
+    ``reads_per_day`` is bulk-accounted read traffic.
+    """
+
+    name: str
+    platform: str
+    days: int
+    apps: tuple[str, ...]
+    sessions_per_day: float
+    actions_per_session: int
+    pref_edits_per_day: float
+    noise_keys: int
+    noise_writes_per_day: int
+    reads_per_day: int
+    software_update_prob_per_day: float = 0.02
+    seed: int = 0
+    # Paper-reported values, kept for side-by-side reporting only.
+    paper_reads: str = ""
+    paper_writes: str = ""
+    paper_keys: int = 0
+    paper_size: str = ""
+    extras: dict = field(default_factory=dict, compare=False)
+
+
+_WINDOWS_APPS = (
+    "MS Outlook",
+    "Internet Explorer",
+    "MS Word",
+    "MS Paint",
+    "Explorer",
+    "Windows Media Player",
+)
+
+PROFILES: tuple[MachineProfile, ...] = (
+    MachineProfile(
+        name="Windows 7", platform=PLATFORM_WINDOWS, days=42,
+        apps=_WINDOWS_APPS, sessions_per_day=5, actions_per_session=12,
+        pref_edits_per_day=1.5, noise_keys=3500, noise_writes_per_day=1500,
+        reads_per_day=161_000, seed=71,
+        paper_reads="6.76M", paper_writes="67.72K", paper_keys=4611, paper_size="85MB",
+    ),
+    MachineProfile(
+        name="Windows Vista", platform=PLATFORM_WINDOWS, days=53,
+        apps=_WINDOWS_APPS, sessions_per_day=3, actions_per_session=8,
+        pref_edits_per_day=0.8, noise_keys=13_600, noise_writes_per_day=330,
+        reads_per_day=65_000, seed=72,
+        paper_reads="3.46M", paper_writes="20.5K", paper_keys=14_673, paper_size="29MB",
+    ),
+    MachineProfile(
+        name="Windows Vista-2", platform=PLATFORM_WINDOWS, days=18,
+        apps=("Internet Explorer", "Explorer", "Windows Media Player"),
+        sessions_per_day=8, actions_per_session=20,
+        pref_edits_per_day=2.0, noise_keys=620, noise_writes_per_day=12_300,
+        reads_per_day=838_000, seed=73,
+        paper_reads="15.08M", paper_writes="224.64K", paper_keys=1123, paper_size="6.3MB",
+    ),
+    MachineProfile(
+        name="Windows XP", platform=PLATFORM_WINDOWS, days=25,
+        apps=_WINDOWS_APPS, sessions_per_day=7, actions_per_session=18,
+        pref_edits_per_day=2.5, noise_keys=13_600, noise_writes_per_day=12_300,
+        reads_per_day=912_000, seed=74,
+        paper_reads="22.80M", paper_writes="311.9K", paper_keys=14_667, paper_size="24MB",
+    ),
+    MachineProfile(
+        name="Windows XP-2", platform=PLATFORM_WINDOWS, days=32,
+        apps=_WINDOWS_APPS, sessions_per_day=7, actions_per_session=16,
+        pref_edits_per_day=2.0, noise_keys=18_400, noise_writes_per_day=8_300,
+        reads_per_day=836_000, seed=75,
+        paper_reads="26.76M", paper_writes="268.96K", paper_keys=19_501, paper_size="46MB",
+    ),
+    MachineProfile(
+        name="Linux-1", platform=PLATFORM_LINUX, days=25,
+        apps=("Evolution Mail", "Eye of GNOME", "GNOME Edit"),
+        sessions_per_day=4, actions_per_session=10,
+        pref_edits_per_day=2.5, noise_keys=1400, noise_writes_per_day=100,
+        reads_per_day=3_660, seed=81,
+        paper_reads="91.52K", paper_writes="3.34K", paper_keys=1660, paper_size="6MB",
+    ),
+    MachineProfile(
+        name="Linux-2", platform=PLATFORM_LINUX, days=84,
+        apps=("Chrome Browser",), sessions_per_day=0.8, actions_per_session=6,
+        pref_edits_per_day=0.15, noise_keys=0, noise_writes_per_day=2,
+        reads_per_day=97, seed=82,
+        paper_reads="8.15K", paper_writes="0.48K", paper_keys=35, paper_size="0.1MB",
+    ),
+    MachineProfile(
+        name="Linux-3", platform=PLATFORM_LINUX, days=46,
+        apps=("Acrobat Reader",), sessions_per_day=0.6, actions_per_session=6,
+        pref_edits_per_day=0.12, noise_keys=0, noise_writes_per_day=2,
+        reads_per_day=1_140, seed=83,
+        paper_reads="52.41K", paper_writes="0.44K", paper_keys=706, paper_size="0.7MB",
+    ),
+    MachineProfile(
+        name="Linux-4", platform=PLATFORM_LINUX, days=64,
+        apps=("Acrobat Reader",), sessions_per_day=2.5, actions_per_session=14,
+        pref_edits_per_day=0.8, noise_keys=0, noise_writes_per_day=25,
+        reads_per_day=7_900, seed=84,
+        paper_reads="507.07K", paper_writes="5.43K", paper_keys=751, paper_size="6.4MB",
+    ),
+)
+
+
+def profile_by_name(name: str) -> MachineProfile:
+    for profile in PROFILES:
+        if profile.name == name:
+            return profile
+    raise ValueError(
+        f"unknown machine profile {name!r}; known: {[p.name for p in PROFILES]}"
+    )

@@ -1,0 +1,54 @@
+"""Trace summary statistics (Table I's columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.format import SECONDS_PER_DAY, format_bytes, format_si
+from repro.ttkv.store import TTKV
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one trace, in Table I's shape."""
+
+    name: str
+    days: float
+    reads: int
+    writes: int
+    keys: int
+    ttkv_size_bytes: int
+
+    def row(self) -> list[str]:
+        """Formatted Table I row: Name, Days, Reads, Writes, #Keys, Size."""
+        return [
+            self.name,
+            f"{self.days:.0f}",
+            format_si(self.reads),
+            format_si(self.writes),
+            f"{self.keys:,}",
+            format_bytes(self.ttkv_size_bytes),
+        ]
+
+
+def compute_stats(name: str, ttkv: TTKV, days: float | None = None) -> TraceStats:
+    """Compute Table I statistics from a TTKV.
+
+    ``days`` defaults to the span of recorded modifications.  "Writes" in
+    Table I counts modifications (writes + deletions), matching what the
+    paper's logger records as write traffic.
+    """
+    if days is None:
+        try:
+            start, end = ttkv.span()
+            days = max(1.0, (end - start) / SECONDS_PER_DAY)
+        except Exception:
+            days = 0.0
+    return TraceStats(
+        name=name,
+        days=days,
+        reads=ttkv.total_reads(),
+        writes=ttkv.total_writes() + ttkv.total_deletes(),
+        keys=len(ttkv),
+        ttkv_size_bytes=ttkv.estimated_size_bytes(),
+    )

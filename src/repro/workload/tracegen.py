@@ -1,0 +1,244 @@
+"""Multi-day trace generation for one machine profile.
+
+Ties together the simulated applications, the loggers, the user model and
+a background "system noise" generator into a single TTKV trace whose
+statistics mirror one row of Table I.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.apps.base import SimulatedApplication
+from repro.apps.catalog import create_app
+from repro.common.clock import SimClock
+from repro.common.format import SECONDS_PER_DAY, quantize_timestamp
+from repro.loggers.base import Logger, TIMESTAMP_PRECISION
+from repro.workload.machines import MachineProfile, PLATFORM_WINDOWS
+from repro.workload.user_model import UserModel
+from repro.ttkv.store import TTKV
+
+
+@dataclass
+class GeneratedTrace:
+    """A generated deployment trace: the TTKV plus the live environment."""
+
+    profile: MachineProfile
+    ttkv: TTKV
+    apps: dict[str, SimulatedApplication]
+    loggers: dict[str, Logger]
+    clock: SimClock
+    days: float
+    noise_key_names: list[str] = field(default_factory=list)
+
+    @property
+    def end_time(self) -> float:
+        return self.days * SECONDS_PER_DAY
+
+    def app(self, name: str) -> SimulatedApplication:
+        return self.apps[name]
+
+
+def _noise_key_name(platform: str, index: int) -> str:
+    if platform == PLATFORM_WINDOWS:
+        service = index % 37
+        return (
+            f"HKLM\\System\\CurrentControlSet\\Services\\svc{service:02d}"
+            f"\\Parameters\\Value{index}"
+        )
+    return f"/system/daemons/daemon{index % 23}/state/value{index}"
+
+
+def generate_trace(
+    profile: MachineProfile,
+    days: float | None = None,
+    precision: float = TIMESTAMP_PRECISION,
+    scale: float = 1.0,
+    seed: int | None = None,
+) -> GeneratedTrace:
+    """Generate a trace for ``profile``.
+
+    Parameters
+    ----------
+    days:
+        Override the profile's deployment length (shorter = faster tests).
+    precision:
+        Logger timestamp quantisation; 1.0 reproduces the paper's
+        collector, 0 keeps exact times (for the Fig. 3a artifact analysis).
+    scale:
+        Multiplies activity volume (sessions, noise writes, reads).  Use
+        <1 for quick tests.
+    seed:
+        Override the profile's RNG seed.
+    """
+    if days is None:
+        days = float(profile.days)
+    if days <= 0:
+        raise ValueError("trace length must be positive")
+    if not 0 < scale <= 10:
+        raise ValueError("scale must be in (0, 10]")
+
+    rng = random.Random(seed if seed is not None else profile.seed)
+    clock = SimClock(0.0)
+    ttkv = TTKV()
+
+    apps: dict[str, SimulatedApplication] = {}
+    loggers: dict[str, Logger] = {}
+    users: dict[str, UserModel] = {}
+    for app_name in profile.apps:
+        app = create_app(app_name, clock=clock)
+        apps[app_name] = app
+        loggers[app_name] = app.attach_logger(ttkv, precision=precision)
+        users[app_name] = UserModel(app, rng)
+
+    noise_keys = [
+        _noise_key_name(profile.platform, i) for i in range(profile.noise_keys)
+    ]
+
+    sessions_per_day = profile.sessions_per_day * scale
+    noise_writes_per_day = int(profile.noise_writes_per_day * scale)
+    reads_per_day = int(profile.reads_per_day * scale)
+
+    for day in range(int(days)):
+        day_start = day * SECONDS_PER_DAY
+        _advance_to(clock, day_start + rng.uniform(6, 10) * 3600)
+
+        # -- interactive sessions -------------------------------------------
+        n_sessions = _poisson(rng, sessions_per_day)
+        for _ in range(n_sessions):
+            app_name = rng.choice(profile.apps)
+            _advance_to(clock, clock.now() + rng.uniform(120, 5400))
+            if clock.now() >= day_start + SECONDS_PER_DAY:
+                break
+            users[app_name].run_session(profile.actions_per_session)
+
+        # -- preference edits -----------------------------------------------
+        n_edits = _poisson(rng, profile.pref_edits_per_day * scale)
+        for _ in range(n_edits):
+            app_name = rng.choice(profile.apps)
+            _advance_to(clock, clock.now() + rng.uniform(60, 3600))
+            users[app_name].edit_preferences()
+
+        # -- software updates (oversized-cluster source #2) ------------------
+        for app_name in profile.apps:
+            if rng.random() < profile.software_update_prob_per_day:
+                _advance_to(clock, clock.now() + rng.uniform(30, 600))
+                apps[app_name].software_update(rng, breadth=rng.randint(5, 20))
+
+        # -- background system noise ----------------------------------------
+        _generate_noise(
+            ttkv, rng, noise_keys, noise_writes_per_day,
+            day_start, precision,
+        )
+        _generate_bulk_reads(ttkv, rng, apps, noise_keys, reads_per_day)
+
+        # park the clock at end of day so the next day starts cleanly
+        if clock.now() < day_start + SECONDS_PER_DAY:
+            _advance_to(clock, day_start + SECONDS_PER_DAY)
+
+    return GeneratedTrace(
+        profile=profile,
+        ttkv=ttkv,
+        apps=apps,
+        loggers=loggers,
+        clock=clock,
+        days=days,
+        noise_key_names=noise_keys,
+    )
+
+
+def _advance_to(clock: SimClock, target: float) -> None:
+    if target > clock.now():
+        clock.advance(target - clock.now())
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Small-mean Poisson sample (Knuth's method)."""
+    if mean <= 0:
+        return 0
+    import math
+
+    threshold = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def _generate_noise(
+    ttkv: TTKV,
+    rng: random.Random,
+    noise_keys: list[str],
+    writes: int,
+    day_start: float,
+    precision: float,
+) -> None:
+    """System-service key writes, recorded directly into the TTKV.
+
+    These bypass the application emulators (the paper's logger sees all
+    processes, most of which we do not model one by one); they are spread
+    over the day and heavily skewed toward a hot subset of keys, like real
+    service churn.  Timestamps are pre-sorted because TTKV appends must be
+    monotonic per key — one sorted pass keeps the whole-day batch valid.
+    """
+    if not noise_keys or writes <= 0:
+        return
+    hot = noise_keys[: max(1, len(noise_keys) // 20)]
+    times = sorted(rng.uniform(0, SECONDS_PER_DAY) for _ in range(writes))
+    for offset in times:
+        key = rng.choice(hot) if rng.random() < 0.8 else rng.choice(noise_keys)
+        timestamp = quantize_timestamp(day_start + offset, precision)
+        ttkv.record_write(key, rng.randint(0, 1 << 16), timestamp)
+
+
+def _generate_bulk_reads(
+    ttkv: TTKV,
+    rng: random.Random,
+    apps: dict[str, SimulatedApplication],
+    noise_keys: list[str],
+    reads: int,
+) -> None:
+    """Bulk-account the day's read traffic (Table I's Reads column)."""
+    if reads <= 0:
+        return
+    # ~30% of reads hit application settings, the rest system keys; when a
+    # profile has no modelled system keys, applications take all of it.
+    app_reads = int(reads * 0.3) if noise_keys else reads
+    noise_reads = reads - app_reads
+    all_app_keys = [
+        app.canonical_key(name)
+        for app in apps.values()
+        for name in app.schema.names()
+    ]
+    if all_app_keys:
+        _spread_reads(ttkv, rng, all_app_keys, app_reads)
+    if noise_keys and noise_reads > 0:
+        sample = rng.sample(noise_keys, k=min(len(noise_keys), 200))
+        _spread_reads(ttkv, rng, sample, noise_reads)
+
+
+def _spread_reads(
+    ttkv: TTKV, rng: random.Random, keys: list[str], total: int
+) -> None:
+    """Distribute ``total`` reads over ``keys``, preserving the total.
+
+    Per-key counts get ±30% jitter; the running remainder is carried so
+    the day's total stays on target (Table I's read volumes are the point
+    of this accounting).
+    """
+    if total <= 0 or not keys:
+        return
+    base = total / len(keys)
+    assigned = 0
+    for index, key in enumerate(keys):
+        if index == len(keys) - 1:
+            count = total - assigned
+        else:
+            count = int(base * rng.uniform(0.7, 1.3))
+        count = max(0, min(count, total - assigned))
+        if count:
+            ttkv.record_reads(key, count)
+            assigned += count

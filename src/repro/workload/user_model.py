@@ -1,0 +1,83 @@
+"""The stochastic user model.
+
+Drives one application through a session the way the paper's traced users
+did: launch (a burst of reads), ordinary activity (MRU churn, state-key
+writes, legal partial group updates), and occasional preference edits.
+Preference edits are where the clustering signal comes from: a coherent
+dependency-group update writes its members within milliseconds of each
+other, while *bursty* users apply several preference pages at once and
+collide unrelated groups inside the collector's 1-second timestamp
+granularity — the paper's main source of oversized clusters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apps.base import SimulatedApplication
+from repro.common.clock import SimClock
+
+
+@dataclass(frozen=True)
+class UserBehaviour:
+    """Tunable behaviour of the simulated user."""
+
+    think_time_range: tuple[float, float] = (2.0, 45.0)
+    document_open_prob: float = 0.35
+    partial_update_prob: float = 0.15
+    burst_gap_range: tuple[float, float] = (0.05, 0.6)
+    documents: tuple[str, ...] = (
+        "report.doc", "notes.txt", "thesis.pdf", "budget.xls",
+        "photo.png", "clip.avi", "draft.doc", "paper.pdf",
+    )
+
+
+class UserModel:
+    """Replays user sessions against one application."""
+
+    def __init__(
+        self,
+        app: SimulatedApplication,
+        rng: random.Random,
+        behaviour: UserBehaviour | None = None,
+    ) -> None:
+        self.app = app
+        self.rng = rng
+        self.behaviour = behaviour if behaviour is not None else UserBehaviour()
+
+    @property
+    def clock(self) -> SimClock:
+        return self.app.clock
+
+    def _think(self) -> None:
+        self.clock.advance(self.rng.uniform(*self.behaviour.think_time_range))
+
+    def run_session(self, actions: int) -> None:
+        """One usage session: launch, then ``actions`` activity steps."""
+        self.app.launch()
+        for _ in range(max(1, actions)):
+            self._think()
+            roll = self.rng.random()
+            if roll < self.behaviour.document_open_prob:
+                self.app.open_document(self.rng.choice(self.behaviour.documents))
+            elif roll < self.behaviour.document_open_prob + self.behaviour.partial_update_prob:
+                self.app.partial_group_update(self.rng)
+            else:
+                self.app.activity(self.rng, intensity=self.rng.randint(1, 3))
+        self.app.close_document()
+
+    def edit_preferences(self) -> None:
+        """A visit to the preferences dialog.
+
+        With probability ``app.pref_burst_prob`` the user applies more than
+        one preference change nearly simultaneously (several dialog pages
+        committed by one OK click) — unrelated groups then land within the
+        same quantised second.
+        """
+        self._think()
+        self.app.change_preference(self.rng)
+        burst_prob = getattr(self.app, "pref_burst_prob", 0.1)
+        while self.rng.random() < burst_prob:
+            self.clock.advance(self.rng.uniform(*self.behaviour.burst_gap_range))
+            self.app.change_preference(self.rng)

@@ -1,0 +1,80 @@
+"""Tests for the summary-statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    SizeDistribution,
+    TrialSummary,
+    cluster_size_distribution,
+    mean,
+    percentile,
+)
+from repro.core.cluster_model import ClusterSet
+
+
+def _cluster_set(*sizes):
+    key_sets = []
+    counter = 0
+    for size in sizes:
+        key_sets.append(frozenset(f"k{counter + i}" for i in range(size)))
+        counter += size
+    return ClusterSet.from_key_sets(key_sets, window=1.0, correlation_threshold=2.0)
+
+
+class TestSizeDistribution:
+    def test_histogram(self):
+        dist = cluster_size_distribution(_cluster_set(1, 1, 2, 3, 3))
+        assert dist.histogram == {1: 2, 2: 1, 3: 2}
+        assert dist.total_clusters == 5
+        assert dist.multi_clusters == 3
+        assert dist.max_size == 3
+
+    def test_mean_multi_size(self):
+        dist = cluster_size_distribution(_cluster_set(1, 2, 4))
+        assert dist.mean_multi_size == 3.0
+
+    def test_all_singletons(self):
+        dist = cluster_size_distribution(_cluster_set(1, 1))
+        assert dist.multi_clusters == 0
+        assert dist.mean_multi_size == 0.0
+        assert dist.fraction_multi() == 0.0
+
+    def test_empty(self):
+        dist = cluster_size_distribution(_cluster_set())
+        assert dist.total_clusters == 0
+        assert dist.max_size == 0
+        assert dist.fraction_multi() == 0.0
+
+
+class TestMeanPercentile:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_percentile_median(self):
+        # nearest-rank on an even count picks the upper-middle element
+        assert percentile([4, 1, 3, 2], 0.5) == 3
+        assert percentile([3, 1, 2], 0.5) == 2
+
+    def test_percentile_extremes(self):
+        values = [10, 20, 30]
+        assert percentile(values, 0.0) == 10
+        assert percentile(values, 1.0) == 30
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestTrialSummary:
+    def test_from_trials(self):
+        summary = TrialSummary.from_trials([2, 8, 4, 60])
+        assert summary.count == 4
+        assert summary.mean_trials == 18.5
+        assert summary.worst_trials == 60
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrialSummary.from_trials([])

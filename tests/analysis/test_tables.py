@@ -1,0 +1,46 @@
+"""Tests for the ASCII table renderers."""
+
+import pytest
+
+from repro.analysis.tables import ascii_table, format_percent, series_table
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        text = ascii_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "a   | bb"
+        assert lines[2] == "1   | 22"
+        assert lines[3] == "333 | 4"
+
+    def test_title(self):
+        text = ascii_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = ascii_table(["col"], [])
+        assert "col" in text
+
+
+class TestSeriesTable:
+    def test_series_columns(self):
+        text = series_table("x", [1, 2], {"DFS": [3, 4], "BFS": [5, 6]})
+        assert "DFS" in text and "BFS" in text
+        assert "3" in text and "6" in text
+
+    def test_floats_rounded(self):
+        text = series_table("x", [1], {"s": [3.14159]})
+        assert "3.14" in text
+        assert "3.1416" not in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            series_table("x", [1, 2], {"s": [1]})
+
+
+class TestFormatPercent:
+    def test_value(self):
+        assert format_percent(0.886) == "88.6%"
+
+    def test_none_is_na(self):
+        assert format_percent(None) == "N/A"

@@ -1,0 +1,218 @@
+"""Tests for the SimulatedApplication base behaviour."""
+
+import pytest
+
+from repro.apps.base import STORE_FILE, STORE_GCONF, STORE_REGISTRY
+from repro.apps.catalog import create_app
+from repro.exceptions import SchemaError, UnknownActionError
+from repro.ttkv.store import TTKV
+
+
+class TestKeyNaming:
+    def test_registry_canonical(self, word_app):
+        key = word_app.canonical_key("Options/MaxDisplay")
+        assert key == "HKCU\\Software\\Microsoft\\Office\\Word\\Options\\MaxDisplay"
+
+    def test_gconf_canonical(self, evolution_app):
+        assert (
+            evolution_app.canonical_key("mail/mark_seen")
+            == "/apps/evolution/mail/mark_seen"
+        )
+
+    def test_file_canonical(self, chrome_app):
+        key = chrome_app.canonical_key("bookmark_bar/show_on_all_tabs")
+        assert key.endswith("Preferences:bookmark_bar/show_on_all_tabs")
+
+    @pytest.mark.parametrize(
+        "app_name", ["MS Word", "Evolution Mail", "Chrome Browser"]
+    )
+    def test_roundtrip(self, app_name):
+        app = create_app(app_name)
+        for setting in list(app.schema.names())[:10]:
+            assert app.setting_name(app.canonical_key(setting)) == setting
+
+    def test_foreign_key_rejected(self, word_app):
+        with pytest.raises(SchemaError):
+            word_app.setting_name("/apps/evolution/mail/mark_seen")
+
+    def test_key_prefix_selects_own_keys(self, word_app, evolution_app):
+        word_key = word_app.canonical_key("Options/MaxDisplay")
+        assert word_key.startswith(word_app.key_prefix)
+        assert not word_key.startswith(evolution_app.key_prefix)
+
+
+class TestConfigAccess:
+    def test_defaults_installed_silently(self, word_app):
+        assert word_app.value("Options/MaxDisplay") == 9
+
+    def test_value_is_observer_silent(self, word_app):
+        seen = []
+        word_app.store.subscribe(seen.append)
+        word_app.value("Options/MaxDisplay")
+        assert seen == []
+
+    def test_read_setting_is_logged(self, word_app):
+        seen = []
+        word_app.store.subscribe(seen.append)
+        word_app.read_setting("Options/MaxDisplay")
+        assert len(seen) == 1
+
+    def test_writes_advance_clock(self, word_app):
+        before = word_app.clock.now()
+        word_app.user_set("Options/MaxDisplay", 5)
+        assert word_app.clock.now() > before
+
+    def test_ground_truth_groups_canonical(self, word_app):
+        groups = word_app.canonical_ground_truth_groups()
+        flattened = {k for g in groups for k in g}
+        assert all(k.startswith(word_app.key_prefix) for k in flattened)
+
+
+class TestActions:
+    def test_unknown_action_raises(self, word_app):
+        with pytest.raises(UnknownActionError):
+            word_app.perform("teleport")
+
+    def test_launch_resets_session_and_reads_all(self, word_app):
+        ttkv = TTKV()
+        word_app.attach_logger(ttkv)
+        word_app.open_document("x.doc")
+        word_app.perform("launch")
+        assert ttkv.total_reads() == len(word_app.schema)
+        assert not word_app.render().has_element("document")
+
+    def test_open_document_feeds_mru(self, word_app):
+        word_app.open_document("report.doc")
+        group = word_app.schema.group("RecentDocuments")
+        assert group.current_items(word_app)[0] == "report.doc"
+
+    def test_action_names_sorted(self, word_app):
+        names = word_app.action_names()
+        assert "launch" in names
+        assert names == sorted(names)
+
+
+class TestLoggerAttachment:
+    @pytest.mark.parametrize(
+        "app_name,kind",
+        [
+            ("MS Word", STORE_REGISTRY),
+            ("Evolution Mail", STORE_GCONF),
+            ("Chrome Browser", STORE_FILE),
+        ],
+    )
+    def test_attach_right_flavour(self, app_name, kind):
+        app = create_app(app_name)
+        assert app.store_kind == kind
+        ttkv = TTKV()
+        app.attach_logger(ttkv)
+        first = app.schema.names()[0]
+        app.user_set(first, app.spec(first).domain.sample(__import__("random").Random(0)))
+        assert ttkv.total_writes() >= 1
+        recorded = ttkv.keys()[0]
+        assert recorded.startswith(app.key_prefix)
+
+
+class TestRendering:
+    def test_screenshot_is_hashable_and_stable(self, chrome_app):
+        a = chrome_app.render()
+        b = chrome_app.render()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_screenshot_changes_with_visible_setting(self, chrome_app):
+        before = chrome_app.render()
+        chrome_app.user_set("bookmark_bar/show_on_all_tabs", False)
+        assert chrome_app.render() != before
+
+    def test_element_lookup(self, chrome_app):
+        shot = chrome_app.render()
+        assert shot.element("bookmark_bar") == "shown"
+        with pytest.raises(KeyError):
+            shot.element("nonexistent")
+
+
+class TestSandboxClone:
+    def test_clone_store_isolated(self, chrome_app):
+        twin = chrome_app.clone_sandboxed()
+        twin.user_set("bookmark_bar/show_on_all_tabs", False)
+        assert chrome_app.value("bookmark_bar/show_on_all_tabs") is True
+
+    def test_clone_session_isolated(self, chrome_app):
+        chrome_app.open_document("a.pdf")
+        twin = chrome_app.clone_sandboxed()
+        twin.close_document()
+        assert chrome_app.render().has_element("document")
+
+    def test_clone_actions_rebound(self, chrome_app):
+        twin = chrome_app.clone_sandboxed()
+        twin.perform("browse", url="wiki.site")
+        assert not chrome_app.render().has_element("page")
+        assert twin.render().element("page") == "wiki.site"
+
+    def test_clone_has_no_logger(self, chrome_app):
+        ttkv = TTKV()
+        chrome_app.attach_logger(ttkv)
+        twin = chrome_app.clone_sandboxed()
+        twin.user_set("bookmark_bar/show_on_all_tabs", False)
+        assert ttkv.total_writes() == 0
+
+
+class TestWorkloadVerbs:
+    def test_change_preference_writes_config(self, word_app, rng):
+        events = []
+        word_app.store.subscribe(events.append)
+        word_app.change_preference(rng)
+        assert events
+
+    def test_software_update_writes_settings(self, word_app, rng):
+        events = []
+        word_app.store.subscribe(events.append)
+        word_app.software_update(rng, breadth=5)
+        assert len(events) >= 5
+
+    def test_activity_touches_state(self, word_app, rng):
+        events = []
+        word_app.store.subscribe(events.append)
+        for _ in range(10):
+            word_app.activity(rng)
+        assert events
+
+    def test_pref_pages_cover_all_config_settings(self, word_app):
+        from repro.apps.schema import VOLATILITY_STATE
+
+        covered = set()
+        for page in word_app._pref_pages:
+            covered.update(word_app._page_settings(page))
+        expected = set()
+        for group in word_app.schema.groups:
+            expected |= group.keys()
+        for name in word_app.schema.independent_settings():
+            if word_app.schema.spec(name).volatility != VOLATILITY_STATE:
+                expected.add(name)
+        assert covered == expected
+
+    def test_page_apply_rewrites_whole_page(self, rng):
+        app = create_app("GNOME Edit")  # page_apply_prob = 1.0
+        events = []
+        app.store.subscribe(events.append)
+        app.change_preference(rng)
+        touched = {e.key for e in events}
+        # With page-apply certain, the write set is exactly one whole page.
+        page_key_sets = [
+            {app.canonical_key(n) for n in app._page_settings(page)}
+            for page in app._pref_pages
+        ]
+        assert touched in page_key_sets
+
+    def test_hand_authored_groups_get_dedicated_pages(self, word_app):
+        for page in word_app._pref_pages:
+            from repro.apps.schema import DependencyGroup
+
+            hand_authored = [
+                entry
+                for entry in page
+                if isinstance(entry, DependencyGroup) and not entry.is_filler
+            ]
+            if hand_authored:
+                assert page == hand_authored and len(page) == 1

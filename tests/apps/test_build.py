@@ -1,0 +1,87 @@
+"""Tests for the schema-padding builder."""
+
+import random
+
+import pytest
+
+from repro.apps.build import filler_name, mru_group, pad_schema
+from repro.apps.schema import BOOL, GenericGroup, SettingSpec
+from repro.exceptions import SchemaError
+
+
+class TestFillerName:
+    def test_unique_names(self):
+        rng = random.Random(1)
+        used: set[str] = set()
+        names = [filler_name(rng, used) for _ in range(300)]
+        assert len(names) == len(set(names))
+
+    def test_hierarchical_shape(self):
+        rng = random.Random(2)
+        name = filler_name(rng, set())
+        assert "/" in name
+
+
+class TestPadSchema:
+    def test_reaches_exact_target(self):
+        schema = pad_schema([SettingSpec("a", BOOL)], [], target_keys=40, seed=3)
+        assert len(schema) == 40
+
+    def test_hand_authored_preserved(self):
+        spec = SettingSpec("core/flag", BOOL, default=True)
+        group = GenericGroup("g", ["core/flag"])
+        schema = pad_schema([spec], [group], target_keys=10, seed=3)
+        assert "core/flag" in schema
+        assert schema.group("g").keys() == {"core/flag"}
+
+    def test_overfull_rejected(self):
+        specs = [SettingSpec(f"s{i}", BOOL) for i in range(5)]
+        with pytest.raises(SchemaError):
+            pad_schema(specs, [], target_keys=3, seed=1)
+
+    def test_deterministic_in_seed(self):
+        a = pad_schema([], [], target_keys=30, seed=9)
+        b = pad_schema([], [], target_keys=30, seed=9)
+        assert a.names() == b.names()
+        assert [g.name for g in a.groups] == [g.name for g in b.groups]
+
+    def test_different_seeds_differ(self):
+        a = pad_schema([], [], target_keys=30, seed=9)
+        b = pad_schema([], [], target_keys=30, seed=10)
+        assert a.names() != b.names()
+
+    def test_filler_groups_marked(self):
+        schema = pad_schema([], [], target_keys=50, seed=4, grouped_fraction=0.9)
+        assert schema.groups
+        assert all(g.is_filler for g in schema.groups)
+
+    def test_grouped_fraction_zero_gives_no_groups(self):
+        schema = pad_schema([], [], target_keys=20, seed=4, grouped_fraction=0.0)
+        assert schema.groups == []
+
+    def test_target_one(self):
+        schema = pad_schema([], [], target_keys=1, seed=4)
+        assert len(schema) == 1
+
+
+class TestMruGroupBuilder:
+    def test_specs_and_group_consistent(self):
+        specs, group = mru_group(
+            name="Recent", limiter="Max", item_prefix="Item",
+            max_items=4, default_limit=3,
+        )
+        assert len(specs) == 5  # limiter + 4 items
+        assert group.keys() == {"Max", "Item1", "Item2", "Item3", "Item4"}
+
+    def test_limiter_default(self):
+        specs, _ = mru_group("R", "Max", "Item", max_items=4, default_limit=3)
+        limiter_spec = next(s for s in specs if s.name == "Max")
+        assert limiter_spec.default == 3
+
+    def test_items_are_state_volatile(self):
+        from repro.apps.schema import VOLATILITY_STATE
+
+        specs, _ = mru_group("R", "Max", "Item", max_items=2, default_limit=2)
+        for spec in specs:
+            if spec.name.startswith("Item"):
+                assert spec.volatility == VOLATILITY_STATE

@@ -1,0 +1,189 @@
+"""Catalogue-wide checks: every application satisfies the Table II shape."""
+
+import pytest
+
+from repro.apps.catalog import APP_FACTORIES, app_names, create_app
+
+
+@pytest.fixture(scope="module")
+def all_apps():
+    return {name: create_app(name) for name in app_names()}
+
+
+class TestCatalog:
+    def test_eleven_applications(self):
+        assert len(app_names()) == 11
+
+    def test_table2_order(self):
+        assert app_names()[0] == "MS Outlook"
+        assert app_names()[-1] == "Windows Media Player"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            create_app("Emacs")
+
+    def test_key_counts_match_table2(self, all_apps):
+        for name, app in all_apps.items():
+            assert len(app.schema) == APP_FACTORIES[name].table2_keys, name
+
+    def test_total_keys_1871(self, all_apps):
+        assert sum(len(a.schema) for a in all_apps.values()) == 1871
+
+
+class TestEveryApp:
+    @pytest.fixture(params=app_names())
+    def app(self, request, all_apps):
+        return all_apps[request.param]
+
+    def test_renders_a_screenshot(self, app):
+        shot = app.render()
+        assert shot.app_name == app.name
+        hash(shot)
+
+    def test_launch_runs(self, app):
+        app.perform("launch")
+
+    def test_groups_disjoint_and_within_schema(self, app):
+        seen = set()
+        for group in app.schema.groups:
+            for key in group.keys():
+                assert key in app.schema
+                assert key not in seen
+                seen.add(key)
+
+    def test_canonical_keys_unique(self, app):
+        canon = [app.canonical_key(n) for n in app.schema.names()]
+        assert len(canon) == len(set(canon))
+
+    def test_trial_cost_positive(self, app):
+        assert app.trial_cost_seconds > 0
+
+    def test_page_apply_prob_valid(self, app):
+        assert 0.0 <= app.page_apply_prob <= 1.0
+
+    def test_defaults_dont_crash_derived_elements(self, app):
+        assert isinstance(app.derived_elements(), list)
+
+    def test_fresh_instances_identical_schema(self, app):
+        twin = create_app(app.name)
+        assert twin.schema.names() == app.schema.names()
+        assert [g.name for g in twin.schema.groups] == [
+            g.name for g in app.schema.groups
+        ]
+
+
+class TestErrorRelevantBehaviour:
+    """Per-app symptom logic driven directly through the store."""
+
+    def test_outlook_nav_pane(self):
+        app = create_app("MS Outlook")
+        assert app.render().element("navigation_pane") != "unusable"
+        app.user_set("Preferences/ShowNavPane", False)
+        assert app.render().element("navigation_pane") == "unusable"
+
+    def test_word_recent_menu_empty_when_limit_zero(self):
+        app = create_app("MS Word")
+        app.open_document("a.doc")
+        assert app.render().element("recent_documents_menu") != ()
+        app.perform("set_max_display", limit=0)
+        assert app.render().element("recent_documents_menu") == ()
+
+    def test_ie_addon_dialog(self):
+        app = create_app("Internet Explorer")
+        assert app.render().element("addon_dialog") == "hidden"
+        app.user_set("Main/ShowAddonDialog", True)
+        assert app.render().element("addon_dialog") == "pops-up"
+
+    def test_explorer_open_with_menu(self):
+        app = create_app("Explorer")
+        app.perform("open_context_menu", doc="video.flv")
+        assert app.render().element("open_with_flv") != "no applications"
+        app.user_set("FileExts/.flv/OpenWithList/MRUList", [])
+        assert app.render().element("open_with_flv") == "no applications"
+
+    def test_explorer_image_window(self):
+        app = create_app("Explorer")
+        app.perform("open_image", doc="p.png")
+        assert app.render().element("image_window") == "normal"
+        app.user_set("Streams/ImageWindowPos", "")
+        assert app.render().element("image_window") == "maximized"
+
+    def test_wmp_captions(self):
+        app = create_app("Windows Media Player")
+        app.perform("play_video", doc="clip.avi")
+        assert app.render().element("captions") != "no captions"
+        app.user_set("Player/ShowCaptions", False)
+        assert app.render().element("captions") == "no captions"
+
+    def test_paint_text_toolbar_needs_both_settings(self):
+        app = create_app("MS Paint")
+        app.perform("enter_text")
+        assert app.render().element("text_toolbar") == "pops-up"
+        app.user_set("View/TextToolbarMode", "manual")
+        assert app.render().element("text_toolbar") == "stays-hidden"
+        app.user_set("View/TextToolbarMode", "auto")
+        app.user_set("View/ShowTextToolbar", False)
+        assert app.render().element("text_toolbar") == "stays-hidden"
+
+    def test_evolution_offline_mode(self):
+        app = create_app("Evolution Mail")
+        assert app.render().element("connection_mode") == "online"
+        app.user_set("shell/start_offline", True)
+        assert app.render().element("connection_mode") == "offline"
+
+    def test_evolution_mark_seen_needs_both(self):
+        app = create_app("Evolution Mail")
+        app.perform("read_email")
+        assert app.render().element("mark_read") == "automatic"
+        app.user_set("mail/mark_seen_timeout", 0)
+        assert app.render().element("mark_read") == "manual-only"
+        app.user_set("mail/mark_seen_timeout", 1500)
+        app.user_set("mail/mark_seen", False)
+        assert app.render().element("mark_read") == "manual-only"
+
+    def test_evolution_reply_style(self):
+        app = create_app("Evolution Mail")
+        app.perform("compose_reply")
+        assert app.render().element("reply_cursor") == "top"
+        app.user_set("mail/reply_style", "bottom")
+        assert app.render().element("reply_cursor") == "bottom"
+
+    def test_eog_print(self):
+        app = create_app("Eye of GNOME")
+        app.perform("print_image")
+        assert app.render().element("print_result") == "printed"
+        app.user_set("print/backend", "gnomeprint")
+        assert "error" in app.render().element("print_result")
+
+    def test_gedit_save(self):
+        app = create_app("GNOME Edit")
+        app.perform("save_document")
+        assert app.render().element("save_result") == "saved"
+        app.user_set("save/backup_scheme", "gvfs-obsolete")
+        assert "error" in app.render().element("save_result")
+
+    def test_chrome_bookmark_bar_and_home_button(self):
+        app = create_app("Chrome Browser")
+        shot = app.render()
+        assert shot.element("bookmark_bar") == "shown"
+        assert shot.element("home_button") == "shown"
+        app.user_set("bookmark_bar/show_on_all_tabs", False)
+        app.user_set("browser/show_home_button", False)
+        shot = app.render()
+        assert shot.element("bookmark_bar") == "missing"
+        assert shot.element("home_button") == "missing"
+
+    def test_acrobat_menu_bar_per_document(self):
+        app = create_app("Acrobat Reader")
+        app.perform("open_document", doc="thesis.pdf")
+        assert app.render().element("menu_bar") == "shown"
+        app.user_set("AVGeneral/MenuBarHiddenDocs", ["thesis.pdf"])
+        assert app.render().element("menu_bar") == "missing"
+        app.perform("open_document", doc="other.pdf")
+        assert app.render().element("menu_bar") == "shown"
+
+    def test_acrobat_find_box(self):
+        app = create_app("Acrobat Reader")
+        assert app.render().element("find_box") == "shown"
+        app.user_set("Toolbars/Find/Visible", False)
+        assert app.render().element("find_box") == "missing"

@@ -1,0 +1,217 @@
+"""Tests for configuration schemas and the dependency-group archetypes."""
+
+import random
+
+import pytest
+
+from repro.apps.catalog import create_app
+from repro.apps.schema import (
+    BOOL,
+    ConfigSchema,
+    EnablerParamsGroup,
+    FILENAME,
+    GenericGroup,
+    LimiterListGroup,
+    ModeListGroup,
+    SettingSpec,
+    ValueDomain,
+)
+from repro.exceptions import SchemaError
+
+
+class TestValueDomain:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            ValueDomain("tensor")
+
+    def test_enum_needs_options(self):
+        with pytest.raises(SchemaError):
+            ValueDomain("enum", options=("only-one",))
+
+    @pytest.mark.parametrize(
+        "domain,predicate",
+        [
+            (BOOL, lambda v: isinstance(v, bool)),
+            (ValueDomain("int", lo=1, hi=5), lambda v: 1 <= v <= 5),
+            (ValueDomain("float", lo=0, hi=1), lambda v: 0 <= v <= 1),
+            (ValueDomain("enum", options=("a", "b")), lambda v: v in ("a", "b")),
+            (FILENAME, lambda v: isinstance(v, str)),
+            (ValueDomain("strlist"), lambda v: isinstance(v, list)),
+        ],
+    )
+    def test_sample_in_domain(self, domain, predicate):
+        rng = random.Random(1)
+        for _ in range(20):
+            assert predicate(domain.sample(rng))
+
+    def test_perturb_changes_value(self):
+        rng = random.Random(2)
+        domain = ValueDomain("enum", options=("a", "b", "c"))
+        for _ in range(10):
+            assert domain.perturb(rng, "a") != "a"
+
+    def test_perturb_bool_always_flips_when_stuck(self):
+        rng = random.Random(3)
+        assert BOOL.perturb(rng, True) in (True, False)
+
+
+class TestSettingSpec:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            SettingSpec(name="")
+
+    def test_bad_volatility_rejected(self):
+        with pytest.raises(SchemaError):
+            SettingSpec(name="x", volatility="sometimes")
+
+
+class TestConfigSchema:
+    def _schema(self):
+        specs = [SettingSpec(name=n, domain=BOOL) for n in ("a", "b", "c", "d")]
+        groups = [GenericGroup("g", ["a", "b"])]
+        return ConfigSchema(specs, groups)
+
+    def test_duplicate_setting_rejected(self):
+        with pytest.raises(SchemaError):
+            ConfigSchema(
+                [SettingSpec(name="a"), SettingSpec(name="a")], []
+            )
+
+    def test_group_with_unknown_setting_rejected(self):
+        with pytest.raises(SchemaError):
+            ConfigSchema([SettingSpec(name="a")], [GenericGroup("g", ["a", "z"])])
+
+    def test_setting_in_two_groups_rejected(self):
+        specs = [SettingSpec(name=n) for n in ("a", "b")]
+        with pytest.raises(SchemaError):
+            ConfigSchema(
+                specs,
+                [GenericGroup("g1", ["a"]), GenericGroup("g2", ["a", "b"])],
+            )
+
+    def test_independent_settings(self):
+        assert self._schema().independent_settings() == ["c", "d"]
+
+    def test_ground_truth_groups(self):
+        assert self._schema().ground_truth_groups() == [frozenset({"a", "b"})]
+
+    def test_group_lookup(self):
+        schema = self._schema()
+        assert schema.group("g").keys() == {"a", "b"}
+        with pytest.raises(SchemaError):
+            schema.group("ghost")
+
+    def test_duplicate_group_member_rejected(self):
+        with pytest.raises(SchemaError):
+            GenericGroup("g", ["a", "a"])
+
+
+class TestLimiterListGroup:
+    @pytest.fixture
+    def app(self):
+        return create_app("MS Word")
+
+    @pytest.fixture
+    def group(self, app):
+        return app.schema.group("RecentDocuments")
+
+    def test_push_respects_limit(self, app, group):
+        group.set_limit(app, 3)
+        for doc in ("a", "b", "c", "d"):
+            group.push_item(app, doc)
+        assert group.current_items(app) == ["d", "c", "b"]
+
+    def test_push_moves_duplicate_to_front(self, app, group):
+        for doc in ("a", "b", "a"):
+            group.push_item(app, doc)
+        assert group.current_items(app)[:2] == ["a", "b"]
+
+    def test_set_limit_trims_items(self, app, group):
+        for doc in ("a", "b", "c", "d", "e"):
+            group.push_item(app, doc)
+        group.set_limit(app, 2)
+        assert len(group.current_items(app)) == 2
+
+    def test_set_limit_zero_removes_all(self, app, group):
+        group.push_item(app, "a")
+        group.set_limit(app, 0)
+        assert group.current_items(app) == []
+
+    def test_render_shows_items_up_to_limit(self, app, group):
+        for doc in ("a", "b", "c"):
+            group.push_item(app, doc)
+        group.set_limit(app, 2)
+        ((_, shown),) = group.render(app)
+        assert shown == ("c", "b")
+
+    def test_invalid_construction(self):
+        with pytest.raises(SchemaError):
+            LimiterListGroup("g", limiter="l", item_prefix="i", max_items=0)
+
+
+class TestEnablerParamsGroup:
+    def test_needs_params(self):
+        with pytest.raises(SchemaError):
+            EnablerParamsGroup("g", enabler="e", params=[])
+
+    def test_render_disabled(self, word_app):
+        group = word_app.schema.group("AutoSave")
+        word_app.user_set("Options/AutoSave", False)
+        ((_, behaviour),) = group.render(word_app)
+        assert behaviour == "disabled"
+
+    def test_render_enabled_shows_params(self, word_app):
+        group = word_app.schema.group("AutoSave")
+        word_app.user_set("Options/AutoSave", True)
+        word_app.user_set("Options/AutoSaveInterval", 25)
+        ((_, behaviour),) = group.render(word_app)
+        assert behaviour == (25,)
+
+    def test_invisible_group_renders_nothing(self, word_app):
+        group = EnablerParamsGroup(
+            "hidden", enabler="Options/AutoSave",
+            params=["Options/AutoSaveInterval"], visible=False,
+        )
+        assert group.render(word_app) == []
+
+    def test_coherent_update_writes_whole_family(self, word_app, rng):
+        group = word_app.schema.group("AutoSave")
+        events = []
+        word_app.store.subscribe(events.append)
+        group.coherent_update(word_app, rng)
+        written = {e.key for e in events}
+        assert len(written) == 2
+
+
+class TestModeListGroup:
+    @pytest.fixture
+    def app(self):
+        return create_app("Explorer")
+
+    @pytest.fixture
+    def group(self, app):
+        return app.schema.group("OpenWithFlv")
+
+    def test_needs_entries(self):
+        with pytest.raises(SchemaError):
+            ModeListGroup("g", list_key="l", entry_keys=[])
+
+    def test_render_follows_list_order(self, app, group):
+        app.user_set("FileExts/.flv/OpenWithList/a", "one.exe")
+        app.user_set("FileExts/.flv/OpenWithList/b", "two.exe")
+        app.user_set("FileExts/.flv/OpenWithList/MRUList", ["b", "a"])
+        ((_, menu),) = group.render(app)
+        assert menu == ("two.exe", "one.exe")
+
+    def test_render_skips_empty_entries(self, app, group):
+        app.user_set("FileExts/.flv/OpenWithList/a", "")
+        app.user_set("FileExts/.flv/OpenWithList/MRUList", ["a"])
+        ((_, menu),) = group.render(app)
+        assert menu == ()
+
+    def test_partial_update_touches_list_only(self, app, group, rng):
+        events = []
+        app.store.subscribe(events.append)
+        group.partial_update(app, rng)
+        keys = {e.key for e in events}
+        assert keys == {app.canonical_key("FileExts/.flv/OpenWithList/MRUList")}

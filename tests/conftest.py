@@ -1,0 +1,89 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.catalog import create_app
+from repro.common.clock import SimClock
+from repro.ttkv.store import TTKV
+from repro.workload.machines import MachineProfile, PLATFORM_LINUX
+from repro.workload.tracegen import generate_trace
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def ttkv() -> TTKV:
+    return TTKV()
+
+
+@pytest.fixture
+def paired_ttkv() -> TTKV:
+    """A store with two obviously related keys and one independent key."""
+    store = TTKV()
+    for t in (10.0, 200.0, 3000.0):
+        store.record_write("a", f"a@{t}", t)
+        store.record_write("b", f"b@{t}", t)
+    store.record_write("lone", 1, 50.0)
+    store.record_write("lone", 2, 999.0)
+    return store
+
+
+def tiny_profile(app_name: str, days: int = 10, seed: int = 42) -> MachineProfile:
+    """A fast, small single-app deployment for integration tests."""
+    return MachineProfile(
+        name=f"test:{app_name}",
+        platform=PLATFORM_LINUX,
+        days=days,
+        apps=(app_name,),
+        sessions_per_day=3,
+        actions_per_session=6,
+        pref_edits_per_day=2.0,
+        noise_keys=0,
+        noise_writes_per_day=0,
+        reads_per_day=50,
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def tiny_profile_factory():
+    """Factory fixture: build fast single-app machine profiles."""
+    return tiny_profile
+
+
+@pytest.fixture(scope="session")
+def chrome_trace():
+    """A small Chrome trace shared by integration tests (read-only!)."""
+    return generate_trace(tiny_profile("Chrome Browser", days=20))
+
+
+@pytest.fixture(scope="session")
+def gedit_trace():
+    return generate_trace(tiny_profile("GNOME Edit", days=15))
+
+
+@pytest.fixture
+def chrome_app():
+    return create_app("Chrome Browser")
+
+
+@pytest.fixture
+def word_app():
+    return create_app("MS Word")
+
+
+@pytest.fixture
+def evolution_app():
+    return create_app("Evolution Mail")

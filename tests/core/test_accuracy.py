@@ -1,0 +1,118 @@
+"""Tests for oversized/undersized classification and Table II metrics."""
+
+import pytest
+
+from repro.core.accuracy import (
+    ClusterVerdict,
+    classify_cluster,
+    evaluate_clustering,
+    mean_accuracy,
+    overall_accuracy,
+)
+from repro.core.cluster_model import ClusterSet
+
+GROUPS = [frozenset({"g1a", "g1b", "g1c"}), frozenset({"g2a", "g2b"})]
+
+
+class TestClassify:
+    def test_exact_group_is_correct(self):
+        assert classify_cluster(frozenset({"g1a", "g1b", "g1c"}), GROUPS) is ClusterVerdict.CORRECT
+
+    def test_strict_subset_is_undersized(self):
+        assert classify_cluster(frozenset({"g1a", "g1b"}), GROUPS) is ClusterVerdict.UNDERSIZED
+
+    def test_spanning_two_groups_is_oversized(self):
+        cluster = frozenset({"g1a", "g1b", "g1c", "g2a", "g2b"})
+        assert classify_cluster(cluster, GROUPS) is ClusterVerdict.OVERSIZED
+
+    def test_independent_key_makes_oversized(self):
+        cluster = frozenset({"g1a", "g1b", "g1c", "lonely"})
+        assert classify_cluster(cluster, GROUPS) is ClusterVerdict.OVERSIZED
+
+    def test_both_oversized_and_undersized(self):
+        # spans two groups and misses members of both
+        cluster = frozenset({"g1a", "g2a"})
+        assert (
+            classify_cluster(cluster, GROUPS)
+            is ClusterVerdict.OVERSIZED_AND_UNDERSIZED
+        )
+
+    def test_two_independents_oversized(self):
+        assert classify_cluster(frozenset({"x", "y"}), GROUPS) is ClusterVerdict.OVERSIZED
+
+    def test_overlapping_ground_truth_rejected(self):
+        with pytest.raises(ValueError):
+            classify_cluster(
+                frozenset({"a"}),
+                [frozenset({"a", "b"}), frozenset({"b", "c"})],
+            )
+
+
+def _cluster_set(*key_sets):
+    return ClusterSet.from_key_sets(
+        [frozenset(ks) for ks in key_sets], window=1.0, correlation_threshold=2.0
+    )
+
+
+class TestEvaluate:
+    def test_paper_criterion_counts_undersized_as_correct(self):
+        # "correct iff there is a dependency relationship among every
+        # setting of the cluster" — a pure subset satisfies that.
+        cluster_set = _cluster_set({"g1a", "g1b"}, {"g2a", "lonely"})
+        report = evaluate_clustering("app", cluster_set, GROUPS)
+        assert report.multi_clusters == 2
+        assert report.correct_multi_clusters == 1
+        assert report.accuracy == 0.5
+
+    def test_exact_accuracy_stricter(self):
+        cluster_set = _cluster_set({"g1a", "g1b"}, {"g2a", "g2b"})
+        report = evaluate_clustering("app", cluster_set, GROUPS)
+        assert report.accuracy == 1.0
+        assert report.exact_accuracy == 0.5
+
+    def test_singletons_not_counted(self):
+        cluster_set = _cluster_set({"g1a"}, {"g1b"}, {"lonely"})
+        report = evaluate_clustering("app", cluster_set, GROUPS)
+        assert report.multi_clusters == 0
+        assert report.accuracy is None
+
+    def test_verdict_histogram(self):
+        cluster_set = _cluster_set(
+            {"g1a", "g1b", "g1c"}, {"g2a", "lonely"}, {"g2b", "x", "y"}
+        )
+        report = evaluate_clustering("app", cluster_set, GROUPS)
+        assert report.verdicts[ClusterVerdict.CORRECT] == 1
+        oversized_total = (
+            report.verdicts[ClusterVerdict.OVERSIZED]
+            + report.verdicts[ClusterVerdict.OVERSIZED_AND_UNDERSIZED]
+        )
+        assert oversized_total == 2
+
+    def test_total_keys_override(self):
+        cluster_set = _cluster_set({"g1a", "g1b"})
+        report = evaluate_clustering("app", cluster_set, GROUPS, total_keys=99)
+        assert report.total_keys == 99
+
+
+class TestAggregates:
+    def _reports(self):
+        r1 = evaluate_clustering(
+            "one", _cluster_set({"g1a", "g1b", "g1c"}), GROUPS
+        )
+        r2 = evaluate_clustering(
+            "two", _cluster_set({"g2a", "lonely"}, {"x", "y"}, {"g1a", "g1b"}),
+            GROUPS,
+        )
+        return [r1, r2]
+
+    def test_overall_accuracy_pools_clusters(self):
+        # 4 multi clusters total, 2 correct -> 0.5
+        assert overall_accuracy(self._reports()) == 0.5
+
+    def test_mean_accuracy_averages_apps(self):
+        # per-app: 1.0 and 1/3
+        assert mean_accuracy(self._reports()) == pytest.approx((1.0 + 1 / 3) / 2)
+
+    def test_empty_aggregates(self):
+        assert overall_accuracy([]) is None
+        assert mean_accuracy([]) is None

@@ -1,0 +1,174 @@
+"""Tests for clusters, cluster versions and the ClusterSet."""
+
+import pytest
+
+from repro.core.cluster_model import (
+    Cluster,
+    ClusterSet,
+    cluster_last_modified,
+    cluster_modification_count,
+    cluster_versions,
+)
+from repro.exceptions import OcastaError
+from repro.ttkv.store import DELETED, MISSING, TTKV
+
+
+def make_cluster(*keys, cluster_id=0):
+    return Cluster(cluster_id=cluster_id, keys=frozenset(keys))
+
+
+class TestCluster:
+    def test_empty_rejected(self):
+        with pytest.raises(OcastaError):
+            make_cluster()
+
+    def test_len_contains(self):
+        cluster = make_cluster("a", "b")
+        assert len(cluster) == 2
+        assert "a" in cluster
+        assert "z" not in cluster
+
+    def test_singleton(self):
+        assert make_cluster("a").is_singleton()
+        assert not make_cluster("a", "b").is_singleton()
+
+    def test_sorted_keys(self):
+        assert make_cluster("b", "a").sorted_keys() == ["a", "b"]
+
+
+@pytest.fixture
+def versioned_store() -> TTKV:
+    store = TTKV()
+    store.record_write("x", 1, 10.0)
+    store.record_write("y", "a", 10.0)
+    store.record_write("x", 2, 50.0)
+    store.record_delete("y", 90.0)
+    return store
+
+
+class TestClusterVersions:
+    def test_versions_chronological(self, versioned_store):
+        versions = cluster_versions(versioned_store, make_cluster("x", "y"))
+        assert [v.timestamp for v in versions] == [10.0, 50.0, 90.0]
+
+    def test_versions_capture_joint_state(self, versioned_store):
+        versions = cluster_versions(versioned_store, make_cluster("x", "y"))
+        assert versions[0].values == {"x": 1, "y": "a"}
+        assert versions[1].values == {"x": 2, "y": "a"}
+        assert versions[2].values == {"x": 2, "y": DELETED}
+
+    def test_single_key_cluster(self, versioned_store):
+        versions = cluster_versions(versioned_store, make_cluster("x"))
+        assert [v.values["x"] for v in versions] == [1, 2]
+
+    def test_time_bounds(self, versioned_store):
+        versions = cluster_versions(
+            versioned_store, make_cluster("x", "y"), start=40.0, end=60.0
+        )
+        assert [v.timestamp for v in versions] == [10.0, 50.0]
+        # 10.0 is the pre-start snapshot (state as of the start bound)
+
+    def test_pre_start_snapshot_included(self, versioned_store):
+        versions = cluster_versions(
+            versioned_store, make_cluster("x", "y"), start=80.0
+        )
+        # one snapshot of the pre-bound state (t=50) plus the delete at 90
+        assert [v.timestamp for v in versions] == [50.0, 90.0]
+        assert versions[0].values == {"x": 2, "y": "a"}
+
+    def test_consecutive_identical_states_coalesced(self):
+        store = TTKV()
+        store.record_write("x", 1, 10.0)
+        store.record_write("x", 1, 20.0)  # same value rewritten
+        versions = cluster_versions(store, make_cluster("x"))
+        assert len(versions) == 1
+
+    def test_untracked_key_skipped(self, versioned_store):
+        versions = cluster_versions(versioned_store, make_cluster("x", "ghost"))
+        assert all("ghost" not in v.values for v in versions)
+
+    def test_all_untracked_returns_empty(self, versioned_store):
+        assert cluster_versions(versioned_store, make_cluster("ghost")) == []
+
+    def test_missing_sentinel_before_birth(self):
+        store = TTKV()
+        store.record_write("x", 1, 10.0)
+        store.record_write("y", 2, 50.0)
+        versions = cluster_versions(store, make_cluster("x", "y"))
+        assert versions[0].values == {"x": 1, "y": MISSING}
+
+    def test_rollback_plan_from_version(self, versioned_store):
+        versions = cluster_versions(versioned_store, make_cluster("x", "y"))
+        plan = versions[0].rollback_plan()
+        assert plan.assignments == {"x": 1, "y": "a"}
+
+
+class TestModificationCounts:
+    def test_counts_distinct_timestamps(self, versioned_store):
+        cluster = make_cluster("x", "y")
+        # t=10 (both), t=50 (x), t=90 (y delete) -> 3 cluster modifications
+        assert cluster_modification_count(versioned_store, cluster) == 3
+
+    def test_co_write_counts_once(self):
+        store = TTKV()
+        store.record_write("a", 1, 5.0)
+        store.record_write("b", 2, 5.0)
+        assert cluster_modification_count(store, make_cluster("a", "b")) == 1
+
+    def test_last_modified(self, versioned_store):
+        assert cluster_last_modified(versioned_store, make_cluster("x", "y")) == 90.0
+
+    def test_untracked_cluster_count_zero(self, versioned_store):
+        assert cluster_modification_count(versioned_store, make_cluster("ghost")) == 0
+
+
+class TestClusterSet:
+    def _set(self):
+        return ClusterSet.from_key_sets(
+            [frozenset({"a", "b"}), frozenset({"c"})],
+            window=1.0,
+            correlation_threshold=2.0,
+        )
+
+    def test_cluster_of(self):
+        cluster_set = self._set()
+        assert cluster_set.cluster_of("a") is cluster_set.cluster_of("b")
+        assert cluster_set.cluster_of("c").is_singleton()
+
+    def test_cluster_of_unknown_raises(self):
+        with pytest.raises(OcastaError):
+            self._set().cluster_of("ghost")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(OcastaError):
+            ClusterSet.from_key_sets(
+                [frozenset({"a"}), frozenset({"a", "b"})],
+                window=1.0,
+                correlation_threshold=2.0,
+            )
+
+    def test_multi_and_singletons(self):
+        cluster_set = self._set()
+        assert len(cluster_set.multi_clusters()) == 1
+        assert len(cluster_set.singletons()) == 1
+
+    def test_average_size_excludes_singletons_by_default(self):
+        cluster_set = self._set()
+        assert cluster_set.average_size() == 2.0
+        assert cluster_set.average_size(include_singletons=True) == 1.5
+
+    def test_average_size_no_multi(self):
+        cluster_set = ClusterSet.from_key_sets(
+            [frozenset({"a"})], window=1.0, correlation_threshold=2.0
+        )
+        assert cluster_set.average_size() == 0.0
+
+    def test_iteration_and_len(self):
+        cluster_set = self._set()
+        assert len(cluster_set) == 2
+        assert len(list(cluster_set)) == 2
+
+    def test_membership(self):
+        cluster_set = self._set()
+        assert "a" in cluster_set
+        assert "ghost" not in cluster_set

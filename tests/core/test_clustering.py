@@ -1,0 +1,253 @@
+"""Tests for the from-scratch HAC, including validation against SciPy."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.cluster.hierarchy import fcluster, linkage
+from scipy.spatial.distance import squareform
+
+from repro.core.clustering import (
+    LINKAGE_AVERAGE,
+    LINKAGE_COMPLETE,
+    LINKAGE_SINGLE,
+    flat_clusters,
+    hac,
+    hac_complete_linkage,
+)
+from repro.core.correlation import CorrelationMatrix
+
+
+def matrix_from_groups(key_groups):
+    return CorrelationMatrix({k: set(v) for k, v in key_groups.items()})
+
+
+class TestCompleteLinkage:
+    def test_always_together_pair_merges(self):
+        matrix = matrix_from_groups({"a": {0, 1}, "b": {0, 1}})
+        dendrogram = hac_complete_linkage(matrix)
+        assert len(dendrogram) == 1
+        assert dendrogram.merges[0].distance == 0.5
+
+    def test_unconnected_keys_never_merge(self):
+        matrix = matrix_from_groups({"a": {0}, "b": {1}})
+        dendrogram = hac_complete_linkage(matrix)
+        assert len(dendrogram) == 0
+
+    def test_chain_merges_at_max_distance(self):
+        # a-b strongly related; c related to b only weakly; complete
+        # linkage must use the *max* pairwise distance when joining c.
+        matrix = matrix_from_groups(
+            {"a": {0, 1, 2, 3}, "b": {0, 1, 2, 3}, "c": {3, 4, 5, 6}}
+        )
+        dendrogram = hac_complete_linkage(matrix)
+        assert len(dendrogram) == 2
+        first, second = dendrogram.merges
+        assert first.members == {"a", "b"}
+        # corr(a,c) = 1/4 + 1/4 = 0.5 -> distance 2; corr(b,c) same.
+        assert second.distance == pytest.approx(2.0)
+
+    def test_merge_distances_nondecreasing(self):
+        matrix = matrix_from_groups(
+            {
+                "a": {0, 1},
+                "b": {0, 1, 2},
+                "c": {2, 3},
+                "d": {3},
+            }
+        )
+        distances = hac_complete_linkage(matrix).merge_distances()
+        assert distances == sorted(distances)
+
+    def test_empty_matrix(self):
+        dendrogram = hac_complete_linkage(matrix_from_groups({}))
+        assert len(dendrogram) == 0
+        assert dendrogram.cut(0.5) == []
+
+    def test_unknown_linkage_rejected(self):
+        with pytest.raises(ValueError):
+            hac(matrix_from_groups({"a": {0}}), linkage="ward")
+
+
+class TestFlatClusters:
+    def test_default_threshold_only_always_together(self):
+        matrix = matrix_from_groups(
+            {"a": {0, 1}, "b": {0, 1}, "c": {1, 2}}
+        )
+        clusters = flat_clusters(matrix, correlation_threshold=2.0)
+        assert frozenset({"a", "b"}) in clusters
+        assert frozenset({"c"}) in clusters
+
+    def test_lower_threshold_merges_more(self):
+        matrix = matrix_from_groups(
+            {"a": {0, 1}, "b": {0, 1}, "c": {1, 2}}
+        )
+        clusters = flat_clusters(matrix, correlation_threshold=1.0)
+        assert clusters[0] == frozenset({"a", "b", "c"})
+
+    def test_threshold_out_of_range(self):
+        matrix = matrix_from_groups({"a": {0}})
+        with pytest.raises(ValueError):
+            flat_clusters(matrix, correlation_threshold=0.0)
+        with pytest.raises(ValueError):
+            flat_clusters(matrix, correlation_threshold=2.5)
+
+    def test_clusters_partition_keys(self):
+        matrix = matrix_from_groups(
+            {"a": {0, 1}, "b": {0, 1}, "c": {1}, "d": {5}}
+        )
+        clusters = flat_clusters(matrix)
+        seen = sorted(k for c in clusters for k in c)
+        assert seen == ["a", "b", "c", "d"]
+
+
+class TestSingleAndAverage:
+    def test_single_linkage_chains(self):
+        # single linkage joins via the closest pair, so the a-b-c chain
+        # fuses at threshold 1 even though corr(a,c)=0.
+        matrix = matrix_from_groups(
+            {"a": {0, 1}, "b": {0, 1, 2, 3}, "c": {2, 3}}
+        )
+        clusters = flat_clusters(
+            matrix, correlation_threshold=1.0, linkage=LINKAGE_SINGLE
+        )
+        assert clusters[0] == frozenset({"a", "b", "c"})
+
+    def test_complete_linkage_does_not_chain(self):
+        matrix = matrix_from_groups(
+            {"a": {0, 1}, "b": {0, 1, 2, 3}, "c": {2, 3}}
+        )
+        clusters = flat_clusters(
+            matrix, correlation_threshold=1.0, linkage=LINKAGE_COMPLETE
+        )
+        assert frozenset({"a", "b", "c"}) not in clusters
+
+    def test_average_between_the_two(self):
+        matrix = matrix_from_groups(
+            {"a": {0, 1}, "b": {0, 1, 2, 3}, "c": {2, 3}}
+        )
+        single = flat_clusters(matrix, 1.0, linkage=LINKAGE_SINGLE)
+        average = flat_clusters(matrix, 1.0, linkage=LINKAGE_AVERAGE)
+        complete = flat_clusters(matrix, 1.0, linkage=LINKAGE_COMPLETE)
+        assert len(single) <= len(average) <= len(complete)
+
+
+# -- validation against SciPy -------------------------------------------------
+
+
+def _scipy_flat_clusters(names, dist, threshold, method):
+    condensed = squareform(dist, checks=False)
+    tree = linkage(condensed, method=method)
+    labels = fcluster(tree, t=threshold, criterion="distance")
+    clusters: dict[int, set] = {}
+    for name, label in zip(names, labels):
+        clusters.setdefault(label, set()).add(name)
+    return sorted(
+        (frozenset(c) for c in clusters.values()),
+        key=lambda c: (-len(c), tuple(sorted(c))),
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from("abcdefgh"),
+        st.sets(st.integers(min_value=0, max_value=6), min_size=1, max_size=4),
+        min_size=3,
+        max_size=8,
+    ),
+    st.sampled_from([0.5, 0.75, 1.0, 1.5, 2.0]),
+)
+def test_property_complete_linkage_invariants(key_groups, corr_threshold):
+    """Threshold-cut complete linkage obeys its two defining invariants.
+
+    (Exact partitions are tie-dependent — equal merge distances admit
+    several valid complete-linkage results, and SciPy's tie-break differs
+    from ours — so the invariants, which every valid result satisfies,
+    are what we check property-style.)
+
+    1. within a cluster, every pairwise distance <= threshold;
+    2. no two clusters could still merge: across any two clusters the
+       *maximum* pairwise distance exceeds the threshold.
+    """
+    matrix = matrix_from_groups(key_groups)
+    if len(matrix.keys) < 2:
+        return
+    max_distance = 1.0 / corr_threshold
+    clusters = flat_clusters(matrix, correlation_threshold=corr_threshold)
+
+    for cluster in clusters:
+        for a, b in itertools.combinations(sorted(cluster), 2):
+            assert matrix.distance_of(a, b) <= max_distance
+
+    for c1, c2 in itertools.combinations(clusters, 2):
+        cross = max(
+            matrix.distance_of(a, b)
+            for a in c1
+            for b in c2
+        )
+        assert cross > max_distance
+
+
+def test_matches_scipy_complete_linkage_tie_free():
+    """Deterministic SciPy comparison on a matrix with no tied distances."""
+    key_groups = {
+        "a": {0, 1, 2, 3, 4},
+        "b": {0, 1, 2, 3},
+        "c": {2, 3, 4, 5, 6, 7},
+        "d": {7, 8},
+        "e": {9},
+    }
+    matrix = matrix_from_groups(key_groups)
+    names = sorted(matrix.keys)
+    big = 1e9
+    n = len(names)
+    dist = np.zeros((n, n))
+    finite = []
+    for i, a in enumerate(names):
+        for j in range(i + 1, n):
+            d = matrix.distance_of(a, names[j])
+            if not math.isinf(d):
+                finite.append(round(d, 9))
+            dist[i, j] = dist[j, i] = min(d, big)
+    assert len(finite) == len(set(finite)), "fixture must be tie-free"
+
+    for corr_threshold in (0.5, 1.0, 1.5, 2.0):
+        ours = sorted(
+            flat_clusters(matrix, correlation_threshold=corr_threshold),
+            key=lambda c: (-len(c), tuple(sorted(c))),
+        )
+        theirs = _scipy_flat_clusters(
+            names, dist, 1.0 / corr_threshold, "complete"
+        )
+        assert ours == theirs, f"threshold {corr_threshold}"
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from("abcdef"),
+        st.sets(st.integers(min_value=0, max_value=5), min_size=1, max_size=3),
+        min_size=3,
+        max_size=6,
+    )
+)
+def test_property_matches_scipy_single_linkage(key_groups):
+    matrix = matrix_from_groups(key_groups)
+    names = sorted(matrix.keys)
+    if len(names) < 2:
+        return
+    big = 1e9
+    n = len(names)
+    dist = np.zeros((n, n))
+    for i, a in enumerate(names):
+        for j in range(i + 1, n):
+            dist[i, j] = dist[j, i] = min(matrix.distance_of(a, names[j]), big)
+    ours = sorted(
+        flat_clusters(matrix, 1.0, linkage=LINKAGE_SINGLE),
+        key=lambda c: (-len(c), tuple(sorted(c))),
+    )
+    theirs = _scipy_flat_clusters(names, dist, 1.0, "single")
+    assert ours == theirs

@@ -1,0 +1,135 @@
+"""Tests for the paper's correlation metric and the sparse matrix."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.correlation import (
+    CorrelationMatrix,
+    correlation,
+    correlation_to_distance,
+    distance_to_correlation,
+)
+
+
+class TestCorrelationMetric:
+    def test_always_together_is_two(self):
+        assert correlation({1, 2, 3}, {1, 2, 3}) == 2.0
+
+    def test_never_together_is_zero(self):
+        assert correlation({1, 2}, {3, 4}) == 0.0
+
+    def test_partial_overlap(self):
+        # |A∩B|=1, |A|=2, |B|=4 -> 0.5 + 0.25
+        assert correlation({1, 2}, {1, 3, 4, 5}) == pytest.approx(0.75)
+
+    def test_asymmetric_sizes_symmetric_result(self):
+        a, b = {1, 2, 3, 4}, {1}
+        assert correlation(a, b) == correlation(b, a)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            correlation(set(), {1})
+
+    def test_subset_relationship(self):
+        # B always co-occurs with A but A often occurs alone.
+        assert correlation({1, 2, 3, 4}, {1, 2}) == pytest.approx(0.5 + 1.0)
+
+
+class TestDistanceTransform:
+    def test_perfect_correlation_distance(self):
+        assert correlation_to_distance(2.0) == 0.5
+
+    def test_zero_correlation_infinite(self):
+        assert math.isinf(correlation_to_distance(0.0))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_to_distance(2.1)
+        with pytest.raises(ValueError):
+            correlation_to_distance(-0.1)
+
+    def test_inverse(self):
+        assert distance_to_correlation(correlation_to_distance(1.25)) == pytest.approx(1.25)
+
+    def test_infinite_distance_maps_to_zero(self):
+        assert distance_to_correlation(math.inf) == 0.0
+
+    def test_nonpositive_distance_rejected(self):
+        with pytest.raises(ValueError):
+            distance_to_correlation(0.0)
+
+
+@pytest.fixture
+def matrix() -> CorrelationMatrix:
+    # a and b always together; c sometimes with a; d alone.
+    return CorrelationMatrix(
+        {
+            "a": {0, 1, 2},
+            "b": {0, 1, 2},
+            "c": {2, 3},
+            "d": {4},
+        }
+    )
+
+
+class TestCorrelationMatrix:
+    def test_pairwise_value(self, matrix):
+        assert matrix.correlation_of("a", "b") == 2.0
+
+    def test_uncorrelated_pair_is_zero(self, matrix):
+        assert matrix.correlation_of("a", "d") == 0.0
+
+    def test_self_correlation_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.correlation_of("a", "a")
+
+    def test_unknown_key_raises(self, matrix):
+        with pytest.raises(KeyError):
+            matrix.correlation_of("a", "ghost")
+
+    def test_distance_of(self, matrix):
+        assert matrix.distance_of("a", "b") == 0.5
+        assert math.isinf(matrix.distance_of("a", "d"))
+
+    def test_neighbors(self, matrix):
+        assert matrix.neighbors("a") == {"b", "c"}
+        assert matrix.neighbors("d") == set()
+
+    def test_empty_group_set_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelationMatrix({"a": set()})
+
+    def test_connected_components(self, matrix):
+        components = sorted(
+            matrix.connected_components(), key=lambda c: sorted(c)[0]
+        )
+        assert components == [{"a", "b", "c"}, {"d"}]
+
+    def test_finite_pairs_listing(self, matrix):
+        pairs = {(a, b) for a, b, _ in matrix.finite_pairs()}
+        assert pairs == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_len(self, matrix):
+        assert len(matrix) == 4
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from("abcdef"),
+        st.sets(st.integers(min_value=0, max_value=10), min_size=1),
+        min_size=2,
+    )
+)
+def test_property_correlation_bounds_and_symmetry(key_groups):
+    matrix = CorrelationMatrix(key_groups)
+    keys = matrix.keys
+    for i, key_a in enumerate(keys):
+        for key_b in keys[i + 1:]:
+            value = matrix.correlation_of(key_a, key_b)
+            assert 0.0 <= value <= 2.0
+            assert value == matrix.correlation_of(key_b, key_a)
+            # matrix agrees with the direct metric
+            expected = correlation(key_groups[key_a], key_groups[key_b])
+            assert value == pytest.approx(expected)

@@ -1,0 +1,71 @@
+"""Tests for the dendrogram and threshold pruning."""
+
+import pytest
+
+from repro.core.dendrogram import Dendrogram, Merge
+
+
+def merge(left, right, distance):
+    left, right = frozenset(left), frozenset(right)
+    return Merge(left=left, right=right, distance=distance, members=left | right)
+
+
+class TestValidation:
+    def test_rejects_decreasing_distances(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Dendrogram(
+                {"a", "b", "c"},
+                [merge("a", "b", 1.0), merge("ab", "c", 0.5)],
+            )
+
+    def test_rejects_inconsistent_members(self):
+        bad = Merge(
+            left=frozenset("a"),
+            right=frozenset("b"),
+            distance=0.5,
+            members=frozenset("abc"),
+        )
+        with pytest.raises(ValueError, match="union"):
+            Dendrogram({"a", "b", "c"}, [bad])
+
+
+class TestCut:
+    @pytest.fixture
+    def dendrogram(self) -> Dendrogram:
+        return Dendrogram(
+            {"a", "b", "c", "d"},
+            [
+                merge("a", "b", 0.5),
+                merge(("a", "b"), ("c",), 0.8),
+            ],
+        )
+
+    def test_cut_below_everything_gives_singletons(self, dendrogram):
+        clusters = dendrogram.cut(0.4)
+        assert all(len(c) == 1 for c in clusters)
+        assert len(clusters) == 4
+
+    def test_cut_applies_merges_up_to_threshold(self, dendrogram):
+        clusters = dendrogram.cut(0.5)
+        assert frozenset({"a", "b"}) in clusters
+        assert frozenset({"c"}) in clusters
+
+    def test_cut_at_higher_threshold(self, dendrogram):
+        clusters = dendrogram.cut(1.0)
+        assert frozenset({"a", "b", "c"}) in clusters
+        assert frozenset({"d"}) in clusters
+
+    def test_cut_ordering_big_first(self, dendrogram):
+        clusters = dendrogram.cut(1.0)
+        assert clusters[0] == frozenset({"a", "b", "c"})
+
+    def test_cut_threshold_boundary_inclusive(self, dendrogram):
+        assert frozenset({"a", "b"}) in dendrogram.cut(0.5)
+
+    def test_items_never_lost(self, dendrogram):
+        for threshold in (0.0, 0.5, 0.8, 2.0):
+            clusters = dendrogram.cut(threshold)
+            assert sorted(k for c in clusters for k in c) == ["a", "b", "c", "d"]
+
+    def test_merge_distances(self, dendrogram):
+        assert dendrogram.merge_distances() == [0.5, 0.8]

@@ -1,0 +1,88 @@
+"""Tests for the end-to-end clustering pipeline options."""
+
+import pytest
+
+from repro.core.pipeline import (
+    cluster_settings,
+    rebuild_cluster,
+    singleton_clusters,
+)
+from repro.exceptions import OcastaError
+from repro.ttkv.store import TTKV
+
+
+@pytest.fixture
+def mixed_store() -> TTKV:
+    store = TTKV()
+    # app A: a pair always co-written
+    for t in (10.0, 500.0, 900.0):
+        store.record_write("appA/x", t, t)
+        store.record_write("appA/y", t, t)
+    # app B: a lone key
+    store.record_write("appB/z", 1, 200.0)
+    # a read-only key that must never appear in clusters
+    store.record_read("appA/readonly", 50.0)
+    return store
+
+
+class TestClusterSettings:
+    def test_defaults(self, mixed_store):
+        clusters = cluster_settings(mixed_store)
+        assert clusters.window == 1.0
+        assert clusters.correlation_threshold == 2.0
+        assert clusters.cluster_of("appA/x") is clusters.cluster_of("appA/y")
+
+    def test_read_only_keys_excluded(self, mixed_store):
+        clusters = cluster_settings(mixed_store)
+        assert "appA/readonly" not in clusters
+
+    def test_key_filter(self, mixed_store):
+        clusters = cluster_settings(mixed_store, key_filter="appA/")
+        assert "appB/z" not in clusters
+        assert "appA/x" in clusters
+
+    def test_bucket_grouping(self, mixed_store):
+        clusters = cluster_settings(mixed_store, grouping="buckets")
+        assert clusters.cluster_of("appA/x") is clusters.cluster_of("appA/y")
+
+    def test_unknown_grouping_rejected(self, mixed_store):
+        with pytest.raises(ValueError):
+            cluster_settings(mixed_store, grouping="magic")
+
+    def test_unknown_linkage_rejected(self, mixed_store):
+        with pytest.raises(ValueError):
+            cluster_settings(mixed_store, linkage="ward")
+
+    def test_empty_store(self):
+        clusters = cluster_settings(TTKV())
+        assert len(clusters) == 0
+
+    def test_threshold_forwarded(self, mixed_store):
+        # co-modify x with z exactly once: below threshold 2, above ~0.6
+        mixed_store.record_write("appA/x", 99, 2000.0)
+        mixed_store.record_write("appB/z", 99, 2000.0)
+        strict = cluster_settings(mixed_store, correlation_threshold=2.0)
+        assert strict.cluster_of("appA/x") is not strict.cluster_of("appB/z")
+
+
+class TestSingletonClusters:
+    def test_every_modified_key_alone(self, mixed_store):
+        clusters = singleton_clusters(mixed_store)
+        assert all(c.is_singleton() for c in clusters)
+        assert sorted(clusters.keys()) == ["appA/x", "appA/y", "appB/z"]
+
+    def test_key_filter(self, mixed_store):
+        clusters = singleton_clusters(mixed_store, key_filter="appB/")
+        assert clusters.keys() == ["appB/z"]
+
+
+class TestRebuildCluster:
+    def test_finds_exact_cluster(self, mixed_store):
+        clusters = cluster_settings(mixed_store)
+        cluster = rebuild_cluster(clusters, frozenset({"appA/x", "appA/y"}))
+        assert cluster.keys == {"appA/x", "appA/y"}
+
+    def test_missing_cluster_raises(self, mixed_store):
+        clusters = cluster_settings(mixed_store)
+        with pytest.raises(LookupError):
+            rebuild_cluster(clusters, frozenset({"appA/x", "appB/z"}))

@@ -1,0 +1,119 @@
+"""Cross-module property tests on the core invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cluster_model import Cluster, cluster_versions
+from repro.core.correlation import CorrelationMatrix
+from repro.core.pipeline import cluster_settings
+from repro.core.search import (
+    SearchStrategy,
+    candidate_versions,
+    search_order,
+    total_candidates,
+)
+from repro.core.windowing import extract_write_groups, key_group_sets
+from repro.ttkv.store import DELETED, TTKV
+
+# modification streams over a small key alphabet
+_events = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=5000, allow_nan=False),
+        st.sampled_from(["k0", "k1", "k2", "k3"]),
+        st.one_of(st.integers(min_value=0, max_value=9), st.just(DELETED)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(_events)
+@settings(max_examples=60, deadline=None)
+def test_cluster_versions_match_value_at(events):
+    """Every cluster version's values equal value_at at its timestamp."""
+    store = TTKV.from_events(events)
+    keys = frozenset(store.keys())
+    cluster = Cluster(cluster_id=0, keys=keys)
+    for version in cluster_versions(store, cluster):
+        for key, value in version.values.items():
+            assert store.value_at(key, version.timestamp) == value
+
+
+@given(_events)
+@settings(max_examples=60, deadline=None)
+def test_cluster_versions_strictly_distinct(events):
+    """Consecutive versions always differ (rewrites are coalesced)."""
+    store = TTKV.from_events(events)
+    cluster = Cluster(cluster_id=0, keys=frozenset(store.keys()))
+    versions = cluster_versions(store, cluster)
+    for earlier, later in zip(versions, versions[1:]):
+        assert earlier.values != later.values
+        assert earlier.timestamp < later.timestamp
+
+
+@given(_events, st.floats(min_value=0, max_value=5000, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_search_strategies_enumerate_identical_candidate_sets(events, start):
+    store = TTKV.from_events(events)
+    clusters = [
+        Cluster(cluster_id=i, keys=frozenset((key,)))
+        for i, key in enumerate(sorted(store.keys()))
+    ]
+    versions = candidate_versions(store, clusters, start=start)
+    dfs = list(search_order(clusters, versions, SearchStrategy.DFS))
+    bfs = list(search_order(clusters, versions, SearchStrategy.BFS))
+    assert len(dfs) == len(bfs) == total_candidates(versions)
+    as_set = lambda seq: {
+        (c.cluster.cluster_id, c.version.timestamp) for c in seq
+    }
+    assert as_set(dfs) == as_set(bfs)
+
+
+@given(_events)
+@settings(max_examples=40, deadline=None)
+def test_clustering_partitions_modified_keys(events):
+    """cluster_settings covers every modified key exactly once."""
+    store = TTKV.from_events(events)
+    clusters = cluster_settings(store)
+    clustered = sorted(k for c in clusters for k in c.keys)
+    assert clustered == sorted(store.modified_keys())
+
+
+@given(_events, st.sampled_from([0.5, 1.0, 1.5, 2.0]))
+@settings(max_examples=40, deadline=None)
+def test_lower_threshold_coarsens_partition(events, threshold):
+    """Clusters at threshold 2 refine the clusters at any lower threshold.
+
+    Complete-linkage cuts are nested: everything merged by distance d is
+    still merged at distance d' > d.
+    """
+    store = TTKV.from_events(events)
+    strict = cluster_settings(store, correlation_threshold=2.0)
+    loose = cluster_settings(store, correlation_threshold=threshold)
+    for cluster in strict:
+        # each strict cluster must sit inside exactly one loose cluster
+        homes = {loose.cluster_of(key).cluster_id for key in cluster.keys}
+        assert len(homes) == 1
+
+
+@given(_events)
+@settings(max_examples=40, deadline=None)
+def test_window_zero_groups_at_most_window_one(events):
+    """Write groups at window 0 refine the groups at window 1."""
+    store = TTKV.from_events(events)
+    zero = extract_write_groups(store.write_events(), 0.0)
+    one = extract_write_groups(store.write_events(), 1.0)
+    assert len(zero) >= len(one)
+    # correlations can only grow with the window for co-written pairs
+    kg_zero = key_group_sets(zero)
+    kg_one = key_group_sets(one)
+    if len(kg_zero) >= 2:
+        m0 = CorrelationMatrix(kg_zero)
+        m1 = CorrelationMatrix(kg_one)
+        keys = sorted(kg_zero)
+        for i, a in enumerate(keys):
+            for b in keys[i + 1:]:
+                if m0.correlation_of(a, b) == 2.0:
+                    # always-together at window 0 stays positive at 1
+                    assert m1.correlation_of(a, b) > 0.0

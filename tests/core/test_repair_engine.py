@@ -1,0 +1,184 @@
+"""Tests for the substrate-agnostic repair engine."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.core.cluster_model import Cluster, ClusterVersion
+from repro.core.repair import RepairEngine, RepairOutcome, apply_permanent_fix
+from repro.core.search import Candidate
+
+
+def _candidate(cid, t, values):
+    return Candidate(
+        cluster=Cluster(cluster_id=cid, keys=frozenset(values)),
+        version=ClusterVersion(timestamp=t, values=values),
+        cluster_rank=cid,
+        version_rank=0,
+    )
+
+
+class _World:
+    """A two-setting world whose trial 'renders' the sandboxed config."""
+
+    def __init__(self):
+        self.live = {"mode": "broken", "level": 0}
+
+    def execute_trial(self, plan):
+        # Sandbox semantics: the rollback applies to a copy of the live
+        # state; the live store itself is never touched by a trial.
+        state = dict(self.live)
+        if plan is not None:
+            state.update(plan.assignments)
+        return tuple(sorted(state.items()))
+
+    def set(self, key, value):
+        self.live[key] = value
+
+    def delete(self, key):
+        self.live.pop(key, None)
+
+
+@pytest.fixture
+def world():
+    return _World()
+
+
+def is_fixed(screenshot):
+    return dict(screenshot).get("mode") == "good"
+
+
+class TestRepairEngine:
+    def test_finds_fix_and_stops(self, world):
+        engine = RepairEngine(world.execute_trial, is_fixed, trial_cost=10.0)
+        candidates = [
+            _candidate(1, 30.0, {"mode": "broken", "level": 5}),
+            _candidate(2, 20.0, {"mode": "good", "level": 3}),
+            _candidate(3, 10.0, {"mode": "good", "level": 1}),
+        ]
+        outcome = engine.run(iter(candidates))
+        assert outcome.fixed
+        assert outcome.trials_to_fix == 2
+        assert outcome.total_trials == 2
+        assert outcome.fix_candidate.cluster.cluster_id == 2
+
+    def test_exhaustive_continues_after_fix(self, world):
+        engine = RepairEngine(world.execute_trial, is_fixed)
+        candidates = [
+            _candidate(1, 30.0, {"mode": "good", "level": 3}),
+            _candidate(2, 20.0, {"mode": "broken", "level": 9}),
+        ]
+        outcome = engine.run(iter(candidates), exhaustive=True)
+        assert outcome.fixed
+        assert outcome.trials_to_fix == 1
+        assert outcome.total_trials == 2
+
+    def test_no_fix(self, world):
+        engine = RepairEngine(world.execute_trial, is_fixed)
+        outcome = engine.run(
+            [_candidate(1, 10.0, {"mode": "broken", "level": 2})]
+        )
+        assert not outcome.fixed
+        assert outcome.trials_to_fix is None
+        assert outcome.fix_plan is None
+
+    def test_screenshot_dedup_counts_unique(self, world):
+        engine = RepairEngine(world.execute_trial, is_fixed)
+        same = {"mode": "broken", "level": 5}
+        candidates = [
+            _candidate(1, 30.0, dict(same)),
+            _candidate(2, 20.0, dict(same)),  # identical screenshot
+            _candidate(3, 10.0, {"mode": "broken", "level": 6}),
+        ]
+        outcome = engine.run(iter(candidates), exhaustive=True)
+        assert outcome.total_trials == 3
+        assert outcome.unique_screenshots == 2
+
+    def test_erroneous_screenshot_discarded(self, world):
+        engine = RepairEngine(world.execute_trial, is_fixed)
+        # candidate state identical to the erroneous baseline
+        candidates = [_candidate(1, 9.0, {"mode": "broken", "level": 0})]
+        outcome = engine.run(iter(candidates), exhaustive=True)
+        assert outcome.unique_screenshots == 0
+
+    def test_clock_advances_per_trial(self, world):
+        clock = SimClock()
+        engine = RepairEngine(
+            world.execute_trial, is_fixed, clock=clock, trial_cost=7.0
+        )
+        engine.run(
+            [
+                _candidate(1, 30.0, {"mode": "broken", "level": 1}),
+                _candidate(2, 20.0, {"mode": "broken", "level": 2}),
+            ],
+            exhaustive=True,
+        )
+        assert clock.now() == 14.0
+
+    def test_time_to_fix_vs_total_time(self, world):
+        engine = RepairEngine(world.execute_trial, is_fixed, trial_cost=10.0)
+        candidates = [
+            _candidate(1, 30.0, {"mode": "good", "level": 3}),
+            _candidate(2, 20.0, {"mode": "broken", "level": 9}),
+            _candidate(3, 10.0, {"mode": "broken", "level": 8}),
+        ]
+        outcome = engine.run(iter(candidates), exhaustive=True)
+        assert outcome.time_to_fix == 10.0
+        assert outcome.total_time == 30.0
+
+    def test_callable_cost_model(self, world):
+        clock = SimClock()
+        engine = RepairEngine(
+            world.execute_trial,
+            is_fixed,
+            clock=clock,
+            trial_cost=lambda c: float(c.cluster.cluster_id),
+        )
+        engine.run(
+            [
+                _candidate(2, 30.0, {"mode": "broken", "level": 1}),
+                _candidate(3, 20.0, {"mode": "broken", "level": 2}),
+            ],
+            exhaustive=True,
+        )
+        assert clock.now() == 5.0
+
+    def test_negative_cost_rejected(self, world):
+        with pytest.raises(ValueError):
+            RepairEngine(world.execute_trial, is_fixed, trial_cost=-1.0)
+
+
+class TestApplyPermanentFix:
+    def test_applies_plan_to_store(self, world):
+        engine = RepairEngine(world.execute_trial, is_fixed)
+        outcome = engine.run(
+            [_candidate(1, 30.0, {"mode": "good", "level": 3})]
+        )
+        apply_permanent_fix(outcome, world)
+        assert world.live["mode"] == "good"
+
+    def test_no_fix_raises(self):
+        with pytest.raises(ValueError):
+            apply_permanent_fix(RepairOutcome(), None)
+
+
+class TestScreensAtFix:
+    def test_exhaustive_gallery_keeps_growing_after_fix(self, world):
+        engine = RepairEngine(world.execute_trial, is_fixed)
+        candidates = [
+            _candidate(1, 30.0, {"mode": "good", "level": 3}),
+            _candidate(2, 20.0, {"mode": "broken", "level": 9}),
+            _candidate(3, 10.0, {"mode": "broken", "level": 8}),
+        ]
+        outcome = engine.run(iter(candidates), exhaustive=True)
+        # The user examined one screenshot (the fix was the first unique
+        # one); the exhaustive walk recorded two more afterwards.
+        assert outcome.unique_screenshots == 1
+        assert outcome.total_unique_screenshots == 3
+
+    def test_failed_search_reports_everything(self, world):
+        engine = RepairEngine(world.execute_trial, is_fixed)
+        outcome = engine.run(
+            [_candidate(1, 10.0, {"mode": "broken", "level": 2})]
+        )
+        assert outcome.screens_at_fix is None
+        assert outcome.unique_screenshots == outcome.total_unique_screenshots

@@ -1,0 +1,95 @@
+"""Tests for DFS/BFS candidate enumeration."""
+
+import pytest
+
+from repro.core.cluster_model import Cluster, ClusterVersion
+from repro.core.search import (
+    Candidate,
+    SearchStrategy,
+    candidate_versions,
+    search_order,
+    total_candidates,
+)
+from repro.ttkv.store import TTKV
+
+
+def _cluster(cid, *keys):
+    return Cluster(cluster_id=cid, keys=frozenset(keys))
+
+
+def _version(t):
+    return ClusterVersion(timestamp=t, values={"k": t})
+
+
+@pytest.fixture
+def two_clusters():
+    c1 = _cluster(1, "a")
+    c2 = _cluster(2, "b")
+    versions = {
+        1: [_version(30.0), _version(20.0), _version(10.0)],
+        2: [_version(25.0), _version(5.0)],
+    }
+    return [c1, c2], versions
+
+
+class TestSearchOrder:
+    def test_dfs_exhausts_cluster_first(self, two_clusters):
+        clusters, versions = two_clusters
+        order = list(search_order(clusters, versions, SearchStrategy.DFS))
+        ids = [(c.cluster.cluster_id, c.version.timestamp) for c in order]
+        assert ids == [(1, 30.0), (1, 20.0), (1, 10.0), (2, 25.0), (2, 5.0)]
+
+    def test_bfs_round_robins_depth(self, two_clusters):
+        clusters, versions = two_clusters
+        order = list(search_order(clusters, versions, SearchStrategy.BFS))
+        ids = [(c.cluster.cluster_id, c.version.timestamp) for c in order]
+        assert ids == [(1, 30.0), (2, 25.0), (1, 20.0), (2, 5.0), (1, 10.0)]
+
+    def test_both_strategies_cover_all_candidates(self, two_clusters):
+        clusters, versions = two_clusters
+        dfs = {
+            (c.cluster.cluster_id, c.version.timestamp)
+            for c in search_order(clusters, versions, SearchStrategy.DFS)
+        }
+        bfs = {
+            (c.cluster.cluster_id, c.version.timestamp)
+            for c in search_order(clusters, versions, SearchStrategy.BFS)
+        }
+        assert dfs == bfs
+        assert len(dfs) == total_candidates(versions)
+
+    def test_ranks_recorded(self, two_clusters):
+        clusters, versions = two_clusters
+        first = next(iter(search_order(clusters, versions, SearchStrategy.DFS)))
+        assert first.cluster_rank == 0
+        assert first.version_rank == 0
+
+    def test_empty_versions(self):
+        cluster = _cluster(1, "a")
+        order = list(search_order([cluster], {1: []}, SearchStrategy.DFS))
+        assert order == []
+
+    def test_empty_clusters(self):
+        assert list(search_order([], {}, SearchStrategy.BFS)) == []
+
+
+class TestCandidateVersions:
+    def test_versions_newest_first(self):
+        store = TTKV()
+        store.record_write("a", 1, 10.0)
+        store.record_write("a", 2, 20.0)
+        cluster = _cluster(7, "a")
+        versions = candidate_versions(store, [cluster])
+        assert [v.timestamp for v in versions[7]] == [20.0, 10.0]
+
+    def test_bounds_forwarded(self):
+        store = TTKV()
+        for t in (10.0, 20.0, 30.0, 40.0):
+            store.record_write("a", t, t)
+        cluster = _cluster(7, "a")
+        versions = candidate_versions(store, [cluster], start=20.0, end=30.0)
+        # 30, 20, plus the pre-start snapshot at 10
+        assert [v.timestamp for v in versions[7]] == [30.0, 20.0, 10.0]
+
+    def test_total_candidates(self):
+        assert total_candidates({1: [_version(1.0)], 2: []}) == 1

@@ -1,0 +1,65 @@
+"""Tests for cluster search prioritisation."""
+
+import pytest
+
+from repro.core.cluster_model import ClusterSet
+from repro.core.sorting import (
+    SORT_MODCOUNT,
+    SORT_NONE,
+    SORT_RECENCY,
+    sort_clusters_for_search,
+)
+from repro.ttkv.store import TTKV
+
+
+@pytest.fixture
+def store() -> TTKV:
+    store = TTKV()
+    # "hot" modified 5 times, recently; "cold" once, long ago;
+    # "mid" twice, most recently of all.
+    for t in (10.0, 20.0, 30.0, 40.0, 50.0):
+        store.record_write("hot", t, t)
+    store.record_write("cold", 1, 5.0)
+    store.record_write("mid", 1, 15.0)
+    store.record_write("mid", 2, 60.0)
+    return store
+
+
+@pytest.fixture
+def clusters() -> ClusterSet:
+    return ClusterSet.from_key_sets(
+        [frozenset({"hot"}), frozenset({"cold"}), frozenset({"mid"})],
+        window=1.0,
+        correlation_threshold=2.0,
+    )
+
+
+class TestSortPolicies:
+    def test_modcount_ascending(self, clusters, store):
+        ordered = sort_clusters_for_search(clusters, store, SORT_MODCOUNT)
+        names = [next(iter(c.keys)) for c in ordered]
+        assert names == ["cold", "mid", "hot"]
+
+    def test_modcount_tie_break_recent_first(self, store, clusters):
+        store.record_write("cold", 2, 100.0)  # now cold has 2 mods like mid
+        ordered = sort_clusters_for_search(clusters, store, SORT_MODCOUNT)
+        names = [next(iter(c.keys)) for c in ordered]
+        assert names == ["cold", "mid", "hot"]  # cold @100 beats mid @60
+
+    def test_recency_policy(self, clusters, store):
+        ordered = sort_clusters_for_search(clusters, store, SORT_RECENCY)
+        names = [next(iter(c.keys)) for c in ordered]
+        assert names == ["mid", "hot", "cold"]
+
+    def test_none_policy_keeps_input_order(self, clusters, store):
+        ordered = sort_clusters_for_search(clusters, store, SORT_NONE)
+        assert ordered == clusters.clusters
+
+    def test_unknown_policy_rejected(self, clusters, store):
+        with pytest.raises(ValueError):
+            sort_clusters_for_search(clusters, store, "alphabetical")
+
+    def test_deterministic(self, clusters, store):
+        a = sort_clusters_for_search(clusters, store)
+        b = sort_clusters_for_search(clusters, store)
+        assert [c.cluster_id for c in a] == [c.cluster_id for c in b]

@@ -1,0 +1,138 @@
+"""Tests for sliding-window write-group extraction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.windowing import (
+    extract_fixed_buckets,
+    extract_write_groups,
+    key_group_sets,
+)
+
+
+def _events(*specs):
+    return [(t, k, f"v@{t}") for t, k in specs]
+
+
+class TestSlidingWindow:
+    def test_empty(self):
+        assert extract_write_groups([], 1.0) == []
+
+    def test_single_event(self):
+        groups = extract_write_groups(_events((5.0, "a")), 1.0)
+        assert len(groups) == 1
+        assert groups[0].keys == {"a"}
+
+    def test_events_within_window_grouped(self):
+        groups = extract_write_groups(
+            _events((1.0, "a"), (1.5, "b"), (2.2, "c")), 1.0
+        )
+        assert len(groups) == 1
+        assert groups[0].keys == {"a", "b", "c"}
+
+    def test_gap_larger_than_window_splits(self):
+        groups = extract_write_groups(_events((1.0, "a"), (3.0, "b")), 1.0)
+        assert len(groups) == 2
+
+    def test_window_slides_with_latest_event(self):
+        """A chain of events each within the window of its predecessor is
+        one group even when it spans much more than one window overall."""
+        chain = _events(*((float(i) * 0.9, "k") for i in range(10)))
+        groups = extract_write_groups(chain, 1.0)
+        assert len(groups) == 1
+        assert groups[0].end - groups[0].start > 1.0
+
+    def test_gap_exactly_window_is_grouped(self):
+        groups = extract_write_groups(_events((1.0, "a"), (2.0, "b")), 1.0)
+        assert len(groups) == 1
+
+    def test_zero_window_groups_identical_timestamps_only(self):
+        groups = extract_write_groups(
+            _events((1.0, "a"), (1.0, "b"), (1.5, "c")), 0.0
+        )
+        assert [g.keys for g in groups] == [{"a", "b"}, {"c"}]
+
+    def test_duplicate_key_in_group_counted_once(self):
+        groups = extract_write_groups(_events((1.0, "a"), (1.2, "a")), 1.0)
+        assert len(groups) == 1
+        assert len(groups[0]) == 1
+        assert len(groups[0].events) == 2
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            extract_write_groups([], -1.0)
+
+    def test_unsorted_events_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            extract_write_groups(_events((2.0, "a"), (1.0, "b")), 1.0)
+
+    def test_group_contains_membership(self):
+        group = extract_write_groups(_events((1.0, "a")), 1.0)[0]
+        assert "a" in group
+        assert "b" not in group
+
+
+class TestFixedBuckets:
+    def test_buckets_are_aligned(self):
+        # 0.9 and 1.1 are in different width-1 buckets even though only
+        # 0.2 s apart — the difference from the sliding variant.
+        groups = extract_fixed_buckets(_events((0.9, "a"), (1.1, "b")), 1.0)
+        assert len(groups) == 2
+
+    def test_same_bucket_grouped(self):
+        groups = extract_fixed_buckets(_events((1.0, "a"), (1.9, "b")), 1.0)
+        assert len(groups) == 1
+
+    def test_zero_window_falls_back(self):
+        groups = extract_fixed_buckets(_events((1.0, "a"), (1.0, "b")), 0.0)
+        assert len(groups) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            extract_fixed_buckets([], -0.5)
+
+
+class TestKeyGroupSets:
+    def test_maps_keys_to_group_indices(self):
+        groups = extract_write_groups(
+            _events((1.0, "a"), (1.5, "b"), (10.0, "a")), 1.0
+        )
+        sets = key_group_sets(groups)
+        assert sets == {"a": {0, 1}, "b": {0}}
+
+    def test_empty(self):
+        assert key_group_sets([]) == {}
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.sampled_from("abc"),
+        ),
+        max_size=40,
+    ),
+    st.floats(min_value=0, max_value=5, allow_nan=False),
+)
+def test_property_groups_partition_events(specs, window):
+    """Write groups partition the event list: no loss, no duplication."""
+    events = sorted(((t, k, None) for t, k in specs), key=lambda e: e[0])
+    groups = extract_write_groups(events, window)
+    flattened = [e for g in groups for e in g.events]
+    assert flattened == events
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.sampled_from("abc"),
+        ),
+        max_size=40,
+    )
+)
+def test_property_wider_window_never_more_groups(specs):
+    events = sorted(((t, k, None) for t, k in specs), key=lambda e: e[0])
+    narrow = extract_write_groups(events, 0.5)
+    wide = extract_write_groups(events, 5.0)
+    assert len(wide) <= len(narrow)

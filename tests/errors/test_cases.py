@@ -1,0 +1,113 @@
+"""Tests for the 16 Table III error case definitions."""
+
+import pytest
+
+from repro.apps.catalog import create_app
+from repro.errors.cases import ERROR_CASES, case_by_id
+from repro.repair.replay import replay_trial
+from repro.repair.trial import Trial
+from repro.ttkv.store import DELETED
+from repro.workload.machines import profile_by_name
+
+
+class TestCatalogue:
+    def test_sixteen_cases(self):
+        assert len(ERROR_CASES) == 16
+        assert [c.case_id for c in ERROR_CASES] == list(range(1, 17))
+
+    def test_lookup(self):
+        assert case_by_id(15).app_name == "Acrobat Reader"
+
+    def test_unknown_id(self):
+        with pytest.raises(ValueError):
+            case_by_id(17)
+
+    def test_multi_key_cases_match_table4(self):
+        noclust_failures = {c.case_id for c in ERROR_CASES if c.multi_key}
+        assert noclust_failures == {2, 4, 6, 7, 9}
+
+    def test_tuned_cases_match_paper(self):
+        tuned = {
+            c.case_id for c in ERROR_CASES
+            if c.tuned_window or c.tuned_threshold
+        }
+        assert tuned == {2, 4}
+
+    def test_trace_names_exist(self):
+        for case in ERROR_CASES:
+            profile = profile_by_name(case.trace_name)
+            assert case.app_name in profile.apps, case.case_id
+
+    def test_loggers_match_store_kinds(self):
+        kind_by_logger = {"Registry": "registry", "GConf": "gconf", "File": "file"}
+        for case in ERROR_CASES:
+            app = create_app(case.app_name)
+            assert app.store_kind == kind_by_logger[case.logger], case.case_id
+
+    def test_spurious_options_present(self):
+        for case in ERROR_CASES:
+            assert len(case.spurious_options) == 2, case.case_id
+
+
+def _apply_assignments(app, assignments):
+    for local, value in assignments.items():
+        store_key = app.store_key(local)
+        if value is DELETED:
+            app.store._data.pop(store_key, None)
+        else:
+            app.store._data[store_key] = value
+
+
+@pytest.mark.parametrize("case", ERROR_CASES, ids=lambda c: f"case{c.case_id}")
+class TestCaseSemantics:
+    def test_injection_keys_in_schema(self, case):
+        app = create_app(case.app_name)
+        for local in case.injection:
+            assert local in app.schema, local
+
+    def test_good_state_renders_fixed(self, case):
+        app = create_app(case.app_name)
+        _apply_assignments(app, case.good_values)
+        shot = replay_trial(app, Trial.record(case.app_name, list(case.trial_actions)))
+        assert case.fixed(shot), f"case {case.case_id} good state not fixed"
+
+    def test_injected_state_renders_symptom(self, case):
+        app = create_app(case.app_name)
+        _apply_assignments(app, case.good_values)
+        _apply_assignments(app, case.injection)
+        shot = replay_trial(app, Trial.record(case.app_name, list(case.trial_actions)))
+        assert case.symptomatic(shot), f"case {case.case_id} symptom missing"
+
+    def test_spurious_options_keep_symptom(self, case):
+        for option in case.spurious_options:
+            app = create_app(case.app_name)
+            _apply_assignments(app, case.good_values)
+            _apply_assignments(app, case.injection)
+            _apply_assignments(app, option)
+            shot = replay_trial(
+                app, Trial.record(case.app_name, list(case.trial_actions))
+            )
+            assert case.symptomatic(shot), (
+                f"case {case.case_id}: spurious option {option} cured the error"
+            )
+
+    def test_multi_key_errors_resist_single_key_rollback(self, case):
+        """For the five NoClust-failing cases, restoring any single
+        offending setting alone must not remove the symptom."""
+        if not case.multi_key:
+            pytest.skip("single-key case")
+        for local in case.injection:
+            app = create_app(case.app_name)
+            _apply_assignments(app, case.good_values)
+            _apply_assignments(app, case.injection)
+            # roll back one key to its good value
+            good = dict(case.good_values)
+            if local in good:
+                _apply_assignments(app, {local: good[local]})
+            shot = replay_trial(
+                app, Trial.record(case.app_name, list(case.trial_actions))
+            )
+            assert case.symptomatic(shot), (
+                f"case {case.case_id}: single-key rollback of {local} "
+                "unexpectedly fixed the error"
+            )

@@ -1,0 +1,110 @@
+"""Tests for trace rewriting and error injection."""
+
+import pytest
+
+from repro.apps.catalog import create_app
+from repro.errors.injection import inject_events, rebuild_with_error, sync_app_store
+from repro.exceptions import InjectionError
+from repro.ttkv.store import DELETED, TTKV
+
+
+@pytest.fixture
+def base_store() -> TTKV:
+    store = TTKV()
+    store.record_write("k", "good", 100.0)
+    store.record_write("k", "better", 200.0)
+    store.record_write("other", 1, 150.0)
+    store.record_reads("k", 7)
+    return store
+
+
+class TestInjectEvents:
+    def test_merges_new_events_in_order(self, base_store):
+        rebuilt = inject_events(base_store, [(175.0, "k", "mid")])
+        values = [v.value for v in rebuilt.history("k")]
+        assert values == ["good", "mid", "better"]
+
+    def test_drop_after_removes_later_writes(self, base_store):
+        rebuilt = inject_events(
+            base_store, [(175.0, "k", "bad")], drop_after={"k": 175.0}
+        )
+        assert rebuilt.current_value("k") == "bad"
+
+    def test_drop_only_affects_named_keys(self, base_store):
+        rebuilt = inject_events(base_store, [], drop_after={"k": 0.0})
+        assert "other" in rebuilt
+        assert rebuilt.current_value("other") == 1
+
+    def test_read_counters_preserved(self, base_store):
+        rebuilt = inject_events(base_store, [(175.0, "k", "x")])
+        assert rebuilt.record_for("k").reads == 7
+
+    def test_deletion_events(self, base_store):
+        rebuilt = inject_events(base_store, [(300.0, "k", DELETED)])
+        assert rebuilt.current_value("k") is DELETED
+
+
+class TestRebuildWithError:
+    def test_injects_error_as_current_value(self, base_store):
+        rebuilt = rebuild_with_error(base_store, {"k": "broken"}, 150.0)
+        assert rebuilt.current_value("k") == "broken"
+        assert rebuilt.value_at("k", 149.0) == "good"
+
+    def test_seed_events_included(self, base_store):
+        rebuilt = rebuild_with_error(
+            base_store,
+            {"new_key": "broken"},
+            150.0,
+            seed_events=[(50.0, "new_key", "seeded")],
+        )
+        assert rebuilt.value_at("new_key", 60.0) == "seeded"
+
+    def test_empty_assignments_rejected(self, base_store):
+        with pytest.raises(InjectionError):
+            rebuild_with_error(base_store, {}, 150.0)
+
+    def test_injection_before_trace_rejected(self, base_store):
+        with pytest.raises(InjectionError):
+            rebuild_with_error(base_store, {"k": "x"}, 10.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(InjectionError):
+            rebuild_with_error(TTKV(), {"k": "x"}, 10.0)
+
+
+class TestSyncAppStore:
+    def test_sets_live_values(self):
+        app = create_app("Chrome Browser")
+        key = app.canonical_key("bookmark_bar/show_on_all_tabs")
+        store = TTKV()
+        store.record_write(key, False, 10.0)
+        sync_app_store(app, store)
+        assert app.value("bookmark_bar/show_on_all_tabs") is False
+
+    def test_deletion_removes_from_live_store(self):
+        app = create_app("MS Word")
+        key = app.canonical_key("Options/MaxDisplay")
+        store = TTKV()
+        store.record_write(key, 5, 10.0)
+        store.record_delete(key, 20.0)
+        sync_app_store(app, store)
+        assert app.value("Options/MaxDisplay") is None
+
+    def test_foreign_keys_ignored(self):
+        app = create_app("Chrome Browser")
+        store = TTKV()
+        store.record_write("/apps/evolution/mail/mark_seen", False, 10.0)
+        before = app.store.as_dict()
+        sync_app_store(app, store)
+        assert app.store.as_dict() == before
+
+    def test_sync_is_silent(self):
+        app = create_app("Chrome Browser")
+        seen = []
+        app.store.subscribe(seen.append)
+        store = TTKV()
+        store.record_write(
+            app.canonical_key("bookmark_bar/show_on_all_tabs"), False, 10.0
+        )
+        sync_app_store(app, store)
+        assert seen == []

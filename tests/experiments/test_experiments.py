@@ -1,0 +1,122 @@
+"""Tests for the experiment drivers (reduced-scale runs).
+
+The full-scale shapes are asserted by the benchmark suite; these tests
+exercise the drivers' plumbing quickly: parameterisation, rendering, and
+the structural integrity of their outputs.
+"""
+
+import pytest
+
+from repro.common.format import SECONDS_PER_DAY
+from repro.experiments.fig3 import render_fig3, run_fig3a, run_fig3b
+from repro.experiments.fig4 import render_fig4, run_fig4
+from repro.experiments.recovery import CaseResult, run_case, trace_for
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import evaluate_app, lab_profile, render_table2, run_table2
+from repro.experiments.table3 import render_table3
+from repro.errors.cases import ERROR_CASES, case_by_id
+from repro.workload.machines import profile_by_name
+
+
+class TestTable1Driver:
+    def test_single_profile_reduced(self):
+        results = run_table1(
+            profiles=(profile_by_name("Linux-2"),), days=10
+        )
+        assert len(results) == 1
+        stats, profile = results[0]
+        assert stats.name == "Linux-2"
+        assert stats.keys <= 35
+        assert "Linux-2" in render_table1(results)
+
+    def test_scale_parameter(self):
+        full = run_table1(profiles=(profile_by_name("Linux-2"),), days=10)
+        tiny = run_table1(
+            profiles=(profile_by_name("Linux-2"),), days=10, scale=0.2
+        )
+        assert tiny[0][0].reads < full[0][0].reads
+
+
+class TestTable2Driver:
+    def test_lab_profile_shape(self):
+        profile = lab_profile("Chrome Browser", days=7)
+        assert profile.apps == ("Chrome Browser",)
+        assert profile.noise_keys == 0
+
+    def test_evaluate_app_reduced(self):
+        report = evaluate_app("Chrome Browser", days=8)
+        assert report.app_name == "Chrome Browser"
+        assert report.total_keys == 35
+
+    def test_run_table2_subset_render(self):
+        reports = [evaluate_app("Eye of GNOME", days=6)]
+        text = render_table2(reports)
+        assert "N/A" in text  # EOG has no multi clusters
+
+    def test_different_windows_change_clustering(self):
+        narrow = evaluate_app("Evolution Mail", days=10, window=0.0)
+        wide = evaluate_app("Evolution Mail", days=10, window=120.0)
+        assert narrow.total_clusters >= wide.total_clusters
+
+
+class TestTable3Driver:
+    def test_all_sixteen_rows(self):
+        text = render_table3()
+        for case in ERROR_CASES:
+            assert case.description in text
+
+
+class TestRecoveryDriver:
+    def test_trace_cache_reuses_instance(self):
+        trace_for.cache_clear()
+        a = trace_for("Linux-2")
+        b = trace_for("Linux-2")
+        assert a is b
+
+    def test_run_case_returns_scenario(self):
+        report, scenario = run_case(case_by_id(13))
+        assert scenario.case.case_id == 13
+        assert report.fixed
+
+    def test_start_bound_days_widens_search(self):
+        narrow, _ = run_case(case_by_id(13), start_bound_days=15, exhaustive=True)
+        wide, _ = run_case(case_by_id(13), start_bound_days=60, exhaustive=True)
+        assert wide.searched_candidates >= narrow.searched_candidates
+
+    def test_case_result_row_shape(self):
+        report, _ = run_case(case_by_id(13))
+        noclust, _ = run_case(case_by_id(13), use_clustering=False)
+        row = CaseResult(case_by_id(13), report, noclust).row()
+        assert row[0] == 13
+        assert row[5] in ("Y", "N")
+
+    def test_untuned_parameters_fail_case2(self):
+        """§VI-A(b): with the defaults, error #2's settings split across
+        clusters and the repair fails; the tuned parameters fix it."""
+        untuned, _ = run_case(case_by_id(2), use_tuned_parameters=False)
+        assert not untuned.fixed
+        tuned, _ = run_case(case_by_id(2), use_tuned_parameters=True)
+        assert tuned.fixed
+
+
+class TestFig3Driver:
+    def test_reduced_sweep(self):
+        windows, sizes = run_fig3a(
+            apps=("Chrome Browser",), windows=(0.0, 1.0), days=8
+        )
+        assert len(sizes) == 2
+        text = render_fig3("w", windows, sizes, "t")
+        assert "t" in text
+
+    def test_threshold_monotone_on_small_trace(self):
+        _, sizes = run_fig3b(
+            apps=("Chrome Browser",), thresholds=(0.5, 2.0), days=8
+        )
+        assert sizes[0] >= sizes[1]
+
+
+class TestFig4Driver:
+    def test_render_contains_paper_reference(self):
+        text = render_fig4(run_fig4(seed=2))
+        assert "paper: 1:74%" in text
+        assert "Figure 4" in text

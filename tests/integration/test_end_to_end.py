@@ -1,0 +1,148 @@
+"""End-to-end integration: trace -> clusters -> injected error -> repair.
+
+These use small single-app deployments so the whole pipeline runs in
+seconds while still crossing every module boundary: apps + stores +
+loggers -> TTKV -> windowing/correlation/HAC -> scenario injection ->
+sandboxed search -> fix.
+"""
+
+import pytest
+
+from repro.core.accuracy import evaluate_clustering
+from repro.core.pipeline import cluster_settings
+from repro.core.search import SearchStrategy
+from repro.errors.cases import case_by_id
+from repro.errors.scenario import prepare_scenario
+from repro.repair.controller import OcastaRepairTool
+from repro.repair.sandbox import Sandbox
+
+
+class TestClusteringPipeline:
+    def test_chrome_trace_clusters_are_plausible(self, chrome_trace):
+        app = chrome_trace.apps["Chrome Browser"]
+        clusters = cluster_settings(chrome_trace.ttkv, key_filter=app.key_prefix)
+        assert len(clusters) > 0
+        assert all(k.startswith(app.key_prefix) for k in clusters.keys())
+
+    def test_accuracy_report_runs(self, chrome_trace):
+        app = chrome_trace.apps["Chrome Browser"]
+        clusters = cluster_settings(chrome_trace.ttkv, key_filter=app.key_prefix)
+        report = evaluate_clustering(
+            app.name, clusters, app.canonical_ground_truth_groups(),
+            total_keys=len(app.schema),
+        )
+        assert report.total_keys == 35
+        if report.accuracy is not None:
+            assert 0.0 <= report.accuracy <= 1.0
+
+    def test_narrower_window_never_fewer_clusters(self, chrome_trace):
+        app = chrome_trace.apps["Chrome Browser"]
+        narrow = cluster_settings(
+            chrome_trace.ttkv, window=0.0, key_filter=app.key_prefix
+        )
+        wide = cluster_settings(
+            chrome_trace.ttkv, window=60.0, key_filter=app.key_prefix
+        )
+        assert len(wide) <= len(narrow)
+
+
+class TestRepairScenario:
+    @pytest.fixture()
+    def scenario(self, chrome_trace):
+        return prepare_scenario(chrome_trace, case_by_id(13), days_before_end=7)
+
+    def test_symptom_visible_after_injection(self, scenario):
+        shot = Sandbox(scenario.app).execute(scenario.trial, None)
+        assert scenario.case.symptomatic(shot)
+
+    def test_ocasta_fixes_the_error(self, scenario):
+        tool = OcastaRepairTool(scenario.app, scenario.ttkv)
+        report = tool.repair(
+            scenario.trial,
+            scenario.is_fixed,
+            start_time=scenario.injection_time,
+        )
+        assert report.fixed
+        bar = scenario.app.canonical_key("bookmark_bar/show_on_all_tabs")
+        assert bar in report.outcome.fix_plan.assignments
+
+    def test_fix_survives_application(self, scenario):
+        tool = OcastaRepairTool(scenario.app, scenario.ttkv)
+        report = tool.repair(
+            scenario.trial, scenario.is_fixed,
+            start_time=scenario.injection_time,
+        )
+        tool.apply_fix(report)
+        shot = Sandbox(scenario.app).execute(scenario.trial, None)
+        assert scenario.is_fixed(shot)
+
+    def test_bfs_and_dfs_agree_on_fixability(self, scenario):
+        for strategy in (SearchStrategy.DFS, SearchStrategy.BFS):
+            tool = OcastaRepairTool(scenario.app, scenario.ttkv)
+            report = tool.repair(
+                scenario.trial, scenario.is_fixed,
+                start_time=scenario.injection_time, strategy=strategy,
+            )
+            assert report.fixed, strategy
+
+    def test_spurious_writes_grow_the_candidate_pool(self, chrome_trace):
+        """Spurious fix attempts add rollback candidates the search must
+        cover; the repair still succeeds.  (The BFS-vs-DFS sensitivity is
+        an aggregate property checked by the Fig. 2b benchmark.)"""
+        candidates = {}
+        for spurious in (0, 2):
+            scenario = prepare_scenario(
+                chrome_trace, case_by_id(13),
+                days_before_end=7, spurious_writes=spurious,
+            )
+            tool = OcastaRepairTool(scenario.app, scenario.ttkv)
+            report = tool.repair(
+                scenario.trial, scenario.is_fixed,
+                start_time=scenario.injection_time,
+                strategy=SearchStrategy.BFS,
+            )
+            assert report.fixed
+            candidates[spurious] = report.searched_candidates
+        assert candidates[2] > candidates[0]
+
+
+class TestMultiKeyScenario:
+    def test_gedit_save_error_repairs(self, gedit_trace):
+        scenario = prepare_scenario(gedit_trace, case_by_id(12), days_before_end=5)
+        tool = OcastaRepairTool(scenario.app, scenario.ttkv)
+        report = tool.repair(
+            scenario.trial, scenario.is_fixed,
+            start_time=scenario.injection_time,
+        )
+        assert report.fixed
+
+    def test_noclust_vs_ocasta_on_multikey(self, gedit_trace):
+        """A synthetic two-key error on gedit's autosave family: Ocasta's
+        cluster rollback fixes it; NoClust cannot (both keys wrong)."""
+        import copy
+
+        scenario = prepare_scenario(gedit_trace, case_by_id(12), days_before_end=5)
+        # single-key case sanity: NoClust also fixes case 12
+        noclust = OcastaRepairTool(
+            scenario.app, scenario.ttkv, use_clustering=False
+        )
+        report = noclust.repair(
+            scenario.trial, scenario.is_fixed,
+            start_time=scenario.injection_time,
+        )
+        assert report.fixed
+
+
+class TestPersistenceIntegration:
+    def test_trace_roundtrips_through_log(self, chrome_trace, tmp_path):
+        from repro.ttkv.persistence import load_ttkv, save_ttkv
+
+        path = tmp_path / "trace.jsonl"
+        save_ttkv(chrome_trace.ttkv, path)
+        loaded = load_ttkv(path)
+        app = chrome_trace.apps["Chrome Browser"]
+        original = cluster_settings(chrome_trace.ttkv, key_filter=app.key_prefix)
+        reloaded = cluster_settings(loaded, key_filter=app.key_prefix)
+        assert sorted(
+            tuple(sorted(c.keys)) for c in original
+        ) == sorted(tuple(sorted(c.keys)) for c in reloaded)

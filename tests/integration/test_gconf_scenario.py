@@ -1,0 +1,89 @@
+"""A second end-to-end path: GConf application, multi-key error (case 9).
+
+Complements the Chrome (file-backed) integration tests with the GConf
+flavour and a NoClust-unfixable two-setting error on a small trace.
+"""
+
+import pytest
+
+from repro.core.search import SearchStrategy
+from repro.errors.cases import case_by_id
+from repro.errors.scenario import prepare_scenario
+from repro.repair.controller import OcastaRepairTool
+from repro.repair.sandbox import Sandbox
+from repro.workload.machines import MachineProfile, PLATFORM_LINUX
+from repro.workload.tracegen import generate_trace
+
+
+@pytest.fixture(scope="module")
+def evolution_trace():
+    profile = MachineProfile(
+        name="test:evolution",
+        platform=PLATFORM_LINUX,
+        days=18,
+        apps=("Evolution Mail",),
+        sessions_per_day=3,
+        actions_per_session=6,
+        pref_edits_per_day=2.5,
+        noise_keys=0,
+        noise_writes_per_day=0,
+        reads_per_day=100,
+        seed=99,
+    )
+    return generate_trace(profile)
+
+
+class TestMarkSeenScenario:
+    @pytest.fixture
+    def scenario(self, evolution_trace):
+        return prepare_scenario(
+            evolution_trace, case_by_id(9), days_before_end=6
+        )
+
+    def test_symptom_visible(self, scenario):
+        shot = Sandbox(scenario.app).execute(scenario.trial, None)
+        assert shot.element("mark_read") == "manual-only"
+
+    def test_ocasta_repairs_the_pair(self, scenario):
+        tool = OcastaRepairTool(scenario.app, scenario.ttkv)
+        report = tool.repair(
+            scenario.trial, scenario.is_fixed,
+            start_time=scenario.injection_time,
+        )
+        assert report.fixed
+        plan_keys = set(report.outcome.fix_plan.assignments)
+        assert scenario.app.canonical_key("mail/mark_seen") in plan_keys
+        assert scenario.app.canonical_key("mail/mark_seen_timeout") in plan_keys
+
+    def test_noclust_cannot_fix(self, scenario):
+        tool = OcastaRepairTool(
+            scenario.app, scenario.ttkv, use_clustering=False
+        )
+        report = tool.repair(
+            scenario.trial, scenario.is_fixed,
+            start_time=scenario.injection_time,
+        )
+        assert not report.fixed
+
+    def test_bfs_also_repairs(self, scenario):
+        tool = OcastaRepairTool(scenario.app, scenario.ttkv)
+        report = tool.repair(
+            scenario.trial, scenario.is_fixed,
+            start_time=scenario.injection_time,
+            strategy=SearchStrategy.BFS,
+        )
+        assert report.fixed
+
+    def test_fix_applies_and_logs(self, scenario, ttkv):
+        """Applying the fix goes through the store, so an attached logger
+        records the rollback — Ocasta returns to recording mode."""
+        tool = OcastaRepairTool(scenario.app, scenario.ttkv)
+        report = tool.repair(
+            scenario.trial, scenario.is_fixed,
+            start_time=scenario.injection_time,
+        )
+        logger = scenario.app.attach_logger(ttkv)
+        tool.apply_fix(report)
+        assert ttkv.total_writes() >= 2
+        shot = Sandbox(scenario.app).execute(scenario.trial, None)
+        assert scenario.is_fixed(shot)

@@ -1,0 +1,186 @@
+"""Tests for the three loggers, especially timestamp quantisation and the
+file logger's flush-diff information loss."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.loggers.base import Logger
+from repro.loggers.file_logger import FileLogger, diff_flush, file_key
+from repro.loggers.gconf_logger import GConfLogger
+from repro.loggers.registry_logger import RegistryLogger
+from repro.stores.events import AccessEvent
+from repro.stores.filestore import FileStore, VirtualFile
+from repro.stores.gconf import GConfStore
+from repro.stores.registry import RegistryStore
+from repro.ttkv.store import DELETED, TTKV
+
+
+class TestLoggerBase:
+    def test_quantises_to_nearest_second(self, ttkv):
+        logger = Logger(ttkv)
+        logger(AccessEvent.write("k", 1, 12.87))
+        assert ttkv.history("k")[0].timestamp == 12.0
+
+    def test_zero_precision_keeps_exact(self, ttkv):
+        logger = Logger(ttkv, precision=0.0)
+        logger(AccessEvent.write("k", 1, 12.87))
+        assert ttkv.history("k")[0].timestamp == 12.87
+
+    def test_counts_events(self, ttkv):
+        logger = Logger(ttkv)
+        logger(AccessEvent.write("k", 1, 1.0))
+        logger(AccessEvent.delete("k", 2.0))
+        logger(AccessEvent.read("k", 3.0))
+        assert logger.events_recorded == 3
+
+    def test_read_recording_can_be_disabled(self, ttkv):
+        logger = Logger(ttkv, record_reads=False)
+        logger(AccessEvent.read("k", 1.0))
+        assert logger.events_recorded == 0
+        assert "k" not in ttkv
+
+    def test_delete_recorded_in_history(self, ttkv):
+        logger = Logger(ttkv)
+        logger(AccessEvent.delete("k", 5.4))
+        assert ttkv.history("k")[0].value is DELETED
+
+
+class TestRegistryLogger:
+    def test_attach_records_store_accesses(self, ttkv):
+        store = RegistryStore(clock=SimClock(7.3))
+        logger = RegistryLogger(ttkv)
+        logger.attach(store)
+        store.set_value("HKCU", "App", "N", "x")
+        assert ttkv.write_count("HKCU\\App\\N") == 1
+        assert ttkv.history("HKCU\\App\\N")[0].timestamp == 7.0
+
+    def test_detach_stops_recording(self, ttkv):
+        store = RegistryStore()
+        logger = RegistryLogger(ttkv)
+        logger.attach(store)
+        logger.detach()
+        store.set_value("HKCU", "App", "N", "x")
+        assert len(ttkv) == 0
+
+    def test_double_attach_rejected(self, ttkv):
+        store = RegistryStore()
+        logger = RegistryLogger(ttkv)
+        logger.attach(store)
+        with pytest.raises(RuntimeError):
+            logger.attach(store)
+
+    def test_detach_unattached_rejected(self, ttkv):
+        with pytest.raises(RuntimeError):
+            RegistryLogger(ttkv).detach()
+
+    def test_reads_are_counted(self, ttkv):
+        store = RegistryStore()
+        logger = RegistryLogger(ttkv)
+        logger.attach(store)
+        store.set_value("HKCU", "App", "N", "x")
+        store.query_value("HKCU", "App", "N")
+        assert ttkv.record_for("HKCU\\App\\N").reads == 1
+
+
+class TestGConfLogger:
+    def test_attach_records(self, ttkv):
+        store = GConfStore(clock=SimClock(3.9))
+        logger = GConfLogger(ttkv)
+        logger.attach(store)
+        store.set_bool("/apps/x/flag", True)
+        assert ttkv.write_count("/apps/x/flag") == 1
+
+    def test_unset_recorded_as_delete(self, ttkv):
+        store = GConfStore()
+        logger = GConfLogger(ttkv)
+        logger.attach(store)
+        store.set_bool("/apps/x/flag", True)
+        store.unset("/apps/x/flag")
+        assert ttkv.record_for("/apps/x/flag").deletes == 1
+
+
+class TestDiffFlush:
+    def test_added_key(self):
+        changes = diff_flush({}, {"a": 1})
+        assert len(changes) == 1
+        assert changes[0][0] == "a"
+        assert changes[0][2] == 1
+
+    def test_changed_key(self):
+        changes = diff_flush({"a": 1}, {"a": 2})
+        assert changes[0][1:] == (1, 2)
+
+    def test_removed_key_marked_absent(self):
+        changes = diff_flush({"a": 1}, {})
+        key, old, new = changes[0]
+        assert (key, old) == ("a", 1)
+        assert new is not None and new != 1  # the absent marker
+
+    def test_unchanged_key_produces_nothing(self):
+        assert diff_flush({"a": 1}, {"a": 1}) == []
+
+
+class TestFileLogger:
+    def _setup(self, ttkv):
+        clock = SimClock(0.0)
+        file = VirtualFile("/cfg")
+        store = FileStore(file, "plaintext", clock=clock)
+        logger = FileLogger(ttkv, "plaintext")
+        logger.attach(file)
+        return clock, file, store, logger
+
+    def test_write_recorded_with_file_prefix(self, ttkv):
+        clock, file, store, logger = self._setup(ttkv)
+        store.set("x", 5)
+        assert ttkv.write_count(file_key("/cfg", "x")) == 1
+
+    def test_delete_recorded(self, ttkv):
+        _, file, store, logger = self._setup(ttkv)
+        store.set("x", 5)
+        store.delete("x")
+        assert ttkv.record_for(file_key("/cfg", "x")).deletes == 1
+
+    def test_multi_write_between_flushes_collapses(self, ttkv):
+        """The paper's coarseness artifact: the logger cannot see writes
+        that never hit the disk."""
+        clock = SimClock(0.0)
+        file = VirtualFile("/cfg")
+        store = FileStore(file, "plaintext", clock=clock, autoflush=False)
+        logger = FileLogger(ttkv, "plaintext")
+        logger.attach(file)
+        store.set("x", 1)
+        store.set("x", 2)
+        store.set("x", 3)
+        store.flush()
+        assert ttkv.write_count(file_key("/cfg", "x")) == 1
+        assert ttkv.current_value(file_key("/cfg", "x")) == 3
+
+    def test_same_value_rewrite_invisible(self, ttkv):
+        """File loggers diff content: rewriting the same value is silent
+        (unlike registry/GConf loggers)."""
+        _, file, store, logger = self._setup(ttkv)
+        store.set("x", 1)
+        store.set("x", 1)
+        assert ttkv.write_count(file_key("/cfg", "x")) == 1
+
+    def test_parse_failure_skips_flush(self, ttkv):
+        _, file, store, logger = self._setup(ttkv)
+        file.write("this line has no key-value separator", 1.0)
+        assert logger.parse_failures == 1
+        assert len(ttkv) == 0
+
+    def test_detach(self, ttkv):
+        _, file, store, logger = self._setup(ttkv)
+        logger.detach(file)
+        store.set("x", 1)
+        assert len(ttkv) == 0
+        assert logger.watched_paths == []
+
+    def test_flush_timestamp_quantised(self, ttkv):
+        clock = SimClock(9.7)
+        file = VirtualFile("/cfg")
+        store = FileStore(file, "plaintext", clock=clock)
+        logger = FileLogger(ttkv, "plaintext")
+        logger.attach(file)
+        store.set("x", 1)
+        assert ttkv.history(file_key("/cfg", "x"))[0].timestamp == 9.0

@@ -1,0 +1,112 @@
+"""Tests for the repair controller on a small hand-built history."""
+
+import pytest
+
+from repro.apps.catalog import create_app
+from repro.core.search import SearchStrategy
+from repro.repair.controller import OcastaRepairTool
+from repro.repair.trial import Trial
+from repro.ttkv.store import TTKV
+
+
+@pytest.fixture
+def broken_chrome():
+    """Chrome with a hand-built TTKV history and a live error.
+
+    History: bookmark bar toggled True -> False; an unrelated zoom key
+    changed a few times.  The live store has the bar hidden (the error).
+    """
+    app = create_app("Chrome Browser")
+    bar = app.canonical_key("bookmark_bar/show_on_all_tabs")
+    zoom = app.canonical_key("profile/default_zoom")
+    ttkv = TTKV()
+    ttkv.record_write(bar, True, 100.0)
+    ttkv.record_write(zoom, 1.0, 150.0)
+    ttkv.record_write(zoom, 1.5, 250.0)
+    ttkv.record_write(zoom, 2.0, 350.0)
+    ttkv.record_write(bar, False, 400.0)
+    app.user_set("bookmark_bar/show_on_all_tabs", False)
+    return app, ttkv
+
+
+def _is_fixed(shot):
+    return shot.element("bookmark_bar") == "shown"
+
+
+TRIAL = Trial.record("Chrome Browser", [("launch", {})])
+
+
+class TestOcastaRepairTool:
+    def test_finds_fix(self, broken_chrome):
+        app, ttkv = broken_chrome
+        tool = OcastaRepairTool(app, ttkv)
+        report = tool.repair(TRIAL, _is_fixed)
+        assert report.fixed
+        bar = app.canonical_key("bookmark_bar/show_on_all_tabs")
+        assert bar in report.offending_cluster.keys
+        assert report.offending_cluster_size == 1
+
+    def test_apply_fix_restores_live_store(self, broken_chrome):
+        app, ttkv = broken_chrome
+        tool = OcastaRepairTool(app, ttkv)
+        report = tool.repair(TRIAL, _is_fixed)
+        tool.apply_fix(report)
+        assert app.value("bookmark_bar/show_on_all_tabs") is True
+
+    def test_apply_fix_without_fix_raises(self, broken_chrome):
+        app, ttkv = broken_chrome
+        tool = OcastaRepairTool(app, ttkv)
+        report = tool.repair(TRIAL, lambda shot: False)
+        assert not report.fixed
+        with pytest.raises(ValueError):
+            tool.apply_fix(report)
+
+    def test_noclust_baseline_uses_singletons(self, broken_chrome):
+        app, ttkv = broken_chrome
+        tool = OcastaRepairTool(app, ttkv, use_clustering=False)
+        report = tool.repair(TRIAL, _is_fixed)
+        assert report.fixed
+        assert all(len(c) == 1 for c in report.cluster_set)
+
+    def test_bfs_also_finds_fix(self, broken_chrome):
+        app, ttkv = broken_chrome
+        tool = OcastaRepairTool(app, ttkv)
+        report = tool.repair(TRIAL, _is_fixed, strategy=SearchStrategy.BFS)
+        assert report.fixed
+        assert report.strategy is SearchStrategy.BFS
+
+    def test_sort_prioritises_rarely_modified_cluster(self, broken_chrome):
+        """The bookmark key (2 mods) must be searched before zoom (3)."""
+        app, ttkv = broken_chrome
+        tool = OcastaRepairTool(app, ttkv)
+        report = tool.repair(TRIAL, _is_fixed)
+        assert report.outcome.fix_candidate.cluster_rank == 0
+
+    def test_exhaustive_counts_all_candidates(self, broken_chrome):
+        app, ttkv = broken_chrome
+        tool = OcastaRepairTool(app, ttkv)
+        report = tool.repair(TRIAL, _is_fixed, exhaustive=True)
+        assert report.outcome.total_trials == report.searched_candidates
+
+    def test_time_bounds_limit_candidates(self, broken_chrome):
+        app, ttkv = broken_chrome
+        tool = OcastaRepairTool(app, ttkv)
+        bounded = tool.repair(TRIAL, _is_fixed, start_time=300.0, exhaustive=True)
+        unbounded = tool.repair(TRIAL, _is_fixed, exhaustive=True)
+        assert bounded.searched_candidates < unbounded.searched_candidates
+
+    def test_trial_cost_drives_time(self, broken_chrome):
+        app, ttkv = broken_chrome
+        tool = OcastaRepairTool(app, ttkv)
+        report = tool.repair(TRIAL, _is_fixed)
+        expected = report.outcome.trials_to_fix * app.trial_cost_seconds
+        assert report.outcome.time_to_fix == pytest.approx(expected)
+
+    def test_key_filter_restricts_to_app(self, broken_chrome):
+        app, ttkv = broken_chrome
+        ttkv.record_write("/apps/evolution/mail/mark_seen", False, 50.0)
+        tool = OcastaRepairTool(app, ttkv)
+        clusters = tool.build_clusters()
+        assert all(
+            key.startswith(app.key_prefix) for key in clusters.keys()
+        )

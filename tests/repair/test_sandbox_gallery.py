@@ -1,0 +1,99 @@
+"""Tests for the sandbox and the screenshot gallery."""
+
+import pytest
+
+from repro.apps.catalog import create_app
+from repro.exceptions import SandboxError
+from repro.repair.sandbox import Sandbox
+from repro.repair.screenshot import ScreenshotGallery, capture
+from repro.repair.trial import Trial
+from repro.ttkv.snapshot import RollbackPlan
+from repro.ttkv.store import DELETED, TTKV
+
+
+@pytest.fixture
+def chrome():
+    return create_app("Chrome Browser")
+
+
+@pytest.fixture
+def trial():
+    return Trial.record("Chrome Browser", [("launch", {})])
+
+
+class TestSandbox:
+    def test_execute_without_plan_shows_live_state(self, chrome, trial):
+        chrome.user_set("bookmark_bar/show_on_all_tabs", False)
+        shot = Sandbox(chrome).execute(trial, None)
+        assert shot.element("bookmark_bar") == "missing"
+
+    def test_rollback_plan_applied_in_sandbox_only(self, chrome, trial):
+        chrome.user_set("bookmark_bar/show_on_all_tabs", False)
+        plan = RollbackPlan(
+            0.0,
+            {chrome.canonical_key("bookmark_bar/show_on_all_tabs"): True},
+        )
+        shot = Sandbox(chrome).execute(trial, plan)
+        assert shot.element("bookmark_bar") == "shown"
+        # the live application is untouched
+        assert chrome.value("bookmark_bar/show_on_all_tabs") is False
+
+    def test_deletion_plan_removes_key(self, chrome, trial):
+        plan = RollbackPlan(
+            0.0,
+            {chrome.canonical_key("bookmark_bar/show_on_all_tabs"): DELETED},
+        )
+        Sandbox(chrome).execute(trial, plan)
+        sandbox = Sandbox(chrome)
+        app = sandbox.fresh_app()
+        sandbox.apply_plan(app, plan)
+        assert app.value("bookmark_bar/show_on_all_tabs") is None
+
+    def test_foreign_key_plan_rejected(self, chrome, trial):
+        plan = RollbackPlan(0.0, {"/apps/evolution/mail/mark_seen": True})
+        with pytest.raises(SandboxError):
+            Sandbox(chrome).execute(trial, plan)
+
+    def test_no_events_leak_to_logger(self, chrome, trial):
+        ttkv = TTKV()
+        chrome.attach_logger(ttkv)
+        Sandbox(chrome).execute(trial, None)
+        assert len(ttkv) == 0
+
+    def test_fresh_app_each_execution(self, chrome):
+        browse = Trial.record("Chrome Browser", [("browse", {"url": "x"})])
+        plain = Trial.record("Chrome Browser", [("launch", {})])
+        sandbox = Sandbox(chrome)
+        sandbox.execute(browse, None)
+        shot = sandbox.execute(plain, None)
+        assert not shot.has_element("page")
+
+
+class TestGallery:
+    def test_add_new_screenshot(self, chrome):
+        gallery = ScreenshotGallery()
+        assert gallery.add(capture(chrome)) is True
+        assert len(gallery) == 1
+
+    def test_duplicate_discarded(self, chrome):
+        gallery = ScreenshotGallery()
+        gallery.add(capture(chrome))
+        assert gallery.add(capture(chrome)) is False
+        assert gallery.discarded == 1
+        assert len(gallery) == 1
+
+    def test_erroneous_screenshot_pre_seeded(self, chrome):
+        erroneous = capture(chrome)
+        gallery = ScreenshotGallery(erroneous=erroneous)
+        assert gallery.add(erroneous) is False
+        assert len(gallery) == 0
+
+    def test_entries_in_order(self, chrome):
+        gallery = ScreenshotGallery()
+        first = capture(chrome)
+        chrome.user_set("bookmark_bar/show_on_all_tabs", False)
+        second = capture(chrome)
+        gallery.add(first)
+        gallery.add(second)
+        assert gallery.entries == [first, second]
+        assert first in gallery

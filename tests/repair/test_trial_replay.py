@@ -1,0 +1,126 @@
+"""Tests for trial recording, serialisation and deterministic replay."""
+
+import pytest
+
+from repro.apps.catalog import create_app
+from repro.exceptions import ReplayError
+from repro.repair.replay import replay_trial
+from repro.repair.trial import Trial
+
+
+class TestTrial:
+    def test_record(self):
+        trial = Trial.record("App", [("launch", {}), ("open", {"doc": "x"})])
+        assert trial.app_name == "App"
+        assert len(trial) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReplayError):
+            Trial.record("App", [])
+
+    def test_malformed_action_rejected(self):
+        with pytest.raises(ReplayError):
+            Trial(app_name="App", actions=(("launch",),))
+
+    def test_json_roundtrip(self):
+        trial = Trial.record(
+            "Acrobat Reader",
+            [("launch", {}), ("open_document", {"doc": "thesis.pdf"})],
+        )
+        assert Trial.from_json(trial.to_json()) == trial
+
+    def test_from_json_malformed(self):
+        with pytest.raises(ReplayError):
+            Trial.from_json('{"app": "X"}')
+        with pytest.raises(ReplayError):
+            Trial.from_json("not json at all")
+
+
+class TestReplay:
+    def test_replay_returns_final_screenshot(self):
+        app = create_app("Acrobat Reader")
+        trial = Trial.record(
+            "Acrobat Reader",
+            [("launch", {}), ("open_document", {"doc": "thesis.pdf"})],
+        )
+        shot = replay_trial(app, trial)
+        assert shot.element("document") == "thesis.pdf"
+        assert shot.element("menu_bar") == "shown"
+
+    def test_wrong_app_rejected(self):
+        app = create_app("MS Word")
+        trial = Trial.record("Acrobat Reader", [("launch", {})])
+        with pytest.raises(ReplayError, match="recorded against"):
+            replay_trial(app, trial)
+
+    def test_unknown_action_becomes_replay_error(self):
+        app = create_app("MS Word")
+        trial = Trial.record("MS Word", [("fly", {})])
+        with pytest.raises(ReplayError):
+            replay_trial(app, trial)
+
+    def test_bad_parameters_become_replay_error(self):
+        app = create_app("MS Word")
+        trial = Trial.record("MS Word", [("launch", {"warp": 9})])
+        with pytest.raises(ReplayError):
+            replay_trial(app, trial)
+
+    def test_replay_is_deterministic(self):
+        trial = Trial.record(
+            "Chrome Browser", [("launch", {}), ("browse", {"url": "a.site"})]
+        )
+        shots = {replay_trial(create_app("Chrome Browser"), trial) for _ in range(3)}
+        assert len(shots) == 1
+
+
+class TestAdaptiveReplayer:
+    def test_skips_unknown_actions(self):
+        from repro.repair.replay import AdaptiveReplayer
+
+        app = create_app("MS Word")
+        trial = Trial.record(
+            "MS Word",
+            [("launch", {}), ("fly", {}), ("open_document", {"doc": "a.doc"})],
+        )
+        replayer = AdaptiveReplayer()
+        shot = replayer.replay(app, trial)
+        assert shot.element("document") == "a.doc"
+        assert len(replayer.skipped) == 1
+        assert replayer.skipped[0][0] == "fly"
+
+    def test_skips_bad_parameters(self):
+        from repro.repair.replay import AdaptiveReplayer
+
+        app = create_app("MS Word")
+        trial = Trial.record(
+            "MS Word", [("launch", {"warp": 9}), ("open_document", {"doc": "a.doc"})]
+        )
+        replayer = AdaptiveReplayer()
+        replayer.replay(app, trial)
+        assert replayer.skipped[0][0] == "launch"
+
+    def test_all_steps_failing_raises(self):
+        from repro.repair.replay import AdaptiveReplayer
+
+        app = create_app("MS Word")
+        trial = Trial.record("MS Word", [("fly", {}), ("teleport", {})])
+        with pytest.raises(ReplayError):
+            AdaptiveReplayer().replay(app, trial)
+
+    def test_wrong_app_still_rejected(self):
+        from repro.repair.replay import AdaptiveReplayer
+
+        app = create_app("MS Word")
+        trial = Trial.record("Chrome Browser", [("launch", {})])
+        with pytest.raises(ReplayError):
+            AdaptiveReplayer().replay(app, trial)
+
+    def test_skipped_resets_between_replays(self):
+        from repro.repair.replay import AdaptiveReplayer
+
+        app = create_app("MS Word")
+        replayer = AdaptiveReplayer()
+        replayer.replay(app, Trial.record("MS Word", [("launch", {}), ("fly", {})]))
+        assert len(replayer.skipped) == 1
+        replayer.replay(app, Trial.record("MS Word", [("launch", {})]))
+        assert replayer.skipped == []

@@ -1,0 +1,142 @@
+"""Tests for the ConfigStore base: flat interface + observers."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.exceptions import StoreError
+from repro.stores.base import DictStore
+from repro.stores.events import AccessEvent, AccessKind
+
+
+@pytest.fixture
+def store() -> DictStore:
+    return DictStore(clock=SimClock(100.0))
+
+
+@pytest.fixture
+def events(store) -> list:
+    collected: list[AccessEvent] = []
+    store.subscribe(collected.append)
+    return collected
+
+
+class TestFlatInterface:
+    def test_set_get(self, store):
+        store.set("k", 42)
+        assert store.get("k") == 42
+
+    def test_get_default(self, store):
+        assert store.get("absent", "fallback") == "fallback"
+
+    def test_delete_removes(self, store):
+        store.set("k", 1)
+        store.delete("k")
+        assert "k" not in store
+
+    def test_delete_absent_is_noop(self, store, events):
+        store.delete("ghost")
+        assert events == []
+
+    def test_len_and_keys(self, store):
+        store.set("a", 1)
+        store.set("b", 2)
+        assert len(store) == 2
+        assert store.keys() == ["a", "b"]
+
+    def test_peek_does_not_notify(self, store, events):
+        store.set("k", 1)
+        events.clear()
+        assert store.peek("k") == 1
+        assert events == []
+
+    def test_rejects_empty_key(self, store):
+        with pytest.raises(StoreError):
+            store.set("", 1)
+
+    def test_rejects_non_string_key(self, store):
+        with pytest.raises(StoreError):
+            store.set(123, 1)
+
+    def test_rejects_newline_in_key(self, store):
+        with pytest.raises(StoreError):
+            store.set("a\nb", 1)
+
+    def test_rejects_unserialisable_value(self, store):
+        with pytest.raises(StoreError):
+            store.set("k", object())
+
+    def test_accepts_nested_lists_and_dicts(self, store):
+        store.set("k", {"a": [1, "x", None], "b": {"c": True}})
+        assert store.get("k")["a"] == [1, "x", None]
+
+    def test_rejects_dict_with_non_string_keys(self, store):
+        with pytest.raises(StoreError):
+            store.set("k", {1: "x"})
+
+
+class TestObservers:
+    def test_write_event(self, store, events):
+        store.set("k", 7)
+        assert events == [AccessEvent(AccessKind.WRITE, "k", 7, 100.0)]
+
+    def test_read_event(self, store, events):
+        store.get("k")
+        assert events[0].kind is AccessKind.READ
+
+    def test_delete_event(self, store, events):
+        store.set("k", 1)
+        store.delete("k")
+        assert events[-1].kind is AccessKind.DELETE
+
+    def test_event_carries_clock_time(self, store, events):
+        store.clock.advance(23.0)
+        store.set("k", 1)
+        assert events[0].timestamp == 123.0
+
+    def test_double_subscribe_rejected(self, store, events):
+        observer = events.append
+        with pytest.raises(StoreError):
+            store.subscribe(observer)
+
+    def test_unsubscribe_stops_events(self, store):
+        collected = []
+        store.subscribe(collected.append)
+        store.unsubscribe(collected.append.__self__.append if False else collected.append)
+        store.set("k", 1)
+        assert collected == []
+
+    def test_unsubscribe_unknown_raises(self, store):
+        with pytest.raises(StoreError):
+            store.unsubscribe(lambda e: None)
+
+
+class TestBulkAndClone:
+    def test_load_dict_silent_by_default(self, store, events):
+        store.load_dict({"a": 1, "b": 2})
+        assert events == []
+        assert store.peek("a") == 1
+
+    def test_load_dict_notify(self, store, events):
+        store.load_dict({"a": 1}, notify=True)
+        assert len(events) == 1
+
+    def test_load_dict_validates(self, store):
+        with pytest.raises(StoreError):
+            store.load_dict({"a": object()})
+
+    def test_as_dict_is_deep_copy(self, store):
+        store.set("k", [1, 2])
+        snapshot = store.as_dict()
+        snapshot["k"].append(3)
+        assert store.peek("k") == [1, 2]
+
+    def test_clone_copies_data(self, store):
+        store.set("k", [1])
+        twin = store.clone()
+        twin.set("k", [2])
+        assert store.peek("k") == [1]
+
+    def test_clone_has_no_observers(self, store, events):
+        twin = store.clone()
+        twin.set("k", 1)
+        assert events == []

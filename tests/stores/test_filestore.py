@@ -1,0 +1,118 @@
+"""Tests for the file-backed store and its flush semantics."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.exceptions import StoreError
+from repro.stores.filestore import FileStore, VirtualFile
+
+
+@pytest.fixture
+def file() -> VirtualFile:
+    return VirtualFile("/home/user/.app/config.json")
+
+
+@pytest.fixture
+def store(file) -> FileStore:
+    return FileStore(file, "json", clock=SimClock(50.0))
+
+
+class TestVirtualFile:
+    def test_initial_content(self):
+        f = VirtualFile("/p", "hello")
+        assert f.content == "hello"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(StoreError):
+            VirtualFile("")
+
+    def test_write_updates_content_and_mtime(self, file):
+        file.write("new", 12.0)
+        assert file.content == "new"
+        assert file.mtime == 12.0
+
+    def test_watchers_notified_with_old_and_new(self, file):
+        seen = []
+        file.watch(lambda *args: seen.append(args))
+        file.write("v1", 1.0)
+        file.write("v2", 2.0)
+        assert seen[0] == (file.path, "", "v1", 1.0)
+        assert seen[1] == (file.path, "v1", "v2", 2.0)
+
+    def test_double_watch_rejected(self, file):
+        watcher = lambda *a: None
+        file.watch(watcher)
+        with pytest.raises(StoreError):
+            file.watch(watcher)
+
+    def test_unwatch(self, file):
+        seen = []
+        watcher = lambda *a: seen.append(a)
+        file.watch(watcher)
+        file.unwatch(watcher)
+        file.write("x", 1.0)
+        assert seen == []
+
+    def test_unwatch_unknown_raises(self, file):
+        with pytest.raises(StoreError):
+            file.unwatch(lambda *a: None)
+
+
+class TestFileStore:
+    def test_autoflush_serialises_on_set(self, store, file):
+        store.set("a/b", 1)
+        assert '"b": 1' in file.content
+
+    def test_autoflush_on_delete(self, store, file):
+        store.set("a", 1)
+        store.delete("a")
+        assert '"a"' not in file.content
+
+    def test_delete_absent_does_not_flush(self, store, file):
+        store.set("a", 1)
+        before_mtime = file.mtime
+        store.clock.advance(5.0)
+        store.delete("ghost")
+        assert file.mtime == before_mtime
+
+    def test_batched_mode_defers_flush(self, file):
+        store = FileStore(file, "json", autoflush=False)
+        store.set("a", 1)
+        store.set("a", 2)
+        assert file.content == ""
+        store.flush()
+        assert '"a": 2' in file.content
+
+    def test_reload_parses_file(self, file):
+        file.write('{"x": {"y": 5}}', 1.0)
+        store = FileStore(file, "json")
+        assert store.peek("x/y") == 5
+
+    def test_flush_timestamp_is_clock_time(self, store, file):
+        store.clock.advance(10.0)
+        store.set("a", 1)
+        assert file.mtime == 60.0
+
+    def test_clone_does_not_share_file(self, store, file):
+        store.set("a", 1)
+        twin = store.clone()
+        twin.set("a", 2)
+        assert '"a": 1' in file.content
+        assert twin.peek("a") == 2
+
+    def test_clone_file_not_watched(self, store, file):
+        seen = []
+        file.watch(lambda *a: seen.append(a))
+        twin = store.clone()
+        twin.set("a", 1)
+        assert seen == []
+
+    def test_unknown_format_rejected(self, file):
+        with pytest.raises(ValueError):
+            FileStore(file, "yaml")
+
+    def test_postscript_format(self):
+        f = VirtualFile("/prefs")
+        store = FileStore(f, "postscript")
+        store.set("Zoom", 1.5)
+        assert "/Zoom 1.5 def" in f.content

@@ -1,0 +1,97 @@
+"""Tests for the GConf emulator."""
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.stores.gconf import GConfStore, validate_path
+
+
+@pytest.fixture
+def gconf() -> GConfStore:
+    return GConfStore()
+
+
+class TestPathValidation:
+    def test_valid_paths(self):
+        validate_path("/apps/evolution/mail/mark_seen")
+        validate_path("/")
+
+    @pytest.mark.parametrize(
+        "path", ["relative/path", "/trailing/", "/double//slash", ""]
+    )
+    def test_invalid_paths(self, path):
+        with pytest.raises(StoreError):
+            validate_path(path)
+
+
+class TestTypedAccess:
+    def test_bool_roundtrip(self, gconf):
+        gconf.set_bool("/a/flag", True)
+        assert gconf.get_bool("/a/flag") is True
+
+    def test_int_roundtrip(self, gconf):
+        gconf.set_int("/a/n", 42)
+        assert gconf.get_int("/a/n") == 42
+
+    def test_float_roundtrip(self, gconf):
+        gconf.set_float("/a/x", 1.5)
+        assert gconf.get_float("/a/x") == 1.5
+
+    def test_string_roundtrip(self, gconf):
+        gconf.set_string("/a/s", "hello")
+        assert gconf.get_string("/a/s") == "hello"
+
+    def test_list_roundtrip(self, gconf):
+        gconf.set_list("/a/l", [1, 2])
+        assert gconf.get_list("/a/l") == [1, 2]
+
+    def test_defaults_when_unset(self, gconf):
+        assert gconf.get_bool("/none") is False
+        assert gconf.get_int("/none") == 0
+        assert gconf.get_string("/none") == ""
+        assert gconf.get_list("/none") == []
+
+    def test_set_int_rejects_bool(self, gconf):
+        with pytest.raises(StoreError):
+            gconf.set_int("/a/n", True)
+
+    def test_set_wrong_type_rejected(self, gconf):
+        with pytest.raises(StoreError):
+            gconf.set_string("/a/s", 5)
+
+    def test_type_conflict_on_write(self, gconf):
+        gconf.set_bool("/a/v", True)
+        with pytest.raises(StoreError):
+            gconf.set_int("/a/v", 1)
+
+    def test_type_conflict_on_read(self, gconf):
+        gconf.set_bool("/a/v", True)
+        with pytest.raises(StoreError):
+            gconf.get_int("/a/v")
+
+    def test_unset_clears_type(self, gconf):
+        gconf.set_bool("/a/v", True)
+        gconf.unset("/a/v")
+        gconf.set_int("/a/v", 3)
+        assert gconf.get_int("/a/v") == 3
+
+
+class TestDirectoryListing:
+    def test_all_entries_direct_only(self, gconf):
+        gconf.set_bool("/apps/x/flag", True)
+        gconf.set_bool("/apps/x/sub/flag", True)
+        assert gconf.all_entries("/apps/x") == ["/apps/x/flag"]
+
+    def test_all_dirs(self, gconf):
+        gconf.set_bool("/apps/x/sub1/a", True)
+        gconf.set_bool("/apps/x/sub2/deep/b", True)
+        assert sorted(gconf.all_dirs("/apps/x")) == [
+            "/apps/x/sub1",
+            "/apps/x/sub2",
+        ]
+
+    def test_clone_preserves_types(self, gconf):
+        gconf.set_bool("/a/v", True)
+        twin = gconf.clone()
+        with pytest.raises(StoreError):
+            twin.set_int("/a/v", 1)

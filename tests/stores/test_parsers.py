@@ -1,0 +1,260 @@
+"""Tests for the five configuration-file parsers, including round-trip
+property tests (every format must reproduce what it wrote)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ParseError
+from repro.stores.parsers import get_parser, known_formats
+from repro.stores.parsers import ini, json_format, plaintext, pskv, xml_format
+from repro.stores.parsers.common import (
+    coerce_scalar,
+    flatten,
+    render_scalar,
+    unflatten,
+)
+
+
+class TestRegistry:
+    def test_known_formats(self):
+        assert known_formats() == ["ini", "json", "plaintext", "postscript", "xml"]
+
+    def test_get_parser(self):
+        assert get_parser("json") is json_format
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError, match="unknown"):
+            get_parser("yaml")
+
+
+class TestCoercion:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("true", True),
+            ("False", False),
+            ("42", 42),
+            ("-3", -3),
+            ("1.5", 1.5),
+            ("null", None),
+            ("hello", "hello"),
+            ("", ""),
+        ],
+    )
+    def test_coerce(self, text, expected):
+        assert coerce_scalar(text) == expected
+
+    def test_render_rejects_unknown(self):
+        with pytest.raises(ParseError):
+            render_scalar(object())
+
+
+class TestFlatten:
+    def test_flatten_nested(self):
+        assert flatten({"a": {"b": 1}, "c": 2}) == {"a/b": 1, "c": 2}
+
+    def test_unflatten_inverse(self):
+        flat = {"a/b": 1, "a/c": 2, "d": 3}
+        assert flatten(unflatten(flat)) == flat
+
+    def test_unflatten_conflict_leaf_then_node(self):
+        with pytest.raises(ParseError):
+            unflatten({"a": 1, "a/b": 2})
+
+    def test_flatten_rejects_bad_list(self):
+        with pytest.raises(ParseError):
+            flatten({"a": [{"nested": 1}]})
+
+
+class TestPlaintext:
+    def test_loads_basic(self):
+        data = plaintext.loads("x=1\nname = alice\nflag=true\n")
+        assert data == {"x": 1, "name": "alice", "flag": True}
+
+    def test_comments_and_blanks(self):
+        data = plaintext.loads("# comment\n\n; other\nx=1\n")
+        assert data == {"x": 1}
+
+    def test_list_values(self):
+        assert plaintext.loads("l=[a, b, 3]\n") == {"l": ["a", "b", 3]}
+
+    def test_empty_list(self):
+        assert plaintext.loads("l=[]\n") == {"l": []}
+
+    def test_missing_equals_raises_with_line(self):
+        with pytest.raises(ParseError, match="line 2"):
+            plaintext.loads("ok=1\nbroken line\n")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ParseError):
+            plaintext.loads("=value\n")
+
+    def test_dumps_rejects_equals_in_key(self):
+        with pytest.raises(ParseError):
+            plaintext.dumps({"a=b": 1})
+
+
+class TestIni:
+    def test_sections_flattened(self):
+        data = ini.loads("top=1\n[view]\nzoom=2\n[net/proxy]\nport=8080\n")
+        assert data == {"top": 1, "view/zoom": 2, "net/proxy/port": 8080}
+
+    def test_unterminated_section(self):
+        with pytest.raises(ParseError):
+            ini.loads("[broken\n")
+
+    def test_empty_section_name(self):
+        with pytest.raises(ParseError):
+            ini.loads("[]\n")
+
+    def test_dumps_groups_by_section(self):
+        text = ini.dumps({"a/x": 1, "a/y": 2, "top": 3})
+        assert text.index("top=3") < text.index("[a]")
+
+
+class TestJson:
+    def test_nested_flattening(self):
+        data = json_format.loads('{"a": {"b": true}, "c": [1, 2]}')
+        assert data == {"a/b": True, "c": [1, 2]}
+
+    def test_empty_text(self):
+        assert json_format.loads("") == {}
+
+    def test_invalid_json(self):
+        with pytest.raises(ParseError):
+            json_format.loads("{broken")
+
+    def test_non_object_top_level(self):
+        with pytest.raises(ParseError):
+            json_format.loads("[1, 2]")
+
+    def test_list_of_objects_rejected(self):
+        with pytest.raises(ParseError):
+            json_format.loads('{"a": [{"b": 1}]}')
+
+
+class TestXml:
+    def test_typed_leaves(self):
+        text = (
+            "<config><toolbar><visible type='bool'>true</visible>"
+            "<width type='int'>120</width></toolbar></config>"
+        )
+        assert xml_format.loads(text) == {
+            "toolbar/visible": True,
+            "toolbar/width": 120,
+        }
+
+    def test_list_leaf(self):
+        text = "<config><l type='list'><li>a</li><li>2</li></l></config>"
+        assert xml_format.loads(text) == {"l": ["a", 2]}
+
+    def test_untyped_leaf_coerced(self):
+        assert xml_format.loads("<config><n>42</n></config>") == {"n": 42}
+
+    def test_wrong_root(self):
+        with pytest.raises(ParseError):
+            xml_format.loads("<settings/>")
+
+    def test_bad_int(self):
+        with pytest.raises(ParseError):
+            xml_format.loads("<config><n type='int'>abc</n></config>")
+
+    def test_bad_bool(self):
+        with pytest.raises(ParseError):
+            xml_format.loads("<config><b type='bool'>yes</b></config>")
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError):
+            xml_format.loads("<config><x type='blob'>z</x></config>")
+
+    def test_malformed_xml(self):
+        with pytest.raises(ParseError):
+            xml_format.loads("<config><unclosed></config>")
+
+    def test_empty_text(self):
+        assert xml_format.loads("") == {}
+
+
+class TestPostScript:
+    def test_basic_definitions(self):
+        text = "/Menu true def\n/Zoom 1.25 def\n/Title (My Doc) def\n"
+        assert pskv.loads(text) == {
+            "Menu": True,
+            "Zoom": 1.25,
+            "Title": "My Doc",
+        }
+
+    def test_arrays(self):
+        data = pskv.loads("/Files [ (a.pdf) (b.pdf) 3 ] def\n")
+        assert data == {"Files": ["a.pdf", "b.pdf", 3]}
+
+    def test_escaped_parens_roundtrip(self):
+        original = {"K": "value (with) parens"}
+        assert pskv.loads(pskv.dumps(original)) == original
+
+    def test_comments_skipped(self):
+        assert pskv.loads("% comment\n/K 1 def\n") == {"K": 1}
+
+    def test_malformed_line(self):
+        with pytest.raises(ParseError):
+            pskv.loads("K = 1\n")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            pskv.loads("/K (unterminated def\n")
+
+    def test_key_with_whitespace_rejected_on_dump(self):
+        with pytest.raises(ParseError):
+            pskv.dumps({"bad key": 1})
+
+    def test_hierarchical_key_names(self):
+        data = pskv.loads("/Toolbars/Find/Visible false def\n")
+        assert data == {"Toolbars/Find/Visible": False}
+
+
+# -- round-trip property tests ------------------------------------------------
+
+_stable_text = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7E
+    ),
+    min_size=1,
+    max_size=12,
+).filter(
+    # Untyped text formats coerce tokens on load ("true" -> True,
+    # "42" -> 42); only coercion-stable strings round-trip everywhere.
+    lambda s: coerce_scalar(s) == s
+)
+
+_scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    _stable_text,
+    st.none(),
+)
+
+_key = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,10}", fullmatch=True)
+_flat_key = st.builds(
+    lambda parts: "/".join(parts),
+    st.lists(_key, min_size=1, max_size=3),
+)
+_value = st.one_of(_scalars, st.lists(_scalars, max_size=4))
+
+
+def _no_prefix_conflicts(data: dict) -> bool:
+    keys = list(data)
+    return not any(
+        a != b and b.startswith(a + "/") for a in keys for b in keys
+    )
+
+
+_flat_dict = st.dictionaries(_flat_key, _value, max_size=8).filter(
+    _no_prefix_conflicts
+)
+
+
+@pytest.mark.parametrize("format_name", ["plaintext", "ini", "json", "xml", "postscript"])
+@given(data=_flat_dict)
+def test_property_roundtrip(format_name, data):
+    parser = get_parser(format_name)
+    assert parser.loads(parser.dumps(data)) == data

@@ -1,0 +1,133 @@
+"""Tests for the Windows-registry emulator."""
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.stores.registry import (
+    RegistryStore,
+    RegistryType,
+    join_key,
+    split_key,
+)
+
+
+@pytest.fixture
+def reg() -> RegistryStore:
+    return RegistryStore()
+
+
+class TestKeyNames:
+    def test_join(self):
+        assert (
+            join_key("HKCU", "Software\\Word", "Max Display")
+            == "HKCU\\Software\\Word\\Max Display"
+        )
+
+    def test_join_strips_extra_backslashes(self):
+        assert join_key("HKCU", "\\Software\\", "V") == "HKCU\\Software\\V"
+
+    def test_split_roundtrip(self):
+        key = join_key("HKLM", "System\\Service", "Param")
+        assert split_key(key) == ("HKLM", "System\\Service", "Param")
+
+    def test_join_rejects_bad_hive(self):
+        with pytest.raises(StoreError):
+            join_key("HKXX", "a", "b")
+
+    def test_split_rejects_malformed(self):
+        with pytest.raises(StoreError):
+            split_key("justonepart")
+
+
+class TestTypes:
+    def test_sz_accepts_string(self):
+        RegistryType.REG_SZ.validate("hello")
+
+    def test_sz_rejects_int(self):
+        with pytest.raises(StoreError):
+            RegistryType.REG_SZ.validate(5)
+
+    def test_dword_range(self):
+        RegistryType.REG_DWORD.validate(0)
+        RegistryType.REG_DWORD.validate(2**32 - 1)
+        with pytest.raises(StoreError):
+            RegistryType.REG_DWORD.validate(2**32)
+        with pytest.raises(StoreError):
+            RegistryType.REG_DWORD.validate(-1)
+
+    def test_dword_rejects_bool(self):
+        with pytest.raises(StoreError):
+            RegistryType.REG_DWORD.validate(True)
+
+    def test_qword_wider_than_dword(self):
+        RegistryType.REG_QWORD.validate(2**40)
+
+    def test_binary_hex_string(self):
+        RegistryType.REG_BINARY.validate("deadBEEF00")
+        with pytest.raises(StoreError):
+            RegistryType.REG_BINARY.validate("not-hex!")
+
+    def test_multi_sz_list_of_strings(self):
+        RegistryType.REG_MULTI_SZ.validate(["a", "b"])
+        with pytest.raises(StoreError):
+            RegistryType.REG_MULTI_SZ.validate(["a", 1])
+
+
+class TestRegistryStore:
+    def test_set_query_roundtrip(self, reg):
+        reg.set_value("HKCU", "Software\\App", "Name", "value")
+        assert reg.query_value("HKCU", "Software\\App", "Name") == "value"
+
+    def test_query_missing_raises(self, reg):
+        with pytest.raises(StoreError):
+            reg.query_value("HKCU", "Software\\App", "Ghost")
+
+    def test_set_validates_type(self, reg):
+        with pytest.raises(StoreError):
+            reg.set_value(
+                "HKCU", "App", "N", "text", RegistryType.REG_DWORD
+            )
+
+    def test_value_type_tracked(self, reg):
+        reg.set_value("HKCU", "App", "N", 7, RegistryType.REG_DWORD)
+        assert reg.value_type("HKCU", "App", "N") is RegistryType.REG_DWORD
+
+    def test_value_type_missing_raises(self, reg):
+        with pytest.raises(StoreError):
+            reg.value_type("HKCU", "App", "Ghost")
+
+    def test_delete_value(self, reg):
+        reg.set_value("HKCU", "App", "N", "x")
+        reg.delete_value("HKCU", "App", "N")
+        with pytest.raises(StoreError):
+            reg.query_value("HKCU", "App", "N")
+
+    def test_enum_values_direct_children_only(self, reg):
+        reg.set_value("HKCU", "App", "A", "1")
+        reg.set_value("HKCU", "App", "B", "2")
+        reg.set_value("HKCU", "App\\Sub", "C", "3")
+        assert sorted(reg.enum_values("HKCU", "App")) == ["A", "B"]
+
+    def test_enum_subkeys(self, reg):
+        reg.set_value("HKCU", "App\\Sub1", "A", "1")
+        reg.set_value("HKCU", "App\\Sub2\\Deep", "B", "2")
+        assert sorted(reg.enum_subkeys("HKCU", "App")) == ["Sub1", "Sub2"]
+
+    def test_delete_tree(self, reg):
+        reg.set_value("HKCU", "App\\Sub", "A", "1")
+        reg.set_value("HKCU", "App\\Sub", "B", "2")
+        reg.set_value("HKCU", "Other", "C", "3")
+        removed = reg.delete_tree("HKCU", "App")
+        assert removed == 2
+        assert reg.query_value("HKCU", "Other", "C") == "3"
+
+    def test_clone_copies_types(self, reg):
+        reg.set_value("HKCU", "App", "N", 7, RegistryType.REG_DWORD)
+        twin = reg.clone()
+        assert twin.value_type("HKCU", "App", "N") is RegistryType.REG_DWORD
+
+    def test_events_flow_through_flat_interface(self, reg):
+        seen = []
+        reg.subscribe(seen.append)
+        reg.set_value("HKCU", "App", "N", "x")
+        assert seen[0].key == "HKCU\\App\\N"

@@ -1,0 +1,89 @@
+"""Tests for the simulated user study."""
+
+import random
+
+import pytest
+
+from repro.study.participants import make_participants
+from repro.study.user_study import (
+    MANUAL_CUTOFF_SECONDS,
+    STUDY_CASE_IDS,
+    run_user_study,
+)
+
+
+class TestParticipants:
+    def test_cohort_of_nineteen(self):
+        participants = make_participants(random.Random(1))
+        assert len(participants) == 19
+
+    def test_six_non_technical(self):
+        participants = make_participants(random.Random(1))
+        assert sum(1 for p in participants if not p.technical) == 6
+
+    def test_roles_match_paper(self):
+        participants = make_participants(random.Random(1))
+        roles = [p.role for p in participants]
+        assert roles.count("faculty") == 2
+        assert roles.count("graduate student") == 13
+        assert roles.count("system administrator") == 1
+        assert roles.count("administrative assistant") == 1
+        assert roles.count("software engineer") == 2
+
+    def test_familiarity_in_range(self):
+        rng = random.Random(2)
+        for participant in make_participants(rng):
+            assert 1 <= participant.familiarity(rng) <= 5
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_user_study(seed=19)
+
+    def test_covers_four_errors(self, result):
+        assert set(result.cases) == set(STUDY_CASE_IDS) == {11, 13, 15, 16}
+
+    def test_nineteen_datapoints_per_case(self, result):
+        for case in result.cases.values():
+            assert len(case.ocasta_times) == 19
+            assert len(case.manual_times) == 19
+
+    def test_ocasta_faster_than_manual_except_possibly_16(self, result):
+        """The Fig. 4 shape: Ocasta saves significant effort; case 16 is
+        the one the majority could fix manually."""
+        for case_id in (11, 13, 15):
+            case = result.cases[case_id]
+            assert case.avg_ocasta_time < case.avg_manual_time
+
+    def test_case_16_mostly_fixed_manually(self, result):
+        assert result.cases[16].manual_fix_rate > 0.5
+        for other in (11, 13, 15):
+            assert result.cases[other].manual_fix_rate < result.cases[16].manual_fix_rate
+
+    def test_manual_times_capped(self, result):
+        for case in result.cases.values():
+            assert max(case.manual_times) <= MANUAL_CUTOFF_SECONDS
+
+    def test_trial_rated_mostly_easiest(self, result):
+        distribution = result.rating_distribution("trial")
+        assert distribution[1] > 0.5
+        assert abs(sum(distribution.values()) - 1.0) < 1e-9
+
+    def test_deterministic_for_seed(self):
+        a = run_user_study(seed=7)
+        b = run_user_study(seed=7)
+        assert a.cases[11].ocasta_times == b.cases[11].ocasta_times
+
+    def test_seed_changes_outcomes(self):
+        a = run_user_study(seed=7)
+        b = run_user_study(seed=8)
+        assert a.cases[11].ocasta_times != b.cases[11].ocasta_times
+
+    def test_screenshot_counts_influence_selection_time(self):
+        few = run_user_study(screenshots_per_case={16: 1}, seed=3)
+        many = run_user_study(screenshots_per_case={16: 30}, seed=3)
+        assert (
+            sum(many.cases[16].selection_times)
+            > sum(few.cases[16].selection_times)
+        )

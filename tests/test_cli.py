@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table2_options(self):
+        args = build_parser().parse_args(
+            ["table2", "--window", "30", "--threshold", "1"]
+        )
+        assert args.window == 30.0
+        assert args.threshold == 1.0
+
+    def test_fig2_points_parse(self):
+        args = build_parser().parse_args(["fig2a", "--points", "1,2,3"])
+        assert args.points == (1.0, 2.0, 3.0)
+
+    def test_fig2_points_reject_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2a", "--points", "a,b"])
+
+    def test_repair_requires_case(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["repair"])
+
+    def test_repair_case_range(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["repair", "--case", "17"])
+
+
+class TestCommands:
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "Bookmark bar is missing." in out
+
+    def test_list_cases(self, capsys):
+        assert main(["list-cases"]) == 0
+        assert "Acrobat Reader" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "Manual" in out
+
+    def test_table2_reduced(self, capsys):
+        # A fast, reduced-days run through the real pipeline.
+        assert main(["table2", "--days", "6", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Eye of GNOME" in out
+
+    def test_repair_case12(self, capsys):
+        assert main(["repair", "--case", "12", "--days-before-end", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "error #12" in out
+        assert "FIXED" in out

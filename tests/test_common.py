@@ -1,0 +1,119 @@
+"""Tests for repro.common: the simulated clock and formatting helpers."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.format import (
+    format_bytes,
+    format_mmss,
+    format_si,
+    quantize_timestamp,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(12.5).now() == 12.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance(3.0)
+        clock.advance(4.5)
+        assert clock.now() == 7.5
+
+    def test_advance_returns_new_time(self):
+        assert SimClock(1.0).advance(2.0) == 3.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_zero_is_allowed(self):
+        clock = SimClock(5.0)
+        clock.advance(0.0)
+        assert clock.now() == 5.0
+
+    def test_elapsed_since(self):
+        clock = SimClock(10.0)
+        clock.advance(15.0)
+        assert clock.elapsed_since(10.0) == 15.0
+
+
+class TestFormatMmss:
+    def test_seconds_only(self):
+        assert format_mmss(34) == "0:34"
+
+    def test_minutes_and_seconds(self):
+        assert format_mmss(28 * 60 + 40) == "28:40"
+
+    def test_zero(self):
+        assert format_mmss(0) == "0:00"
+
+    def test_pads_single_digit_seconds(self):
+        assert format_mmss(61) == "1:01"
+
+    def test_rounds_fractional_seconds(self):
+        assert format_mmss(59.6) == "1:00"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_mmss(-1)
+
+
+class TestFormatSi:
+    def test_millions(self):
+        assert format_si(6_760_000) == "6.76M"
+
+    def test_thousands(self):
+        assert format_si(67_720) == "67.72K"
+
+    def test_sub_thousand_still_k(self):
+        assert format_si(480) == "0.48K"
+
+    def test_small_plain(self):
+        assert format_si(35) == "35"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_si(-5)
+
+
+class TestFormatBytes:
+    def test_megabytes(self):
+        assert format_bytes(85 * 1024 * 1024) == "85MB"
+
+    def test_sub_megabyte(self):
+        assert format_bytes(102_400) == "0.1MB"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestQuantizeTimestamp:
+    def test_truncates_to_second(self):
+        assert quantize_timestamp(12.9) == 12.0
+
+    def test_exact_multiple_unchanged(self):
+        assert quantize_timestamp(12.0) == 12.0
+
+    def test_zero_precision_disables(self):
+        assert quantize_timestamp(12.34, precision=0) == 12.34
+
+    def test_coarser_precision(self):
+        assert quantize_timestamp(125.0, precision=60.0) == 120.0
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError):
+            quantize_timestamp(-1.0)
+
+    def test_rejects_negative_precision(self):
+        with pytest.raises(ValueError):
+            quantize_timestamp(1.0, precision=-1.0)

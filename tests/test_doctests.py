@@ -1,0 +1,28 @@
+"""Run the library's doctest examples (they double as API documentation)."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.stats
+import repro.analysis.tables
+import repro.common.format
+import repro.stores.parsers
+import repro.stores.parsers.common
+import repro.stores.registry
+
+_MODULES = [
+    repro.analysis.stats,
+    repro.analysis.tables,
+    repro.common.format,
+    repro.stores.parsers,
+    repro.stores.parsers.common,
+    repro.stores.registry,
+]
+
+
+@pytest.mark.parametrize("module", _MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0
+    assert result.attempted > 0, f"{module.__name__} has no doctest examples"

@@ -1,0 +1,88 @@
+"""Tests for the TTKV append-only JSONL log."""
+
+import io
+
+import pytest
+
+from repro.exceptions import PersistenceError
+from repro.ttkv.persistence import load_entries, load_ttkv, save_ttkv
+from repro.ttkv.store import DELETED, TTKV
+
+
+@pytest.fixture
+def sample_store() -> TTKV:
+    store = TTKV()
+    store.record_write("a", 1, 1.0)
+    store.record_write("b", "text", 2.0)
+    store.record_delete("a", 3.0)
+    store.record_write("c", [1, "two", None], 4.0)
+    return store
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_modifications(self, sample_store, tmp_path):
+        path = tmp_path / "log.jsonl"
+        count = save_ttkv(sample_store, path)
+        assert count == 4
+        loaded = load_ttkv(path)
+        assert loaded.write_events() == sample_store.write_events()
+
+    def test_roundtrip_preserves_deletions(self, sample_store, tmp_path):
+        path = tmp_path / "log.jsonl"
+        save_ttkv(sample_store, path)
+        loaded = load_ttkv(path)
+        assert loaded.current_value("a") is DELETED
+
+    def test_roundtrip_preserves_counts(self, sample_store, tmp_path):
+        path = tmp_path / "log.jsonl"
+        save_ttkv(sample_store, path)
+        loaded = load_ttkv(path)
+        assert loaded.total_writes() == 3
+        assert loaded.total_deletes() == 1
+
+    def test_empty_store(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert save_ttkv(TTKV(), path) == 0
+        assert len(load_ttkv(path)) == 0
+
+    def test_reads_not_persisted(self, tmp_path):
+        store = TTKV()
+        store.record_write("a", 1, 1.0)
+        store.record_read("a", 2.0)
+        path = tmp_path / "log.jsonl"
+        save_ttkv(store, path)
+        assert load_ttkv(path).total_reads() == 0
+
+
+class TestValidation:
+    def test_invalid_json_line(self):
+        with pytest.raises(PersistenceError, match="invalid JSON"):
+            list(load_entries(io.StringIO("{not json}\n")))
+
+    def test_non_object_line(self):
+        with pytest.raises(PersistenceError, match="expected object"):
+            list(load_entries(io.StringIO("[1, 2]\n")))
+
+    def test_missing_field(self):
+        with pytest.raises(PersistenceError, match="missing field"):
+            list(load_entries(io.StringIO('{"t": 1, "k": "a"}\n')))
+
+    def test_unknown_op(self):
+        with pytest.raises(PersistenceError, match="unknown op"):
+            list(load_entries(io.StringIO('{"t": 1, "k": "a", "op": "z"}\n')))
+
+    def test_write_without_value(self):
+        with pytest.raises(PersistenceError, match="missing value"):
+            list(load_entries(io.StringIO('{"t": 1, "k": "a", "op": "w"}\n')))
+
+    def test_blank_lines_skipped(self):
+        entries = list(
+            load_entries(io.StringIO('\n{"t": 1, "k": "a", "op": "d"}\n\n'))
+        )
+        assert len(entries) == 1
+
+    def test_read_entries_accepted(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"t": 1, "k": "a", "op": "r"}\n')
+        store = load_ttkv(path)
+        assert store.total_reads() == 1

@@ -1,0 +1,98 @@
+"""Tests for snapshot views and rollback plans."""
+
+import pytest
+
+from repro.exceptions import KeyNotTrackedError
+from repro.ttkv.snapshot import RollbackPlan, SnapshotView, rollback_plan
+from repro.ttkv.store import DELETED, MISSING, TTKV
+
+
+@pytest.fixture
+def history_store() -> TTKV:
+    store = TTKV()
+    store.record_write("alive", "v1", 1.0)
+    store.record_write("alive", "v2", 10.0)
+    store.record_write("gone", "x", 2.0)
+    store.record_delete("gone", 5.0)
+    store.record_write("late", "z", 20.0)
+    return store
+
+
+class TestSnapshotView:
+    def test_reads_value_at_time(self, history_store):
+        view = SnapshotView(history_store, 3.0)
+        assert view["alive"] == "v1"
+
+    def test_deleted_key_raises_keyerror(self, history_store):
+        view = SnapshotView(history_store, 6.0)
+        with pytest.raises(KeyError):
+            view["gone"]
+
+    def test_not_yet_written_key_raises(self, history_store):
+        view = SnapshotView(history_store, 3.0)
+        with pytest.raises(KeyError):
+            view["late"]
+
+    def test_iteration_yields_live_keys_only(self, history_store):
+        assert set(SnapshotView(history_store, 6.0)) == {"alive"}
+        assert set(SnapshotView(history_store, 25.0)) == {"alive", "late"}
+
+    def test_len_counts_live_keys(self, history_store):
+        assert len(SnapshotView(history_store, 3.0)) == 2
+        assert len(SnapshotView(history_store, 6.0)) == 1
+
+    def test_state_of_exposes_sentinels(self, history_store):
+        view = SnapshotView(history_store, 6.0)
+        assert view.state_of("gone") is DELETED
+        assert view.state_of("late") is MISSING
+
+    def test_mapping_get(self, history_store):
+        view = SnapshotView(history_store, 6.0)
+        assert view.get("gone", "fallback") == "fallback"
+
+
+class _FakeStore:
+    def __init__(self):
+        self.data = {}
+
+    def set(self, key, value):
+        self.data[key] = value
+
+    def delete(self, key):
+        self.data.pop(key, None)
+
+
+class TestRollbackPlan:
+    def test_build_plan_captures_values(self, history_store):
+        plan = rollback_plan(history_store, ["alive", "gone"], 3.0)
+        assert plan.assignments == {"alive": "v1", "gone": "x"}
+
+    def test_plan_records_deletions(self, history_store):
+        plan = rollback_plan(history_store, ["gone"], 6.0)
+        assert plan.assignments["gone"] is DELETED
+
+    def test_plan_records_missing(self, history_store):
+        plan = rollback_plan(history_store, ["late"], 3.0)
+        assert plan.assignments["late"] is MISSING
+
+    def test_unknown_key_raises(self, history_store):
+        with pytest.raises(KeyNotTrackedError):
+            rollback_plan(history_store, ["ghost"], 3.0)
+
+    def test_apply_sets_and_deletes(self, history_store):
+        target = _FakeStore()
+        target.data = {"gone": "stale", "alive": "stale"}
+        plan = rollback_plan(history_store, ["alive", "gone"], 6.0)
+        plan.apply_to(target)
+        assert target.data == {"alive": "v1"}
+
+    def test_apply_missing_deletes(self):
+        target = _FakeStore()
+        target.data = {"late": "stale"}
+        RollbackPlan(0.0, {"late": MISSING}).apply_to(target)
+        assert target.data == {}
+
+    def test_len(self, history_store):
+        plan = rollback_plan(history_store, ["alive"], 3.0)
+        assert len(plan) == 1
+        assert plan.keys() == ["alive"]

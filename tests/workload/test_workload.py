@@ -1,0 +1,153 @@
+"""Tests for machine profiles, the user model and trace generation."""
+
+import random
+
+import pytest
+
+from repro.apps.catalog import app_names, create_app
+from repro.common.format import SECONDS_PER_DAY
+from repro.workload.machines import PROFILES, profile_by_name
+from repro.workload.trace import compute_stats
+from repro.workload.tracegen import generate_trace, _poisson
+from repro.workload.user_model import UserBehaviour, UserModel
+
+
+class TestProfiles:
+    def test_nine_profiles_like_table1(self):
+        assert len(PROFILES) == 9
+
+    def test_lookup_by_name(self):
+        assert profile_by_name("Linux-2").days == 84
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            profile_by_name("Windows 11")
+
+    def test_all_profile_apps_exist(self):
+        known = set(app_names())
+        for profile in PROFILES:
+            assert set(profile.apps) <= known, profile.name
+
+    def test_days_match_paper(self):
+        days = {p.name: p.days for p in PROFILES}
+        assert days["Windows 7"] == 42
+        assert days["Windows Vista-2"] == 18
+        assert days["Linux-4"] == 64
+
+
+class TestUserModel:
+    def test_session_generates_events(self, ttkv):
+        # GConf-backed app: its logger sees the launch's read burst
+        # (file loggers are blind to reads by design).
+        app = create_app("GNOME Edit")
+        app.attach_logger(ttkv)
+        user = UserModel(app, random.Random(5))
+        user.run_session(actions=8)
+        assert ttkv.total_reads() >= len(app.schema)
+
+    def test_preference_edit_writes(self, ttkv):
+        app = create_app("Evolution Mail")
+        app.attach_logger(ttkv)
+        user = UserModel(app, random.Random(5))
+        user.edit_preferences()
+        assert ttkv.total_writes() >= 1
+
+    def test_think_time_advances_clock(self):
+        app = create_app("Chrome Browser")
+        user = UserModel(app, random.Random(5))
+        before = app.clock.now()
+        user.run_session(actions=3)
+        assert app.clock.now() > before
+
+    def test_behaviour_is_tunable(self):
+        behaviour = UserBehaviour(think_time_range=(1.0, 1.1))
+        app = create_app("Chrome Browser")
+        user = UserModel(app, random.Random(5), behaviour)
+        user.run_session(actions=2)
+        assert app.clock.now() < 60.0
+
+
+class TestPoisson:
+    def test_zero_mean(self):
+        assert _poisson(random.Random(1), 0) == 0
+
+    def test_mean_roughly_respected(self):
+        rng = random.Random(2)
+        samples = [_poisson(rng, 4.0) for _ in range(500)]
+        assert 3.5 < sum(samples) / len(samples) < 4.5
+
+
+class TestGenerateTrace:
+    def test_deterministic_for_same_seed(self, tiny_profile_factory):
+        profile = tiny_profile_factory("Chrome Browser", days=5)
+        a = generate_trace(profile)
+        b = generate_trace(profile)
+        assert a.ttkv.write_events() == b.ttkv.write_events()
+
+    def test_different_seeds_differ(self, tiny_profile_factory):
+        profile = tiny_profile_factory("Chrome Browser", days=5)
+        a = generate_trace(profile, seed=1)
+        b = generate_trace(profile, seed=2)
+        assert a.ttkv.write_events() != b.ttkv.write_events()
+
+    def test_events_quantised_to_seconds(self, chrome_trace):
+        for t, _, _ in chrome_trace.ttkv.write_events()[:200]:
+            assert t == int(t)
+
+    def test_zero_precision_keeps_subsecond(self, tiny_profile_factory):
+        profile = tiny_profile_factory("Chrome Browser", days=5)
+        trace = generate_trace(profile, precision=0.0)
+        times = [t for t, _, _ in trace.ttkv.write_events()]
+        assert any(t != int(t) for t in times)
+
+    def test_days_override(self, tiny_profile_factory):
+        profile = tiny_profile_factory("Chrome Browser", days=30)
+        trace = generate_trace(profile, days=3)
+        _, end = trace.ttkv.span()
+        assert end <= 3 * SECONDS_PER_DAY + 1
+
+    def test_scale_reduces_volume(self, tiny_profile_factory):
+        profile = tiny_profile_factory("GNOME Edit", days=8)
+        full = generate_trace(profile, scale=1.0)
+        tiny = generate_trace(profile, scale=0.25)
+        assert tiny.ttkv.total_writes() < full.ttkv.total_writes()
+
+    def test_bad_parameters(self, tiny_profile_factory):
+        profile = tiny_profile_factory("Chrome Browser")
+        with pytest.raises(ValueError):
+            generate_trace(profile, days=0)
+        with pytest.raises(ValueError):
+            generate_trace(profile, scale=0)
+
+    def test_noise_keys_present_for_windows_profile(self):
+        profile = profile_by_name("Windows Vista-2")
+        trace = generate_trace(profile, days=2, scale=0.05)
+        assert any(k.startswith("HKLM\\System") for k in trace.ttkv.keys())
+
+    def test_apps_attached_and_logged(self, chrome_trace):
+        app = chrome_trace.apps["Chrome Browser"]
+        prefix = app.key_prefix
+        assert any(k.startswith(prefix) for k in chrome_trace.ttkv.keys())
+
+    def test_end_time_property(self, chrome_trace):
+        assert chrome_trace.end_time == chrome_trace.days * SECONDS_PER_DAY
+
+
+class TestTraceStats:
+    def test_stats_from_trace(self, chrome_trace):
+        stats = compute_stats("t", chrome_trace.ttkv, chrome_trace.days)
+        assert stats.reads == chrome_trace.ttkv.total_reads()
+        assert stats.writes == (
+            chrome_trace.ttkv.total_writes() + chrome_trace.ttkv.total_deletes()
+        )
+        assert stats.keys == len(chrome_trace.ttkv)
+
+    def test_days_inferred_from_span(self, chrome_trace):
+        stats = compute_stats("t", chrome_trace.ttkv)
+        assert stats.days > 1
+
+    def test_row_formatting(self, chrome_trace):
+        stats = compute_stats("t", chrome_trace.ttkv, 20.0)
+        row = stats.row()
+        assert row[0] == "t"
+        assert row[1] == "20"
