@@ -1,0 +1,169 @@
+"""Incremental vs batch re-clustering on a generated multi-machine trace.
+
+The scenario is the paper's deployment reality: clustering runs
+continuously while loggers keep appending.  We merge several machines'
+generated traces into one ~10k-event stream, consume 99% of it through an
+:class:`IncrementalPipeline`, then measure how long it takes to fold in the
+final 1% versus re-running the batch pipeline over the whole store.
+
+Run as a script for CI/quick use::
+
+    python benchmarks/bench_incremental.py --quick --out benchmarks/out/BENCH_incremental.json
+
+or through the benchmark harness (``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.incremental import IncrementalPipeline
+from repro.core.pipeline import cluster_settings
+from repro.ttkv.store import TTKV
+from repro.workload.machines import MachineProfile, PLATFORM_LINUX
+from repro.workload.tracegen import generate_trace
+
+#: Fraction of the stream appended after the pipeline is warm.
+TAIL_FRACTION = 0.01
+
+
+def _machine_profile(index: int, days: int) -> MachineProfile:
+    apps = ("Chrome Browser", "GNOME Edit", "Acrobat Reader")
+    return MachineProfile(
+        name=f"bench-m{index}",
+        platform=PLATFORM_LINUX,
+        days=days,
+        apps=(apps[index % len(apps)],),
+        sessions_per_day=3,
+        actions_per_session=8,
+        pref_edits_per_day=2.0,
+        noise_keys=60,
+        noise_writes_per_day=250,
+        reads_per_day=0,
+        seed=1000 + index,
+    )
+
+
+def build_multi_machine_events(machines: int, days: int) -> list[tuple]:
+    """One merged, time-sorted modification stream across ``machines``."""
+    merged: list[tuple] = []
+    for index in range(machines):
+        trace = generate_trace(_machine_profile(index, days))
+        prefix = f"machine{index}/"
+        merged.extend(
+            (timestamp, prefix + key, value)
+            for timestamp, key, value in trace.ttkv.write_events()
+        )
+    merged.sort(key=lambda event: event[0])
+    return merged
+
+
+def _key_sets(cluster_set) -> list[tuple[str, ...]]:
+    return [tuple(cluster.sorted_keys()) for cluster in cluster_set]
+
+
+def run_benchmark(quick: bool = False, repeats: int = 3) -> dict:
+    """Time incremental catch-up vs full batch recluster; return the record."""
+    repeats = max(1, repeats)
+    days = 4 if quick else 12
+    events = build_multi_machine_events(machines=3, days=days)
+    split = len(events) - max(1, int(len(events) * TAIL_FRACTION))
+    base, tail = events[:split], events[split:]
+
+    full_store = TTKV()
+    full_store.record_events(events)
+
+    batch_seconds = min(
+        _timed(lambda: cluster_settings(full_store))[0] for _ in range(repeats)
+    )
+    batch_clusters = cluster_settings(full_store)
+
+    incremental_seconds = []
+    incremental_clusters = None
+    for _ in range(repeats):
+        live = TTKV()
+        live.record_events(base)
+        pipeline = IncrementalPipeline(live)
+        pipeline.update()  # warm: consume the 99% prefix
+        live.record_events(tail)
+        seconds, incremental_clusters = _timed(pipeline.update)
+        incremental_seconds.append(seconds)
+    incremental_best = min(incremental_seconds)
+
+    matches = _key_sets(incremental_clusters) == _key_sets(batch_clusters)
+    record = {
+        "events": len(events),
+        "tail_events": len(tail),
+        "machines": 3,
+        "days": days,
+        "quick": quick,
+        "batch_seconds": batch_seconds,
+        "incremental_seconds": incremental_best,
+        "speedup": batch_seconds / incremental_best if incremental_best else float("inf"),
+        "clusters": len(batch_clusters),
+        "multi_key_clusters": len(batch_clusters.multi_clusters()),
+        "incremental_equals_batch": matches,
+    }
+    return record
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def render(record: dict) -> str:
+    return (
+        "incremental vs batch re-clustering "
+        f"({record['events']} events, {record['machines']} machines, "
+        f"{record['tail_events']} appended):\n"
+        f"  batch full recluster : {record['batch_seconds'] * 1000:8.2f} ms\n"
+        f"  incremental catch-up : {record['incremental_seconds'] * 1000:8.2f} ms\n"
+        f"  speedup              : {record['speedup']:8.1f}x\n"
+        f"  clusters             : {record['clusters']} "
+        f"({record['multi_key_clusters']} multi-key); "
+        f"equal to batch: {record['incremental_equals_batch']}"
+    )
+
+
+def test_incremental_speedup(benchmark, report):
+    record = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    report("bench_incremental", render(record))
+    (Path(__file__).parent / "out" / "BENCH_incremental.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    assert record["incremental_equals_batch"]
+    assert record["events"] >= 10_000
+    assert record["speedup"] >= 5.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small trace, no speedup gate")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=None, help="write the JSON record here")
+    args = parser.parse_args(argv)
+    record = run_benchmark(quick=args.quick, repeats=args.repeats)
+    print(render(record))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    if not record["incremental_equals_batch"]:
+        print("ERROR: incremental clusters diverged from batch", file=sys.stderr)
+        return 1
+    if not args.quick and record["speedup"] < 5.0:
+        print("ERROR: speedup below the 5x acceptance floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,28 +17,44 @@ three layers:
   and one experiment driver per paper table/figure
   (:mod:`repro.experiments`).
 
-Quickstart::
+Quickstart — streaming, the way Ocasta actually runs.  Clustering runs
+continuously alongside logging: attach an :class:`IncrementalPipeline` to a
+live TTKV and call :meth:`~repro.core.incremental.IncrementalPipeline.update`
+whenever you want current clusters; each call consumes only the events
+appended since the previous one.
 
-    from repro import TTKV, cluster_settings
+>>> from repro import TTKV, IncrementalPipeline
+>>> ttkv = TTKV()
+>>> live = IncrementalPipeline(ttkv)       # paper defaults: 1 s, corr 2
+>>> ttkv.record_write("app/feature_on", True, 10.0)
+>>> ttkv.record_write("app/feature_level", 3, 10.0)
+>>> [c.sorted_keys() for c in live.update()]
+[['app/feature_level', 'app/feature_on']]
+>>> ttkv.record_write("app/feature_on", False, 95.0)
+>>> ttkv.record_write("app/feature_level", 0, 95.0)
+>>> ttkv.record_write("app/theme", "dark", 240.0)
+>>> [c.sorted_keys() for c in live.update()]   # only new events consumed
+[['app/feature_level', 'app/feature_on'], ['app/theme']]
 
-    ttkv = TTKV()
-    ttkv.record_write("app/feature_on", True, 10.0)
-    ttkv.record_write("app/feature_level", 3, 10.0)
-    ttkv.record_write("app/feature_on", False, 95.0)
-    ttkv.record_write("app/feature_level", 0, 95.0)
-    clusters = cluster_settings(ttkv)          # paper defaults: 1 s, corr 2
-    [c.sorted_keys() for c in clusters]
-    # [['app/feature_level', 'app/feature_on']]
+One-shot batch clustering over a recorded trace gives the identical result
+(the equivalence is property-tested for arbitrary stream prefixes):
+
+>>> from repro import cluster_settings
+>>> [c.sorted_keys() for c in cluster_settings(ttkv)]
+[['app/feature_level', 'app/feature_on'], ['app/theme']]
 """
 
 from repro.exceptions import OcastaError
 from repro.ttkv import DELETED, MISSING, TTKV, RollbackPlan, SnapshotView
 from repro.core import (
     Cluster,
+    ClusterSession,
     ClusterSet,
     ClusterVersion,
+    IncrementalPipeline,
     RepairEngine,
     SearchStrategy,
+    UpdateStats,
     cluster_settings,
     singleton_clusters,
 )
@@ -57,10 +73,13 @@ __all__ = [
     "RollbackPlan",
     "SnapshotView",
     "Cluster",
+    "ClusterSession",
     "ClusterSet",
     "ClusterVersion",
+    "IncrementalPipeline",
     "RepairEngine",
     "SearchStrategy",
+    "UpdateStats",
     "cluster_settings",
     "singleton_clusters",
     "SimulatedApplication",

@@ -9,6 +9,7 @@ Usage::
     python -m repro fig3a
     python -m repro fig4
     python -m repro ablations
+    python -m repro stream --app "Chrome Browser" --chunks 10
     python -m repro repair --case 13 [--bfs] [--spurious 2]
     python -m repro list-cases
 """
@@ -64,6 +65,17 @@ def build_parser() -> argparse.ArgumentParser:
     fig4.add_argument("--seed", type=int, default=19)
 
     sub.add_parser("ablations", help="design-choice ablations")
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a generated trace through the incremental clustering pipeline",
+    )
+    stream.add_argument("--app", default="Chrome Browser")
+    stream.add_argument("--days", type=int, default=20)
+    stream.add_argument("--seed", type=int, default=7)
+    stream.add_argument("--chunks", type=int, default=10)
+    stream.add_argument("--window", type=float, default=1.0)
+    stream.add_argument("--threshold", type=float, default=2.0)
 
     repair = sub.add_parser("repair", help="repair one Table III error")
     repair.add_argument("--case", type=int, required=True, choices=range(1, 17))
@@ -157,6 +169,37 @@ def _cmd_ablations() -> str:
     return render_ablations(rows)
 
 
+def _cmd_stream(args) -> str:
+    from repro.core.incremental import IncrementalPipeline
+    from repro.experiments.table2 import lab_profile
+    from repro.ttkv.store import TTKV
+    from repro.workload.tracegen import generate_trace
+
+    trace = generate_trace(lab_profile(args.app, days=args.days, seed=args.seed))
+    events = trace.ttkv.write_events()
+    live = TTKV()
+    pipeline = IncrementalPipeline(
+        live, window=args.window, correlation_threshold=args.threshold
+    )
+    chunk_size = max(1, -(-len(events) // max(1, args.chunks)))
+    chunks = -(-len(events) // chunk_size) if events else 0
+    lines = [
+        f"streaming {len(events)} modification events from a {args.days}-day "
+        f"{args.app!r} trace in {chunks} chunk(s)"
+    ]
+    for start in range(0, len(events), chunk_size):
+        live.record_events(events[start:start + chunk_size])
+        clusters = pipeline.update()
+        stats = pipeline.last_stats
+        lines.append(
+            f"  +{stats.events_consumed:5d} events -> {len(clusters):4d} clusters "
+            f"({len(clusters.multi_clusters())} multi-key); "
+            f"{stats.components_reclustered}/{stats.components_total} "
+            "components re-agglomerated"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_repair(args) -> str:
     from repro.common.format import format_mmss
     from repro.core.search import SearchStrategy
@@ -222,6 +265,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _cmd_fig4(args)
     elif command == "ablations":
         output = _cmd_ablations()
+    elif command == "stream":
+        output = _cmd_stream(args)
     elif command == "repair":
         output = _cmd_repair(args)
     else:

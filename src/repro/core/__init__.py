@@ -6,7 +6,12 @@ using the paper's defaults (1-second sliding window, complete-linkage HAC,
 correlation threshold 2).
 """
 
-from repro.core.windowing import WriteGroup, extract_write_groups, key_group_sets
+from repro.core.windowing import (
+    StreamingGroupExtractor,
+    WriteGroup,
+    extract_write_groups,
+    key_group_sets,
+)
 from repro.core.correlation import (
     CorrelationMatrix,
     correlation,
@@ -14,9 +19,10 @@ from repro.core.correlation import (
     distance_to_correlation,
 )
 from repro.core.dendrogram import Dendrogram, Merge
-from repro.core.clustering import hac_complete_linkage
+from repro.core.clustering import component_clusters, hac_complete_linkage
 from repro.core.cluster_model import Cluster, ClusterSet, ClusterVersion, cluster_versions
 from repro.core.pipeline import cluster_settings, singleton_clusters
+from repro.core.incremental import ClusterSession, IncrementalPipeline, UpdateStats
 from repro.core.sorting import sort_clusters_for_search
 from repro.core.search import Candidate, SearchStrategy, search_order
 from repro.core.accuracy import (
@@ -27,6 +33,7 @@ from repro.core.accuracy import (
 from repro.core.repair import RepairEngine, RepairOutcome
 
 __all__ = [
+    "StreamingGroupExtractor",
     "WriteGroup",
     "extract_write_groups",
     "key_group_sets",
@@ -37,6 +44,10 @@ __all__ = [
     "Dendrogram",
     "Merge",
     "hac_complete_linkage",
+    "component_clusters",
+    "ClusterSession",
+    "IncrementalPipeline",
+    "UpdateStats",
     "Cluster",
     "ClusterSet",
     "ClusterVersion",

@@ -56,12 +56,36 @@ def hac(matrix: CorrelationMatrix, linkage: str = LINKAGE_COMPLETE) -> Dendrogra
     merges: list[Merge] = []
     for component in matrix.connected_components():
         if len(component) > 1:
-            merges.extend(_agglomerate_component(matrix, component, linkage))
+            merges.extend(agglomerate_component(matrix, component, linkage))
     merges.sort(key=lambda merge: merge.distance)
     return Dendrogram(frozenset(matrix.keys), merges)
 
 
-def _agglomerate_component(
+def component_clusters(
+    matrix: CorrelationMatrix,
+    component: frozenset[str] | set[str],
+    correlation_threshold: float,
+    linkage: str = LINKAGE_COMPLETE,
+) -> list[frozenset[str]]:
+    """Flat clusters of one connected component at a correlation threshold.
+
+    Complete/single/average-linkage merges never cross components of the
+    finite-distance graph, so clustering a component in isolation yields
+    exactly the clusters a whole-matrix :func:`flat_clusters` run would
+    produce for those keys.  The incremental pipeline uses this to
+    re-agglomerate only the components a new write group touched.
+    """
+    if linkage not in _LINKAGES:
+        raise ValueError(f"unknown linkage {linkage!r}; options: {_LINKAGES}")
+    if len(component) == 1:
+        return [frozenset(component)]
+    merges = agglomerate_component(matrix, set(component), linkage)
+    merges.sort(key=lambda merge: merge.distance)
+    dendrogram = Dendrogram(frozenset(component), merges)
+    return dendrogram.cut(correlation_to_distance(correlation_threshold))
+
+
+def agglomerate_component(
     matrix: CorrelationMatrix, component: set[str], linkage: str
 ) -> list[Merge]:
     """Classic heap-driven HAC restricted to one connected component."""

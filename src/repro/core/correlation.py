@@ -58,39 +58,129 @@ class CorrelationMatrix:
     makes clustering whole applications tractable: a key pair that never
     co-modifies can never merge, so the finite-distance graph's connected
     components bound every cluster.
+
+    Internally the matrix counts — per key the number of write groups it
+    appears in, per co-occurring pair the size of the intersection — so a
+    correlation query is O(1) and the matrix can be updated **in place** as
+    new write groups stream in (:meth:`observe_group`) or a provisional
+    trailing group is replaced (:meth:`retract_group`).  The incremental
+    clustering pipeline relies on these updates to avoid rebuilding the
+    matrix from scratch on every new event.
     """
 
-    def __init__(self, key_groups: Mapping[str, set[int]]) -> None:
-        for key, groups in key_groups.items():
-            if not groups:
-                raise ValueError(f"key {key!r} has no write groups")
-        self._key_groups = {k: frozenset(v) for k, v in key_groups.items()}
-        self._pairs: dict[frozenset[str], float] = {}
-        self._neighbors: dict[str, set[str]] = {k: set() for k in key_groups}
-        self._build()
+    def __init__(self, key_groups: Mapping[str, set[int]] | None = None) -> None:
+        self._key_groups: dict[str, set[int]] = {}
+        self._group_members: dict[int, frozenset[str]] = {}
+        self._common: dict[frozenset[str], int] = {}
+        self._neighbors: dict[str, set[str]] = {}
+        if key_groups:
+            for key, groups in key_groups.items():
+                if not groups:
+                    raise ValueError(f"key {key!r} has no write groups")
+            # Invert to group -> member keys and replay as observations so
+            # batch construction and streaming growth share one code path.
+            by_group: dict[int, list[str]] = {}
+            for key, groups in key_groups.items():
+                self._key_groups[key] = set()
+                self._neighbors[key] = set()
+                for index in groups:
+                    by_group.setdefault(index, []).append(key)
+            self.update_groups(added=sorted(by_group.items()))
 
-    def _build(self) -> None:
-        # Invert: group index -> keys in it; only co-grouped pairs matter.
-        by_group: dict[int, list[str]] = {}
-        for key, groups in self._key_groups.items():
-            for index in groups:
-                by_group.setdefault(index, []).append(key)
-        for members in by_group.values():
-            members.sort()
-            for i, key_a in enumerate(members):
-                for key_b in members[i + 1:]:
+    # -- in-place updates ---------------------------------------------------
+
+    def observe_group(self, index: int, keys: Iterable[str]) -> None:
+        """Fold one new write group (its distinct ``keys``) into the matrix."""
+        self.update_groups(added=[(index, keys)])
+
+    def retract_group(self, index: int, keys: Iterable[str]) -> None:
+        """Undo a previously observed group (same ``index`` and ``keys``)."""
+        self.update_groups(removed=[(index, keys)])
+
+    def update_groups(
+        self,
+        added: Iterable[tuple[int, Iterable[str]]] = (),
+        removed: Iterable[tuple[int, Iterable[str]]] = (),
+    ) -> set[str]:
+        """Apply a batch of group retractions and additions.
+
+        Removals run first so a provisional group can be replaced by its
+        extended version under the same index in one call.  Returns the set
+        of keys whose correlations may have changed (the union of all
+        touched groups' keys) — the dirty set driving partial re-clustering.
+
+        The whole batch is validated before any state is touched, so a
+        rejected update leaves the matrix exactly as it was.  A retraction
+        must name a group's exact observed member set; an addition must use
+        a fresh index (or one retracted in the same call).
+        """
+        removed = [(index, sorted(set(keys))) for index, keys in removed]
+        added = [(index, sorted(set(keys))) for index, keys in added]
+        for batch, label in ((removed, "removed"), (added, "added")):
+            indices = [index for index, _ in batch]
+            if len(set(indices)) != len(indices):
+                raise ValueError(f"duplicate group index in {label} batch: {indices}")
+        removed_indices = set()
+        for index, members in removed:
+            registered = self._group_members.get(index)
+            if registered is None:
+                raise ValueError(f"group {index} was never observed")
+            if frozenset(members) != registered:
+                raise ValueError(
+                    f"group {index} members {members} do not match the "
+                    f"observed group {sorted(registered)}"
+                )
+            removed_indices.add(index)
+        for index, members in added:
+            if not members:
+                raise ValueError(f"group {index} has no keys")
+            if index in self._group_members and index not in removed_indices:
+                raise ValueError(f"group {index} already observed")
+
+        dirty: set[str] = set()
+        for index, members in removed:
+            dirty.update(members)
+            for position, key_a in enumerate(members):
+                for key_b in members[position + 1:]:
                     pair = frozenset((key_a, key_b))
-                    if pair in self._pairs:
-                        continue
-                    self._pairs[pair] = correlation(
-                        self._key_groups[key_a], self._key_groups[key_b]
-                    )
+                    remaining = self._common[pair] - 1
+                    if remaining:
+                        self._common[pair] = remaining
+                    else:
+                        del self._common[pair]
+                        self._neighbors[key_a].discard(key_b)
+                        self._neighbors[key_b].discard(key_a)
+            for key in members:
+                groups = self._key_groups[key]
+                groups.remove(index)
+                if not groups:
+                    del self._key_groups[key]
+                    del self._neighbors[key]
+            del self._group_members[index]
+        for index, members in added:
+            dirty.update(members)
+            self._group_members[index] = frozenset(members)
+            for key in members:
+                self._key_groups.setdefault(key, set()).add(index)
+                self._neighbors.setdefault(key, set())
+            for position, key_a in enumerate(members):
+                for key_b in members[position + 1:]:
+                    pair = frozenset((key_a, key_b))
+                    self._common[pair] = self._common.get(pair, 0) + 1
                     self._neighbors[key_a].add(key_b)
                     self._neighbors[key_b].add(key_a)
+        return dirty
+
+    # -- queries -------------------------------------------------------------
 
     @property
     def keys(self) -> list[str]:
         return list(self._key_groups)
+
+    def group_count(self, key: str) -> int:
+        """Number of write groups ``key`` appears in (the metric's ``|A|``)."""
+        self._check(key)
+        return len(self._key_groups[key])
 
     def correlation_of(self, key_a: str, key_b: str) -> float:
         """Correlation between two keys (0 when they never co-modify)."""
@@ -98,7 +188,12 @@ class CorrelationMatrix:
             raise ValueError("correlation with itself is not meaningful")
         self._check(key_a)
         self._check(key_b)
-        return self._pairs.get(frozenset((key_a, key_b)), 0.0)
+        common = self._common.get(frozenset((key_a, key_b)), 0)
+        if not common:
+            return 0.0
+        return common / len(self._key_groups[key_a]) + common / len(
+            self._key_groups[key_b]
+        )
 
     def distance_of(self, key_a: str, key_b: str) -> float:
         return correlation_to_distance(self.correlation_of(key_a, key_b))
@@ -114,9 +209,9 @@ class CorrelationMatrix:
 
     def finite_pairs(self) -> Iterable[tuple[str, str, float]]:
         """All stored (key_a, key_b, correlation) entries."""
-        for pair, value in self._pairs.items():
+        for pair in self._common:
             key_a, key_b = sorted(pair)
-            yield key_a, key_b, value
+            yield key_a, key_b, self.correlation_of(key_a, key_b)
 
     def connected_components(self) -> list[set[str]]:
         """Components of the finite-distance graph.

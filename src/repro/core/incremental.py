@@ -1,0 +1,257 @@
+"""Incremental clustering: stream events into live clusters.
+
+Ocasta runs clustering *continuously* alongside logging; recomputing the
+whole pipeline per update would be O(trace) every time.  The
+:class:`IncrementalPipeline` instead keeps the full pipeline state live, so
+an update's cost is independent of how long the trace already is: it pays
+O(new events) for ingestion, O(live keys) for the component scan and
+cluster-set assembly, and the HAC bill only for components a new group
+actually touched (tracking components with an incremental union-find to
+shed the O(keys) scan is noted in ROADMAP.md):
+
+1. new modifications are pulled from the TTKV's append-ordered journal via
+   a cursor (no re-sort, no re-scan of consumed events);
+2. a :class:`~repro.core.windowing.StreamingGroupExtractor` closes write
+   groups as the stream advances, keeping the trailing group *provisional*
+   (a future event may still extend it);
+3. the :class:`~repro.core.correlation.CorrelationMatrix` is updated in
+   place — only pairs involving keys of touched groups change;
+4. only connected components containing a *dirty* key are re-agglomerated;
+   every other component's flat clusters are reused from cache.
+
+The result after every :meth:`IncrementalPipeline.update` equals what the
+batch :func:`~repro.core.pipeline.cluster_settings` would produce from the
+same store — the property-based equivalence tests pin this for arbitrary
+prefixes of arbitrary event streams.
+
+Example::
+
+    >>> from repro.ttkv.store import TTKV
+    >>> from repro.core.incremental import IncrementalPipeline
+    >>> store = TTKV()
+    >>> live = IncrementalPipeline(store)
+    >>> store.record_write("app/feature_on", True, 10.0)
+    >>> store.record_write("app/feature_level", 3, 10.0)
+    >>> [c.sorted_keys() for c in live.update()]
+    [['app/feature_level', 'app/feature_on']]
+    >>> store.record_write("app/theme", "dark", 500.0)
+    >>> [c.sorted_keys() for c in live.update()]
+    [['app/feature_level', 'app/feature_on'], ['app/theme']]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.clustering import (
+    LINKAGE_COMPLETE,
+    _LINKAGES,
+    component_clusters,
+)
+from repro.core.cluster_model import ClusterSet
+from repro.core.correlation import CorrelationMatrix
+from repro.core.windowing import GROUPING_SLIDING, StreamingGroupExtractor
+from repro.exceptions import StaleCursorError
+from repro.ttkv.journal import JournalCursor
+from repro.ttkv.store import TTKV
+
+
+@dataclass(frozen=True)
+class UpdateStats:
+    """What one :meth:`IncrementalPipeline.update` call actually did."""
+
+    events_consumed: int
+    groups_closed: int
+    dirty_keys: int
+    components_total: int
+    components_reclustered: int
+    components_reused: int
+    rebuilt: bool
+
+
+class IncrementalPipeline:
+    """Live clustering session over a growing TTKV.
+
+    Construct it once over a store, then call :meth:`update` whenever new
+    modifications may have been recorded; it returns the current
+    :class:`~repro.core.cluster_model.ClusterSet`, identical to a batch
+    :func:`~repro.core.pipeline.cluster_settings` run over the store's full
+    event stream with the same parameters.
+
+    Parameters mirror ``cluster_settings``: ``window`` (seconds),
+    ``correlation_threshold`` (in ``(0, 2]``), ``linkage``, an optional
+    ``key_filter`` prefix, and ``grouping`` (``sliding`` or ``buckets``).
+
+    >>> from repro.ttkv.store import TTKV
+    >>> store = TTKV()
+    >>> live = IncrementalPipeline(store, window=1.0, correlation_threshold=2.0)
+    >>> for t in (10.0, 75.0, 300.0):
+    ...     store.record_write("editor/font", f"serif@{t}", t)
+    ...     store.record_write("editor/size", t, t)
+    >>> [c.sorted_keys() for c in live.update()]
+    [['editor/font', 'editor/size']]
+    >>> live.last_stats.components_reclustered
+    1
+    """
+
+    def __init__(
+        self,
+        store: TTKV,
+        window: float = 1.0,
+        correlation_threshold: float = 2.0,
+        linkage: str = LINKAGE_COMPLETE,
+        key_filter: str | None = None,
+        grouping: str = GROUPING_SLIDING,
+    ) -> None:
+        self.store = store
+        self.window = window
+        self.correlation_threshold = correlation_threshold
+        self.linkage = linkage
+        self.key_filter = key_filter
+        self.grouping = grouping
+        self.last_stats: UpdateStats | None = None
+        self._reset()
+
+    def _params(self) -> tuple:
+        return (
+            self.window,
+            self.correlation_threshold,
+            self.linkage,
+            self.key_filter,
+            self.grouping,
+        )
+
+    def _reset(self) -> None:
+        if not 0.0 < self.correlation_threshold <= 2.0:
+            raise ValueError(
+                "correlation threshold must lie in (0, 2], "
+                f"got {self.correlation_threshold}"
+            )
+        if self.linkage not in _LINKAGES:
+            raise ValueError(
+                f"unknown linkage {self.linkage!r}; options: {_LINKAGES}"
+            )
+        # window and grouping are validated by the extractor
+        self._extractor = StreamingGroupExtractor(self.window, grouping=self.grouping)
+        self._active_params = self._params()
+        self._cursor: JournalCursor | None = None
+        self._matrix = CorrelationMatrix()
+        self._closed_count = 0
+        self._pending_keys: frozenset[str] = frozenset()
+        self._component_cache: dict[frozenset[str], list[frozenset[str]]] = {}
+        self._cluster_set: ClusterSet | None = None
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def cluster_set(self) -> ClusterSet | None:
+        """Clusters from the most recent :meth:`update` (``None`` before one)."""
+        return self._cluster_set
+
+    @property
+    def matrix(self) -> CorrelationMatrix:
+        """The live correlation matrix (read-only use only)."""
+        return self._matrix
+
+    def update(self) -> ClusterSet:
+        """Consume newly journaled events and return the current clusters.
+
+        Retuning ``window``/``correlation_threshold``/``linkage``/
+        ``key_filter``/``grouping`` between calls is supported: the change
+        is detected here and the session restarts over the full stream, so
+        the returned clusters always reflect the current parameters.
+        """
+        rebuilt = False
+        if self._params() != self._active_params:
+            self._reset()
+            rebuilt = True
+        try:
+            events, self._cursor = self.store.journal.read(self._cursor)
+        except StaleCursorError:
+            # An out-of-order append landed inside our consumed prefix; the
+            # incremental state no longer matches the stream.  Rebuild.
+            self._reset()
+            rebuilt = True
+            events, self._cursor = self.store.journal.read(None)
+        if self.key_filter is not None:
+            prefix = self.key_filter
+            events = [e for e in events if e[1].startswith(prefix)]
+
+        old_pending = self._pending_keys
+        base = self._closed_count
+        closed = self._extractor.feed_many(events)
+        new_pending = self._extractor.pending_keys
+
+        # Desired registrations for group indices >= base.  The formerly
+        # provisional group sits at index `base`: it either became
+        # closed[0] or is still pending; re-register it only if its key set
+        # actually changed.
+        desired: list[tuple[int, frozenset[str]]] = []
+        index = base
+        for group in closed:
+            desired.append((index, group.keys))
+            index += 1
+        if new_pending:
+            desired.append((index, new_pending))
+        removed: list[tuple[int, frozenset[str]]] = []
+        if old_pending:
+            if desired and desired[0][1] == old_pending:
+                desired = desired[1:]
+            else:
+                removed.append((base, old_pending))
+        dirty = self._matrix.update_groups(added=desired, removed=removed)
+        self._closed_count = base + len(closed)
+        self._pending_keys = new_pending
+
+        if not dirty and self._cluster_set is not None:
+            self.last_stats = UpdateStats(
+                events_consumed=len(events),
+                groups_closed=len(closed),
+                dirty_keys=0,
+                components_total=len(self._component_cache),
+                components_reclustered=0,
+                components_reused=len(self._component_cache),
+                rebuilt=rebuilt,
+            )
+            return self._cluster_set
+
+        components = self._matrix.connected_components()
+        cache: dict[frozenset[str], list[frozenset[str]]] = {}
+        key_sets: list[frozenset[str]] = []
+        reclustered = 0
+        for component in components:
+            frozen = frozenset(component)
+            clusters = self._component_cache.get(frozen)
+            if clusters is None or not component.isdisjoint(dirty):
+                clusters = component_clusters(
+                    self._matrix,
+                    frozen,
+                    correlation_threshold=self.correlation_threshold,
+                    linkage=self.linkage,
+                )
+                reclustered += 1
+            cache[frozen] = clusters
+            key_sets.extend(clusters)
+        self._component_cache = cache
+
+        key_sets.sort(key=lambda c: (-len(c), tuple(sorted(c))))
+        self._cluster_set = ClusterSet.from_key_sets(
+            key_sets,
+            window=self.window,
+            correlation_threshold=self.correlation_threshold,
+        )
+        self.last_stats = UpdateStats(
+            events_consumed=len(events),
+            groups_closed=len(closed),
+            dirty_keys=len(dirty),
+            components_total=len(components),
+            components_reclustered=reclustered,
+            components_reused=len(components) - reclustered,
+            rebuilt=rebuilt,
+        )
+        return self._cluster_set
+
+
+#: Back-compat-friendly alias: an :class:`IncrementalPipeline` *is* the
+#: live clustering session the paper's recording mode maintains.
+ClusterSession = IncrementalPipeline

@@ -1,11 +1,17 @@
-"""End-to-end clustering pipeline: TTKV -> ClusterSet.
+"""End-to-end **batch** clustering pipeline: TTKV -> ClusterSet.
 
-This is the library's primary entry point for the paper's contribution::
+This is the one-shot entry point for the paper's contribution::
 
     from repro import cluster_settings
     clusters = cluster_settings(ttkv)                 # paper defaults
     clusters = cluster_settings(ttkv, window=30.0,    # tuned, as for
                                 correlation_threshold=1.0)  # error #2
+
+For clustering that runs continuously alongside logging, use
+:class:`repro.core.incremental.IncrementalPipeline`, which produces
+identical clusters while consuming only newly appended events per update;
+this batch function is kept as the independent reference implementation the
+incremental path is property-tested against.
 """
 
 from __future__ import annotations

@@ -48,6 +48,117 @@ class WriteGroup:
         return key in self.keys
 
 
+#: Grouping modes shared by the batch extractors and the streaming one.
+GROUPING_SLIDING = "sliding"
+GROUPING_BUCKETS = "buckets"
+
+_GROUPINGS = (GROUPING_SLIDING, GROUPING_BUCKETS)
+
+
+class StreamingGroupExtractor:
+    """Online write-group extraction: feed events as they arrive.
+
+    The extractor holds the (still open) trailing group and emits a
+    :class:`WriteGroup` the moment an arriving event proves the previous
+    group closed.  Feeding the same event stream in any chunking yields the
+    same closed groups as the batch extractors; the final group stays
+    *pending* until :meth:`flush`, because a future event could still
+    extend it.
+
+    ``grouping`` selects the paper's sliding window (gap-based) or the
+    ablation's fixed aligned buckets.
+    """
+
+    def __init__(self, window: float, grouping: str = GROUPING_SLIDING) -> None:
+        if window < 0:
+            raise ValueError(f"window must be non-negative, got {window}")
+        if grouping not in _GROUPINGS:
+            raise ValueError(f"unknown grouping {grouping!r}; options: {_GROUPINGS}")
+        self._window = window
+        self._grouping = grouping
+        self._current: list[tuple[float, str, Any]] = []
+        self._bucket: int | None = None
+
+    @property
+    def window(self) -> float:
+        return self._window
+
+    @property
+    def pending_events(self) -> tuple[tuple[float, str, Any], ...]:
+        """Events of the still-open trailing group (time order)."""
+        return tuple(self._current)
+
+    @property
+    def pending_keys(self) -> frozenset[str]:
+        """Distinct keys of the still-open trailing group."""
+        return frozenset(key for _, key, _ in self._current)
+
+    def _closes(self, timestamp: float) -> bool:
+        last = self._current[-1][0]
+        if self._grouping == GROUPING_SLIDING or self._window == 0:
+            return timestamp - last > self._window
+        return int(timestamp // self._window) != self._bucket
+
+    def feed(self, event: tuple[float, str, Any]) -> WriteGroup | None:
+        """Absorb one event; return the group it closed, if any.
+
+        Raises
+        ------
+        ValueError
+            If the event's timestamp precedes the previous event's.
+        """
+        timestamp = event[0]
+        if self._current:
+            if timestamp < self._current[-1][0]:
+                raise ValueError("events must be sorted by timestamp")
+            if self._closes(timestamp):
+                closed = _finish(self._current)
+                self._current = [event]
+                self._bucket = self._bucket_of(timestamp)
+                return closed
+            self._current.append(event)
+            return None
+        self._current = [event]
+        self._bucket = self._bucket_of(timestamp)
+        return None
+
+    def _bucket_of(self, timestamp: float) -> int | None:
+        if self._grouping == GROUPING_BUCKETS and self._window > 0:
+            return int(timestamp // self._window)
+        return None
+
+    def feed_many(
+        self, events: Iterable[tuple[float, str, Any]]
+    ) -> list[WriteGroup]:
+        """Absorb a chunk of events; return every group closed by it."""
+        closed: list[WriteGroup] = []
+        for event in events:
+            group = self.feed(event)
+            if group is not None:
+                closed.append(group)
+        return closed
+
+    def flush(self) -> WriteGroup | None:
+        """Close and return the pending group (``None`` if none is open)."""
+        if not self._current:
+            return None
+        closed = _finish(self._current)
+        self._current = []
+        self._bucket = None
+        return closed
+
+
+def _extract(
+    events: Sequence[tuple[float, str, Any]], window: float, grouping: str
+) -> list[WriteGroup]:
+    extractor = StreamingGroupExtractor(window, grouping=grouping)
+    groups = extractor.feed_many(events)
+    trailing = extractor.flush()
+    if trailing is not None:
+        groups.append(trailing)
+    return groups
+
+
 def extract_write_groups(
     events: Sequence[tuple[float, str, Any]], window: float
 ) -> list[WriteGroup]:
@@ -66,23 +177,7 @@ def extract_write_groups(
     ValueError
         If ``window`` is negative or events are not time-sorted.
     """
-    if window < 0:
-        raise ValueError(f"window must be non-negative, got {window}")
-    groups: list[WriteGroup] = []
-    current: list[tuple[float, str, Any]] = []
-    for event in events:
-        timestamp = event[0]
-        if current and timestamp < current[-1][0]:
-            raise ValueError("events must be sorted by timestamp")
-        if current and timestamp - current[-1][0] <= window:
-            current.append(event)
-        else:
-            if current:
-                groups.append(_finish(current))
-            current = [event]
-    if current:
-        groups.append(_finish(current))
-    return groups
+    return _extract(events, window, GROUPING_SLIDING)
 
 
 def extract_fixed_buckets(
@@ -93,26 +188,7 @@ def extract_fixed_buckets(
     ``window=0`` falls back to identical-timestamp grouping, the same as
     the sliding variant.
     """
-    if window < 0:
-        raise ValueError(f"window must be non-negative, got {window}")
-    if window == 0:
-        return extract_write_groups(events, 0.0)
-    groups: list[WriteGroup] = []
-    current: list[tuple[float, str, Any]] = []
-    current_bucket: int | None = None
-    for event in events:
-        timestamp = event[0]
-        if current and timestamp < current[-1][0]:
-            raise ValueError("events must be sorted by timestamp")
-        bucket = int(timestamp // window)
-        if current_bucket is not None and bucket != current_bucket:
-            groups.append(_finish(current))
-            current = []
-        current_bucket = bucket
-        current.append(event)
-    if current:
-        groups.append(_finish(current))
-    return groups
+    return _extract(events, window, GROUPING_BUCKETS)
 
 
 def _finish(events: list[tuple[float, str, Any]]) -> WriteGroup:

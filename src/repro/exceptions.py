@@ -73,3 +73,18 @@ class InjectionError(OcastaError):
 
 class PersistenceError(OcastaError):
     """The TTKV append-only log is corrupt or unreadable."""
+
+
+class StaleCursorError(OcastaError):
+    """A journal cursor was invalidated by an out-of-order append.
+
+    Consumers recover by discarding their incremental state and re-reading
+    the journal from the beginning.
+    """
+
+    def __init__(self, position: int) -> None:
+        super().__init__(
+            f"journal cursor at position {position} predates a reordering; "
+            "re-read from the start"
+        )
+        self.position = position

@@ -16,7 +16,7 @@ from repro.core.accuracy import (
     mean_accuracy,
     overall_accuracy,
 )
-from repro.core.pipeline import cluster_settings
+from repro.core.incremental import IncrementalPipeline
 from repro.workload.machines import MachineProfile, PLATFORM_LINUX
 from repro.workload.tracegen import GeneratedTrace, generate_trace
 
@@ -50,12 +50,15 @@ def evaluate_app(
     if trace is None:
         trace = generate_trace(lab_profile(app_name, days=days, seed=seed))
     app = trace.apps[app_name]
-    cluster_set = cluster_settings(
+    # One-shot consumption of the trace through the streaming pipeline —
+    # equivalent to batch cluster_settings, and the path a live deployment
+    # would be on when the table is regenerated mid-recording.
+    cluster_set = IncrementalPipeline(
         trace.ttkv,
         window=window,
         correlation_threshold=correlation_threshold,
         key_filter=app.key_prefix,
-    )
+    ).update()
     return evaluate_clustering(
         app_name,
         cluster_set,

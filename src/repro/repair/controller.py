@@ -14,10 +14,10 @@ from dataclasses import dataclass
 from repro.apps.base import SimulatedApplication
 from repro.common.clock import SimClock
 from repro.core.cluster_model import Cluster, ClusterSet
+from repro.core.incremental import IncrementalPipeline
 from repro.core.pipeline import (
     DEFAULT_CORRELATION_THRESHOLD,
     DEFAULT_WINDOW,
-    cluster_settings,
     singleton_clusters,
 )
 from repro.core.repair import FixOracle, RepairEngine, RepairOutcome
@@ -92,17 +92,32 @@ class OcastaRepairTool:
         self.sort_policy = sort_policy
         self.use_clustering = use_clustering
         self.clock = clock if clock is not None else SimClock()
+        self._pipeline: IncrementalPipeline | None = None
 
     def build_clusters(self) -> ClusterSet:
-        """Cluster this application's settings from the recorded trace."""
-        if self.use_clustering:
-            return cluster_settings(
+        """Cluster this application's settings from the recorded trace.
+
+        The tool keeps an :class:`IncrementalPipeline` session alive across
+        repair runs: after :meth:`apply_fix` writes the rollback through the
+        logger (Ocasta "returns back to recording mode"), the next repair
+        only consumes the newly recorded events instead of re-clustering
+        the whole trace.  The user may retune ``window`` or
+        ``correlation_threshold`` between runs; that restarts the session.
+        """
+        if not self.use_clustering:
+            return singleton_clusters(self.ttkv, key_filter=self.app.key_prefix)
+        if self._pipeline is None:
+            self._pipeline = IncrementalPipeline(
                 self.ttkv,
                 window=self.window,
                 correlation_threshold=self.correlation_threshold,
                 key_filter=self.app.key_prefix,
             )
-        return singleton_clusters(self.ttkv, key_filter=self.app.key_prefix)
+        else:
+            # the pipeline detects retuned parameters and restarts itself
+            self._pipeline.window = self.window
+            self._pipeline.correlation_threshold = self.correlation_threshold
+        return self._pipeline.update()
 
     def repair(
         self,

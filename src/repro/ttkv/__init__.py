@@ -7,6 +7,7 @@ recorded in the history via a special sentinel value.
 """
 
 from repro.ttkv.store import DELETED, MISSING, KeyRecord, TTKV, VersionedValue
+from repro.ttkv.journal import EventJournal, JournalCursor
 from repro.ttkv.snapshot import RollbackPlan, SnapshotView, rollback_plan
 from repro.ttkv.persistence import load_ttkv, save_ttkv
 
@@ -16,6 +17,8 @@ __all__ = [
     "KeyRecord",
     "TTKV",
     "VersionedValue",
+    "EventJournal",
+    "JournalCursor",
     "RollbackPlan",
     "SnapshotView",
     "rollback_plan",

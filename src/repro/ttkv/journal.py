@@ -1,0 +1,115 @@
+"""Append-ordered modification journal backing :meth:`TTKV.write_events`.
+
+The clustering pipeline consumes the store's modifications as a single
+time-sorted stream.  Historically :meth:`TTKV.write_events` materialised and
+re-sorted every event on each call — O(n log n) per clustering run, which
+defeats continuous clustering.  The journal keeps the stream sorted as it is
+appended instead:
+
+- loggers append in (almost always) non-decreasing time order, which is an
+  O(1) amortised list append; events sharing a timestamp stay in arrival
+  order — with the collector's 1-second quantisation same-tick writes are
+  routine, and their relative order can never change write-group
+  extraction, which only cares about the *set* of keys per group;
+- a rare append with a strictly older timestamp (e.g. two loggers racing
+  across a quantisation boundary) is placed with a bisect insertion; the
+  journal remembers where each such insertion landed;
+- consumers hold a :class:`JournalCursor` and fetch only the suffix appended
+  since their last read.  A cursor raises
+  :class:`~repro.exceptions.StaleCursorError` only when an insertion landed
+  *inside its consumed prefix* — the consumer's view of history changed and
+  it must rebuild from scratch.  Insertions in the unread suffix leave
+  cursors valid.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import StaleCursorError
+
+#: One journal event: ``(timestamp, key, value)`` — value is the DELETED
+#: sentinel for deletions, mirroring :meth:`TTKV.write_events`.
+Event = tuple[float, str, Any]
+
+
+@dataclass(frozen=True)
+class JournalCursor:
+    """Opaque consumption point: events before ``position`` have been read.
+
+    ``epoch`` records how many out-of-order insertions the consumer had
+    observed when the cursor was issued; at the next read the journal
+    checks only the insertions that happened since, and only those landing
+    before ``position`` invalidate the cursor.
+    """
+
+    position: int
+    epoch: int
+
+
+class EventJournal:
+    """A sorted, append-mostly log of modification events.
+
+    The journal maintains the invariant that ``events()`` is sorted by
+    timestamp, with arrival order breaking ties; appends that respect the
+    order cost O(1), out-of-order appends cost an insertion and invalidate
+    any cursor whose consumed prefix they landed in.
+
+    Each event tuple holds references to the same key and value objects the
+    per-key :class:`~repro.ttkv.store.KeyRecord` histories hold, so the
+    journal's overhead is one small tuple per modification, not a second
+    copy of the payloads.
+    """
+
+    __slots__ = ("_events", "_times", "_insertions")
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._times: list[float] = []
+        self._insertions: list[int] = []  # where each out-of-order append landed
+
+    def append(self, timestamp: float, key: str, value: Any) -> None:
+        """Record one modification."""
+        if not self._times or timestamp >= self._times[-1]:
+            self._times.append(timestamp)
+            self._events.append((timestamp, key, value))
+        else:
+            # bisect_right keeps arrival order among equal timestamps.
+            index = bisect.bisect_right(self._times, timestamp)
+            self._times.insert(index, timestamp)
+            self._events.insert(index, (timestamp, key, value))
+            self._insertions.append(index)
+
+    @property
+    def epoch(self) -> int:
+        """Total out-of-order insertions so far (0 for a purely ordered log)."""
+        return len(self._insertions)
+
+    def events(self) -> list[Event]:
+        """The full sorted stream (a fresh list; safe for callers to mutate)."""
+        return list(self._events)
+
+    def read(self, cursor: JournalCursor | None = None) -> tuple[list[Event], JournalCursor]:
+        """Events appended since ``cursor`` plus the advanced cursor.
+
+        ``None`` reads from the beginning.  Raises
+        :class:`~repro.exceptions.StaleCursorError` when an out-of-order
+        append has landed inside the cursor's consumed prefix since it was
+        issued; the caller should restart with ``cursor=None``.  Insertions
+        at or past the cursor's position merely join the unread suffix.
+        """
+        if cursor is None:
+            start = 0
+        else:
+            for index in self._insertions[cursor.epoch:]:
+                if index < cursor.position:
+                    raise StaleCursorError(cursor.position)
+            start = cursor.position
+        return self._events[start:], JournalCursor(
+            len(self._events), len(self._insertions)
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.exceptions import KeyNotTrackedError, NoValueError
+from repro.ttkv.journal import EventJournal
 
 
 class _Sentinel:
@@ -167,17 +168,32 @@ class TTKV:
 
     def __init__(self) -> None:
         self._records: dict[str, KeyRecord] = {}
+        self._journal = EventJournal()
 
     # -- recording ---------------------------------------------------------
 
     def record_write(self, key: str, value: Any, timestamp: float) -> None:
         self._record(key).record_write(value, timestamp)
+        self._journal.append(timestamp, key, value)
 
     def record_delete(self, key: str, timestamp: float) -> None:
         self._record(key).record_delete(timestamp)
+        self._journal.append(timestamp, key, DELETED)
 
     def record_read(self, key: str, timestamp: float) -> None:
         self._record(key).record_read(timestamp)
+
+    def record_events(self, events: Iterable[tuple[float, str, Any]]) -> None:
+        """Replay ``(timestamp, key, value)`` modifications in stream order.
+
+        ``value is DELETED`` records a deletion; anything else is a write.
+        Events must respect per-key time order, as all record_* calls do.
+        """
+        for timestamp, key, value in events:
+            if value is DELETED:
+                self.record_delete(key, timestamp)
+            else:
+                self.record_write(key, value, timestamp)
 
     def record_reads(self, key: str, count: int) -> None:
         """Bulk-count reads of ``key`` without per-event overhead.
@@ -241,16 +257,17 @@ class TTKV:
     def write_events(self) -> list[tuple[float, str, Any]]:
         """Every modification (write or delete) as ``(t, key, value)``.
 
-        Sorted by timestamp, with ties broken by key first-seen order, which
-        is the order loggers recorded them in.  This is the input to the
-        sliding-window write-group extraction.
+        Sorted by timestamp, with ties kept in the order loggers recorded
+        them.  This is the input to the sliding-window write-group
+        extraction.  The list is served from the append-ordered journal, so
+        the call is O(n) copy with no re-sort.
         """
-        events: list[tuple[float, int, str, Any]] = []
-        for order, (key, record) in enumerate(self._records.items()):
-            for entry in record.history:
-                events.append((entry.timestamp, order, key, entry.value))
-        events.sort(key=lambda item: (item[0], item[1]))
-        return [(t, key, value) for t, _, key, value in events]
+        return self._journal.events()
+
+    @property
+    def journal(self) -> EventJournal:
+        """The append-ordered modification journal (cursor-based consumption)."""
+        return self._journal
 
     def total_reads(self) -> int:
         return sum(r.reads for r in self._records.values())
@@ -262,7 +279,14 @@ class TTKV:
         return sum(r.deletes for r in self._records.values())
 
     def estimated_size_bytes(self) -> int:
-        """Approximate store footprint (Table I's Size column)."""
+        """Approximate store footprint (Table I's Size column).
+
+        Counts the per-key histories only, mirroring what the paper's
+        logger persists.  The in-memory journal is an acceleration
+        structure (one tuple per modification, sharing the history's key
+        and value objects) and is deliberately excluded so Table I numbers
+        stay comparable with the paper's.
+        """
         return sum(r.estimated_size_bytes() for r in self._records.values())
 
     def span(self) -> tuple[float, float]:
@@ -285,14 +309,17 @@ class TTKV:
         """Build a store from ``(timestamp, key, value)`` modification events.
 
         ``value is DELETED`` records a deletion.  Events may be supplied in
-        any order; they are sorted by timestamp first.
+        any order; they are sorted by ``(timestamp, input order)`` — the
+        explicit input-order tiebreak keeps equal-timestamp events in the
+        order the caller supplied them, independent of how the surrounding
+        sort is implemented, and never compares (possibly unorderable)
+        values.
         """
         store = cls()
-        for timestamp, key, value in sorted(events, key=lambda e: e[0]):
-            if value is DELETED:
-                store.record_delete(key, timestamp)
-            else:
-                store.record_write(key, value, timestamp)
+        indexed = sorted(
+            enumerate(events), key=lambda pair: (pair[1][0], pair[0])
+        )
+        store.record_events(event for _, event in indexed)
         return store
 
     def iter_records(self) -> Iterator[KeyRecord]:

@@ -1,0 +1,170 @@
+"""HAC validation: stale-heap regression and SciPy cross-checks.
+
+The heap-driven agglomeration re-pushes pair entries whenever a merge
+updates inter-cluster distances, leaving stale entries (consumed cluster
+ids, superseded distances) in the heap.  These tests pin that stale entries
+are skipped — a pair must never merge twice — and cross-check the whole
+implementation against SciPy's reference linkage on dense random matrices.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.clustering import (
+    LINKAGE_AVERAGE,
+    LINKAGE_COMPLETE,
+    LINKAGE_SINGLE,
+    agglomerate_component,
+    hac,
+)
+from repro.core.correlation import correlation_to_distance
+
+_ALL_LINKAGES = (LINKAGE_COMPLETE, LINKAGE_SINGLE, LINKAGE_AVERAGE)
+
+
+class DenseMatrix:
+    """Duck-typed stand-in for CorrelationMatrix with chosen correlations.
+
+    Every pair gets an explicit correlation in (0, 2], so the finite-
+    distance graph is complete (one component) and distances can be made
+    pairwise-distinct — the regime where HAC output is unique and directly
+    comparable to SciPy.
+    """
+
+    def __init__(self, correlations: dict[frozenset[str], float]) -> None:
+        self._correlations = dict(correlations)
+        names: set[str] = set()
+        for pair in correlations:
+            names |= pair
+        self._keys = sorted(names)
+
+    @classmethod
+    def random(cls, n: int, seed: int) -> "DenseMatrix":
+        rng = random.Random(seed)
+        keys = [f"k{i:02d}" for i in range(n)]
+        correlations = {}
+        for i, key_a in enumerate(keys):
+            for key_b in keys[i + 1:]:
+                correlations[frozenset((key_a, key_b))] = rng.uniform(0.05, 2.0)
+        return cls(correlations)
+
+    @property
+    def keys(self) -> list[str]:
+        return list(self._keys)
+
+    def correlation_of(self, key_a: str, key_b: str) -> float:
+        return self._correlations[frozenset((key_a, key_b))]
+
+    def neighbors(self, key: str) -> set[str]:
+        return {k for k in self._keys if k != key}
+
+    def connected_components(self) -> list[set[str]]:
+        return [set(self._keys)]
+
+    def distance_array(self) -> list[float]:
+        """Condensed distances in SciPy's (i < j, row-major) order."""
+        out = []
+        for i, key_a in enumerate(self._keys):
+            for key_b in self._keys[i + 1:]:
+                out.append(correlation_to_distance(self.correlation_of(key_a, key_b)))
+        return out
+
+
+def _assert_valid_forest(component: set[str], merges) -> None:
+    """Every merge must consume two *live* clusters exactly once."""
+    live = {frozenset((key,)) for key in component}
+    for merge in merges:
+        assert merge.left in live, f"stale/double merge of {sorted(merge.left)}"
+        assert merge.right in live, f"stale/double merge of {sorted(merge.right)}"
+        live.discard(merge.left)
+        live.discard(merge.right)
+        live.add(merge.members)
+    covered = sorted(key for cluster in live for key in cluster)
+    assert covered == sorted(component)
+
+
+class TestStaleHeapEntries:
+    def test_single_linkage_stale_entry_not_double_merged(self):
+        # d(a,b)=0.5, d(a,c)=2.5, d(b,c)=1.25.  Merging {a,b} pushes the
+        # updated pair ({a,b}, c) at min(2.5, 1.25) = 1.25, the *same*
+        # distance as the stale (b, c) entry still sitting in the heap; the
+        # liveness check must skip the stale one.
+        matrix = DenseMatrix({
+            frozenset(("a", "b")): 2.0,
+            frozenset(("a", "c")): 0.4,
+            frozenset(("b", "c")): 0.8,
+        })
+        merges = agglomerate_component(matrix, {"a", "b", "c"}, LINKAGE_SINGLE)
+        assert len(merges) == 2
+        assert [m.distance for m in merges] == [0.5, 1.25]
+        _assert_valid_forest({"a", "b", "c"}, merges)
+
+    def test_complete_linkage_updated_distance_supersedes_stale(self):
+        # After {a,b} merge at 0.5, the live ({a,b}, c) distance is
+        # max(2.5, 1.25) = 2.5; both stale entries (1.25 and 2.5) for the
+        # old ids surface first and must be skipped without merging.
+        matrix = DenseMatrix({
+            frozenset(("a", "b")): 2.0,
+            frozenset(("a", "c")): 0.4,
+            frozenset(("b", "c")): 0.8,
+        })
+        merges = agglomerate_component(matrix, {"a", "b", "c"}, LINKAGE_COMPLETE)
+        assert len(merges) == 2
+        assert [m.distance for m in merges] == [0.5, 2.5]
+        _assert_valid_forest({"a", "b", "c"}, merges)
+
+    @pytest.mark.parametrize("linkage", _ALL_LINKAGES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_dense_matrices_build_valid_forests(self, linkage, seed):
+        matrix = DenseMatrix.random(10, seed=seed)
+        component = set(matrix.keys)
+        merges = agglomerate_component(matrix, component, linkage)
+        assert len(merges) == len(component) - 1
+        distances = [m.distance for m in merges]
+        assert distances == sorted(distances)
+        _assert_valid_forest(component, merges)
+
+
+class TestScipyCrossCheck:
+    """Our from-scratch HAC must match SciPy's on dense inputs."""
+
+    @pytest.mark.parametrize("linkage", _ALL_LINKAGES)
+    @pytest.mark.parametrize("n,seed", [(6, 1), (9, 2), (12, 3), (12, 4)])
+    def test_flat_clusters_match_fcluster(self, linkage, n, seed):
+        scipy_hierarchy = pytest.importorskip("scipy.cluster.hierarchy")
+
+        matrix = DenseMatrix.random(n, seed=seed)
+        dendrogram = hac(matrix, linkage=linkage)
+        reference = scipy_hierarchy.linkage(matrix.distance_array(), method=linkage)
+
+        heights = dendrogram.merge_distances()
+        assert len(heights) == n - 1
+        for ours, theirs in zip(heights, sorted(reference[:, 2])):
+            assert math.isclose(ours, theirs, rel_tol=1e-9), (
+                f"{linkage}: merge height {ours} != scipy {theirs}"
+            )
+
+        # Compare flat partitions at thresholds strictly between merge
+        # heights (plus below the first and above the last).
+        probes = [heights[0] / 2, heights[-1] * 1.01]
+        probes += [
+            (low + high) / 2
+            for low, high in zip(heights, heights[1:])
+            if high > low
+        ]
+        keys = matrix.keys
+        for threshold in probes:
+            ours = {frozenset(c) for c in dendrogram.cut(threshold)}
+            labels = scipy_hierarchy.fcluster(
+                reference, t=threshold, criterion="distance"
+            )
+            theirs: dict[int, set[str]] = {}
+            for key, label in zip(keys, labels):
+                theirs.setdefault(int(label), set()).add(key)
+            assert ours == {frozenset(c) for c in theirs.values()}, (
+                f"{linkage}: partition mismatch at threshold {threshold}"
+            )

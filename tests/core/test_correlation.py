@@ -133,3 +133,99 @@ def test_property_correlation_bounds_and_symmetry(key_groups):
             # matrix agrees with the direct metric
             expected = correlation(key_groups[key_a], key_groups[key_b])
             assert value == pytest.approx(expected)
+
+
+class TestInPlaceUpdates:
+    def test_observe_group_matches_batch_construction(self):
+        batch = CorrelationMatrix({"a": {0, 1}, "b": {0, 1}, "c": {1}})
+        streamed = CorrelationMatrix()
+        streamed.observe_group(0, {"a", "b"})
+        streamed.observe_group(1, {"a", "b", "c"})
+        for key_a, key_b in (("a", "b"), ("a", "c"), ("b", "c")):
+            assert streamed.correlation_of(key_a, key_b) == batch.correlation_of(
+                key_a, key_b
+            )
+        assert sorted(streamed.keys) == sorted(batch.keys)
+
+    def test_retract_group_restores_previous_state(self):
+        matrix = CorrelationMatrix()
+        matrix.observe_group(0, {"a", "b"})
+        matrix.observe_group(1, {"b", "c"})
+        matrix.retract_group(1, {"b", "c"})
+        assert sorted(matrix.keys) == ["a", "b"]
+        assert matrix.correlation_of("a", "b") == 2.0
+        assert matrix.neighbors("b") == {"a"}
+
+    def test_update_groups_replaces_provisional_group(self):
+        matrix = CorrelationMatrix()
+        matrix.observe_group(0, {"a"})
+        dirty = matrix.update_groups(
+            added=[(0, {"a", "b"})], removed=[(0, {"a"})]
+        )
+        assert dirty == {"a", "b"}
+        assert matrix.correlation_of("a", "b") == 2.0
+
+    def test_failed_retract_leaves_matrix_untouched(self):
+        matrix = CorrelationMatrix()
+        matrix.observe_group(0, {"a", "b"})
+        with pytest.raises(ValueError):
+            # group 5 was never observed for either key; validation must
+            # reject the batch before mutating anything
+            matrix.retract_group(5, {"a", "b"})
+        assert matrix.correlation_of("a", "b") == 2.0
+        assert matrix.neighbors("a") == {"b"}
+
+    def test_partially_invalid_retract_is_atomic(self):
+        matrix = CorrelationMatrix()
+        matrix.observe_group(0, {"a"})
+        matrix.observe_group(1, {"a", "b"})
+        with pytest.raises(ValueError):
+            # group 0 was observed as {"a"}, not {"a", "b"}
+            matrix.retract_group(0, {"a", "b"})
+        assert matrix.correlation_of("a", "b") == pytest.approx(0.5 + 1.0)
+        assert matrix.group_count("a") == 2
+
+    def test_subset_retract_rejected(self):
+        # retracting part of a group's membership would leave dangling
+        # pair counts; the matrix must insist on the exact observed set
+        matrix = CorrelationMatrix()
+        matrix.observe_group(0, {"x", "y", "z"})
+        with pytest.raises(ValueError):
+            matrix.retract_group(0, {"x"})
+        assert matrix.neighbors("x") == {"y", "z"}
+        assert len(list(matrix.finite_pairs())) == 3
+        assert matrix.connected_components() == [{"x", "y", "z"}]
+
+    def test_empty_group_rejected(self):
+        matrix = CorrelationMatrix()
+        with pytest.raises(ValueError):
+            matrix.observe_group(0, set())
+        matrix.observe_group(0, {"a"})  # the index was never occupied
+        assert matrix.group_count("a") == 1
+
+    def test_index_reuse_with_disjoint_keys_rejected(self):
+        matrix = CorrelationMatrix()
+        matrix.observe_group(5, {"a", "b"})
+        with pytest.raises(ValueError):
+            matrix.observe_group(5, {"c", "d"})
+        assert sorted(matrix.keys) == ["a", "b"]
+
+    def test_duplicate_observation_rejected(self):
+        matrix = CorrelationMatrix()
+        matrix.observe_group(0, {"a"})
+        with pytest.raises(ValueError):
+            matrix.observe_group(0, {"a", "b"})
+        assert sorted(matrix.keys) == ["a"]
+
+    def test_duplicate_index_within_added_batch_rejected(self):
+        matrix = CorrelationMatrix()
+        with pytest.raises(ValueError):
+            matrix.update_groups(added=[(0, {"a", "b"}), (0, {"a", "c"})])
+        assert len(matrix) == 0
+
+    def test_duplicate_index_within_removed_batch_rejected(self):
+        matrix = CorrelationMatrix()
+        matrix.observe_group(0, {"a", "b"})
+        with pytest.raises(ValueError):
+            matrix.update_groups(removed=[(0, {"a", "b"}), (0, {"a", "b"})])
+        assert matrix.correlation_of("a", "b") == 2.0

@@ -1,0 +1,258 @@
+"""Incremental ≡ batch: property tests for the streaming clustering pipeline.
+
+The contract under test: for **any** prefix of a modification stream, an
+:class:`IncrementalPipeline` that consumed the prefix through journal
+cursors produces exactly the clusters the batch
+:func:`~repro.core.pipeline.cluster_settings` computes from scratch over the
+same store — same key sets, same order, same parameters.  The acceptance
+bar for this PR is ≥ 200 random prefixes checked; the hypothesis suites and
+the per-profile trace sweep below together run well past that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.incremental import IncrementalPipeline
+from repro.core.pipeline import cluster_settings
+from repro.ttkv.store import DELETED, TTKV
+from repro.workload.machines import PROFILES
+from repro.workload.tracegen import generate_trace
+
+
+def _sorted_stream(events):
+    """Events ordered the way a live deployment would append them."""
+    return [e for _, e in sorted(enumerate(events), key=lambda p: (p[1][0], p[0]))]
+
+
+def _key_sets(cluster_set):
+    return [tuple(c.sorted_keys()) for c in cluster_set]
+
+
+def assert_stream_equivalence(events, rng, cuts=4, **params):
+    """Feed ``events`` in random chunks; compare to batch at every cut."""
+    stream = _sorted_stream(events)
+    live = TTKV()
+    pipeline = IncrementalPipeline(live, **params)
+    positions = sorted(rng.sample(range(len(stream) + 1), min(cuts, len(stream) + 1)))
+    if len(stream) not in positions:
+        positions.append(len(stream))
+    consumed = 0
+    checked = 0
+    for position in positions:
+        live.record_events(stream[consumed:position])
+        consumed = position
+        incremental = pipeline.update()
+        batch = cluster_settings(live, **params)
+        assert _key_sets(incremental) == _key_sets(batch), (
+            f"divergence at prefix {position}/{len(stream)} with {params}"
+        )
+        checked += 1
+    return checked
+
+
+# -- hypothesis suites -------------------------------------------------------
+
+_timestamps = st.floats(min_value=0, max_value=2000, allow_nan=False)
+
+_mixed_events = st.lists(
+    st.tuples(
+        _timestamps,
+        st.sampled_from(["k0", "k1", "k2", "k3", "k4"]),
+        st.one_of(st.integers(min_value=0, max_value=9), st.just(DELETED)),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+# DELETED-heavy: ~75% of modifications are deletions.
+_deleted_heavy_events = st.lists(
+    st.tuples(
+        _timestamps,
+        st.sampled_from(["k0", "k1", "k2"]),
+        st.one_of(
+            st.just(DELETED), st.just(DELETED), st.just(DELETED),
+            st.integers(min_value=0, max_value=3),
+        ),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+# Single-key traces: the degenerate one-component, no-pairs case.
+_single_key_events = st.lists(
+    st.tuples(_timestamps, st.just("only"), st.integers(min_value=0, max_value=5)),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(_mixed_events, st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_equivalence_mixed_streams(events, rng):
+    assert_stream_equivalence(events, rng)
+
+
+@given(
+    _mixed_events,
+    st.randoms(use_true_random=False),
+    st.sampled_from([0.0, 1.0, 30.0]),
+    st.sampled_from([0.5, 1.0, 2.0]),
+)
+@settings(max_examples=30, deadline=None)
+def test_equivalence_across_windows_and_thresholds(events, rng, window, threshold):
+    assert_stream_equivalence(
+        events, rng, window=window, correlation_threshold=threshold
+    )
+
+
+@given(_mixed_events, st.randoms(use_true_random=False))
+@settings(max_examples=20, deadline=None)
+def test_equivalence_bucket_grouping(events, rng):
+    assert_stream_equivalence(events, rng, window=10.0, grouping="buckets")
+
+
+@given(_deleted_heavy_events, st.randoms(use_true_random=False))
+@settings(max_examples=25, deadline=None)
+def test_equivalence_deleted_heavy(events, rng):
+    assert_stream_equivalence(events, rng)
+
+
+@given(_single_key_events, st.randoms(use_true_random=False))
+@settings(max_examples=20, deadline=None)
+def test_equivalence_single_key(events, rng):
+    assert_stream_equivalence(events, rng)
+
+
+# -- generated traces across every workload profile --------------------------
+
+def _scaled(profile):
+    """A fast, small variant of a Table I machine profile."""
+    return dataclasses.replace(
+        profile,
+        days=2,
+        noise_keys=min(profile.noise_keys, 25),
+        noise_writes_per_day=min(profile.noise_writes_per_day, 60),
+        reads_per_day=min(profile.reads_per_day, 100),
+    )
+
+
+@pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
+def test_equivalence_on_generated_profile_traces(profile):
+    trace = generate_trace(_scaled(profile))
+    events = trace.ttkv.write_events()
+    assert events, f"profile {profile.name} generated no modifications"
+    rng = random.Random(profile.seed)
+    checked = assert_stream_equivalence(events, rng, cuts=8)
+    assert checked >= 2
+
+
+# -- incremental-specific behaviours -----------------------------------------
+
+class TestIncrementalBehaviour:
+    def test_component_reuse_reported(self):
+        store = TTKV()
+        pipeline = IncrementalPipeline(store)
+        for t in (10.0, 200.0):
+            store.record_write("a", t, t)
+            store.record_write("b", t, t)
+        pipeline.update()
+        # a distant, unrelated pair must not re-agglomerate {a, b}
+        store.record_write("x", 1, 900.0)
+        store.record_write("y", 1, 900.0)
+        pipeline.update()
+        stats = pipeline.last_stats
+        assert stats.components_reused >= 1
+        assert stats.components_reclustered >= 1
+
+    def test_no_new_events_is_a_no_op(self):
+        store = TTKV()
+        store.record_write("a", 1, 1.0)
+        pipeline = IncrementalPipeline(store)
+        first = pipeline.update()
+        second = pipeline.update()
+        assert second is first
+        assert pipeline.last_stats.events_consumed == 0
+        assert pipeline.last_stats.components_reclustered == 0
+
+    def test_same_tick_writes_do_not_rebuild(self):
+        # with 1-second timestamp quantisation, two keys writing within the
+        # same tick in "wrong" key order is routine and must stay on the
+        # incremental path (regression: this used to force a full rebuild)
+        store = TTKV()
+        store.record_write("a", 1, 10.0)
+        store.record_write("b", 1, 10.0)
+        pipeline = IncrementalPipeline(store)
+        pipeline.update()
+        store.record_write("b", 2, 20.0)
+        pipeline.update()
+        store.record_write("a", 2, 20.0)  # same tick, non-first-seen order
+        result = pipeline.update()
+        assert not pipeline.last_stats.rebuilt
+        assert _key_sets(result) == _key_sets(cluster_settings(store))
+
+    def test_out_of_order_append_triggers_rebuild(self):
+        store = TTKV()
+        store.record_write("a", 1, 100.0)
+        store.record_write("b", 1, 100.0)
+        pipeline = IncrementalPipeline(store)
+        pipeline.update()
+        # a brand-new key lands *before* the consumed prefix: the journal
+        # reorders, the cursor goes stale, and update() must rebuild
+        store.record_write("early", 1, 5.0)
+        incremental = pipeline.update()
+        assert pipeline.last_stats.rebuilt
+        assert _key_sets(incremental) == _key_sets(cluster_settings(store))
+
+    def test_key_filter_equivalence(self):
+        store = TTKV()
+        pipeline = IncrementalPipeline(store, key_filter="app/")
+        for t in (10.0, 20.0, 400.0):
+            store.record_write("app/a", t, t)
+            store.record_write("app/b", t, t)
+            store.record_write("sys/noise", t, t + 0.5)
+        incremental = pipeline.update()
+        batch = cluster_settings(store, key_filter="app/")
+        assert _key_sets(incremental) == _key_sets(batch)
+        assert all(key.startswith("app/") for keys in _key_sets(incremental) for key in keys)
+
+    def test_cluster_set_property_tracks_latest(self):
+        store = TTKV()
+        pipeline = IncrementalPipeline(store)
+        assert pipeline.cluster_set is None
+        store.record_write("a", 1, 1.0)
+        result = pipeline.update()
+        assert pipeline.cluster_set is result
+
+    def test_retuned_parameters_restart_the_session(self):
+        store = TTKV()
+        # two components with 50% correlation each
+        store.record_events([
+            (0.0, "a", 1), (0.0, "b", 1), (100.0, "a", 2),
+            (200.0, "c", 1), (200.0, "d", 1), (300.0, "c", 2),
+        ])
+        pipeline = IncrementalPipeline(store)  # threshold 2.0
+        pipeline.update()
+        pipeline.correlation_threshold = 0.5
+        # dirty only one component; the cached other must still be re-cut
+        store.record_write("a", 3, 400.0)
+        result = pipeline.update()
+        assert pipeline.last_stats.rebuilt
+        batch = cluster_settings(store, correlation_threshold=0.5)
+        assert _key_sets(result) == _key_sets(batch)
+        assert result.correlation_threshold == 0.5
+
+    def test_invalid_parameters_rejected(self):
+        store = TTKV()
+        with pytest.raises(ValueError):
+            IncrementalPipeline(store, correlation_threshold=0.0)
+        with pytest.raises(ValueError):
+            IncrementalPipeline(store, linkage="ward")
+        with pytest.raises(ValueError):
+            IncrementalPipeline(store, window=-1.0)
+        with pytest.raises(ValueError):
+            IncrementalPipeline(store, grouping="hourly")

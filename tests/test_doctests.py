@@ -4,17 +4,21 @@ import doctest
 
 import pytest
 
+import repro
 import repro.analysis.stats
 import repro.analysis.tables
 import repro.common.format
+import repro.core.incremental
 import repro.stores.parsers
 import repro.stores.parsers.common
 import repro.stores.registry
 
 _MODULES = [
+    repro,
     repro.analysis.stats,
     repro.analysis.tables,
     repro.common.format,
+    repro.core.incremental,
     repro.stores.parsers,
     repro.stores.parsers.common,
     repro.stores.registry,
