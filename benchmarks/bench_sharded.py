@@ -1,0 +1,252 @@
+"""Sharded vs global streaming clustering on a multi-application trace.
+
+The scenario is the paper's deployment reality taken to a busy multi-app
+machine: five applications plus system noise share one store, clustering
+runs continuously, and most updates only concern whichever application is
+in the foreground.  We warm both pipelines on 99% of the merged stream,
+then append the remaining tail — which lands in a single hot application —
+in slices, timing each ``update()``:
+
+- **global**: one unsharded :class:`IncrementalPipeline` over the whole
+  store.  Every update works inside one big correlation matrix whose
+  window-straddling noise bridges applications into large components.
+- **sharded**: a :class:`ShardedPipeline` with one shard per application
+  prefix (noise in the catch-all).  Updates touch only shards whose
+  journals advanced, and each shard's components stay application-sized.
+
+Every shard's output is asserted exactly equal to the batch
+``cluster_settings(store, key_filter=prefix)`` reference (the catch-all
+against the prefix-free remainder of the stream).  The union-find's
+component-scan win is measured separately on the hot shard's matrix:
+``connected_components(method="scan")`` (the old graph traversal) vs the
+incrementally maintained ``method="unionfind"``.
+
+Run as a script for CI/quick use::
+
+    python benchmarks/bench_sharded.py --quick --out benchmarks/out/BENCH_sharded.json
+
+or through the benchmark harness (``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.incremental import IncrementalPipeline
+from repro.core.pipeline import cluster_settings
+from repro.core.sharded import ShardedPipeline
+from repro.ttkv.sharding import CATCH_ALL
+from repro.ttkv.store import TTKV
+from repro.workload.machines import MachineProfile, PLATFORM_LINUX
+from repro.workload.tracegen import generate_trace
+
+#: The applications sharing the benchmark machine (all Linux-flavoured).
+APPS = (
+    "Chrome Browser",
+    "GNOME Edit",
+    "Eye of GNOME",
+    "Acrobat Reader",
+    "Evolution Mail",
+)
+
+#: Fraction of the stream appended after the pipelines are warm.
+TAIL_FRACTION = 0.01
+
+#: How many update() calls the tail is spread over.
+TAIL_SLICES = 20
+
+
+def _profile(quick: bool) -> MachineProfile:
+    return MachineProfile(
+        name="bench-sharded",
+        platform=PLATFORM_LINUX,
+        days=6 if quick else 32,
+        apps=APPS,
+        sessions_per_day=6,
+        actions_per_session=12,
+        pref_edits_per_day=3.0,
+        noise_keys=80 if quick else 150,
+        noise_writes_per_day=400 if quick else 1300,
+        reads_per_day=0,
+        seed=2024,
+    )
+
+
+def _key_sets(cluster_set) -> list[tuple[str, ...]]:
+    return [tuple(cluster.sorted_keys()) for cluster in cluster_set]
+
+
+def _hot_tail(events: list[tuple], prefixes: tuple[str, ...]) -> int:
+    """Split index such that the tail is dominated by one hot application.
+
+    The tail starts at the last TAIL_FRACTION of the *hot app's* events —
+    interleaved noise/foreign events before the global split stay in the
+    warm prefix, so the appended slices overwhelmingly hit one shard.
+    """
+    hot = prefixes[0]
+    hot_positions = [i for i, event in enumerate(events) if event[1].startswith(hot)]
+    tail_count = max(1, int(len(hot_positions) * TAIL_FRACTION))
+    return hot_positions[-tail_count]
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    trace = generate_trace(_profile(quick))
+    prefixes = tuple(trace.apps[name].key_prefix for name in APPS)
+    events = trace.ttkv.write_events()
+    split = _hot_tail(events, prefixes)
+    base, tail = events[:split], events[split:]
+    slice_size = max(1, -(-len(tail) // TAIL_SLICES))
+
+    # -- global (unsharded) session ------------------------------------------
+    global_store = TTKV()
+    global_store.record_events(base)
+    global_pipeline = IncrementalPipeline(global_store)
+    global_pipeline.update()  # warm
+    global_seconds = 0.0
+    for start in range(0, len(tail), slice_size):
+        global_store.record_events(tail[start:start + slice_size])
+        elapsed, _ = _timed(global_pipeline.update)
+        global_seconds += elapsed
+
+    # -- sharded session -----------------------------------------------------
+    sharded_store = TTKV()
+    sharded_pipeline = ShardedPipeline(sharded_store, shard_prefixes=prefixes)
+    sharded_store.record_events(base)
+    sharded_pipeline.update()  # warm
+    sharded_seconds = 0.0
+    shards_updated = 0
+    updates = 0
+    for start in range(0, len(tail), slice_size):
+        sharded_store.record_events(tail[start:start + slice_size])
+        elapsed, _ = _timed(sharded_pipeline.update)
+        sharded_seconds += elapsed
+        shards_updated += sharded_pipeline.last_stats.shards_updated
+        updates += 1
+
+    # -- exact equality with the batch reference, per shard ------------------
+    full_store = TTKV()
+    full_store.record_events(events)
+    equal = True
+    for prefix in prefixes:
+        batch = cluster_settings(full_store, key_filter=prefix)
+        if _key_sets(sharded_pipeline.cluster_set_for(prefix)) != _key_sets(batch):
+            equal = False
+    leftover = TTKV.from_events(
+        [e for e in events if not any(e[1].startswith(p) for p in prefixes)]
+    )
+    if _key_sets(sharded_pipeline.cluster_set_for(CATCH_ALL)) != _key_sets(
+        cluster_settings(leftover)
+    ):
+        equal = False
+
+    # -- union-find vs graph-traversal component scan (hot shard) ------------
+    hot_matrix = sharded_pipeline.matrix_for(prefixes[0])
+    repeats = 50 if quick else 200
+    scan_seconds = min(
+        _timed(lambda: hot_matrix.connected_components(method="scan"))[0]
+        for _ in range(repeats)
+    )
+    unionfind_seconds = min(
+        _timed(lambda: hot_matrix.connected_components(method="unionfind"))[0]
+        for _ in range(repeats)
+    )
+    components_agree = sorted(
+        map(sorted, hot_matrix.connected_components(method="scan"))
+    ) == sorted(map(sorted, hot_matrix.connected_components(method="unionfind")))
+
+    record = {
+        "events": len(events),
+        "tail_events": len(tail),
+        "apps": len(APPS),
+        "app_prefixes": list(prefixes),
+        "quick": quick,
+        "tail_updates": updates,
+        "global_seconds": global_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup": global_seconds / sharded_seconds if sharded_seconds else float("inf"),
+        "mean_shards_updated": shards_updated / updates if updates else 0.0,
+        "shards_total": len(sharded_pipeline.shard_ids),
+        "unionfind_scan_seconds": scan_seconds,
+        "unionfind_seconds": unionfind_seconds,
+        "unionfind_speedup": (
+            scan_seconds / unionfind_seconds if unionfind_seconds else float("inf")
+        ),
+        "clusters": len(sharded_pipeline.cluster_set),
+        "sharded_equals_batch": equal,
+        "components_agree": components_agree,
+    }
+    sharded_pipeline.close()
+    global_pipeline.close()
+    return record
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def render(record: dict) -> str:
+    return (
+        "sharded vs global streaming clustering "
+        f"({record['events']} events, {record['apps']} apps, "
+        f"{record['tail_events']} appended over {record['tail_updates']} updates):\n"
+        f"  global update total  : {record['global_seconds'] * 1000:8.2f} ms\n"
+        f"  sharded update total : {record['sharded_seconds'] * 1000:8.2f} ms\n"
+        f"  speedup              : {record['speedup']:8.1f}x "
+        f"(mean {record['mean_shards_updated']:.1f}/{record['shards_total']} "
+        "shards updated)\n"
+        f"  component scan       : {record['unionfind_scan_seconds'] * 1e6:8.1f} us "
+        f"(traversal) vs {record['unionfind_seconds'] * 1e6:.1f} us (union-find), "
+        f"{record['unionfind_speedup']:.1f}x\n"
+        f"  clusters             : {record['clusters']}; "
+        f"equal to batch per prefix: {record['sharded_equals_batch']}"
+    )
+
+
+def test_sharded_speedup(benchmark, report):
+    record = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    report("bench_sharded", render(record))
+    (Path(__file__).parent / "out" / "BENCH_sharded.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    assert record["sharded_equals_batch"]
+    assert record["components_agree"]
+    assert record["events"] >= 40_000
+    assert record["speedup"] >= 2.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small trace, no speedup gate")
+    parser.add_argument("--out", type=Path, default=None, help="write the JSON record here")
+    args = parser.parse_args(argv)
+    record = run_benchmark(quick=args.quick)
+    print(render(record))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    if not record["sharded_equals_batch"]:
+        print("ERROR: sharded clusters diverged from batch", file=sys.stderr)
+        return 1
+    if not record["components_agree"]:
+        print("ERROR: union-find components diverged from the scan", file=sys.stderr)
+        return 1
+    if not args.quick and record["events"] < 40_000:
+        print("ERROR: trace below the 40k-event acceptance floor", file=sys.stderr)
+        return 1
+    if not args.quick and record["speedup"] < 2.0:
+        print("ERROR: sharded speedup below the 2x acceptance floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

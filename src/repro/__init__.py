@@ -18,34 +18,59 @@ three layers:
   (:mod:`repro.experiments`).
 
 Quickstart — streaming, the way Ocasta actually runs.  Clustering runs
-continuously alongside logging: attach an :class:`IncrementalPipeline` to a
-live TTKV and call :meth:`~repro.core.incremental.IncrementalPipeline.update`
-whenever you want current clusters; each call consumes only the events
-appended since the previous one.
+continuously alongside logging on machines hosting many applications, so
+the front door is the :class:`ShardedPipeline`: one engine per application
+key prefix, fed from per-shard journal cursors.  Call
+:meth:`~repro.core.sharded.ShardedPipeline.update` whenever you want
+current clusters; only shards whose journals advanced do any work, and
+each consumes just the events appended since its previous read.
 
->>> from repro import TTKV, IncrementalPipeline
+>>> from repro import TTKV, ShardedPipeline
 >>> ttkv = TTKV()
->>> live = IncrementalPipeline(ttkv)       # paper defaults: 1 s, corr 2
->>> ttkv.record_write("app/feature_on", True, 10.0)
->>> ttkv.record_write("app/feature_level", 3, 10.0)
+>>> live = ShardedPipeline(ttkv, shard_prefixes=("mail/", "editor/"))
+>>> ttkv.record_write("mail/mark_seen", True, 10.0)
+>>> ttkv.record_write("mail/mark_seen_timeout", 1500, 10.0)
+>>> ttkv.record_write("editor/zoom", 1.25, 10.0)   # same tick, other app
 >>> [c.sorted_keys() for c in live.update()]
-[['app/feature_level', 'app/feature_on']]
->>> ttkv.record_write("app/feature_on", False, 95.0)
->>> ttkv.record_write("app/feature_level", 0, 95.0)
->>> ttkv.record_write("app/theme", "dark", 240.0)
->>> [c.sorted_keys() for c in live.update()]   # only new events consumed
-[['app/feature_level', 'app/feature_on'], ['app/theme']]
+[['mail/mark_seen', 'mail/mark_seen_timeout'], ['editor/zoom']]
+>>> ttkv.record_write("editor/zoom", 1.5, 300.0)
+>>> clusters = live.update()                   # only the editor shard ran
+>>> live.last_stats.shards_updated, live.last_stats.shards_total
+(1, 3)
 
-One-shot batch clustering over a recorded trace gives the identical result
-(the equivalence is property-tested for arbitrary stream prefixes):
+A deployment checkpoints its session to a JSON-safe dict and, after a
+restart, resumes from its cursors instead of replaying the journal (the
+``python -m repro stream --state FILE`` flag does exactly this):
+
+>>> import json
+>>> blob = json.dumps(live.to_state())         # persist alongside the TTKV
+>>> resumed = ShardedPipeline.from_state(ttkv, json.loads(blob))
+>>> [c.sorted_keys() for c in resumed.update()] == \\
+...     [c.sorted_keys() for c in clusters]
+True
+>>> resumed.last_stats.events_consumed         # zero already-read events
+0
+
+Single-application stores can stay on the unsharded
+:class:`IncrementalPipeline` (a sharded session with one catch-all shard),
+and one-shot batch clustering over a recorded trace gives identical
+results per prefix — the equivalence is property-tested for arbitrary
+stream prefixes:
 
 >>> from repro import cluster_settings
->>> [c.sorted_keys() for c in cluster_settings(ttkv)]
-[['app/feature_level', 'app/feature_on'], ['app/theme']]
+>>> [c.sorted_keys() for c in cluster_settings(ttkv, key_filter="mail/")]
+[['mail/mark_seen', 'mail/mark_seen_timeout']]
 """
 
 from repro.exceptions import OcastaError
-from repro.ttkv import DELETED, MISSING, TTKV, RollbackPlan, SnapshotView
+from repro.ttkv import (
+    DELETED,
+    MISSING,
+    TTKV,
+    RollbackPlan,
+    ShardedJournal,
+    SnapshotView,
+)
 from repro.core import (
     Cluster,
     ClusterSession,
@@ -54,6 +79,8 @@ from repro.core import (
     IncrementalPipeline,
     RepairEngine,
     SearchStrategy,
+    ShardEngine,
+    ShardedPipeline,
     UpdateStats,
     cluster_settings,
     singleton_clusters,
@@ -79,6 +106,9 @@ __all__ = [
     "IncrementalPipeline",
     "RepairEngine",
     "SearchStrategy",
+    "ShardEngine",
+    "ShardedJournal",
+    "ShardedPipeline",
     "UpdateStats",
     "cluster_settings",
     "singleton_clusters",

@@ -10,6 +10,7 @@ Usage::
     python -m repro fig4
     python -m repro ablations
     python -m repro stream --app "Chrome Browser" --chunks 10
+    python -m repro stream --shards 4 --state session.json
     python -m repro repair --case 13 [--bfs] [--spurious 2]
     python -m repro list-cases
 """
@@ -68,7 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     stream = sub.add_parser(
         "stream",
-        help="replay a generated trace through the incremental clustering pipeline",
+        help="replay a generated trace through the sharded streaming pipeline",
     )
     stream.add_argument("--app", default="Chrome Browser")
     stream.add_argument("--days", type=int, default=20)
@@ -76,6 +77,22 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--chunks", type=int, default=10)
     stream.add_argument("--window", type=float, default=1.0)
     stream.add_argument("--threshold", type=float, default=2.0)
+    stream.add_argument(
+        "--shards", type=int, default=1,
+        help="generate a machine trace with this many applications and "
+        "shard the pipeline on their key prefixes",
+    )
+    stream.add_argument(
+        "--shard-prefix", action="append", dest="shard_prefixes", default=None,
+        metavar="PREFIX",
+        help="shard on this explicit key prefix (repeatable; overrides the "
+        "prefixes derived from --shards)",
+    )
+    stream.add_argument(
+        "--state", default=None, metavar="FILE",
+        help="session checkpoint: resume from FILE if it exists, and write "
+        "the session state back to it on exit",
+    )
 
     repair = sub.add_parser("repair", help="repair one Table III error")
     repair.add_argument("--case", type=int, required=True, choices=range(1, 17))
@@ -169,34 +186,118 @@ def _cmd_ablations() -> str:
     return render_ablations(rows)
 
 
-def _cmd_stream(args) -> str:
-    from repro.core.incremental import IncrementalPipeline
+def _stream_trace(args):
+    """The generated trace and shard prefixes for the stream command."""
+    from repro.apps.catalog import app_names
     from repro.experiments.table2 import lab_profile
-    from repro.ttkv.store import TTKV
+    from repro.workload.machines import MachineProfile, PLATFORM_LINUX
     from repro.workload.tracegen import generate_trace
 
-    trace = generate_trace(lab_profile(args.app, days=args.days, seed=args.seed))
+    if args.shards < 1:
+        raise ValueError(f"--shards must be at least 1, got {args.shards}")
+    if args.shards == 1:
+        trace = generate_trace(lab_profile(args.app, days=args.days, seed=args.seed))
+        apps = (args.app,)
+    else:
+        apps = (args.app,) + tuple(
+            name for name in app_names() if name != args.app
+        )[: args.shards - 1]
+        if len(apps) < args.shards:
+            raise ValueError(
+                f"--shards {args.shards} exceeds the {len(apps)} known applications"
+            )
+        profile = MachineProfile(
+            name=f"stream:{len(apps)}apps",
+            platform=PLATFORM_LINUX,
+            days=args.days,
+            apps=apps,
+            sessions_per_day=4,
+            actions_per_session=10,
+            pref_edits_per_day=2.0,
+            noise_keys=50,
+            noise_writes_per_day=120,
+            reads_per_day=0,
+            seed=args.seed,
+        )
+        trace = generate_trace(profile)
+    if args.shard_prefixes is not None:
+        prefixes = tuple(args.shard_prefixes)
+    elif args.shards > 1:
+        prefixes = tuple(trace.apps[name].key_prefix for name in apps)
+    else:
+        prefixes = ()
+    return trace, apps, prefixes
+
+
+def _cmd_stream(args) -> str:
+    import json
+    from pathlib import Path
+
+    from repro.core.sharded import ShardedPipeline
+    from repro.ttkv.store import TTKV
+
+    trace, apps, prefixes = _stream_trace(args)
     events = trace.ttkv.write_events()
-    live = TTKV()
-    pipeline = IncrementalPipeline(
-        live, window=args.window, correlation_threshold=args.threshold
-    )
-    chunk_size = max(1, -(-len(events) // max(1, args.chunks)))
-    chunks = -(-len(events) // chunk_size) if events else 0
-    lines = [
-        f"streaming {len(events)} modification events from a {args.days}-day "
-        f"{args.app!r} trace in {chunks} chunk(s)"
-    ]
-    for start in range(0, len(events), chunk_size):
-        live.record_events(events[start:start + chunk_size])
+    state_path = Path(args.state) if args.state else None
+    lines = []
+
+    if state_path is not None and state_path.exists():
+        # Resume: the deployment re-opens its recorded store and the
+        # session picks up at its checkpointed cursors — consumed events
+        # are never read again.
+        live = TTKV()
+        live.record_events(events)
+        pipeline = ShardedPipeline.from_state(
+            live, json.loads(state_path.read_text(encoding="utf-8"))
+        )
         clusters = pipeline.update()
         stats = pipeline.last_stats
         lines.append(
-            f"  +{stats.events_consumed:5d} events -> {len(clusters):4d} clusters "
-            f"({len(clusters.multi_clusters())} multi-key); "
-            f"{stats.components_reclustered}/{stats.components_total} "
-            "components re-agglomerated"
+            f"resumed session from {state_path} "
+            "(checkpoint parameters take precedence)"
         )
+        lines.append(
+            f"  {stats.events_consumed} new event(s) consumed, "
+            f"{len(events) - stats.events_consumed} already-read event(s) skipped "
+            f"-> {len(clusters)} clusters "
+            f"({len(clusters.multi_clusters())} multi-key)"
+        )
+    else:
+        live = TTKV()
+        pipeline = ShardedPipeline(
+            live,
+            shard_prefixes=prefixes,
+            window=args.window,
+            correlation_threshold=args.threshold,
+        )
+        chunk_size = max(1, -(-len(events) // max(1, args.chunks)))
+        chunks = -(-len(events) // chunk_size) if events else 0
+        sharded = f", sharded on {len(prefixes)} app prefix(es)" if prefixes else ""
+        lines.append(
+            f"streaming {len(events)} modification events from a {args.days}-day "
+            f"trace of {len(apps)} app(s) in {chunks} chunk(s){sharded}"
+        )
+        for start in range(0, len(events), chunk_size):
+            live.record_events(events[start:start + chunk_size])
+            clusters = pipeline.update()
+            stats = pipeline.last_stats
+            line = (
+                f"  +{stats.events_consumed:5d} events -> {len(clusters):4d} clusters "
+                f"({len(clusters.multi_clusters())} multi-key); "
+                f"{stats.components_reclustered}/{stats.components_total} "
+                "components re-agglomerated"
+            )
+            if stats.shards_total > 1:
+                line += f"; {stats.shards_updated}/{stats.shards_total} shards updated"
+            lines.append(line)
+
+    if state_path is not None:
+        state_path.parent.mkdir(parents=True, exist_ok=True)
+        state_path.write_text(
+            json.dumps(pipeline.to_state()) + "\n", encoding="utf-8"
+        )
+        lines.append(f"session state checkpointed to {state_path}")
+    pipeline.close()
     return "\n".join(lines)
 
 

@@ -14,15 +14,18 @@ from repro.core.windowing import (
 )
 from repro.core.correlation import (
     CorrelationMatrix,
+    CorrelationMatrixView,
     correlation,
     correlation_to_distance,
     distance_to_correlation,
 )
+from repro.core.unionfind import UnionFind
 from repro.core.dendrogram import Dendrogram, Merge
 from repro.core.clustering import component_clusters, hac_complete_linkage
 from repro.core.cluster_model import Cluster, ClusterSet, ClusterVersion, cluster_versions
 from repro.core.pipeline import cluster_settings, singleton_clusters
 from repro.core.incremental import ClusterSession, IncrementalPipeline, UpdateStats
+from repro.core.sharded import ShardEngine, ShardedPipeline
 from repro.core.sorting import sort_clusters_for_search
 from repro.core.search import Candidate, SearchStrategy, search_order
 from repro.core.accuracy import (
@@ -38,6 +41,8 @@ __all__ = [
     "extract_write_groups",
     "key_group_sets",
     "CorrelationMatrix",
+    "CorrelationMatrixView",
+    "UnionFind",
     "correlation",
     "correlation_to_distance",
     "distance_to_correlation",
@@ -48,6 +53,8 @@ __all__ = [
     "ClusterSession",
     "IncrementalPipeline",
     "UpdateStats",
+    "ShardEngine",
+    "ShardedPipeline",
     "Cluster",
     "ClusterSet",
     "ClusterVersion",

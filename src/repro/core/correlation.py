@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Mapping
 
+from repro.core.unionfind import UnionFind
+
 INFINITE_DISTANCE = math.inf
 
 
@@ -73,6 +75,17 @@ class CorrelationMatrix:
         self._group_members: dict[int, frozenset[str]] = {}
         self._common: dict[frozenset[str], int] = {}
         self._neighbors: dict[str, set[str]] = {}
+        # Connected components are maintained in a union-find so component
+        # queries cost O(α) instead of a full graph traversal.  Union-find
+        # cannot split, so a *lossy* update (an edge or key actually
+        # removed) marks it stale and the next component query rebuilds —
+        # the rebuild-on-retraction policy.  The streaming pipeline's
+        # routine provisional-group replacement retracts a group and
+        # re-adds a superset in one batch, which loses nothing and stays
+        # on the O(α) path.
+        self._uf = UnionFind()
+        self._uf_stale = False
+        self._structure_version = 0
         if key_groups:
             for key, groups in key_groups.items():
                 if not groups:
@@ -138,6 +151,8 @@ class CorrelationMatrix:
                 raise ValueError(f"group {index} already observed")
 
         dirty: set[str] = set()
+        lost_pairs: set[frozenset[str]] = set()
+        lost_keys: set[str] = set()
         for index, members in removed:
             dirty.update(members)
             for position, key_a in enumerate(members):
@@ -150,12 +165,14 @@ class CorrelationMatrix:
                         del self._common[pair]
                         self._neighbors[key_a].discard(key_b)
                         self._neighbors[key_b].discard(key_a)
+                        lost_pairs.add(pair)
             for key in members:
                 groups = self._key_groups[key]
                 groups.remove(index)
                 if not groups:
                     del self._key_groups[key]
                     del self._neighbors[key]
+                    lost_keys.add(key)
             del self._group_members[index]
         for index, members in added:
             dirty.update(members)
@@ -163,12 +180,24 @@ class CorrelationMatrix:
             for key in members:
                 self._key_groups.setdefault(key, set()).add(index)
                 self._neighbors.setdefault(key, set())
+                lost_keys.discard(key)
             for position, key_a in enumerate(members):
                 for key_b in members[position + 1:]:
                     pair = frozenset((key_a, key_b))
                     self._common[pair] = self._common.get(pair, 0) + 1
                     self._neighbors[key_a].add(key_b)
                     self._neighbors[key_b].add(key_a)
+                    lost_pairs.discard(pair)
+        if lost_pairs or lost_keys:
+            # A co-occurrence edge or a key is really gone: the union-find
+            # cannot un-merge, so flag it for a rebuild at the next
+            # component query and tell engines their cached component
+            # structure is void.
+            self._uf_stale = True
+            self._structure_version += 1
+        elif not self._uf_stale:
+            for index, members in added:
+                self._uf.union_many(members)
         return dirty
 
     # -- queries -------------------------------------------------------------
@@ -176,6 +205,53 @@ class CorrelationMatrix:
     @property
     def keys(self) -> list[str]:
         return list(self._key_groups)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._key_groups
+
+    def observed_groups(self) -> dict[int, frozenset[str]]:
+        """Every observed group's member set, by index (a fresh dict).
+
+        Replaying these through :meth:`update_groups` on an empty matrix
+        reproduces this matrix exactly — the basis of session checkpoints.
+        """
+        return dict(self._group_members)
+
+    @property
+    def structure_version(self) -> int:
+        """Bumped whenever a lossy update voids incremental component state.
+
+        Consumers caching per-component results compare this against the
+        version they last saw: unchanged means components only grew (or
+        stayed) through additions, so caches keyed by component survive;
+        changed means an edge or key was truly removed and components may
+        have split — recompute from scratch.
+        """
+        return self._structure_version
+
+    def _rebuild_union_find(self) -> None:
+        uf = UnionFind()
+        for key in self._key_groups:
+            uf.add(key)
+        for members in self._group_members.values():
+            uf.union_many(members)
+        self._uf = uf
+        self._uf_stale = False
+
+    def _union_find(self) -> UnionFind:
+        if self._uf_stale:
+            self._rebuild_union_find()
+        return self._uf
+
+    def find(self, key: str) -> str:
+        """Representative key of ``key``'s connected component (O(α))."""
+        self._check(key)
+        return self._union_find().find(key)
+
+    def component_members(self, key: str) -> frozenset[str]:
+        """All keys in ``key``'s connected component (a frozen copy)."""
+        self._check(key)
+        return self._union_find().members(key)
 
     def group_count(self, key: str) -> int:
         """Number of write groups ``key`` appears in (the metric's ``|A|``)."""
@@ -213,13 +289,25 @@ class CorrelationMatrix:
             key_a, key_b = sorted(pair)
             yield key_a, key_b, self.correlation_of(key_a, key_b)
 
-    def connected_components(self) -> list[set[str]]:
+    def connected_components(self, *, method: str = "unionfind") -> list[set[str]]:
         """Components of the finite-distance graph.
 
         Every HAC cluster is a subset of one component, so clustering can
         run per-component.  Keys with no neighbours form singleton
         components.
+
+        ``method="unionfind"`` (default) serves the components from the
+        incrementally maintained union-find; ``method="scan"`` recomputes
+        them with a graph traversal.  The two always agree — the scan is
+        kept as the independent reference for cross-checks and as the
+        baseline the benchmark measures the union-find against.
         """
+        if method == "unionfind":
+            return [set(members) for members in self._union_find().components()]
+        if method != "scan":
+            raise ValueError(
+                f"unknown method {method!r}; options: ('unionfind', 'scan')"
+            )
         seen: set[str] = set()
         components: list[set[str]] = []
         for start in self._key_groups:
@@ -239,3 +327,68 @@ class CorrelationMatrix:
 
     def __len__(self) -> int:
         return len(self._key_groups)
+
+
+class CorrelationMatrixView:
+    """Read-only facade over a live :class:`CorrelationMatrix`.
+
+    The incremental pipelines expose their internal matrices through this
+    proxy: every query works, every mutator raises, so a caller cannot
+    silently desynchronise a session's matrix from its journal cursor.
+    """
+
+    __slots__ = ("_matrix",)
+
+    def __init__(self, matrix: CorrelationMatrix) -> None:
+        self._matrix = matrix
+
+    # -- queries (delegated) -------------------------------------------------
+
+    @property
+    def keys(self) -> list[str]:
+        return self._matrix.keys
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._matrix
+
+    def __len__(self) -> int:
+        return len(self._matrix)
+
+    def group_count(self, key: str) -> int:
+        return self._matrix.group_count(key)
+
+    def correlation_of(self, key_a: str, key_b: str) -> float:
+        return self._matrix.correlation_of(key_a, key_b)
+
+    def distance_of(self, key_a: str, key_b: str) -> float:
+        return self._matrix.distance_of(key_a, key_b)
+
+    def neighbors(self, key: str) -> set[str]:
+        return self._matrix.neighbors(key)
+
+    def finite_pairs(self) -> Iterable[tuple[str, str, float]]:
+        return self._matrix.finite_pairs()
+
+    def connected_components(self, *, method: str = "unionfind") -> list[set[str]]:
+        return self._matrix.connected_components(method=method)
+
+    def find(self, key: str) -> str:
+        return self._matrix.find(key)
+
+    def component_members(self, key: str) -> frozenset[str]:
+        return self._matrix.component_members(key)
+
+    def observed_groups(self) -> dict[int, frozenset[str]]:
+        return self._matrix.observed_groups()
+
+    # -- mutators (refused) --------------------------------------------------
+
+    def _read_only(self, *_args, **_kwargs):
+        raise TypeError(
+            "this matrix belongs to a live clustering session and is "
+            "read-only; mutating it would desynchronise the session"
+        )
+
+    observe_group = _read_only
+    retract_group = _read_only
+    update_groups = _read_only

@@ -1,28 +1,34 @@
 """Incremental clustering: stream events into live clusters.
 
 Ocasta runs clustering *continuously* alongside logging; recomputing the
-whole pipeline per update would be O(trace) every time.  The
-:class:`IncrementalPipeline` instead keeps the full pipeline state live, so
-an update's cost is independent of how long the trace already is: it pays
-O(new events) for ingestion, O(live keys) for the component scan and
-cluster-set assembly, and the HAC bill only for components a new group
-actually touched (tracking components with an incremental union-find to
-shed the O(keys) scan is noted in ROADMAP.md):
+whole pipeline per update would be O(trace) every time.  An
+:class:`IncrementalPipeline` instead keeps the full pipeline state live —
+it is the single-stream specialisation of the sharded engine in
+:mod:`repro.core.sharded` (one catch-all shard), so one ``update()`` costs:
 
-1. new modifications are pulled from the TTKV's append-ordered journal via
-   a cursor (no re-sort, no re-scan of consumed events);
+1. O(new events) ingestion — modifications are pulled from the TTKV's
+   append-ordered journal via a cursor (no re-sort, no re-scan of consumed
+   events); an out-of-order logger race that lands inside the still-open
+   trailing write group is absorbed by rewinding that group (an O(buffer)
+   fixup), and only older reorders force a rebuild;
 2. a :class:`~repro.core.windowing.StreamingGroupExtractor` closes write
    groups as the stream advances, keeping the trailing group *provisional*
    (a future event may still extend it);
 3. the :class:`~repro.core.correlation.CorrelationMatrix` is updated in
-   place — only pairs involving keys of touched groups change;
-4. only connected components containing a *dirty* key are re-agglomerated;
+   place — only pairs involving keys of touched groups change — and its
+   incremental union-find keeps connected components maintained at O(α)
+   per co-occurrence;
+4. only components containing a *dirty* key are re-agglomerated, found
+   directly through the union-find instead of a scan over all live keys;
    every other component's flat clusters are reused from cache.
 
 The result after every :meth:`IncrementalPipeline.update` equals what the
 batch :func:`~repro.core.pipeline.cluster_settings` would produce from the
 same store — the property-based equivalence tests pin this for arbitrary
-prefixes of arbitrary event streams.
+prefixes of arbitrary event streams.  Deployments hosting several
+applications should use :class:`~repro.core.sharded.ShardedPipeline`
+directly: one engine per application prefix, updates only where the
+journal advanced, and JSON checkpoint/resume.
 
 Example::
 
@@ -41,42 +47,29 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.core.clustering import (
-    LINKAGE_COMPLETE,
-    _LINKAGES,
-    component_clusters,
-)
-from repro.core.cluster_model import ClusterSet
-from repro.core.correlation import CorrelationMatrix
-from repro.core.windowing import GROUPING_SLIDING, StreamingGroupExtractor
-from repro.exceptions import StaleCursorError
-from repro.ttkv.journal import JournalCursor
+from repro.core.clustering import LINKAGE_COMPLETE
+from repro.core.correlation import CorrelationMatrixView
+from repro.core.sharded import ShardedPipeline, UpdateStats
+from repro.core.windowing import GROUPING_SLIDING
+from repro.ttkv.sharding import CATCH_ALL
 from repro.ttkv.store import TTKV
 
-
-@dataclass(frozen=True)
-class UpdateStats:
-    """What one :meth:`IncrementalPipeline.update` call actually did."""
-
-    events_consumed: int
-    groups_closed: int
-    dirty_keys: int
-    components_total: int
-    components_reclustered: int
-    components_reused: int
-    rebuilt: bool
+__all__ = ["ClusterSession", "IncrementalPipeline", "UpdateStats"]
 
 
-class IncrementalPipeline:
-    """Live clustering session over a growing TTKV.
+class IncrementalPipeline(ShardedPipeline):
+    """Live clustering session over a growing TTKV (single stream).
 
     Construct it once over a store, then call :meth:`update` whenever new
     modifications may have been recorded; it returns the current
     :class:`~repro.core.cluster_model.ClusterSet`, identical to a batch
     :func:`~repro.core.pipeline.cluster_settings` run over the store's full
     event stream with the same parameters.
+
+    This is a :class:`~repro.core.sharded.ShardedPipeline` with exactly one
+    catch-all shard — the right tool when the store effectively holds one
+    application (possibly selected via ``key_filter``).  Machines hosting
+    many applications should shard per application prefix instead.
 
     Parameters mirror ``cluster_settings``: ``window`` (seconds),
     ``correlation_threshold`` (in ``(0, 2]``), ``linkage``, an optional
@@ -103,153 +96,26 @@ class IncrementalPipeline:
         key_filter: str | None = None,
         grouping: str = GROUPING_SLIDING,
     ) -> None:
-        self.store = store
-        self.window = window
-        self.correlation_threshold = correlation_threshold
-        self.linkage = linkage
-        self.key_filter = key_filter
-        self.grouping = grouping
-        self.last_stats: UpdateStats | None = None
-        self._reset()
-
-    def _params(self) -> tuple:
-        return (
-            self.window,
-            self.correlation_threshold,
-            self.linkage,
-            self.key_filter,
-            self.grouping,
+        super().__init__(
+            store,
+            shard_prefixes=(),
+            window=window,
+            correlation_threshold=correlation_threshold,
+            linkage=linkage,
+            key_filter=key_filter,
+            grouping=grouping,
+            catch_all=True,
         )
 
-    def _reset(self) -> None:
-        if not 0.0 < self.correlation_threshold <= 2.0:
-            raise ValueError(
-                "correlation threshold must lie in (0, 2], "
-                f"got {self.correlation_threshold}"
-            )
-        if self.linkage not in _LINKAGES:
-            raise ValueError(
-                f"unknown linkage {self.linkage!r}; options: {_LINKAGES}"
-            )
-        # window and grouping are validated by the extractor
-        self._extractor = StreamingGroupExtractor(self.window, grouping=self.grouping)
-        self._active_params = self._params()
-        self._cursor: JournalCursor | None = None
-        self._matrix = CorrelationMatrix()
-        self._closed_count = 0
-        self._pending_keys: frozenset[str] = frozenset()
-        self._component_cache: dict[frozenset[str], list[frozenset[str]]] = {}
-        self._cluster_set: ClusterSet | None = None
-
-    # -- public API ----------------------------------------------------------
-
     @property
-    def cluster_set(self) -> ClusterSet | None:
-        """Clusters from the most recent :meth:`update` (``None`` before one)."""
-        return self._cluster_set
+    def matrix(self) -> CorrelationMatrixView:
+        """Read-only view of the live correlation matrix.
 
-    @property
-    def matrix(self) -> CorrelationMatrix:
-        """The live correlation matrix (read-only use only)."""
-        return self._matrix
-
-    def update(self) -> ClusterSet:
-        """Consume newly journaled events and return the current clusters.
-
-        Retuning ``window``/``correlation_threshold``/``linkage``/
-        ``key_filter``/``grouping`` between calls is supported: the change
-        is detected here and the session restarts over the full stream, so
-        the returned clusters always reflect the current parameters.
+        Mutators raise: the matrix is owned by the session, and mutating
+        it directly would silently desynchronise the incremental state
+        from the journal cursor.
         """
-        rebuilt = False
-        if self._params() != self._active_params:
-            self._reset()
-            rebuilt = True
-        try:
-            events, self._cursor = self.store.journal.read(self._cursor)
-        except StaleCursorError:
-            # An out-of-order append landed inside our consumed prefix; the
-            # incremental state no longer matches the stream.  Rebuild.
-            self._reset()
-            rebuilt = True
-            events, self._cursor = self.store.journal.read(None)
-        if self.key_filter is not None:
-            prefix = self.key_filter
-            events = [e for e in events if e[1].startswith(prefix)]
-
-        old_pending = self._pending_keys
-        base = self._closed_count
-        closed = self._extractor.feed_many(events)
-        new_pending = self._extractor.pending_keys
-
-        # Desired registrations for group indices >= base.  The formerly
-        # provisional group sits at index `base`: it either became
-        # closed[0] or is still pending; re-register it only if its key set
-        # actually changed.
-        desired: list[tuple[int, frozenset[str]]] = []
-        index = base
-        for group in closed:
-            desired.append((index, group.keys))
-            index += 1
-        if new_pending:
-            desired.append((index, new_pending))
-        removed: list[tuple[int, frozenset[str]]] = []
-        if old_pending:
-            if desired and desired[0][1] == old_pending:
-                desired = desired[1:]
-            else:
-                removed.append((base, old_pending))
-        dirty = self._matrix.update_groups(added=desired, removed=removed)
-        self._closed_count = base + len(closed)
-        self._pending_keys = new_pending
-
-        if not dirty and self._cluster_set is not None:
-            self.last_stats = UpdateStats(
-                events_consumed=len(events),
-                groups_closed=len(closed),
-                dirty_keys=0,
-                components_total=len(self._component_cache),
-                components_reclustered=0,
-                components_reused=len(self._component_cache),
-                rebuilt=rebuilt,
-            )
-            return self._cluster_set
-
-        components = self._matrix.connected_components()
-        cache: dict[frozenset[str], list[frozenset[str]]] = {}
-        key_sets: list[frozenset[str]] = []
-        reclustered = 0
-        for component in components:
-            frozen = frozenset(component)
-            clusters = self._component_cache.get(frozen)
-            if clusters is None or not component.isdisjoint(dirty):
-                clusters = component_clusters(
-                    self._matrix,
-                    frozen,
-                    correlation_threshold=self.correlation_threshold,
-                    linkage=self.linkage,
-                )
-                reclustered += 1
-            cache[frozen] = clusters
-            key_sets.extend(clusters)
-        self._component_cache = cache
-
-        key_sets.sort(key=lambda c: (-len(c), tuple(sorted(c))))
-        self._cluster_set = ClusterSet.from_key_sets(
-            key_sets,
-            window=self.window,
-            correlation_threshold=self.correlation_threshold,
-        )
-        self.last_stats = UpdateStats(
-            events_consumed=len(events),
-            groups_closed=len(closed),
-            dirty_keys=len(dirty),
-            components_total=len(components),
-            components_reclustered=reclustered,
-            components_reused=len(components) - reclustered,
-            rebuilt=rebuilt,
-        )
-        return self._cluster_set
+        return self.matrix_for(CATCH_ALL)
 
 
 #: Back-compat-friendly alias: an :class:`IncrementalPipeline` *is* the

@@ -1,0 +1,696 @@
+"""Sharded streaming clustering: one engine per application prefix.
+
+Ocasta runs on end-user machines that host many applications at once, and
+clusters *per application* — the repair tool always restricts the trace to
+one ``key_prefix``.  A single global session therefore does redundant
+work: every update re-scans state belonging to applications that did not
+write anything.  The sharded architecture splits the stream instead:
+
+- a :class:`~repro.ttkv.sharding.ShardedJournal` routes the store's
+  append-ordered journal into one per-prefix journal (longest prefix
+  wins; unmatched keys go to a catch-all shard, or are dropped when the
+  deployment is filtered);
+- each shard is owned by a :class:`ShardEngine` — the per-stream logic of
+  the original incremental pipeline: a journal cursor, a streaming write
+  group extractor, an in-place :class:`~repro.core.correlation.
+  CorrelationMatrix`, and a per-component cluster cache.  Components are
+  tracked by the matrix's incremental union-find, so an update touches
+  only the *dirty region*: the components containing keys of the write
+  groups that actually changed;
+- the :class:`ShardedPipeline` updates only shards whose journals
+  advanced, and merges the per-shard cluster sets and
+  :class:`UpdateStats` into the session-level view.
+
+Each shard's clusters are exactly what the batch
+:func:`~repro.core.pipeline.cluster_settings` produces with
+``key_filter=prefix`` — filter-then-extract, so a write group never spans
+applications.  The unsharded :class:`~repro.core.incremental.
+IncrementalPipeline` is the degenerate case of one catch-all shard.
+
+Example — two applications, updated and checkpointed::
+
+    >>> import json
+    >>> from repro.ttkv.store import TTKV
+    >>> from repro.core.sharded import ShardedPipeline
+    >>> store = TTKV()
+    >>> pipeline = ShardedPipeline(store, shard_prefixes=("mail/", "editor/"))
+    >>> store.record_write("mail/signature", "plain", 10.0)
+    >>> store.record_write("mail/font", "mono", 10.0)
+    >>> store.record_write("editor/theme", "dark", 10.5)
+    >>> [c.sorted_keys() for c in pipeline.update()]
+    [['mail/font', 'mail/signature'], ['editor/theme']]
+    >>> store.record_write("editor/theme", "light", 700.0)
+    >>> clusters = pipeline.update()          # only the editor shard moved
+    >>> pipeline.last_stats.shards_updated, pipeline.last_stats.shards_total
+    (1, 3)
+
+    A session checkpoints to a JSON-safe dict and resumes without
+    re-reading a single consumed event:
+
+    >>> blob = json.dumps(pipeline.to_state())
+    >>> resumed = ShardedPipeline.from_state(store, json.loads(blob))
+    >>> [c.sorted_keys() for c in resumed.update()] == \\
+    ...     [c.sorted_keys() for c in clusters]
+    True
+    >>> resumed.last_stats.events_consumed
+    0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.clustering import LINKAGE_COMPLETE, _LINKAGES, component_clusters
+from repro.core.cluster_model import ClusterSet
+from repro.core.correlation import CorrelationMatrix, CorrelationMatrixView
+from repro.core.pipeline import DEFAULT_CORRELATION_THRESHOLD, DEFAULT_WINDOW
+from repro.core.windowing import GROUPING_SLIDING, StreamingGroupExtractor
+from repro.ttkv.journal import (
+    EventJournal,
+    JournalCursor,
+    decode_event,
+    encode_event,
+)
+from repro.ttkv.sharding import ShardedJournal
+from repro.ttkv.store import TTKV
+
+#: Checkpoint format version written by :meth:`ShardedPipeline.to_state`.
+STATE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class UpdateStats:
+    """What one pipeline ``update()`` call actually did.
+
+    For a :class:`ShardedPipeline` the counters aggregate over the shards
+    that were updated; ``shards_updated`` / ``shards_total`` say how many
+    engines ran versus were skipped because their journals had not
+    advanced.  ``reorders_absorbed`` counts already-consumed events that
+    were re-delivered after an out-of-order append and absorbed in place
+    (rewound within the provisional trailing group) instead of forcing the
+    full rebuild that ``rebuilt`` reports.
+    """
+
+    events_consumed: int
+    groups_closed: int
+    dirty_keys: int
+    components_total: int
+    components_reclustered: int
+    components_reused: int
+    rebuilt: bool
+    reorders_absorbed: int = 0
+    shards_updated: int = 0
+    shards_total: int = 1
+
+
+@dataclass(frozen=True)
+class ShardUpdate:
+    """Result of one :meth:`ShardEngine.update`: stats plus a change flag."""
+
+    stats: UpdateStats
+    changed: bool
+
+
+def _sorted_key_sets(key_sets: list[frozenset[str]]) -> list[frozenset[str]]:
+    return sorted(key_sets, key=lambda c: (-len(c), tuple(sorted(c))))
+
+
+class ShardEngine:
+    """Streaming clustering over one shard's journal.
+
+    This is the per-stream half of the original incremental pipeline,
+    extracted so a sharded session can own many of them.  The engine holds
+    a cursor into its :class:`~repro.ttkv.journal.EventJournal`, closes
+    write groups as the stream advances, folds them into its correlation
+    matrix in place, and re-agglomerates only the connected components the
+    update dirtied — components come from the matrix's union-find, so the
+    scan is O(dirty region), not O(live keys).
+
+    An out-of-order append that lands inside the still-open trailing write
+    group is absorbed by rewinding the extractor and re-feeding the
+    re-sorted tail (an O(buffer) fixup); anything older forces the rebuild
+    the journal's epoch machinery always allowed.
+    """
+
+    def __init__(
+        self,
+        journal: EventJournal,
+        *,
+        window: float = DEFAULT_WINDOW,
+        correlation_threshold: float = DEFAULT_CORRELATION_THRESHOLD,
+        linkage: str = LINKAGE_COMPLETE,
+        grouping: str = GROUPING_SLIDING,
+    ) -> None:
+        self._journal = journal
+        self._window = window
+        self._correlation_threshold = correlation_threshold
+        self._linkage = linkage
+        self._grouping = grouping
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        # window and grouping are validated by the extractor
+        self._extractor = StreamingGroupExtractor(
+            self._window, grouping=self._grouping
+        )
+        self._cursor: JournalCursor | None = None
+        self._matrix = CorrelationMatrix()
+        self._closed_count = 0
+        self._pending_keys: frozenset[str] = frozenset()
+        self._component_cache: dict[frozenset[str], list[frozenset[str]]] = {}
+        self._component_of_key: dict[str, frozenset[str]] = {}
+        self._seen_structure = self._matrix.structure_version
+        self._key_sets: list[frozenset[str]] | None = None
+        self._cluster_set: ClusterSet | None = None
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def journal(self) -> EventJournal:
+        return self._journal
+
+    @property
+    def matrix(self) -> CorrelationMatrixView:
+        """Read-only view of the engine's live correlation matrix."""
+        return CorrelationMatrixView(self._matrix)
+
+    @property
+    def ready(self) -> bool:
+        """Whether the engine has produced clusters at least once."""
+        return self._key_sets is not None
+
+    @property
+    def component_count(self) -> int:
+        return len(self._component_cache)
+
+    @property
+    def cluster_key_sets(self) -> list[frozenset[str]]:
+        """Current clusters as key sets, largest first (a fresh list)."""
+        return list(self._key_sets or ())
+
+    def cluster_set(self) -> ClusterSet:
+        """Current clusters as a :class:`ClusterSet` (cached per update)."""
+        if self._cluster_set is None:
+            self._cluster_set = ClusterSet.from_key_sets(
+                self.cluster_key_sets,
+                window=self._window,
+                correlation_threshold=self._correlation_threshold,
+            )
+        return self._cluster_set
+
+    def needs_update(self) -> bool:
+        """O(1): did this shard's journal move since the engine last read?"""
+        if self._cursor is None:
+            return True
+        return (
+            len(self._journal) != self._cursor.position
+            or self._journal.epoch != self._cursor.epoch
+        )
+
+    # -- updating ------------------------------------------------------------
+
+    def update(self) -> ShardUpdate:
+        """Consume newly journaled events; recluster the dirty region."""
+        rebuilt = False
+        absorbed = 0
+        rewound, events, cursor = self._journal.read_flexible(self._cursor)
+        if rewound:
+            if rewound <= len(self._extractor.pending_events):
+                # The reordered suffix is still inside the provisional
+                # trailing group: drop it from the extractor and re-feed
+                # the re-sorted tail.  The group registrations diff below
+                # picks up any resulting changes.
+                self._extractor.rewind(rewound)
+                absorbed = rewound
+            else:
+                # The reorder reaches into closed groups — the incremental
+                # state no longer matches the stream.  Rebuild.
+                self._reset_state()
+                rebuilt = True
+                rewound, events, cursor = self._journal.read_flexible(None)
+        self._cursor = cursor
+
+        old_pending = self._pending_keys
+        base = self._closed_count
+        closed = self._extractor.feed_many(events)
+        new_pending = self._extractor.pending_keys
+
+        # Desired registrations for group indices >= base.  The formerly
+        # provisional group sits at index `base`: it either became
+        # closed[0] or is still pending; re-register it only if its key set
+        # actually changed.
+        desired: list[tuple[int, frozenset[str]]] = []
+        index = base
+        for group in closed:
+            desired.append((index, group.keys))
+            index += 1
+        if new_pending:
+            desired.append((index, new_pending))
+        removed: list[tuple[int, frozenset[str]]] = []
+        if old_pending:
+            if desired and desired[0][1] == old_pending:
+                desired = desired[1:]
+            else:
+                removed.append((base, old_pending))
+        dirty = self._matrix.update_groups(added=desired, removed=removed)
+        self._closed_count = base + len(closed)
+        self._pending_keys = new_pending
+
+        if not dirty and self._key_sets is not None:
+            return ShardUpdate(
+                stats=UpdateStats(
+                    events_consumed=len(events),
+                    groups_closed=len(closed),
+                    dirty_keys=0,
+                    components_total=len(self._component_cache),
+                    components_reclustered=0,
+                    components_reused=len(self._component_cache),
+                    rebuilt=rebuilt,
+                    reorders_absorbed=absorbed,
+                    shards_updated=1,
+                ),
+                changed=False,
+            )
+
+        if (
+            self._key_sets is None
+            or self._matrix.structure_version != self._seen_structure
+        ):
+            reclustered = self._rescan_components(dirty)
+        else:
+            reclustered = self._recluster_dirty(dirty)
+        self._seen_structure = self._matrix.structure_version
+
+        key_sets = _sorted_key_sets(
+            [
+                key_set
+                for clusters in self._component_cache.values()
+                for key_set in clusters
+            ]
+        )
+        changed = key_sets != self._key_sets
+        self._key_sets = key_sets
+        if changed:
+            self._cluster_set = None
+        total = len(self._component_cache)
+        return ShardUpdate(
+            stats=UpdateStats(
+                events_consumed=len(events),
+                groups_closed=len(closed),
+                dirty_keys=len(dirty),
+                components_total=total,
+                components_reclustered=reclustered,
+                components_reused=total - reclustered,
+                rebuilt=rebuilt,
+                reorders_absorbed=absorbed,
+                shards_updated=1,
+            ),
+            changed=changed,
+        )
+
+    def _component_clusters(self, component: frozenset[str]) -> list[frozenset[str]]:
+        return component_clusters(
+            self._matrix,
+            component,
+            correlation_threshold=self._correlation_threshold,
+            linkage=self._linkage,
+        )
+
+    def _rescan_components(self, dirty: set[str]) -> int:
+        """Full component walk — first update and after structural loss."""
+        cache: dict[frozenset[str], list[frozenset[str]]] = {}
+        of_key: dict[str, frozenset[str]] = {}
+        reclustered = 0
+        for component in self._matrix.connected_components():
+            frozen = frozenset(component)
+            clusters = self._component_cache.get(frozen)
+            if clusters is None or not component.isdisjoint(dirty):
+                clusters = self._component_clusters(frozen)
+                reclustered += 1
+            cache[frozen] = clusters
+            for key in frozen:
+                of_key[key] = frozen
+        self._component_cache = cache
+        self._component_of_key = of_key
+        return reclustered
+
+    def _recluster_dirty(self, dirty: set[str]) -> int:
+        """O(dirty region): recluster only components touching dirty keys.
+
+        Sound because between structural losses components only ever grow:
+        when components merge, the group that bridged them puts a key of
+        each old component into ``dirty``, so evicting every dirty key's
+        previously cached component removes exactly the entries the merge
+        invalidated.
+        """
+        matrix = self._matrix
+        roots: dict[str, None] = {}
+        for key in dirty:
+            if key in matrix:
+                roots.setdefault(matrix.find(key))
+        for key in dirty:
+            stale = self._component_of_key.get(key)
+            if stale is not None:
+                self._component_cache.pop(stale, None)
+        for root in roots:
+            component = matrix.component_members(root)
+            self._component_cache[component] = self._component_clusters(component)
+            for key in component:
+                self._component_of_key[key] = component
+        return len(roots)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: cursor, group registrations, pending events.
+
+        Values inside pending events must be JSON-serialisable (the same
+        contract the persistence log imposes); deletions are encoded via
+        their op tag.  The first and last consumed events are recorded as
+        a fingerprint of the consumed prefix, so :meth:`restore` can
+        refuse a store holding a different stream.
+        """
+        position = 0 if self._cursor is None else self._cursor.position
+        return {
+            "cursor": None if self._cursor is None else self._cursor.to_state(),
+            "closed_count": self._closed_count,
+            "head": (
+                encode_event(self._journal.event_at(0)) if position else None
+            ),
+            "tail": (
+                encode_event(self._journal.event_at(position - 1))
+                if position
+                else None
+            ),
+            "pending": [
+                encode_event(event) for event in self._extractor.pending_events
+            ],
+            "groups": [
+                [index, sorted(members)]
+                for index, members in sorted(self._matrix.observed_groups().items())
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Resume from a :meth:`to_state` snapshot.
+
+        The shard journal must hold the same consumed prefix the snapshot
+        was taken over (a deployment re-opening its persisted store does);
+        the cursor's epoch is re-based onto the journal's current one, so
+        only *future* reorders can disturb the session.  Clusters are
+        re-derived from the restored matrix on the next :meth:`update` —
+        no consumed event is ever read again.
+        """
+        cursor_state = state["cursor"]
+        if cursor_state is None:
+            self._reset_state()
+            return
+        cursor = JournalCursor.from_state(cursor_state)
+        if cursor.position > len(self._journal):
+            raise ValueError(
+                f"checkpoint cursor at {cursor.position} but the shard "
+                f"journal only holds {len(self._journal)} events; the "
+                "store does not match the checkpointed deployment"
+            )
+        if cursor.position:
+            for label, index in (("head", 0), ("tail", cursor.position - 1)):
+                recorded = state.get(label)
+                if recorded is not None and (
+                    decode_event(recorded) != self._journal.event_at(index)
+                ):
+                    raise ValueError(
+                        f"checkpoint {label} event {recorded!r} does not "
+                        "match the store's journal; the store holds a "
+                        "different stream than the checkpointed deployment"
+                    )
+        self._reset_state()
+        self._cursor = JournalCursor(cursor.position, self._journal.epoch)
+        self._closed_count = int(state["closed_count"])
+        pending_events = [decode_event(entry) for entry in state["pending"]]
+        self._extractor.feed_many(pending_events)
+        self._pending_keys = self._extractor.pending_keys
+        groups = [(int(index), members) for index, members in state["groups"]]
+        for index, members in groups:
+            if index > self._closed_count:
+                raise ValueError(
+                    f"checkpoint group index {index} exceeds the closed "
+                    f"count {self._closed_count}"
+                )
+            if index == self._closed_count and frozenset(members) != self._pending_keys:
+                raise ValueError(
+                    "checkpoint provisional group does not match its "
+                    "pending events"
+                )
+        if groups:
+            self._matrix.update_groups(added=groups)
+        self._seen_structure = self._matrix.structure_version
+
+
+class ShardedPipeline:
+    """Live clustering session sharded by application key prefix.
+
+    Construct it over a store with the application prefixes to shard on,
+    then call :meth:`update` whenever new modifications may have been
+    recorded.  Only shards whose journals advanced do any work; the merged
+    :class:`ClusterSet` over all shards is returned (largest clusters
+    first, deterministic order), and per-shard results are available via
+    :meth:`cluster_set_for`.
+
+    Every shard's clusters equal the batch reference restricted to that
+    prefix: ``cluster_settings(store, key_filter=prefix, ...)``.  Keys
+    matching no prefix belong to the catch-all shard (disable it with
+    ``catch_all=False`` to drop them, reproducing a filtered deployment).
+
+    Parameters mirror ``cluster_settings``; ``window``,
+    ``correlation_threshold``, ``linkage``, ``key_filter``, ``grouping``,
+    ``shard_prefixes`` and ``catch_all`` may all be reassigned between
+    updates — the change is detected and the session restarts over the
+    full stream.
+
+    Sessions checkpoint to JSON-safe dicts (:meth:`to_state`) and resume
+    (:meth:`from_state`) without re-reading consumed journal events.
+    """
+
+    def __init__(
+        self,
+        store: TTKV,
+        shard_prefixes: tuple[str, ...] | list[str] = (),
+        *,
+        window: float = DEFAULT_WINDOW,
+        correlation_threshold: float = DEFAULT_CORRELATION_THRESHOLD,
+        linkage: str = LINKAGE_COMPLETE,
+        key_filter: str | None = None,
+        grouping: str = GROUPING_SLIDING,
+        catch_all: bool = True,
+    ) -> None:
+        self.store = store
+        self.shard_prefixes = tuple(shard_prefixes)
+        self.catch_all = catch_all
+        self.window = window
+        self.correlation_threshold = correlation_threshold
+        self.linkage = linkage
+        self.key_filter = key_filter
+        self.grouping = grouping
+        self.last_stats: UpdateStats | None = None
+        self._journal_view: ShardedJournal | None = None
+        self._reset()
+
+    def _params(self) -> tuple:
+        return (
+            self.window,
+            self.correlation_threshold,
+            self.linkage,
+            self.key_filter,
+            self.grouping,
+            tuple(self.shard_prefixes),
+            self.catch_all,
+        )
+
+    def _reset(self) -> None:
+        if not 0.0 < self.correlation_threshold <= 2.0:
+            raise ValueError(
+                "correlation threshold must lie in (0, 2], "
+                f"got {self.correlation_threshold}"
+            )
+        if self.linkage not in _LINKAGES:
+            raise ValueError(
+                f"unknown linkage {self.linkage!r}; options: {_LINKAGES}"
+            )
+        # window and grouping are validated before any journal is attached
+        StreamingGroupExtractor(self.window, grouping=self.grouping)
+        if self._journal_view is not None:
+            self._journal_view.detach()
+        self._journal_view = ShardedJournal(
+            self.store.journal,
+            self.shard_prefixes,
+            catch_all=self.catch_all,
+            key_filter=self.key_filter,
+        )
+        self._engines = {
+            shard_id: ShardEngine(
+                self._journal_view.shard(shard_id),
+                window=self.window,
+                correlation_threshold=self.correlation_threshold,
+                linkage=self.linkage,
+                grouping=self.grouping,
+            )
+            for shard_id in self._journal_view.shard_ids
+        }
+        self._active_params = self._params()
+        self._cluster_set: ClusterSet | None = None
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        """All shard ids (the prefixes, plus ``""`` for the catch-all)."""
+        return tuple(self._engines)
+
+    @property
+    def cluster_set(self) -> ClusterSet | None:
+        """Merged clusters from the most recent :meth:`update`."""
+        return self._cluster_set
+
+    def cluster_set_for(self, shard_id: str) -> ClusterSet:
+        """One shard's clusters (equal to batch with ``key_filter=prefix``)."""
+        return self._engine(shard_id).cluster_set()
+
+    def matrix_for(self, shard_id: str) -> CorrelationMatrixView:
+        """Read-only view of one shard's live correlation matrix."""
+        return self._engine(shard_id).matrix
+
+    def _engine(self, shard_id: str) -> ShardEngine:
+        try:
+            return self._engines[shard_id]
+        except KeyError:
+            raise KeyError(
+                f"no shard {shard_id!r}; shards: {list(self._engines)}"
+            ) from None
+
+    def close(self) -> None:
+        """Detach from the store's journal (the session stops tracking it)."""
+        if self._journal_view is not None:
+            self._journal_view.detach()
+
+    def update(self) -> ClusterSet:
+        """Consume newly journaled events and return the merged clusters.
+
+        Shards whose journals did not advance are skipped entirely — their
+        engines are not even asked to read.  Retuning any constructor
+        parameter between calls restarts the session over the full stream,
+        exactly like the unsharded pipeline.
+        """
+        session_rebuilt = False
+        if self._params() != self._active_params:
+            self._reset()
+            session_rebuilt = True
+        events = groups = dirty = total = reclustered = reused = absorbed = 0
+        updated = 0
+        engine_rebuilt = False
+        changed = False
+        for engine in self._engines.values():
+            if engine.ready and not engine.needs_update():
+                count = engine.component_count
+                total += count
+                reused += count
+                continue
+            result = engine.update()
+            updated += 1
+            events += result.stats.events_consumed
+            groups += result.stats.groups_closed
+            dirty += result.stats.dirty_keys
+            total += result.stats.components_total
+            reclustered += result.stats.components_reclustered
+            reused += result.stats.components_reused
+            absorbed += result.stats.reorders_absorbed
+            engine_rebuilt = engine_rebuilt or result.stats.rebuilt
+            changed = changed or result.changed
+        if changed or self._cluster_set is None:
+            key_sets = _sorted_key_sets(
+                [
+                    key_set
+                    for engine in self._engines.values()
+                    for key_set in engine.cluster_key_sets
+                ]
+            )
+            self._cluster_set = ClusterSet.from_key_sets(
+                key_sets,
+                window=self.window,
+                correlation_threshold=self.correlation_threshold,
+            )
+        self.last_stats = UpdateStats(
+            events_consumed=events,
+            groups_closed=groups,
+            dirty_keys=dirty,
+            components_total=total,
+            components_reclustered=reclustered,
+            components_reused=reused,
+            rebuilt=session_rebuilt or engine_rebuilt,
+            reorders_absorbed=absorbed,
+            shards_updated=updated,
+            shards_total=len(self._engines),
+        )
+        return self._cluster_set
+
+    # -- checkpointing -------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """The whole session as a JSON-safe dict (parameters + per-shard).
+
+        Pair with :meth:`from_state` to survive a deployment restart: the
+        restarted process re-opens its persisted store, restores the
+        session, and the next :meth:`update` consumes only events the
+        checkpointed session had not read.
+        """
+        return {
+            "version": STATE_VERSION,
+            "params": {
+                "window": self.window,
+                "correlation_threshold": self.correlation_threshold,
+                "linkage": self.linkage,
+                "key_filter": self.key_filter,
+                "grouping": self.grouping,
+                "shard_prefixes": list(self.shard_prefixes),
+                "catch_all": self.catch_all,
+            },
+            "shards": {
+                shard_id: engine.to_state()
+                for shard_id, engine in self._engines.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, store: TTKV, state: dict) -> "ShardedPipeline":
+        """Rebuild a session over ``store`` from :meth:`to_state` output.
+
+        ``store`` must hold (at least) the journal the checkpointed
+        session had consumed — a deployment re-opening its persisted TTKV
+        satisfies this.  Always returns a :class:`ShardedPipeline`, with
+        the checkpoint's parameters (not the defaults of ``cls``).
+        """
+        version = state.get("version")
+        if version != STATE_VERSION:
+            raise ValueError(
+                f"unsupported session state version {version!r} "
+                f"(expected {STATE_VERSION})"
+            )
+        params = state["params"]
+        pipeline = ShardedPipeline(
+            store,
+            shard_prefixes=tuple(params["shard_prefixes"]),
+            window=params["window"],
+            correlation_threshold=params["correlation_threshold"],
+            linkage=params["linkage"],
+            key_filter=params["key_filter"],
+            grouping=params["grouping"],
+            catch_all=params["catch_all"],
+        )
+        shards = state["shards"]
+        if set(shards) != set(pipeline._engines):
+            raise ValueError(
+                f"checkpoint shards {sorted(shards)} do not match the "
+                f"configured shards {sorted(pipeline._engines)}"
+            )
+        for shard_id, shard_state in shards.items():
+            pipeline._engines[shard_id].restore(shard_state)
+        return pipeline

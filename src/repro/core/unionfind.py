@@ -1,0 +1,95 @@
+"""Disjoint-set forest with member tracking, for incremental components.
+
+The correlation matrix's connected components bound every cluster, so the
+streaming engine needs them after every update.  Recomputing them with a
+graph traversal costs O(live keys + edges) per update; a union-find kept
+in step with the matrix makes the maintenance cost O(α) per observed
+co-occurrence and lets the engine ask for *one dirty component* without
+touching the rest.
+
+This implementation uses the two classic accelerations — path compression
+in :meth:`find` and union by size in :meth:`union` — and additionally
+keeps, per root, the concrete member set (smaller-into-larger merging, so
+total member-moving work is O(n log n) over any union sequence).  Member
+tracking is what turns "which component is key k in?" into an O(α) lookup
+plus an O(|component|) copy of just that component.
+
+Union-find cannot *split* components, so a retraction that severs an edge
+invalidates the structure; the owner (:class:`~repro.core.correlation.
+CorrelationMatrix`) detects lossy updates and rebuilds — the
+rebuild-on-retraction policy from ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class UnionFind:
+    """Disjoint sets over hashable items, with per-root member sets."""
+
+    __slots__ = ("_parent", "_size", "_members")
+
+    def __init__(self) -> None:
+        self._parent: dict = {}
+        self._size: dict = {}
+        self._members: dict = {}
+
+    def add(self, item) -> None:
+        """Register ``item`` as a singleton set (no-op if already known)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+            self._members[item] = {item}
+
+    def __contains__(self, item) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        """Number of items (not components)."""
+        return len(self._parent)
+
+    @property
+    def component_count(self) -> int:
+        return len(self._members)
+
+    def find(self, item):
+        """Root of ``item``'s set, with full path compression."""
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, item_a, item_b):
+        """Merge the sets of two items; return the surviving root."""
+        root_a = self.find(item_a)
+        root_b = self.find(item_b)
+        if root_a == root_b:
+            return root_a
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size.pop(root_b)
+        self._members[root_a] |= self._members.pop(root_b)
+        return root_a
+
+    def union_many(self, items: Iterable) -> None:
+        """Merge all ``items`` (registering unknown ones) into one set."""
+        anchor = None
+        for item in items:
+            self.add(item)
+            if anchor is None:
+                anchor = item
+            else:
+                anchor = self.union(anchor, item)
+
+    def members(self, item) -> frozenset:
+        """The full member set of ``item``'s component (a frozen copy)."""
+        return frozenset(self._members[self.find(item)])
+
+    def components(self) -> Iterator[set]:
+        """Iterate the live member sets (internal storage — do not mutate)."""
+        return iter(self._members.values())

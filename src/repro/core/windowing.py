@@ -138,6 +138,33 @@ class StreamingGroupExtractor:
                 closed.append(group)
         return closed
 
+    def rewind(self, count: int) -> tuple[tuple[float, str, Any], ...]:
+        """Drop and return the last ``count`` events of the trailing group.
+
+        This is the undo step for a journal reorder absorbed in place: the
+        remaining state is exactly what feeding the stream *without* those
+        events would have produced, because grouping decisions are made
+        sequentially and never look ahead.  Only events still in the open
+        trailing group can be rewound; re-opening an already-closed group
+        would require retracting emitted :class:`WriteGroup` objects, which
+        the extractor does not support — callers rebuild instead.
+        """
+        if count < 0:
+            raise ValueError(f"rewind count must be non-negative, got {count}")
+        if count > len(self._current):
+            raise ValueError(
+                f"cannot rewind {count} events; only {len(self._current)} "
+                "are still in the open trailing group"
+            )
+        if count == 0:
+            return ()
+        dropped = tuple(self._current[-count:])
+        del self._current[-count:]
+        self._bucket = (
+            self._bucket_of(self._current[-1][0]) if self._current else None
+        )
+        return dropped
+
     def flush(self) -> WriteGroup | None:
         """Close and return the pending group (``None`` if none is open)."""
         if not self._current:

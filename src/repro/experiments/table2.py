@@ -16,7 +16,7 @@ from repro.core.accuracy import (
     mean_accuracy,
     overall_accuracy,
 )
-from repro.core.incremental import IncrementalPipeline
+from repro.core.sharded import ShardedPipeline
 from repro.workload.machines import MachineProfile, PLATFORM_LINUX
 from repro.workload.tracegen import GeneratedTrace, generate_trace
 
@@ -50,15 +50,23 @@ def evaluate_app(
     if trace is None:
         trace = generate_trace(lab_profile(app_name, days=days, seed=seed))
     app = trace.apps[app_name]
-    # One-shot consumption of the trace through the streaming pipeline —
-    # equivalent to batch cluster_settings, and the path a live deployment
+    # One-shot consumption of the trace through the streaming pipeline,
+    # sharded on the application's prefix — equivalent to batch
+    # cluster_settings with key_filter, and the path a live deployment
     # would be on when the table is regenerated mid-recording.
-    cluster_set = IncrementalPipeline(
+    pipeline = ShardedPipeline(
         trace.ttkv,
+        shard_prefixes=(app.key_prefix,),
         window=window,
         correlation_threshold=correlation_threshold,
-        key_filter=app.key_prefix,
-    ).update()
+        catch_all=False,
+    )
+    try:
+        cluster_set = pipeline.update()
+    finally:
+        # one-shot consumption: detach so a reused trace store does not
+        # keep feeding an abandoned session
+        pipeline.close()
     return evaluate_clustering(
         app_name,
         cluster_set,

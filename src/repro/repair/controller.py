@@ -14,12 +14,12 @@ from dataclasses import dataclass
 from repro.apps.base import SimulatedApplication
 from repro.common.clock import SimClock
 from repro.core.cluster_model import Cluster, ClusterSet
-from repro.core.incremental import IncrementalPipeline
 from repro.core.pipeline import (
     DEFAULT_CORRELATION_THRESHOLD,
     DEFAULT_WINDOW,
     singleton_clusters,
 )
+from repro.core.sharded import ShardedPipeline
 from repro.core.repair import FixOracle, RepairEngine, RepairOutcome
 from repro.core.search import (
     SearchStrategy,
@@ -92,13 +92,15 @@ class OcastaRepairTool:
         self.sort_policy = sort_policy
         self.use_clustering = use_clustering
         self.clock = clock if clock is not None else SimClock()
-        self._pipeline: IncrementalPipeline | None = None
+        self._pipeline: ShardedPipeline | None = None
 
     def build_clusters(self) -> ClusterSet:
         """Cluster this application's settings from the recorded trace.
 
-        The tool keeps an :class:`IncrementalPipeline` session alive across
-        repair runs: after :meth:`apply_fix` writes the rollback through the
+        The tool keeps a :class:`ShardedPipeline` session alive across
+        repair runs — one shard on the application's key prefix, no
+        catch-all, so foreign applications' writes never even reach the
+        engine: after :meth:`apply_fix` writes the rollback through the
         logger (Ocasta "returns back to recording mode"), the next repair
         only consumes the newly recorded events instead of re-clustering
         the whole trace.  The user may retune ``window`` or
@@ -107,11 +109,12 @@ class OcastaRepairTool:
         if not self.use_clustering:
             return singleton_clusters(self.ttkv, key_filter=self.app.key_prefix)
         if self._pipeline is None:
-            self._pipeline = IncrementalPipeline(
+            self._pipeline = ShardedPipeline(
                 self.ttkv,
+                shard_prefixes=(self.app.key_prefix,),
                 window=self.window,
                 correlation_threshold=self.correlation_threshold,
-                key_filter=self.app.key_prefix,
+                catch_all=False,
             )
         else:
             # the pipeline detects retuned parameters and restarts itself

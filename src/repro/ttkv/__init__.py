@@ -7,7 +7,13 @@ recorded in the history via a special sentinel value.
 """
 
 from repro.ttkv.store import DELETED, MISSING, KeyRecord, TTKV, VersionedValue
-from repro.ttkv.journal import EventJournal, JournalCursor
+from repro.ttkv.journal import (
+    EventJournal,
+    JournalCursor,
+    decode_event,
+    encode_event,
+)
+from repro.ttkv.sharding import CATCH_ALL, ShardedJournal
 from repro.ttkv.snapshot import RollbackPlan, SnapshotView, rollback_plan
 from repro.ttkv.persistence import load_ttkv, save_ttkv
 
@@ -19,6 +25,10 @@ __all__ = [
     "VersionedValue",
     "EventJournal",
     "JournalCursor",
+    "decode_event",
+    "encode_event",
+    "CATCH_ALL",
+    "ShardedJournal",
     "RollbackPlan",
     "SnapshotView",
     "rollback_plan",

@@ -19,14 +19,27 @@ appended instead:
   :class:`~repro.exceptions.StaleCursorError` only when an insertion landed
   *inside its consumed prefix* — the consumer's view of history changed and
   it must rebuild from scratch.  Insertions in the unread suffix leave
-  cursors valid.
+  cursors valid;
+- consumers that can cheaply undo their most recent work (the streaming
+  clustering engine can, for events still inside its provisional trailing
+  write group) use :meth:`EventJournal.read_flexible` instead: rather than
+  raising, it *re-delivers* the reordered consumed suffix and reports how
+  many already-consumed events the caller must first rewind.  This is the
+  bounded reorder buffer of ROADMAP.md — a logger race that lands within
+  the consumer's trailing window becomes an O(buffer) fixup instead of a
+  full rebuild.
+
+Cursors serialise to JSON-safe dicts (:meth:`JournalCursor.to_state`) so a
+clustering session can be checkpointed and resumed without re-reading its
+consumed prefix; :func:`encode_event`/:func:`decode_event` do the same for
+individual events (deletions carried by the DELETED sentinel included).
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.exceptions import StaleCursorError
 
@@ -48,6 +61,46 @@ class JournalCursor:
     position: int
     epoch: int
 
+    def to_state(self) -> dict:
+        """JSON-safe representation, for session checkpoints."""
+        return {"position": self.position, "epoch": self.epoch}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "JournalCursor":
+        """Rebuild a cursor from :meth:`to_state` output."""
+        position = int(state["position"])
+        epoch = int(state["epoch"])
+        if position < 0 or epoch < 0:
+            raise ValueError(f"cursor state out of range: {state!r}")
+        return cls(position=position, epoch=epoch)
+
+
+def encode_event(event: Event) -> dict:
+    """One event as a JSON-safe dict (persistence-log style).
+
+    Deletions (``value is DELETED``) become ``{"t", "k", "op": "d"}``;
+    writes carry their value, which must itself be JSON-serialisable — the
+    same contract :mod:`repro.ttkv.persistence` imposes on the stores.
+    """
+    from repro.ttkv.store import DELETED  # local to avoid import cycle
+
+    timestamp, key, value = event
+    if value is DELETED:
+        return {"t": timestamp, "k": key, "op": "d"}
+    return {"t": timestamp, "k": key, "op": "w", "v": value}
+
+
+def decode_event(state: dict) -> Event:
+    """Inverse of :func:`encode_event`."""
+    from repro.ttkv.store import DELETED  # local to avoid import cycle
+
+    op = state.get("op")
+    if op == "d":
+        return (float(state["t"]), state["k"], DELETED)
+    if op == "w":
+        return (float(state["t"]), state["k"], state["v"])
+    raise ValueError(f"unknown event op {op!r}")
+
 
 class EventJournal:
     """A sorted, append-mostly log of modification events.
@@ -63,24 +116,50 @@ class EventJournal:
     copy of the payloads.
     """
 
-    __slots__ = ("_events", "_times", "_insertions")
+    __slots__ = ("_events", "_times", "_insertions", "_listeners")
 
     def __init__(self) -> None:
         self._events: list[Event] = []
         self._times: list[float] = []
         self._insertions: list[int] = []  # where each out-of-order append landed
+        self._listeners: list[Callable[[Event], None]] = []
 
     def append(self, timestamp: float, key: str, value: Any) -> None:
         """Record one modification."""
+        self.append_event((timestamp, key, value))
+
+    def append_event(self, event: Event) -> None:
+        """Record one modification given as an event tuple.
+
+        Equivalent to :meth:`append` but reuses the caller's tuple, so a
+        routing layer fanning one journal out into several does not copy
+        every event.
+        """
+        timestamp = event[0]
         if not self._times or timestamp >= self._times[-1]:
             self._times.append(timestamp)
-            self._events.append((timestamp, key, value))
+            self._events.append(event)
         else:
             # bisect_right keeps arrival order among equal timestamps.
             index = bisect.bisect_right(self._times, timestamp)
             self._times.insert(index, timestamp)
-            self._events.insert(index, (timestamp, key, value))
+            self._events.insert(index, event)
             self._insertions.append(index)
+        for listener in self._listeners:
+            listener(event)
+
+    def subscribe(self, listener: Callable[[Event], None]) -> None:
+        """Call ``listener(event)`` after every future append.
+
+        Listeners observe events in arrival order (not sorted order); a
+        listener that mirrors events into its own journal reproduces this
+        journal's sort by applying the same insertion rule.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[Event], None]) -> None:
+        """Detach a listener registered with :meth:`subscribe`."""
+        self._listeners.remove(listener)
 
     @property
     def epoch(self) -> int:
@@ -90,6 +169,10 @@ class EventJournal:
     def events(self) -> list[Event]:
         """The full sorted stream (a fresh list; safe for callers to mutate)."""
         return list(self._events)
+
+    def event_at(self, index: int) -> Event:
+        """The event at one position of the sorted stream (O(1))."""
+        return self._events[index]
 
     def read(self, cursor: JournalCursor | None = None) -> tuple[list[Event], JournalCursor]:
         """Events appended since ``cursor`` plus the advanced cursor.
@@ -108,6 +191,35 @@ class EventJournal:
                     raise StaleCursorError(cursor.position)
             start = cursor.position
         return self._events[start:], JournalCursor(
+            len(self._events), len(self._insertions)
+        )
+
+    def read_flexible(
+        self, cursor: JournalCursor | None = None
+    ) -> tuple[int, list[Event], JournalCursor]:
+        """Reorder-tolerant read: ``(rewound, events, cursor)``.
+
+        Like :meth:`read`, but an out-of-order insertion inside the
+        cursor's consumed prefix does not raise.  Instead the read restarts
+        at the earliest such insertion point: ``rewound`` counts the
+        *previously consumed* events that appear again at the head of
+        ``events`` (now re-sorted around the insertions), and the caller
+        must first undo whatever it derived from its last ``rewound``
+        events.  ``rewound`` is 0 on the ordinary in-order path, so
+        ``read_flexible`` is a drop-in replacement for consumers that can
+        rewind recent work (the streaming clustering engine can, while the
+        affected events still sit in its provisional trailing group).
+        """
+        if cursor is None:
+            start = 0
+            rewound = 0
+        else:
+            start = cursor.position
+            for index in self._insertions[cursor.epoch:]:
+                if index < start:
+                    start = index
+            rewound = cursor.position - start
+        return rewound, self._events[start:], JournalCursor(
             len(self._events), len(self._insertions)
         )
 

@@ -3,10 +3,11 @@
 import math
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core.correlation import (
     CorrelationMatrix,
+    CorrelationMatrixView,
     correlation,
     correlation_to_distance,
     distance_to_correlation,
@@ -229,3 +230,115 @@ class TestInPlaceUpdates:
         with pytest.raises(ValueError):
             matrix.update_groups(removed=[(0, {"a", "b"}), (0, {"a", "b"})])
         assert matrix.correlation_of("a", "b") == 2.0
+
+
+def _assert_components_agree(matrix):
+    unionfind = sorted(map(sorted, matrix.connected_components()))
+    scan = sorted(map(sorted, matrix.connected_components(method="scan")))
+    assert unionfind == scan
+
+
+class TestUnionFindComponents:
+    """The incrementally maintained components vs the traversal reference."""
+
+    def test_find_and_component_members(self):
+        matrix = CorrelationMatrix({"a": {0}, "b": {0}, "c": {1}})
+        assert matrix.find("a") == matrix.find("b")
+        assert matrix.find("a") != matrix.find("c")
+        assert matrix.component_members("a") == {"a", "b"}
+        assert matrix.component_members("c") == {"c"}
+        with pytest.raises(KeyError):
+            matrix.find("ghost")
+
+    def test_components_merge_incrementally(self):
+        matrix = CorrelationMatrix()
+        matrix.observe_group(0, {"a", "b"})
+        matrix.observe_group(1, {"c", "d"})
+        version = matrix.structure_version
+        _assert_components_agree(matrix)
+        matrix.observe_group(2, {"b", "c"})  # bridges the two components
+        assert matrix.component_members("a") == {"a", "b", "c", "d"}
+        # pure growth must not signal a structural loss
+        assert matrix.structure_version == version
+        _assert_components_agree(matrix)
+
+    def test_provisional_replacement_is_not_a_structural_loss(self):
+        # the streaming pipeline's routine retract-and-extend of the
+        # trailing group must stay on the incremental path
+        matrix = CorrelationMatrix()
+        matrix.observe_group(0, {"a", "b"})
+        version = matrix.structure_version
+        matrix.update_groups(
+            added=[(0, {"a", "b", "c"})], removed=[(0, {"a", "b"})]
+        )
+        assert matrix.structure_version == version
+        assert matrix.component_members("c") == {"a", "b", "c"}
+        _assert_components_agree(matrix)
+
+    def test_true_retraction_bumps_version_and_rebuilds(self):
+        matrix = CorrelationMatrix()
+        matrix.observe_group(0, {"a", "b"})
+        matrix.observe_group(1, {"b", "c"})
+        version = matrix.structure_version
+        matrix.retract_group(1, {"b", "c"})  # severs b-c and drops key c
+        assert matrix.structure_version > version
+        assert matrix.component_members("a") == {"a", "b"}
+        assert sorted(map(sorted, matrix.connected_components())) == [["a", "b"]]
+        _assert_components_agree(matrix)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove"]),
+                st.sets(st.sampled_from("abcdefgh"), min_size=1, max_size=4),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_components_always_match_scan(self, operations):
+        matrix = CorrelationMatrix()
+        live: dict[int, set] = {}
+        next_index = 0
+        for action, keys in operations:
+            if action == "add" or not live:
+                matrix.observe_group(next_index, keys)
+                live[next_index] = keys
+                next_index += 1
+            else:
+                index = sorted(live)[len(live) // 2]
+                matrix.retract_group(index, live.pop(index))
+            _assert_components_agree(matrix)
+            for key in matrix.keys:
+                assert key in matrix.component_members(key)
+                assert matrix.find(key) in matrix.component_members(key)
+
+
+class TestReadOnlyView:
+    def test_queries_delegate(self):
+        matrix = CorrelationMatrix({"a": {0, 1}, "b": {0, 1}, "c": {2}})
+        view = CorrelationMatrixView(matrix)
+        assert view.correlation_of("a", "b") == 2.0
+        assert view.distance_of("a", "b") == 0.5
+        assert view.neighbors("a") == {"b"}
+        assert sorted(view.keys) == ["a", "b", "c"]
+        assert len(view) == 3
+        assert "a" in view and "ghost" not in view
+        assert view.group_count("a") == 2
+        assert view.component_members("a") == {"a", "b"}
+        assert view.find("a") == matrix.find("a")
+        assert sorted(map(sorted, view.connected_components())) == sorted(
+            map(sorted, matrix.connected_components())
+        )
+        assert view.observed_groups() == matrix.observed_groups()
+        assert set(dict(view.observed_groups())) == {0, 1, 2}
+
+    def test_mutators_raise(self):
+        view = CorrelationMatrixView(CorrelationMatrix({"a": {0}}))
+        with pytest.raises(TypeError):
+            view.observe_group(1, {"x"})
+        with pytest.raises(TypeError):
+            view.retract_group(0, {"a"})
+        with pytest.raises(TypeError):
+            view.update_groups(added=[(1, {"x"})])

@@ -195,17 +195,48 @@ class TestIncrementalBehaviour:
         assert not pipeline.last_stats.rebuilt
         assert _key_sets(result) == _key_sets(cluster_settings(store))
 
-    def test_out_of_order_append_triggers_rebuild(self):
+    def test_reorder_within_trailing_group_is_absorbed(self):
         store = TTKV()
         store.record_write("a", 1, 100.0)
         store.record_write("b", 1, 100.0)
         pipeline = IncrementalPipeline(store)
         pipeline.update()
-        # a brand-new key lands *before* the consumed prefix: the journal
-        # reorders, the cursor goes stale, and update() must rebuild
+        # the reordered suffix is still inside the provisional trailing
+        # write group: the engine rewinds and re-feeds instead of
+        # rebuilding (the bounded reorder buffer)
+        store.record_write("early", 1, 5.0)
+        incremental = pipeline.update()
+        assert not pipeline.last_stats.rebuilt
+        assert pipeline.last_stats.reorders_absorbed == 2
+        assert _key_sets(incremental) == _key_sets(cluster_settings(store))
+
+    def test_reorder_into_closed_group_triggers_rebuild(self):
+        store = TTKV()
+        store.record_write("a", 1, 100.0)
+        store.record_write("b", 1, 100.0)
+        store.record_write("c", 1, 900.0)  # closes the {a, b} group
+        pipeline = IncrementalPipeline(store)
+        pipeline.update()
+        # the insertion lands before the already-closed {a, b} group —
+        # beyond the reorder buffer, so the session must rebuild
         store.record_write("early", 1, 5.0)
         incremental = pipeline.update()
         assert pipeline.last_stats.rebuilt
+        assert pipeline.last_stats.reorders_absorbed == 0
+        assert _key_sets(incremental) == _key_sets(cluster_settings(store))
+
+    def test_reorder_absorption_matches_batch_when_group_merges(self):
+        # the inserted event falls within the trailing group's window, so
+        # re-feeding extends the provisional group to include it
+        store = TTKV()
+        store.record_write("a", 1, 100.0)
+        store.record_write("b", 1, 100.0)
+        pipeline = IncrementalPipeline(store)
+        pipeline.update()
+        store.record_write("mid", 1, 99.0)  # same window as the tail
+        incremental = pipeline.update()
+        assert not pipeline.last_stats.rebuilt
+        assert pipeline.last_stats.reorders_absorbed == 2
         assert _key_sets(incremental) == _key_sets(cluster_settings(store))
 
     def test_key_filter_equivalence(self):
@@ -219,6 +250,24 @@ class TestIncrementalBehaviour:
         batch = cluster_settings(store, key_filter="app/")
         assert _key_sets(incremental) == _key_sets(batch)
         assert all(key.startswith("app/") for keys in _key_sets(incremental) for key in keys)
+
+    def test_matrix_property_is_a_read_only_snapshot(self):
+        # regression: .matrix used to leak the live mutable matrix, so a
+        # caller could silently corrupt the incremental state
+        store = TTKV()
+        store.record_write("a", 1, 1.0)
+        store.record_write("b", 1, 1.0)
+        pipeline = IncrementalPipeline(store)
+        pipeline.update()
+        view = pipeline.matrix
+        assert view.correlation_of("a", "b") == 2.0
+        assert sorted(view.keys) == ["a", "b"]
+        with pytest.raises(TypeError):
+            view.observe_group(99, {"mallory"})
+        with pytest.raises(TypeError):
+            view.update_groups(added=[(99, {"mallory"})])
+        # the failed mutation must not have touched the session
+        assert _key_sets(pipeline.update()) == _key_sets(cluster_settings(store))
 
     def test_cluster_set_property_tracks_latest(self):
         store = TTKV()

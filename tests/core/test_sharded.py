@@ -1,0 +1,331 @@
+"""Sharded ≡ unsharded ≡ batch, and checkpoint/resume round-trips.
+
+The contracts under test:
+
+- for every shard prefix, the :class:`ShardedPipeline`'s per-shard
+  clusters equal both the batch ``cluster_settings(store,
+  key_filter=prefix)`` reference and an unsharded
+  :class:`IncrementalPipeline` with the same ``key_filter`` — for **any**
+  prefix of a multi-application stream, including same-tick writes that
+  straddle prefixes;
+- the merged cluster set is exactly the per-shard sets re-sorted;
+- a session checkpointed with ``to_state()`` and resumed with
+  ``from_state()`` on a re-opened store yields a byte-identical cluster
+  set while consuming **zero** already-read journal events.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.incremental import IncrementalPipeline
+from repro.core.pipeline import cluster_settings
+from repro.core.sharded import ShardedPipeline
+from repro.ttkv.sharding import CATCH_ALL
+from repro.ttkv.store import DELETED, TTKV
+
+PREFIXES = ("app_a/", "app_b/", "app_c/")
+
+_KEYS = (
+    "app_a/k0", "app_a/k1", "app_a/k2",
+    "app_b/k0", "app_b/k1",
+    "app_c/k0",
+    "sys/noise0", "sys/noise1",
+)
+
+
+def _sorted_stream(events):
+    """Events ordered the way a live deployment would append them."""
+    return [e for _, e in sorted(enumerate(events), key=lambda p: (p[1][0], p[0]))]
+
+
+def _key_sets(cluster_set):
+    return [tuple(c.sorted_keys()) for c in cluster_set]
+
+
+def _batch_for_shard(store, shard_id, **params):
+    """The batch reference for one shard: filter-then-extract."""
+    if shard_id != CATCH_ALL:
+        return cluster_settings(store, key_filter=shard_id, **params)
+    leftover = TTKV.from_events(
+        [
+            e
+            for e in store.write_events()
+            if not any(e[1].startswith(p) for p in PREFIXES)
+        ]
+    )
+    return cluster_settings(leftover, **params)
+
+
+# Small integer timestamps force same-tick ties, routinely straddling
+# prefixes — the case where a global window would bridge applications but
+# the sharded (filter-then-extract) semantics must not.
+_multi_prefix_events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40).map(float),
+        st.sampled_from(_KEYS),
+        st.one_of(st.integers(min_value=0, max_value=9), st.just(DELETED)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(_multi_prefix_events, st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_sharded_equals_unsharded_equals_batch(events, rng):
+    stream = _sorted_stream(events)
+    live = TTKV()
+    sharded = ShardedPipeline(live, shard_prefixes=PREFIXES)
+    unsharded = {
+        prefix: IncrementalPipeline(live, key_filter=prefix)
+        for prefix in PREFIXES
+    }
+    positions = sorted(rng.sample(range(len(stream) + 1), min(4, len(stream) + 1)))
+    if len(stream) not in positions:
+        positions.append(len(stream))
+    consumed = 0
+    for position in positions:
+        live.record_events(stream[consumed:position])
+        consumed = position
+        merged = sharded.update()
+        for prefix in PREFIXES:
+            shard_sets = _key_sets(sharded.cluster_set_for(prefix))
+            batch_sets = _key_sets(_batch_for_shard(live, prefix))
+            assert shard_sets == batch_sets, (
+                f"shard {prefix} diverged from batch at prefix "
+                f"{position}/{len(stream)}"
+            )
+            assert shard_sets == _key_sets(unsharded[prefix].update()), (
+                f"shard {prefix} diverged from the unsharded pipeline at "
+                f"prefix {position}/{len(stream)}"
+            )
+        assert _key_sets(sharded.cluster_set_for(CATCH_ALL)) == _key_sets(
+            _batch_for_shard(live, CATCH_ALL)
+        )
+        # the merged set is exactly the per-shard sets re-sorted
+        combined = [
+            frozenset(keys)
+            for shard_id in sharded.shard_ids
+            for keys in _key_sets(sharded.cluster_set_for(shard_id))
+        ]
+        combined.sort(key=lambda c: (-len(c), tuple(sorted(c))))
+        assert _key_sets(merged) == [tuple(sorted(c)) for c in combined]
+
+
+@given(
+    _multi_prefix_events,
+    st.randoms(use_true_random=False),
+    st.sampled_from([0.0, 1.0, 10.0]),
+    st.sampled_from([0.5, 2.0]),
+)
+@settings(max_examples=25, deadline=None)
+def test_sharded_equals_batch_across_parameters(events, rng, window, threshold):
+    stream = _sorted_stream(events)
+    cut = rng.randrange(len(stream) + 1)
+    live = TTKV()
+    live.record_events(stream[:cut])
+    sharded = ShardedPipeline(
+        live,
+        shard_prefixes=PREFIXES,
+        window=window,
+        correlation_threshold=threshold,
+    )
+    sharded.update()
+    live.record_events(stream[cut:])
+    sharded.update()
+    for prefix in PREFIXES:
+        assert _key_sets(sharded.cluster_set_for(prefix)) == _key_sets(
+            _batch_for_shard(
+                live, prefix, window=window, correlation_threshold=threshold
+            )
+        )
+
+
+@given(_multi_prefix_events, st.randoms(use_true_random=False))
+@settings(max_examples=30, deadline=None)
+def test_checkpoint_resume_round_trip(events, rng):
+    stream = _sorted_stream(events)
+    cut = rng.randrange(len(stream) + 1)
+
+    live = TTKV()
+    live.record_events(stream[:cut])
+    original = ShardedPipeline(live, shard_prefixes=PREFIXES)
+    before = original.update()
+
+    # checkpoint through an actual JSON round trip (the state must be
+    # JSON-safe), restart the deployment, re-open the same store
+    blob = json.dumps(original.to_state())
+    reopened = TTKV()
+    reopened.record_events(stream[:cut])
+    resumed = ShardedPipeline.from_state(reopened, json.loads(blob))
+
+    after = resumed.update()
+    assert resumed.last_stats.events_consumed == 0, (
+        "resume must not re-read consumed journal events"
+    )
+    assert _key_sets(after) == _key_sets(before)
+    assert after.window == before.window
+    assert after.correlation_threshold == before.correlation_threshold
+
+    # both sessions must agree with batch as the streams keep growing
+    live.record_events(stream[cut:])
+    reopened.record_events(stream[cut:])
+    assert _key_sets(original.update()) == _key_sets(resumed.update())
+    for prefix in PREFIXES:
+        assert _key_sets(resumed.cluster_set_for(prefix)) == _key_sets(
+            _batch_for_shard(reopened, prefix)
+        )
+
+
+class TestShardedBehaviour:
+    def test_only_advanced_shards_update(self):
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/", "b/"))
+        store.record_write("a/x", 1, 10.0)
+        store.record_write("b/y", 1, 10.0)
+        pipeline.update()
+        assert pipeline.last_stats.shards_updated == 3  # first run: all
+        store.record_write("a/x", 2, 500.0)
+        first = pipeline.update()
+        assert pipeline.last_stats.shards_updated == 1
+        assert pipeline.last_stats.shards_total == 3
+        second = pipeline.update()  # nothing advanced at all
+        assert pipeline.last_stats.shards_updated == 0
+        assert pipeline.last_stats.events_consumed == 0
+        assert second is first
+
+    def test_catch_all_disabled_drops_unmatched_keys(self):
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/",), catch_all=False)
+        store.record_write("a/x", 1, 10.0)
+        store.record_write("sys/noise", 1, 10.0)
+        clusters = pipeline.update()
+        assert _key_sets(clusters) == [("a/x",)]
+        assert pipeline.shard_ids == ("a/",)
+
+    def test_retuned_parameters_restart_the_session(self):
+        store = TTKV()
+        store.record_events([
+            (0.0, "a/x", 1), (0.0, "a/y", 1), (100.0, "a/x", 2),
+        ])
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/",))
+        pipeline.update()
+        pipeline.correlation_threshold = 0.5
+        result = pipeline.update()
+        assert pipeline.last_stats.rebuilt
+        assert _key_sets(result) == _key_sets(
+            cluster_settings(store, key_filter="a/", correlation_threshold=0.5)
+        )
+
+    def test_retuned_shard_prefixes_restart_the_session(self):
+        store = TTKV()
+        store.record_write("a/x", 1, 10.0)
+        store.record_write("b/y", 1, 10.0)
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/",))
+        pipeline.update()
+        pipeline.shard_prefixes = ("a/", "b/")
+        pipeline.update()
+        assert pipeline.last_stats.rebuilt
+        assert pipeline.shard_ids == ("a/", "b/", CATCH_ALL)
+
+    def test_matrix_for_is_read_only(self):
+        store = TTKV()
+        store.record_write("a/x", 1, 10.0)
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/",))
+        pipeline.update()
+        view = pipeline.matrix_for("a/")
+        assert "a/x" in view
+        with pytest.raises(TypeError):
+            view.observe_group(99, {"mallory"})
+
+    def test_unknown_shard_raises(self):
+        pipeline = ShardedPipeline(TTKV(), shard_prefixes=("a/",))
+        with pytest.raises(KeyError):
+            pipeline.cluster_set_for("ghost/")
+
+    def test_close_detaches_from_the_store(self):
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/",))
+        pipeline.update()
+        pipeline.close()
+        store.record_write("a/x", 1, 10.0)
+        # the detached session no longer sees new events
+        assert pipeline.last_stats.events_consumed == 0
+        assert len(pipeline._engines["a/"].journal) == 0
+
+    def test_reorders_are_absorbed_per_shard(self):
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/", "b/"))
+        store.record_write("a/x", 1, 100.0)
+        store.record_write("b/y", 1, 100.0)
+        pipeline.update()
+        # lands before b/'s consumed tail but inside its trailing group;
+        # shard a/ is untouched entirely
+        store.record_write("b/early", 1, 50.0)
+        result = pipeline.update()
+        stats = pipeline.last_stats
+        assert not stats.rebuilt
+        assert stats.reorders_absorbed == 1
+        assert stats.shards_updated == 1
+        assert _key_sets(pipeline.cluster_set_for("b/")) == _key_sets(
+            _batch_for_shard(store, "b/")
+        )
+        assert ("a/x",) in _key_sets(result)
+
+
+class TestCheckpointValidation:
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedPipeline.from_state(TTKV(), {"version": 99})
+
+    def test_mismatched_store_rejected(self):
+        store = TTKV()
+        store.record_write("a/x", 1, 10.0)
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/",))
+        pipeline.update()
+        state = pipeline.to_state()
+        # resume over an EMPTY store: the cursor points past the journal
+        with pytest.raises(ValueError):
+            ShardedPipeline.from_state(TTKV(), state)
+
+    def test_different_stream_same_length_rejected(self):
+        # a checkpoint from one deployment must not resume over another
+        # store that merely happens to be long enough (regression: only
+        # the cursor position used to be validated)
+        store = TTKV()
+        store.record_write("a/x", 1, 10.0)
+        store.record_write("a/y", 1, 700.0)
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/",))
+        pipeline.update()
+        state = json.loads(json.dumps(pipeline.to_state()))
+        other = TTKV()
+        other.record_write("a/completely", 9, 1.0)
+        other.record_write("a/different", 9, 2.0)
+        with pytest.raises(ValueError):
+            ShardedPipeline.from_state(other, state)
+
+    def test_fresh_session_round_trips(self):
+        # checkpointing before any update() must also work
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/",))
+        state = json.loads(json.dumps(pipeline.to_state()))
+        resumed = ShardedPipeline.from_state(TTKV(), state)
+        assert len(resumed.update()) == 0
+
+    def test_deleted_values_survive_the_state_round_trip(self):
+        store = TTKV()
+        store.record_write("a/x", 1, 10.0)
+        store.record_delete("a/x", 10.5)  # deletion inside the trailing group
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/",))
+        before = pipeline.update()
+        blob = json.dumps(pipeline.to_state())
+        reopened = TTKV()
+        reopened.record_write("a/x", 1, 10.0)
+        reopened.record_delete("a/x", 10.5)
+        resumed = ShardedPipeline.from_state(reopened, json.loads(blob))
+        assert _key_sets(resumed.update()) == _key_sets(before)
+        assert resumed.last_stats.events_consumed == 0

@@ -9,6 +9,7 @@ import repro.analysis.stats
 import repro.analysis.tables
 import repro.common.format
 import repro.core.incremental
+import repro.core.sharded
 import repro.stores.parsers
 import repro.stores.parsers.common
 import repro.stores.registry
@@ -19,6 +20,7 @@ _MODULES = [
     repro.analysis.tables,
     repro.common.format,
     repro.core.incremental,
+    repro.core.sharded,
     repro.stores.parsers,
     repro.stores.parsers.common,
     repro.stores.registry,

@@ -80,6 +80,67 @@ class TestEventJournal:
         events, _ = journal.read(cursor)
         assert events == []
 
+    def test_read_flexible_matches_read_on_ordered_streams(self):
+        journal = EventJournal()
+        journal.append(1.0, "a", 1)
+        rewound, events, cursor = journal.read_flexible()
+        assert (rewound, events) == (0, [(1.0, "a", 1)])
+        journal.append(2.0, "b", 2)
+        rewound, events, cursor = journal.read_flexible(cursor)
+        assert (rewound, events) == (0, [(2.0, "b", 2)])
+        assert cursor == JournalCursor(position=2, epoch=0)
+
+    def test_read_flexible_redelivers_reordered_suffix(self):
+        journal = EventJournal()
+        journal.append(10.0, "a", 1)
+        journal.append(20.0, "b", 2)
+        _, _, cursor = journal.read_flexible()
+        journal.append(15.0, "c", 3)  # lands inside the consumed prefix
+        rewound, events, cursor = journal.read_flexible(cursor)
+        assert rewound == 1  # (20.0, b) was consumed and comes again
+        assert events == [(15.0, "c", 3), (20.0, "b", 2)]
+        rewound, events, _ = journal.read_flexible(cursor)
+        assert (rewound, events) == (0, [])
+
+    def test_read_flexible_rewinds_to_earliest_insertion(self):
+        journal = EventJournal()
+        for t, key in ((10.0, "a"), (20.0, "b"), (30.0, "c")):
+            journal.append(t, key, 0)
+        _, _, cursor = journal.read_flexible()
+        journal.append(25.0, "x", 0)
+        journal.append(15.0, "y", 0)
+        rewound, events, _ = journal.read_flexible(cursor)
+        assert rewound == 2  # b and c re-delivered, re-sorted with x and y
+        assert [k for _, k, _ in events] == ["y", "b", "x", "c"]
+
+    def test_read_flexible_ignores_insertions_in_unread_suffix(self):
+        journal = EventJournal()
+        journal.append(10.0, "a", 1)
+        _, _, cursor = journal.read_flexible()
+        journal.append(30.0, "b", 2)
+        journal.append(20.0, "c", 3)  # out of order, but past the cursor
+        rewound, events, _ = journal.read_flexible(cursor)
+        assert rewound == 0
+        assert [k for _, k, _ in events] == ["c", "b"]
+
+    def test_subscribe_observes_appends_in_arrival_order(self):
+        journal = EventJournal()
+        journal.append(5.0, "before", 0)
+        seen = []
+        journal.subscribe(seen.append)
+        journal.append(10.0, "a", 1)
+        journal.append(7.0, "b", 2)  # out-of-order: listener still sees arrival
+        assert seen == [(10.0, "a", 1), (7.0, "b", 2)]
+        journal.unsubscribe(seen.append)
+        journal.append(20.0, "c", 3)
+        assert len(seen) == 2
+
+    def test_cursor_state_round_trip(self):
+        cursor = JournalCursor(position=7, epoch=2)
+        assert JournalCursor.from_state(cursor.to_state()) == cursor
+        with pytest.raises(ValueError):
+            JournalCursor.from_state({"position": -1, "epoch": 0})
+
     def test_events_returns_a_copy(self):
         journal = EventJournal()
         journal.append(1.0, "a", 1)

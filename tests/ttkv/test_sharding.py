@@ -1,0 +1,117 @@
+"""Tests for the prefix-sharded journal view."""
+
+import pytest
+
+from repro.ttkv.journal import EventJournal
+from repro.ttkv.sharding import CATCH_ALL, ShardedJournal
+from repro.ttkv.store import TTKV
+
+
+class TestRouting:
+    def test_longest_prefix_wins(self):
+        view = ShardedJournal(EventJournal(), ["app/", "app/sub/"])
+        assert view.route("app/x") == "app/"
+        assert view.route("app/sub/x") == "app/sub/"
+        assert view.route("other/x") == CATCH_ALL
+
+    def test_without_catch_all_unmatched_keys_are_dropped(self):
+        journal = EventJournal()
+        view = ShardedJournal(journal, ["app/"], catch_all=False)
+        journal.append(1.0, "app/a", 1)
+        journal.append(2.0, "sys/noise", 1)
+        assert view.route("sys/noise") is None
+        assert len(view.shard("app/")) == 1
+        assert len(view) == 1
+
+    def test_key_filter_applies_before_routing(self):
+        journal = EventJournal()
+        view = ShardedJournal(journal, ["app/"], key_filter="app/a")
+        journal.append(1.0, "app/a1", 1)
+        journal.append(2.0, "app/b1", 1)
+        assert [k for _, k, _ in view.shard("app/").events()] == ["app/a1"]
+        assert len(view.shard(CATCH_ALL)) == 0
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedJournal(EventJournal(), [""])
+
+    def test_no_shards_at_all_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedJournal(EventJournal(), [], catch_all=False)
+
+    def test_unknown_shard_lookup_raises(self):
+        view = ShardedJournal(EventJournal(), ["app/"])
+        with pytest.raises(KeyError):
+            view.shard("ghost/")
+
+
+class TestLiveRouting:
+    def test_preexisting_events_are_ingested_on_attach(self):
+        store = TTKV()
+        store.record_write("a/x", 1, 1.0)
+        store.record_write("b/y", 2, 2.0)
+        view = ShardedJournal(store.journal, ["a/", "b/"])
+        assert [k for _, k, _ in view.shard("a/").events()] == ["a/x"]
+        assert [k for _, k, _ in view.shard("b/").events()] == ["b/y"]
+
+    def test_future_appends_are_routed_live(self):
+        store = TTKV()
+        view = ShardedJournal(store.journal, ["a/"])
+        store.record_write("a/x", 1, 1.0)
+        store.record_write("noise", 1, 2.0)
+        assert len(view.shard("a/")) == 1
+        assert len(view.shard(CATCH_ALL)) == 1
+        assert view.positions() == {"a/": 1, CATCH_ALL: 1}
+
+    def test_same_tick_writes_straddling_prefixes(self):
+        # with 1-second quantisation, two apps routinely write in the same
+        # tick; each shard must keep its own arrival order and neither may
+        # see a reorder
+        store = TTKV()
+        view = ShardedJournal(store.journal, ["a/", "b/"])
+        store.record_write("b/1", 1, 10.0)
+        store.record_write("a/1", 1, 10.0)
+        store.record_write("b/2", 1, 10.0)
+        store.record_write("a/2", 1, 10.0)
+        assert [k for _, k, _ in view.shard("a/").events()] == ["a/1", "a/2"]
+        assert [k for _, k, _ in view.shard("b/").events()] == ["b/1", "b/2"]
+        assert view.shard("a/").epoch == 0
+        assert view.shard("b/").epoch == 0
+
+    def test_out_of_order_append_disturbs_only_its_shard(self):
+        store = TTKV()
+        view = ShardedJournal(store.journal, ["a/", "b/"])
+        store.record_write("a/x", 1, 100.0)
+        store.record_write("b/y", 1, 200.0)
+        store.record_write("b/early", 1, 5.0)  # reorders globally and in b/
+        assert view.shard("a/").epoch == 0
+        assert view.shard("b/").epoch == 1
+        assert [k for _, k, _ in view.shard("b/").events()] == ["b/early", "b/y"]
+
+    def test_shard_stream_equals_filtered_global_stream(self):
+        # per-shard order must be the global sorted order filtered by
+        # prefix, including around an out-of-order insertion
+        store = TTKV()
+        view = ShardedJournal(store.journal, ["a/", "b/"])
+        store.record_write("a/1", 1, 10.0)
+        store.record_write("b/1", 1, 10.0)
+        store.record_write("a/2", 1, 30.0)
+        store.record_write("b/2", 1, 10.0)  # insertion among the 10.0 ties
+        for prefix in ("a/", "b/"):
+            filtered = [e for e in store.journal.events() if e[1].startswith(prefix)]
+            assert view.shard(prefix).events() == filtered
+
+    def test_detach_stops_routing(self):
+        store = TTKV()
+        view = ShardedJournal(store.journal, ["a/"])
+        store.record_write("a/x", 1, 1.0)
+        view.detach()
+        store.record_write("a/y", 1, 2.0)
+        assert len(view.shard("a/")) == 1
+        view.detach()  # idempotent
+
+    def test_shard_ids_and_prefixes(self):
+        view = ShardedJournal(EventJournal(), ["b/", "a/"])
+        assert view.shard_ids == ("a/", "b/", CATCH_ALL)
+        assert view.prefixes == ("a/", "b/")
+        assert view.has_catch_all
