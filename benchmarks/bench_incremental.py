@@ -32,6 +32,11 @@ from repro.workload.tracegen import generate_trace
 #: Fraction of the stream appended after the pipeline is warm.
 TAIL_FRACTION = 0.01
 
+#: Base trace-generation seed (machine ``i`` uses ``SEED_BASE + i``);
+#: recorded in the JSON so the CI regression gate only ever compares runs
+#: over the identical trace.
+SEED_BASE = 1000
+
 
 def _machine_profile(index: int, days: int) -> MachineProfile:
     apps = ("Chrome Browser", "GNOME Edit", "Acrobat Reader")
@@ -46,7 +51,7 @@ def _machine_profile(index: int, days: int) -> MachineProfile:
         noise_keys=60,
         noise_writes_per_day=250,
         reads_per_day=0,
-        seed=1000 + index,
+        seed=SEED_BASE + index,
     )
 
 
@@ -102,6 +107,7 @@ def run_benchmark(quick: bool = False, repeats: int = 3) -> dict:
         "tail_events": len(tail),
         "machines": 3,
         "days": days,
+        "seeds": [SEED_BASE + index for index in range(3)],
         "quick": quick,
         "batch_seconds": batch_seconds,
         "incremental_seconds": incremental_best,

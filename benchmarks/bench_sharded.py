@@ -61,6 +61,10 @@ TAIL_FRACTION = 0.01
 #: How many update() calls the tail is spread over.
 TAIL_SLICES = 20
 
+#: Trace-generation seed; recorded in the JSON so the CI regression gate
+#: only ever compares runs over the identical trace.
+SEED = 2024
+
 
 def _profile(quick: bool) -> MachineProfile:
     return MachineProfile(
@@ -74,7 +78,7 @@ def _profile(quick: bool) -> MachineProfile:
         noise_keys=80 if quick else 150,
         noise_writes_per_day=400 if quick else 1300,
         reads_per_day=0,
-        seed=2024,
+        seed=SEED,
     )
 
 
@@ -165,6 +169,7 @@ def run_benchmark(quick: bool = False) -> dict:
         "tail_events": len(tail),
         "apps": len(APPS),
         "app_prefixes": list(prefixes),
+        "seed": SEED,
         "quick": quick,
         "tail_updates": updates,
         "global_seconds": global_seconds,

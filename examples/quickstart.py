@@ -5,12 +5,14 @@ This is the smallest end-to-end use of the library's core: feed a
 modification history into the time-travel key-value store, run the
 paper's clustering (1-second sliding window, complete linkage,
 correlation threshold 2), and inspect the clusters and their historical
-versions.
+versions.  The second half shows the way Ocasta actually runs — a live
+:class:`ShardedPipeline` session, one shard per application prefix,
+updated concurrently through a pluggable executor.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import TTKV, cluster_settings
+from repro import TTKV, ShardedPipeline, ThreadShardExecutor, cluster_settings
 from repro.core.cluster_model import cluster_versions
 
 
@@ -45,6 +47,26 @@ def main() -> None:
     # capability that lets Ocasta fix multi-setting configuration errors.
     plan = cluster_versions(ttkv, mark_seen)[0].rollback_plan()
     print(f"\nRollback plan to the first version: {plan.assignments}")
+
+    # Deployment mode: clustering runs continuously alongside logging.
+    # A ShardedPipeline keeps one engine per application prefix and, with
+    # an executor, updates the dirty shards concurrently; only shards
+    # whose journals advanced do any work at all.
+    pool = ThreadShardExecutor(4)
+    live = ShardedPipeline(ttkv, shard_prefixes=("mail/", "view/"), executor=pool)
+    live_clusters = live.update()
+    stats = live.last_stats
+    print(
+        f"\nLive sharded session: {len(live_clusters)} clusters from "
+        f"{stats.shards_updated}/{stats.shards_total} shards "
+        f"(slowest {stats.slowest_shard!r}, "
+        f"{stats.parallel_speedup:.1f}x overlap)"
+    )
+    assert [c.sorted_keys() for c in live_clusters] == [
+        c.sorted_keys() for c in clusters
+    ], "streaming must equal batch"
+    live.close()
+    pool.close()
 
 
 if __name__ == "__main__":

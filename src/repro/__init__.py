@@ -51,11 +51,33 @@ True
 >>> resumed.last_stats.events_consumed         # zero already-read events
 0
 
+On a machine hosting many applications the shard updates are independent
+— engines share no state — so the session takes a pluggable execution
+strategy (:mod:`repro.core.executors`): serial by default, or a thread or
+process pool via ``executor=``.  Per-shard wall times, the slowest shard
+and the overlap factor land in ``last_stats``:
+
+>>> from repro import ShardedPipeline, ThreadShardExecutor
+>>> pool = ThreadShardExecutor(4)
+>>> concurrent = ShardedPipeline(
+...     ttkv, shard_prefixes=("mail/", "editor/"), executor=pool
+... )
+>>> [c.sorted_keys() for c in concurrent.update()]
+[['mail/mark_seen', 'mail/mark_seen_timeout'], ['editor/zoom']]
+>>> sorted(concurrent.last_stats.shard_timings) == sorted(concurrent.shard_ids)
+True
+>>> concurrent.close(); pool.close()
+
+(``python -m repro stream --executor thread --workers 4`` is the same
+thing from the command line; ``--executor process`` runs every dirty
+shard through the checkpoint serialization boundary in worker
+processes.)
+
 Single-application stores can stay on the unsharded
 :class:`IncrementalPipeline` (a sharded session with one catch-all shard),
 and one-shot batch clustering over a recorded trace gives identical
 results per prefix — the equivalence is property-tested for arbitrary
-stream prefixes:
+stream prefixes and all executor strategies:
 
 >>> from repro import cluster_settings
 >>> [c.sorted_keys() for c in cluster_settings(ttkv, key_filter="mail/")]
@@ -77,12 +99,17 @@ from repro.core import (
     ClusterSet,
     ClusterVersion,
     IncrementalPipeline,
+    ProcessShardExecutor,
     RepairEngine,
     SearchStrategy,
+    SerialExecutor,
     ShardEngine,
+    ShardExecutor,
     ShardedPipeline,
+    ThreadShardExecutor,
     UpdateStats,
     cluster_settings,
+    make_executor,
     singleton_clusters,
 )
 from repro.apps import SimulatedApplication, Screenshot, create_app, app_names
@@ -107,6 +134,11 @@ __all__ = [
     "RepairEngine",
     "SearchStrategy",
     "ShardEngine",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "make_executor",
     "ShardedJournal",
     "ShardedPipeline",
     "UpdateStats",

@@ -1,6 +1,10 @@
 """Reporting helpers: ASCII tables and series used by the benchmarks."""
 
-from repro.analysis.stats import SizeDistribution, TrialSummary, cluster_size_distribution
+from repro.analysis.stats import (
+    SizeDistribution,
+    TrialSummary,
+    cluster_size_distribution,
+)
 from repro.analysis.tables import ascii_table, format_percent, series_table
 
 __all__ = [

@@ -425,7 +425,9 @@ class SimulatedApplication:
             roll = rng.random()
             if roll < 0.5 and state_settings:
                 name = rng.choice(state_settings)
-                self.app_set(name, self.spec(name).domain.perturb(rng, self.value(name)))
+                self.app_set(
+                    name, self.spec(name).domain.perturb(rng, self.value(name))
+                )
             elif roll < 0.8:
                 mru = self._mru_group()
                 if mru is not None:

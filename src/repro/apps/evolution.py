@@ -103,7 +103,11 @@ class EvolutionMail(SimulatedApplication):
         ]
         if "reading" in self._session:
             timeout = self.value(MARK_SEEN_TIMEOUT)
-            auto = bool(self.value(MARK_SEEN)) and isinstance(timeout, int) and timeout > 0
+            auto = (
+                bool(self.value(MARK_SEEN))
+                and isinstance(timeout, int)
+                and timeout > 0
+            )
             elements.append(
                 ("mark_read", "automatic" if auto else "manual-only")
             )

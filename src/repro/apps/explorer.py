@@ -47,9 +47,13 @@ def _build_schema():
             ValueDomain("strlist", pool=("a", "b", "c"), max_len=3),
             default=["a", "b"],
         ),
-        SettingSpec(FLV_APP_A, ValueDomain("string", pool=_PLAYERS), default="wmplayer.exe"),
+        SettingSpec(
+            FLV_APP_A, ValueDomain("string", pool=_PLAYERS), default="wmplayer.exe"
+        ),
         SettingSpec(FLV_APP_B, ValueDomain("string", pool=_PLAYERS), default="vlc.exe"),
-        SettingSpec(FLV_APP_C, ValueDomain("string", pool=_PLAYERS), default="mplayer.exe"),
+        SettingSpec(
+            FLV_APP_C, ValueDomain("string", pool=_PLAYERS), default="mplayer.exe"
+        ),
         SettingSpec(
             IMAGE_WINDOW_STATE,
             ValueDomain("enum", options=("normal", "maximized")),

@@ -73,7 +73,10 @@ class MSPaint(SimulatedApplication):
     def derived_elements(self):
         elements = []
         if self._session.get("text_mode"):
-            pops = bool(self.value(TOOLBAR_ENABLED)) and self.value(TOOLBAR_MODE) == "auto"
+            pops = (
+                bool(self.value(TOOLBAR_ENABLED))
+                and self.value(TOOLBAR_MODE) == "auto"
+            )
             elements.append(
                 ("text_toolbar", "pops-up" if pops else "stays-hidden")
             )

@@ -39,7 +39,12 @@ def _build_schema():
             ValueDomain("enum", options=("top", "bottom")),
             default="bottom",
         ),
-        SettingSpec("Player/Volume", ValueDomain("int", lo=0, hi=100), default=50, visible=True),
+        SettingSpec(
+            "Player/Volume",
+            ValueDomain("int", lo=0, hi=100),
+            default=50,
+            visible=True,
+        ),
     ]
     mru_specs, mru = mru_group(
         name="RecentMedia",

@@ -11,6 +11,7 @@ Usage::
     python -m repro ablations
     python -m repro stream --app "Chrome Browser" --chunks 10
     python -m repro stream --shards 4 --state session.json
+    python -m repro stream --shards 8 --executor thread --workers 4 --timings
     python -m repro repair --case 13 [--bfs] [--spurious 2]
     python -m repro list-cases
 """
@@ -29,6 +30,20 @@ def _parse_floats(text: str) -> tuple[float, ...]:
         raise argparse.ArgumentTypeError(
             f"expected comma-separated numbers, got {text!r}"
         ) from None
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,7 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table4.add_argument("--no-noclust", action="store_true")
 
-    for name, default in (("fig2a", "2,6,10,14"), ("fig2b", "0,1,2"), ("fig2c", "10,20,40,80")):
+    for name, default in (
+        ("fig2a", "2,6,10,14"),
+        ("fig2b", "0,1,2"),
+        ("fig2c", "10,20,40,80"),
+    ):
         fig = sub.add_parser(name, help=f"Figure {name[-2:]}: DFS vs BFS trials")
         fig.add_argument("--points", type=_parse_floats, default=_parse_floats(default))
 
@@ -92,6 +111,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--state", default=None, metavar="FILE",
         help="session checkpoint: resume from FILE if it exists, and write "
         "the session state back to it on exit",
+    )
+    stream.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="serial",
+        help="shard execution strategy: walk shards serially, or update "
+        "them concurrently on a thread or process pool",
+    )
+    stream.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="worker count for --executor thread/process "
+        "(default: the machine's CPU count; ignored by serial)",
+    )
+    stream.add_argument(
+        "--timings", action="store_true",
+        help="append per-shard timing (slowest shard, overlap factor) to "
+        "each progress line",
     )
 
     repair = sub.add_parser("repair", help="repair one Table III error")
@@ -142,9 +176,21 @@ def _cmd_fig2(which: str, points) -> str:
     from repro.experiments import fig2
 
     runners = {
-        "fig2a": (fig2.run_fig2a, "injection days", "Figure 2a: trials vs time of error"),
-        "fig2b": (fig2.run_fig2b, "spurious writes", "Figure 2b: trials vs spurious writes"),
-        "fig2c": (fig2.run_fig2c, "time bound (days)", "Figure 2c: trials vs search bound"),
+        "fig2a": (
+            fig2.run_fig2a,
+            "injection days",
+            "Figure 2a: trials vs time of error",
+        ),
+        "fig2b": (
+            fig2.run_fig2b,
+            "spurious writes",
+            "Figure 2b: trials vs spurious writes",
+        ),
+        "fig2c": (
+            fig2.run_fig2c,
+            "time bound (days)",
+            "Figure 2c: trials vs search bound",
+        ),
     }
     run, x_label, title = runners[which]
     if which == "fig2b":
@@ -158,9 +204,13 @@ def _cmd_fig3(which: str) -> str:
 
     if which == "fig3a":
         x, sizes = run_fig3a()
-        return render_fig3("window (s)", x, sizes, "Figure 3a: avg cluster size vs window")
+        return render_fig3(
+            "window (s)", x, sizes, "Figure 3a: avg cluster size vs window"
+        )
     x, sizes = run_fig3b()
-    return render_fig3("corr threshold", x, sizes, "Figure 3b: avg cluster size vs threshold")
+    return render_fig3(
+        "corr threshold", x, sizes, "Figure 3b: avg cluster size vs threshold"
+    )
 
 
 def _cmd_fig4(args) -> str:
@@ -229,75 +279,111 @@ def _stream_trace(args):
     return trace, apps, prefixes
 
 
+def _timing_suffix(stats) -> str:
+    """Per-shard timing tail for one progress line (``--timings``)."""
+    if not stats.shard_timings:
+        return "; no shard ran"
+    slowest = stats.slowest_shard
+    label = slowest if slowest else "<catch-all>"
+    return (
+        f"; slowest shard {label} "
+        f"{stats.shard_timings[slowest] * 1000:.1f}ms, "
+        f"{stats.parallel_speedup:.1f}x overlap"
+    )
+
+
 def _cmd_stream(args) -> str:
     import json
     from pathlib import Path
 
+    from repro.core.executors import make_executor
     from repro.core.sharded import ShardedPipeline
     from repro.ttkv.store import TTKV
 
     trace, apps, prefixes = _stream_trace(args)
     events = trace.ttkv.write_events()
     state_path = Path(args.state) if args.state else None
+    executor = make_executor(args.executor, args.workers)
     lines = []
 
-    if state_path is not None and state_path.exists():
-        # Resume: the deployment re-opens its recorded store and the
-        # session picks up at its checkpointed cursors — consumed events
-        # are never read again.
-        live = TTKV()
-        live.record_events(events)
-        pipeline = ShardedPipeline.from_state(
-            live, json.loads(state_path.read_text(encoding="utf-8"))
-        )
-        clusters = pipeline.update()
-        stats = pipeline.last_stats
-        lines.append(
-            f"resumed session from {state_path} "
-            "(checkpoint parameters take precedence)"
-        )
-        lines.append(
-            f"  {stats.events_consumed} new event(s) consumed, "
-            f"{len(events) - stats.events_consumed} already-read event(s) skipped "
-            f"-> {len(clusters)} clusters "
-            f"({len(clusters.multi_clusters())} multi-key)"
-        )
-    else:
-        live = TTKV()
-        pipeline = ShardedPipeline(
-            live,
-            shard_prefixes=prefixes,
-            window=args.window,
-            correlation_threshold=args.threshold,
-        )
-        chunk_size = max(1, -(-len(events) // max(1, args.chunks)))
-        chunks = -(-len(events) // chunk_size) if events else 0
-        sharded = f", sharded on {len(prefixes)} app prefix(es)" if prefixes else ""
-        lines.append(
-            f"streaming {len(events)} modification events from a {args.days}-day "
-            f"trace of {len(apps)} app(s) in {chunks} chunk(s){sharded}"
-        )
-        for start in range(0, len(events), chunk_size):
-            live.record_events(events[start:start + chunk_size])
+    try:
+        if state_path is not None and state_path.exists():
+            # Resume: the deployment re-opens its recorded store and the
+            # session picks up at its checkpointed cursors — consumed events
+            # are never read again.
+            live = TTKV()
+            live.record_events(events)
+            pipeline = ShardedPipeline.from_state(
+                live,
+                json.loads(state_path.read_text(encoding="utf-8")),
+                executor=executor,
+            )
             clusters = pipeline.update()
             stats = pipeline.last_stats
-            line = (
-                f"  +{stats.events_consumed:5d} events -> {len(clusters):4d} clusters "
-                f"({len(clusters.multi_clusters())} multi-key); "
-                f"{stats.components_reclustered}/{stats.components_total} "
-                "components re-agglomerated"
+            lines.append(
+                f"resumed session from {state_path} "
+                "(checkpoint parameters take precedence)"
             )
-            if stats.shards_total > 1:
-                line += f"; {stats.shards_updated}/{stats.shards_total} shards updated"
+            line = (
+                f"  {stats.events_consumed} new event(s) consumed, "
+                f"{len(events) - stats.events_consumed} already-read event(s) "
+                f"skipped -> {len(clusters)} clusters "
+                f"({len(clusters.multi_clusters())} multi-key)"
+            )
+            if args.timings:
+                line += _timing_suffix(stats)
             lines.append(line)
+        else:
+            live = TTKV()
+            pipeline = ShardedPipeline(
+                live,
+                shard_prefixes=prefixes,
+                window=args.window,
+                correlation_threshold=args.threshold,
+                executor=executor,
+            )
+            chunk_size = max(1, -(-len(events) // max(1, args.chunks)))
+            chunks = -(-len(events) // chunk_size) if events else 0
+            sharded = (
+                f", sharded on {len(prefixes)} app prefix(es)" if prefixes else ""
+            )
+            concurrency = (
+                f" [{args.executor} executor]" if args.executor != "serial" else ""
+            )
+            lines.append(
+                f"streaming {len(events)} modification events from a "
+                f"{args.days}-day trace of {len(apps)} app(s) in {chunks} "
+                f"chunk(s){sharded}{concurrency}"
+            )
+            for start in range(0, len(events), chunk_size):
+                live.record_events(events[start:start + chunk_size])
+                clusters = pipeline.update()
+                stats = pipeline.last_stats
+                line = (
+                    f"  +{stats.events_consumed:5d} events -> "
+                    f"{len(clusters):4d} clusters "
+                    f"({len(clusters.multi_clusters())} multi-key); "
+                    f"{stats.components_reclustered}/{stats.components_total} "
+                    "components re-agglomerated"
+                )
+                if stats.shards_total > 1:
+                    line += (
+                        f"; {stats.shards_updated}/{stats.shards_total} "
+                        "shards updated"
+                    )
+                if args.timings:
+                    line += _timing_suffix(stats)
+                lines.append(line)
 
-    if state_path is not None:
-        state_path.parent.mkdir(parents=True, exist_ok=True)
-        state_path.write_text(
-            json.dumps(pipeline.to_state()) + "\n", encoding="utf-8"
-        )
-        lines.append(f"session state checkpointed to {state_path}")
-    pipeline.close()
+        if state_path is not None:
+            state_path.parent.mkdir(parents=True, exist_ok=True)
+            state_path.write_text(
+                json.dumps(pipeline.to_state()) + "\n", encoding="utf-8"
+            )
+            lines.append(f"session state checkpointed to {state_path}")
+        pipeline.close()
+    finally:
+        executor.close()
     return "\n".join(lines)
 
 

@@ -22,10 +22,22 @@ from repro.core.correlation import (
 from repro.core.unionfind import UnionFind
 from repro.core.dendrogram import Dendrogram, Merge
 from repro.core.clustering import component_clusters, hac_complete_linkage
-from repro.core.cluster_model import Cluster, ClusterSet, ClusterVersion, cluster_versions
+from repro.core.cluster_model import (
+    Cluster,
+    ClusterSet,
+    ClusterVersion,
+    cluster_versions,
+)
 from repro.core.pipeline import cluster_settings, singleton_clusters
 from repro.core.incremental import ClusterSession, IncrementalPipeline, UpdateStats
 from repro.core.sharded import ShardEngine, ShardedPipeline
+from repro.core.executors import (
+    ProcessShardExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    ThreadShardExecutor,
+    make_executor,
+)
 from repro.core.sorting import sort_clusters_for_search
 from repro.core.search import Candidate, SearchStrategy, search_order
 from repro.core.accuracy import (
@@ -55,6 +67,11 @@ __all__ = [
     "UpdateStats",
     "ShardEngine",
     "ShardedPipeline",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "make_executor",
     "Cluster",
     "ClusterSet",
     "ClusterVersion",

@@ -95,6 +95,7 @@ class IncrementalPipeline(ShardedPipeline):
         linkage: str = LINKAGE_COMPLETE,
         key_filter: str | None = None,
         grouping: str = GROUPING_SLIDING,
+        executor=None,
     ) -> None:
         super().__init__(
             store,
@@ -105,6 +106,7 @@ class IncrementalPipeline(ShardedPipeline):
             key_filter=key_filter,
             grouping=grouping,
             catch_all=True,
+            executor=executor,
         )
 
     @property

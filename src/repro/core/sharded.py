@@ -58,7 +58,9 @@ Example — two applications, updated and checkpointed::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.core.clustering import LINKAGE_COMPLETE, _LINKAGES, component_clusters
 from repro.core.cluster_model import ClusterSet
@@ -73,6 +75,9 @@ from repro.ttkv.journal import (
 )
 from repro.ttkv.sharding import ShardedJournal
 from repro.ttkv.store import TTKV
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.executors import ShardExecutor
 
 #: Checkpoint format version written by :meth:`ShardedPipeline.to_state`.
 STATE_VERSION = 1
@@ -89,6 +94,17 @@ class UpdateStats:
     were re-delivered after an out-of-order append and absorbed in place
     (rewound within the provisional trailing group) instead of forcing the
     full rebuild that ``rebuilt`` reports.
+
+    ``shard_timings`` maps each updated shard id to the wall-clock seconds
+    its engine spent (skipped shards are absent); ``slowest_shard`` is the
+    id with the largest timing (``None`` when nothing ran).
+    ``parallel_speedup`` is the overlap factor of the update: total
+    per-shard busy seconds divided by the wall time of the whole shard
+    pass.  With the serial executor it is at most 1.0; a parallel executor
+    pushes it towards the number of shards that actually overlapped.  It
+    is *not* a throughput claim — on a GIL-bound interpreter threads can
+    overlap without finishing sooner; compare ``serial`` vs ``thread``
+    wall clocks (``benchmarks/bench_parallel.py``) for that.
     """
 
     events_consumed: int
@@ -101,14 +117,23 @@ class UpdateStats:
     reorders_absorbed: int = 0
     shards_updated: int = 0
     shards_total: int = 1
+    shard_timings: dict[str, float] = field(default_factory=dict)
+    slowest_shard: str | None = None
+    parallel_speedup: float = 1.0
 
 
 @dataclass(frozen=True)
 class ShardUpdate:
-    """Result of one :meth:`ShardEngine.update`: stats plus a change flag."""
+    """Result of one :meth:`ShardEngine.update`: stats plus a change flag.
+
+    ``seconds`` is the wall-clock cost of producing this result — the
+    engine's own ``update()`` for in-process executors, the whole
+    rebuild-update-export round for a process-pool worker.
+    """
 
     stats: UpdateStats
     changed: bool
+    seconds: float = 0.0
 
 
 def _sorted_key_sets(key_sets: list[frozenset[str]]) -> list[frozenset[str]]:
@@ -211,6 +236,7 @@ class ShardEngine:
 
     def update(self) -> ShardUpdate:
         """Consume newly journaled events; recluster the dirty region."""
+        started = time.perf_counter()
         rebuilt = False
         absorbed = 0
         rewound, events, cursor = self._journal.read_flexible(self._cursor)
@@ -270,6 +296,7 @@ class ShardEngine:
                     shards_updated=1,
                 ),
                 changed=False,
+                seconds=time.perf_counter() - started,
             )
 
         if (
@@ -306,6 +333,7 @@ class ShardEngine:
                 shards_updated=1,
             ),
             changed=changed,
+            seconds=time.perf_counter() - started,
         )
 
     def _component_clusters(self, component: frozenset[str]) -> list[frozenset[str]]:
@@ -445,6 +473,114 @@ class ShardEngine:
             self._matrix.update_groups(added=groups)
         self._seen_structure = self._matrix.structure_version
 
+    # -- process-boundary execution ------------------------------------------
+
+    def export_task(self) -> dict:
+        """Self-contained work unit for an out-of-process worker.
+
+        The payload is the engine's :meth:`to_state` checkpoint plus the
+        journal slice the engine has not consumed yet — the same
+        serialization boundary a deployment restart crosses, so anything
+        that survives checkpoint/resume survives a process pool.  The
+        cursor is rebased to slice-local coordinates (the worker journal
+        holds only the unread suffix) and the consumed-prefix fingerprints
+        are dropped, since the prefix stays behind.
+
+        When the engine is fresh, or a reorder has reached into the
+        consumed prefix (``state is None``), the whole re-sorted stream is
+        shipped and the worker rebuilds from scratch — the slice protocol
+        cannot express the in-place rewind, so this path trades the
+        serial engine's O(buffer) absorb for a rebuild with identical
+        clusters (stats differ: the worker reports ``rebuilt``).
+        """
+        if self._cursor is not None and (
+            self._journal.reorder_depth(self._cursor) == 0
+        ):
+            state = self.to_state()
+            state["cursor"] = {"position": 0, "epoch": 0}
+            state["head"] = state["tail"] = None
+            base = self._cursor.position
+            components = (
+                self.components_snapshot() if self._key_sets is not None else None
+            )
+        else:
+            state = None
+            components = None
+            base = 0
+        return {
+            "state": state,
+            "components": components,
+            "events": [
+                encode_event(event)
+                for event in self._journal.events_from(base)
+            ],
+            "result_position": len(self._journal),
+            "params": {
+                "window": self._window,
+                "correlation_threshold": self._correlation_threshold,
+                "linkage": self._linkage,
+                "grouping": self._grouping,
+            },
+        }
+
+    def components_snapshot(self) -> list[tuple[list[str], list[list[str]]]]:
+        """The component cluster cache as sorted key lists (picklable)."""
+        return [
+            (sorted(component), sorted(sorted(c) for c in clusters))
+            for component, clusters in self._component_cache.items()
+        ]
+
+    def install_components(
+        self, components: list[tuple[list[str], list[list[str]]]]
+    ) -> None:
+        """Adopt a :meth:`components_snapshot` as the live cluster cache.
+
+        The snapshot must describe this engine's *current* matrix (the
+        caller either took it from an identical engine, or restored the
+        matching checkpoint first); subsequent updates then re-agglomerate
+        only dirty components instead of rebuilding the cache.
+        """
+        cache: dict[frozenset[str], list[frozenset[str]]] = {}
+        of_key: dict[str, frozenset[str]] = {}
+        for keys, clusters in components:
+            component = frozenset(keys)
+            cache[component] = [frozenset(cluster) for cluster in clusters]
+            for key in component:
+                of_key[key] = component
+        self._component_cache = cache
+        self._component_of_key = of_key
+        self._key_sets = _sorted_key_sets(
+            [key_set for clusters in cache.values() for key_set in clusters]
+        )
+        self._cluster_set = None
+        self._seen_structure = self._matrix.structure_version
+
+    def adopt_update(
+        self,
+        task: dict,
+        result: ShardUpdate,
+        state: dict,
+        components: list[tuple[list[str], list[list[str]]]],
+    ) -> ShardUpdate:
+        """Merge a worker's :func:`~repro.core.executors.run_shard_task`
+        outcome back into this engine.
+
+        The worker's post-update checkpoint is restored with its cursor
+        rebased onto this engine's real journal (``task`` is the
+        :meth:`export_task` payload the worker ran), and the worker's
+        component clusters are installed so the expensive re-agglomeration
+        is not repeated in the parent.  Returns ``result`` with the
+        ``changed`` flag recomputed against the parent's previous clusters
+        (the worker cannot see them after a rebuild hand-off).
+        """
+        merged = dict(state)
+        merged["cursor"] = {"position": task["result_position"], "epoch": 0}
+        merged["head"] = merged["tail"] = None
+        previous = self._key_sets
+        self.restore(merged)
+        self.install_components(components)
+        return replace(result, changed=self._key_sets != previous)
+
 
 class ShardedPipeline:
     """Live clustering session sharded by application key prefix.
@@ -467,6 +603,16 @@ class ShardedPipeline:
     updates — the change is detected and the session restarts over the
     full stream.
 
+    ``executor`` selects the shard execution strategy (see
+    :mod:`repro.core.executors`): ``None`` walks the shards serially in
+    the calling thread; a :class:`~repro.core.executors.ThreadShardExecutor`
+    or :class:`~repro.core.executors.ProcessShardExecutor` runs them
+    concurrently — engines share no state, so any interleaving is safe as
+    long as the store is not appended to mid-``update()``.  The executor
+    is not part of the session state: it may be swapped between updates
+    without restarting the session, and it is caller-owned (closing the
+    pipeline does not close the executor).
+
     Sessions checkpoint to JSON-safe dicts (:meth:`to_state`) and resume
     (:meth:`from_state`) without re-reading consumed journal events.
     """
@@ -482,6 +628,7 @@ class ShardedPipeline:
         key_filter: str | None = None,
         grouping: str = GROUPING_SLIDING,
         catch_all: bool = True,
+        executor: "ShardExecutor | None" = None,
     ) -> None:
         self.store = store
         self.shard_prefixes = tuple(shard_prefixes)
@@ -491,6 +638,7 @@ class ShardedPipeline:
         self.linkage = linkage
         self.key_filter = key_filter
         self.grouping = grouping
+        self.executor = executor
         self.last_stats: UpdateStats | None = None
         self._journal_view: ShardedJournal | None = None
         self._reset()
@@ -576,26 +724,39 @@ class ShardedPipeline:
         """Consume newly journaled events and return the merged clusters.
 
         Shards whose journals did not advance are skipped entirely — their
-        engines are not even asked to read.  Retuning any constructor
-        parameter between calls restarts the session over the full stream,
-        exactly like the unsharded pipeline.
+        engines are not even asked to read.  The shards that did advance
+        run through the configured executor (serially in this thread when
+        ``executor`` is ``None``); per-shard wall times land in
+        ``last_stats.shard_timings``.  Retuning any constructor parameter
+        between calls restarts the session over the full stream, exactly
+        like the unsharded pipeline.
         """
         session_rebuilt = False
         if self._params() != self._active_params:
             self._reset()
             session_rebuilt = True
         events = groups = dirty = total = reclustered = reused = absorbed = 0
-        updated = 0
         engine_rebuilt = False
         changed = False
-        for engine in self._engines.values():
+        pending: list[tuple[str, ShardEngine]] = []
+        for shard_id, engine in self._engines.items():
             if engine.ready and not engine.needs_update():
                 count = engine.component_count
                 total += count
                 reused += count
-                continue
-            result = engine.update()
-            updated += 1
+            else:
+                pending.append((shard_id, engine))
+        wall_started = time.perf_counter()
+        if self.executor is None:
+            results = [engine.update() for _, engine in pending]
+        else:
+            results = self.executor.map_shards(
+                [engine for _, engine in pending]
+            )
+        wall_seconds = time.perf_counter() - wall_started
+        shard_timings: dict[str, float] = {}
+        for (shard_id, _), result in zip(pending, results):
+            shard_timings[shard_id] = result.seconds
             events += result.stats.events_consumed
             groups += result.stats.groups_closed
             dirty += result.stats.dirty_keys
@@ -605,6 +766,7 @@ class ShardedPipeline:
             absorbed += result.stats.reorders_absorbed
             engine_rebuilt = engine_rebuilt or result.stats.rebuilt
             changed = changed or result.changed
+        busy_seconds = sum(shard_timings.values())
         if changed or self._cluster_set is None:
             key_sets = _sorted_key_sets(
                 [
@@ -627,8 +789,19 @@ class ShardedPipeline:
             components_reused=reused,
             rebuilt=session_rebuilt or engine_rebuilt,
             reorders_absorbed=absorbed,
-            shards_updated=updated,
+            shards_updated=len(pending),
             shards_total=len(self._engines),
+            shard_timings=shard_timings,
+            slowest_shard=(
+                max(shard_timings, key=shard_timings.__getitem__)
+                if shard_timings
+                else None
+            ),
+            parallel_speedup=(
+                busy_seconds / wall_seconds
+                if wall_seconds > 0 and busy_seconds > 0
+                else 1.0
+            ),
         )
         return self._cluster_set
 
@@ -660,13 +833,22 @@ class ShardedPipeline:
         }
 
     @classmethod
-    def from_state(cls, store: TTKV, state: dict) -> "ShardedPipeline":
+    def from_state(
+        cls,
+        store: TTKV,
+        state: dict,
+        *,
+        executor: "ShardExecutor | None" = None,
+    ) -> "ShardedPipeline":
         """Rebuild a session over ``store`` from :meth:`to_state` output.
 
         ``store`` must hold (at least) the journal the checkpointed
         session had consumed — a deployment re-opening its persisted TTKV
         satisfies this.  Always returns a :class:`ShardedPipeline`, with
         the checkpoint's parameters (not the defaults of ``cls``).
+        ``executor`` is runtime configuration, not session state, so the
+        resumed session takes whatever the caller passes (default:
+        serial).
         """
         version = state.get("version")
         if version != STATE_VERSION:
@@ -684,6 +866,7 @@ class ShardedPipeline:
             key_filter=params["key_filter"],
             grouping=params["grouping"],
             catch_all=params["catch_all"],
+            executor=executor,
         )
         shards = state["shards"]
         if set(shards) != set(pipeline._engines):

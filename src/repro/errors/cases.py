@@ -107,7 +107,11 @@ ERROR_CASES: tuple[ErrorCase, ...] = (
         injection={outlook.NAV_ENABLER: False},
         trial_actions=(("launch", {}), ("click_nav_pane", {})),
         fixed=_element_not("navigation_pane", "unusable"),
-        good_values={outlook.NAV_ENABLER: True, outlook.NAV_MODULES: ["Mail", "Calendar"], outlook.NAV_WIDTH: 200},
+        good_values={
+            outlook.NAV_ENABLER: True,
+            outlook.NAV_MODULES: ["Mail", "Calendar"],
+            outlook.NAV_WIDTH: 200,
+        },
         spurious_options=(
             {outlook.NAV_WIDTH: 83},
             {outlook.NAV_MODULES: ["Mail"]},
@@ -166,7 +170,12 @@ ERROR_CASES: tuple[ErrorCase, ...] = (
             ("open_context_menu", {"doc": "video.flv"}),
         ),
         fixed=_element_not("open_with_flv", "no applications"),
-        good_values={explorer.FLV_MRU_LIST: ["a", "b"], explorer.FLV_APP_A: "wmplayer.exe", explorer.FLV_APP_B: "vlc.exe", explorer.FLV_APP_C: "mplayer.exe"},
+        good_values={
+            explorer.FLV_MRU_LIST: ["a", "b"],
+            explorer.FLV_APP_A: "wmplayer.exe",
+            explorer.FLV_APP_B: "vlc.exe",
+            explorer.FLV_APP_C: "mplayer.exe",
+        },
         multi_key=True,
         tuned_threshold=1.0,
         spurious_options=(
@@ -183,7 +192,12 @@ ERROR_CASES: tuple[ErrorCase, ...] = (
         injection={wmp.CAPTIONS_ENABLED: False},
         trial_actions=(("launch", {}), ("play_video", {"doc": "clip.avi"})),
         fixed=_element_not("captions", "no captions"),
-        good_values={wmp.CAPTIONS_ENABLED: True, wmp.CAPTIONS_LANG: "en", wmp.CAPTIONS_SIZE: 14, wmp.CAPTIONS_POS: "bottom"},
+        good_values={
+            wmp.CAPTIONS_ENABLED: True,
+            wmp.CAPTIONS_LANG: "en",
+            wmp.CAPTIONS_SIZE: 14,
+            wmp.CAPTIONS_POS: "bottom",
+        },
         spurious_options=(
             {wmp.CAPTIONS_LANG: "fi"},
             {wmp.CAPTIONS_SIZE: 33},
@@ -203,7 +217,12 @@ ERROR_CASES: tuple[ErrorCase, ...] = (
         },
         trial_actions=(("launch", {}), ("enter_text", {})),
         fixed=_element_is("text_toolbar", "pops-up"),
-        good_values={mspaint.TOOLBAR_ENABLED: True, mspaint.TOOLBAR_MODE: "auto", mspaint.TOOLBAR_X: 480, mspaint.TOOLBAR_Y: 120},
+        good_values={
+            mspaint.TOOLBAR_ENABLED: True,
+            mspaint.TOOLBAR_MODE: "auto",
+            mspaint.TOOLBAR_X: 480,
+            mspaint.TOOLBAR_Y: 120,
+        },
         multi_key=True,
         spurious_options=(
             {mspaint.TOOLBAR_X: 1601, mspaint.TOOLBAR_Y: 1201},
@@ -222,7 +241,10 @@ ERROR_CASES: tuple[ErrorCase, ...] = (
         },
         trial_actions=(("launch", {}), ("open_image", {"doc": "photo.png"})),
         fixed=_element_is("image_window", "normal"),
-        good_values={explorer.IMAGE_WINDOW_STATE: "normal", explorer.IMAGE_WINDOW_POS: "100,100"},
+        good_values={
+            explorer.IMAGE_WINDOW_STATE: "normal",
+            explorer.IMAGE_WINDOW_POS: "100,100",
+        },
         multi_key=True,
         spurious_options=(
             {explorer.IMAGE_WINDOW_POS: "-5,-5"},

@@ -63,7 +63,10 @@ def _accuracy_for(traces, **kwargs) -> float:
 
 def run_window_ablation(days: int = 45, seed: int = 7) -> list[AblationRow]:
     """Sliding sessionisation vs fixed buckets, accuracy at the defaults."""
-    traces = [generate_trace(lab_profile(a, days=days, seed=seed)) for a in ABLATION_APPS]
+    traces = [
+        generate_trace(lab_profile(a, days=days, seed=seed))
+        for a in ABLATION_APPS
+    ]
     return [
         AblationRow(
             "window semantics", grouping, "overall accuracy",
@@ -82,7 +85,10 @@ def run_linkage_ablation(days: int = 45, seed: int = 7) -> list[AblationRow]:
     be vacuous.  Threshold 1 is where chaining behaviour differs (and is
     the setting the paper's tuned recoveries use).
     """
-    traces = [generate_trace(lab_profile(a, days=days, seed=seed)) for a in ABLATION_APPS]
+    traces = [
+        generate_trace(lab_profile(a, days=days, seed=seed))
+        for a in ABLATION_APPS
+    ]
     return [
         AblationRow(
             "linkage @ threshold 1", linkage, "overall accuracy",
@@ -113,7 +119,9 @@ def run_sort_ablation(days: int = 30, seed: int = 11) -> list[AblationRow]:
                 strategy=SearchStrategy.DFS,
             )
             trials = report.outcome.trials_to_fix
-            total_trials += trials if trials is not None else report.outcome.total_trials
+            total_trials += (
+                trials if trials is not None else report.outcome.total_trials
+            )
         rows.append(
             AblationRow(
                 "cluster sort", policy, "avg trials to fix",

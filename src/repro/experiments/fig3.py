@@ -10,7 +10,6 @@
 from __future__ import annotations
 
 from repro.analysis.tables import series_table
-from repro.apps.catalog import app_names
 from repro.core.pipeline import cluster_settings
 from repro.experiments.table2 import lab_profile
 from repro.workload.tracegen import GeneratedTrace, generate_trace

@@ -45,8 +45,14 @@ def evaluate_app(
     correlation_threshold: float = 2.0,
     days: int = 45,
     seed: int = 7,
+    executor=None,
 ) -> ClusteringReport:
-    """Cluster one application's trace and score it (one Table II row)."""
+    """Cluster one application's trace and score it (one Table II row).
+
+    ``executor`` optionally drives the shard update through a
+    :class:`~repro.core.executors.ShardExecutor` (caller-owned) — one
+    pool can then serve all eleven rows.
+    """
     if trace is None:
         trace = generate_trace(lab_profile(app_name, days=days, seed=seed))
     app = trace.apps[app_name]
@@ -60,6 +66,7 @@ def evaluate_app(
         window=window,
         correlation_threshold=correlation_threshold,
         catch_all=False,
+        executor=executor,
     )
     try:
         cluster_set = pipeline.update()
@@ -80,8 +87,9 @@ def run_table2(
     correlation_threshold: float = 2.0,
     days: int = 45,
     seed: int = 7,
+    executor=None,
 ) -> list[ClusteringReport]:
-    """All eleven Table II rows."""
+    """All eleven Table II rows (one shared ``executor``, if given)."""
     return [
         evaluate_app(
             name,
@@ -89,6 +97,7 @@ def run_table2(
             correlation_threshold=correlation_threshold,
             days=days,
             seed=seed,
+            executor=executor,
         )
         for name in app_names()
     ]

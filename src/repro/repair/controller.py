@@ -73,6 +73,11 @@ class OcastaRepairTool:
         configuration settings that cause the configuration problem."
     use_clustering:
         ``False`` gives the Ocasta-NoClust baseline of Table IV.
+    executor:
+        Optional :class:`~repro.core.executors.ShardExecutor` driving the
+        clustering session's shard updates (the tool has one shard, so
+        this mainly matters when many tools share one pool).  Caller
+        owned; the tool never closes it.
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class OcastaRepairTool:
         sort_policy: str = SORT_MODCOUNT,
         use_clustering: bool = True,
         clock: SimClock | None = None,
+        executor=None,
     ) -> None:
         self.app = app
         self.ttkv = ttkv
@@ -92,6 +98,7 @@ class OcastaRepairTool:
         self.sort_policy = sort_policy
         self.use_clustering = use_clustering
         self.clock = clock if clock is not None else SimClock()
+        self.executor = executor
         self._pipeline: ShardedPipeline | None = None
 
     def build_clusters(self) -> ClusterSet:
@@ -115,11 +122,13 @@ class OcastaRepairTool:
                 window=self.window,
                 correlation_threshold=self.correlation_threshold,
                 catch_all=False,
+                executor=self.executor,
             )
         else:
             # the pipeline detects retuned parameters and restarts itself
             self._pipeline.window = self.window
             self._pipeline.correlation_threshold = self.correlation_threshold
+            self._pipeline.executor = self.executor
         return self._pipeline.update()
 
     def repair(

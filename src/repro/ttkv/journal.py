@@ -170,11 +170,40 @@ class EventJournal:
         """The full sorted stream (a fresh list; safe for callers to mutate)."""
         return list(self._events)
 
+    def events_from(self, position: int) -> list[Event]:
+        """The sorted suffix starting at ``position`` (a fresh list).
+
+        This is the "journal slice" a parallel execution layer ships to a
+        worker process together with an engine checkpoint: the consumed
+        prefix stays behind, only the unread suffix crosses the process
+        boundary.
+        """
+        if position < 0:
+            raise ValueError(f"journal position must be >= 0, got {position}")
+        return self._events[position:]
+
+    def reorder_depth(self, cursor: JournalCursor) -> int:
+        """How far into ``cursor``'s consumed prefix reorders have reached.
+
+        0 means the consumed prefix is untouched and ``events_from(
+        cursor.position)`` is exactly the unread suffix; a positive value
+        is the number of consumed events :meth:`read_flexible` would
+        re-deliver.  Checkpoint-and-slice protocols use this to detect
+        when a plain suffix hand-off is unsound.
+        """
+        start = cursor.position
+        for index in self._insertions[cursor.epoch:]:
+            if index < start:
+                start = index
+        return cursor.position - start
+
     def event_at(self, index: int) -> Event:
         """The event at one position of the sorted stream (O(1))."""
         return self._events[index]
 
-    def read(self, cursor: JournalCursor | None = None) -> tuple[list[Event], JournalCursor]:
+    def read(
+        self, cursor: JournalCursor | None = None
+    ) -> tuple[list[Event], JournalCursor]:
         """Events appended since ``cursor`` plus the advanced cursor.
 
         ``None`` reads from the beginning.  Raises

@@ -54,7 +54,9 @@ def _parse_line(line: str, lineno: int) -> dict:
     except json.JSONDecodeError as exc:
         raise PersistenceError(f"line {lineno}: invalid JSON: {exc}") from exc
     if not isinstance(entry, dict):
-        raise PersistenceError(f"line {lineno}: expected object, got {type(entry).__name__}")
+        raise PersistenceError(
+            f"line {lineno}: expected object, got {type(entry).__name__}"
+        )
     for field in ("t", "k", "op"):
         if field not in entry:
             raise PersistenceError(f"line {lineno}: missing field {field!r}")

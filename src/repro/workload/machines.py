@@ -75,21 +75,30 @@ PROFILES: tuple[MachineProfile, ...] = (
         sessions_per_day=8, actions_per_session=20,
         pref_edits_per_day=2.0, noise_keys=620, noise_writes_per_day=12_300,
         reads_per_day=838_000, seed=73,
-        paper_reads="15.08M", paper_writes="224.64K", paper_keys=1123, paper_size="6.3MB",
+        paper_reads="15.08M",
+        paper_writes="224.64K",
+        paper_keys=1123,
+        paper_size="6.3MB",
     ),
     MachineProfile(
         name="Windows XP", platform=PLATFORM_WINDOWS, days=25,
         apps=_WINDOWS_APPS, sessions_per_day=7, actions_per_session=18,
         pref_edits_per_day=2.5, noise_keys=13_600, noise_writes_per_day=12_300,
         reads_per_day=912_000, seed=74,
-        paper_reads="22.80M", paper_writes="311.9K", paper_keys=14_667, paper_size="24MB",
+        paper_reads="22.80M",
+        paper_writes="311.9K",
+        paper_keys=14_667,
+        paper_size="24MB",
     ),
     MachineProfile(
         name="Windows XP-2", platform=PLATFORM_WINDOWS, days=32,
         apps=_WINDOWS_APPS, sessions_per_day=7, actions_per_session=16,
         pref_edits_per_day=2.0, noise_keys=18_400, noise_writes_per_day=8_300,
         reads_per_day=836_000, seed=75,
-        paper_reads="26.76M", paper_writes="268.96K", paper_keys=19_501, paper_size="46MB",
+        paper_reads="26.76M",
+        paper_writes="268.96K",
+        paper_keys=19_501,
+        paper_size="46MB",
     ),
     MachineProfile(
         name="Linux-1", platform=PLATFORM_LINUX, days=25,

@@ -61,7 +61,10 @@ class UserModel:
             roll = self.rng.random()
             if roll < self.behaviour.document_open_prob:
                 self.app.open_document(self.rng.choice(self.behaviour.documents))
-            elif roll < self.behaviour.document_open_prob + self.behaviour.partial_update_prob:
+            elif roll < (
+                self.behaviour.document_open_prob
+                + self.behaviour.partial_update_prob
+            ):
                 self.app.partial_group_update(self.rng)
             else:
                 self.app.activity(self.rng, intensity=self.rng.randint(1, 3))

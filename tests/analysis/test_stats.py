@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.stats import (
-    SizeDistribution,
     TrialSummary,
     cluster_size_distribution,
     mean,

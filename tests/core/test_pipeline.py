@@ -7,7 +7,6 @@ from repro.core.pipeline import (
     rebuild_cluster,
     singleton_clusters,
 )
-from repro.exceptions import OcastaError
 from repro.ttkv.store import TTKV
 
 

@@ -1,6 +1,5 @@
 """Cross-module property tests on the core invariants."""
 
-import math
 
 from hypothesis import given, settings, strategies as st
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.cluster_model import Cluster, ClusterVersion
 from repro.core.search import (
-    Candidate,
     SearchStrategy,
     candidate_versions,
     search_order,

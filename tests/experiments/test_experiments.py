@@ -5,14 +5,11 @@ exercise the drivers' plumbing quickly: parameterisation, rendering, and
 the structural integrity of their outputs.
 """
 
-import pytest
-
-from repro.common.format import SECONDS_PER_DAY
 from repro.experiments.fig3 import render_fig3, run_fig3a, run_fig3b
 from repro.experiments.fig4 import render_fig4, run_fig4
 from repro.experiments.recovery import CaseResult, run_case, trace_for
 from repro.experiments.table1 import render_table1, run_table1
-from repro.experiments.table2 import evaluate_app, lab_profile, render_table2, run_table2
+from repro.experiments.table2 import evaluate_app, lab_profile, render_table2
 from repro.experiments.table3 import render_table3
 from repro.errors.cases import ERROR_CASES, case_by_id
 from repro.workload.machines import profile_by_name

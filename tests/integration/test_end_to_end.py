@@ -119,8 +119,6 @@ class TestMultiKeyScenario:
     def test_noclust_vs_ocasta_on_multikey(self, gedit_trace):
         """A synthetic two-key error on gedit's autosave family: Ocasta's
         cluster rollback fixes it; NoClust cannot (both keys wrong)."""
-        import copy
-
         scenario = prepare_scenario(gedit_trace, case_by_id(12), days_before_end=5)
         # single-key case sanity: NoClust also fixes case 12
         noclust = OcastaRepairTool(

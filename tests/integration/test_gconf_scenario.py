@@ -82,7 +82,7 @@ class TestMarkSeenScenario:
             scenario.trial, scenario.is_fixed,
             start_time=scenario.injection_time,
         )
-        logger = scenario.app.attach_logger(ttkv)
+        scenario.app.attach_logger(ttkv)
         tool.apply_fix(report)
         assert ttkv.total_writes() >= 2
         shot = Sandbox(scenario.app).execute(scenario.trial, None)

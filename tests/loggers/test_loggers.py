@@ -12,7 +12,7 @@ from repro.stores.events import AccessEvent
 from repro.stores.filestore import FileStore, VirtualFile
 from repro.stores.gconf import GConfStore
 from repro.stores.registry import RegistryStore
-from repro.ttkv.store import DELETED, TTKV
+from repro.ttkv.store import DELETED
 
 
 class TestLoggerBase:

@@ -40,14 +40,19 @@ class TestVirtualFile:
         assert seen[1] == (file.path, "v1", "v2", 2.0)
 
     def test_double_watch_rejected(self, file):
-        watcher = lambda *a: None
+        def watcher(*a):
+            pass
+
         file.watch(watcher)
         with pytest.raises(StoreError):
             file.watch(watcher)
 
     def test_unwatch(self, file):
         seen = []
-        watcher = lambda *a: seen.append(a)
+
+        def watcher(*a):
+            seen.append(a)
+
         file.watch(watcher)
         file.unwatch(watcher)
         file.write("x", 1.0)

@@ -63,3 +63,69 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "error #12" in out
         assert "FIXED" in out
+
+
+class TestStreamExecutorFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.executor == "serial"
+        assert args.workers is None
+        assert args.timings is False
+
+    def test_executor_and_workers_parse(self):
+        args = build_parser().parse_args(
+            ["stream", "--executor", "thread", "--workers", "3", "--timings"]
+        )
+        assert args.executor == "thread"
+        assert args.workers == 3
+        assert args.timings is True
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--executor", "fleet"])
+
+    @pytest.mark.parametrize("workers", ("0", "-2", "two"))
+    def test_nonpositive_workers_rejected(self, workers):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--workers", workers])
+
+
+class TestStreamCommand:
+    ARGS = ["stream", "--shards", "2", "--days", "2", "--chunks", "3"]
+
+    def _run(self, capsys, *extra):
+        assert main(self.ARGS + list(extra)) == 0
+        return capsys.readouterr().out.splitlines()
+
+    def test_identical_output_across_executors(self, capsys, tmp_path):
+        """Same trace, same clusters, same progress — whatever the executor.
+
+        The header line names the executor, so everything after it must
+        match byte for byte (timings stay off: they are wall-clock noise).
+        """
+        outputs = {}
+        for executor in ("serial", "thread", "process"):
+            state = tmp_path / f"{executor}.json"
+            lines = self._run(
+                capsys,
+                "--executor", executor, "--workers", "2", "--state", str(state),
+            )
+            assert state.exists()
+            # drop the header (names the executor) and the state path line
+            outputs[executor] = lines[1:-1]
+        assert outputs["serial"] == outputs["thread"] == outputs["process"]
+
+    def test_resume_uses_requested_executor(self, capsys, tmp_path):
+        state = tmp_path / "session.json"
+        first = self._run(capsys, "--state", str(state))
+        assert any("checkpointed" in line for line in first)
+        resumed = self._run(
+            capsys,
+            "--executor", "thread", "--workers", "2", "--state", str(state),
+        )
+        assert any("resumed session" in line for line in resumed)
+        assert any("0 new event(s) consumed" in line for line in resumed)
+
+    def test_timings_flag_adds_shard_timing(self, capsys):
+        lines = self._run(capsys, "--timings")
+        assert any("slowest shard" in line for line in lines)

@@ -8,6 +8,7 @@ import repro
 import repro.analysis.stats
 import repro.analysis.tables
 import repro.common.format
+import repro.core.executors
 import repro.core.incremental
 import repro.core.sharded
 import repro.stores.parsers
@@ -19,6 +20,7 @@ _MODULES = [
     repro.analysis.stats,
     repro.analysis.tables,
     repro.common.format,
+    repro.core.executors,
     repro.core.incremental,
     repro.core.sharded,
     repro.stores.parsers,

@@ -1,6 +1,5 @@
 """Tests for the time-travel key-value store."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
