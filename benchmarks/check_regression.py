@@ -10,7 +10,8 @@ compares like with like).
 
 Headline metrics are deliberately *ratios* (incremental-vs-batch speedup,
 sharded-vs-global speedup, union-find-vs-scan speedup, thread-vs-serial
-wall ratio): ratios measured within one run cancel out most of the
+wall ratio, splice-vs-rebuild repair speedup): ratios measured within one
+run cancel out most of the
 machine-to-machine absolute-speed variance that makes wall-clock gates
 flaky on shared CI runners.
 
@@ -19,6 +20,7 @@ Usage::
     python benchmarks/bench_incremental.py --quick --out benchmarks/out/BENCH_incremental.json
     python benchmarks/bench_sharded.py     --quick --out benchmarks/out/BENCH_sharded.json
     python benchmarks/bench_parallel.py    --quick --out benchmarks/out/BENCH_parallel.json
+    python benchmarks/bench_splice.py      --quick --out benchmarks/out/BENCH_splice.json
     python benchmarks/check_regression.py
 
 Refreshing a baseline (after a deliberate perf change) is the same run
@@ -55,6 +57,11 @@ GATES: dict[str, dict] = {
         "headline": [("thread_speedup", "higher")],
         "invariants": ["executors_agree", "matches_batch"],
         "identity": ["events", "seed", "workers", "quick"],
+    },
+    "BENCH_splice.json": {
+        "headline": [("splice_speedup", "higher")],
+        "invariants": ["splice_equals_rebuild", "splice_equals_batch"],
+        "identity": ["events", "seed", "quick"],
     },
 }
 

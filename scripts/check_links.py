@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in README.md and docs/.
+
+Scans markdown files for inline links and images, resolves every
+*relative* target against the linking file, and exits non-zero if any
+target does not exist.  External links (``http(s)://``, ``mailto:``),
+pure in-page anchors (``#...``) and targets that resolve outside the
+repository (e.g. GitHub's ``../../actions/...`` badge convention) are
+skipped — this gate is about files the repository itself promises.
+
+Usage::
+
+    python scripts/check_links.py [FILE_OR_DIR ...]
+
+Defaults to ``README.md`` and ``docs/``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links and images: [text](target) / ![alt](target).
+#: Reference-style definitions: [label]: target
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFERENCE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code(text: str) -> str:
+    """Drop fenced and inline code spans — links inside them are examples."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken relative link targets in one markdown file."""
+    text = _strip_code(path.read_text(encoding="utf-8"))
+    targets = _INLINE.findall(text) + _REFERENCE.findall(text)
+    broken = []
+    for target in targets:
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        candidate = target.split("#", 1)[0]
+        if not candidate:
+            continue
+        resolved = (path.parent / candidate).resolve()
+        if not resolved.is_relative_to(REPO_ROOT):
+            continue  # points outside the repo (e.g. the CI badge): not ours
+        if not resolved.exists():
+            broken.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return broken
+
+
+def main(argv: list[str] | None = None) -> int:
+    roots = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
+    if not roots:
+        roots = [REPO_ROOT / "README.md", REPO_ROOT / "docs"]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        elif root.exists():
+            files.append(root)
+        else:
+            print(f"FAIL  no such file or directory: {root}", file=sys.stderr)
+            return 1
+    failures: list[str] = []
+    for path in files:
+        failures.extend(check_file(path))
+    for failure in failures:
+        print(f"FAIL  {failure}", file=sys.stderr)
+    if failures:
+        print(f"\n{len(failures)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"ok    {len(files)} markdown file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

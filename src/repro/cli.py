@@ -123,8 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the machine's CPU count; ignored by serial)",
     )
     stream.add_argument(
+        "--repair-mode", choices=("splice", "rebuild"), default=None,
+        dest="repair_mode",
+        help="dirty-component repair strategy: splice cached dendrogram "
+        "merges below the first affected linkage distance (the default), "
+        "or re-agglomerate every dirty component from singletons; on "
+        "--state resume the flag overrides the checkpointed mode",
+    )
+    stream.add_argument(
         "--timings", action="store_true",
-        help="append per-shard timing (slowest shard, overlap factor) to "
+        help="append per-shard timing (slowest shard, overlap factor) and "
+        "dendrogram-repair counters (merges spliced vs recomputed) to "
         "each progress line",
     )
 
@@ -288,7 +297,9 @@ def _timing_suffix(stats) -> str:
     return (
         f"; slowest shard {label} "
         f"{stats.shard_timings[slowest] * 1000:.1f}ms, "
-        f"{stats.parallel_speedup:.1f}x overlap"
+        f"{stats.parallel_speedup:.1f}x overlap; "
+        f"merges {stats.merges_reused} spliced/"
+        f"{stats.merges_recomputed} recomputed"
     )
 
 
@@ -317,6 +328,7 @@ def _cmd_stream(args) -> str:
                 live,
                 json.loads(state_path.read_text(encoding="utf-8")),
                 executor=executor,
+                repair_mode=args.repair_mode,
             )
             clusters = pipeline.update()
             stats = pipeline.last_stats
@@ -341,6 +353,7 @@ def _cmd_stream(args) -> str:
                 window=args.window,
                 correlation_threshold=args.threshold,
                 executor=executor,
+                repair_mode=args.repair_mode or "splice",
             )
             chunk_size = max(1, -(-len(events) // max(1, args.chunks)))
             chunks = -(-len(events) // chunk_size) if events else 0

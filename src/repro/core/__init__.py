@@ -21,7 +21,19 @@ from repro.core.correlation import (
 )
 from repro.core.unionfind import UnionFind
 from repro.core.dendrogram import Dendrogram, Merge
-from repro.core.clustering import component_clusters, hac_complete_linkage
+from repro.core.clustering import (
+    agglomerate_clusters,
+    component_clusters,
+    hac_complete_linkage,
+)
+from repro.core.dendro_repair import (
+    REPAIR_MODES,
+    REPAIR_REBUILD,
+    REPAIR_SPLICE,
+    SpliceOutcome,
+    build_dendrogram,
+    splice_dendrogram,
+)
 from repro.core.cluster_model import (
     Cluster,
     ClusterSet,
@@ -61,7 +73,14 @@ __all__ = [
     "Dendrogram",
     "Merge",
     "hac_complete_linkage",
+    "agglomerate_clusters",
     "component_clusters",
+    "REPAIR_MODES",
+    "REPAIR_REBUILD",
+    "REPAIR_SPLICE",
+    "SpliceOutcome",
+    "build_dendrogram",
+    "splice_dendrogram",
     "ClusterSession",
     "IncrementalPipeline",
     "UpdateStats",

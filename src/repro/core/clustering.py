@@ -16,14 +16,22 @@ Linkage updates use the Lance–Williams rule for complete linkage::
 
 with the convention that a missing entry means infinite distance, so the
 ``max`` with a missing entry is infinite and the pair simply never merges.
+
+Agglomeration is *deterministic under distance ties*: when two candidate
+merges have equal linkage distance, the pair whose clusters contain the
+lexicographically smallest keys wins.  The tie-break depends only on the
+current partition and the distance structure — not on the order in which
+clusters were created — so continuing an agglomeration from a partially
+merged state (:func:`agglomerate_clusters`, the basis of the spliced
+dendrogram repair in :mod:`repro.core.dendro_repair`) reproduces exactly
+the merges a from-scratch run performs.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core.correlation import CorrelationMatrix, correlation_to_distance
 from repro.core.dendrogram import Dendrogram, Merge
@@ -74,6 +82,16 @@ def component_clusters(
     exactly the clusters a whole-matrix :func:`flat_clusters` run would
     produce for those keys.  The incremental pipeline uses this to
     re-agglomerate only the components a new write group touched.
+
+    >>> from repro.core.correlation import CorrelationMatrix
+    >>> matrix = CorrelationMatrix({
+    ...     "a": {0, 1}, "b": {0, 1},   # always together: correlation 2
+    ...     "c": {2},                   # co-modified with nothing
+    ... })
+    >>> [sorted(c) for c in component_clusters(matrix, {"a", "b"}, 2.0)]
+    [['a', 'b']]
+    >>> [sorted(c) for c in component_clusters(matrix, {"c"}, 2.0)]
+    [['c']]
     """
     if linkage not in _LINKAGES:
         raise ValueError(f"unknown linkage {linkage!r}; options: {_LINKAGES}")
@@ -89,25 +107,86 @@ def agglomerate_component(
     matrix: CorrelationMatrix, component: set[str], linkage: str
 ) -> list[Merge]:
     """Classic heap-driven HAC restricted to one connected component."""
-    # Active clusters are integer ids; sizes needed for average linkage.
-    next_id = itertools.count()
-    members: dict[int, frozenset[str]] = {}
+    return agglomerate_clusters(
+        matrix, [frozenset((key,)) for key in sorted(component)], linkage
+    )
+
+
+def seed_distances(
+    matrix: CorrelationMatrix,
+    clusters: Sequence[frozenset[str]],
+    linkage: str,
+) -> dict[frozenset[int], float]:
+    """Inter-cluster linkage distances for an arbitrary starting partition.
+
+    Cluster ids are positions in ``clusters``.  The returned sparse dict
+    (missing pair = infinite) equals what the Lance–Williams recursion
+    would have produced had the clusters been built up from singletons:
+    ``complete`` is the maximum pairwise distance (infinite when any cross
+    pair never co-modified), ``single`` the minimum, and ``average`` the
+    plain mean of all cross pairs (infinite when any is missing, matching
+    the sparse convention of :func:`_combine`).
+    """
     key_to_id: dict[str, int] = {}
-    for key in sorted(component):
-        cluster_id = next(next_id)
-        members[cluster_id] = frozenset((key,))
-        key_to_id[key] = cluster_id
-
-    # Sparse inter-cluster distances; absent pair = infinite.
-    dist: dict[frozenset[int], float] = {}
-    for key_a in component:
+    for cluster_id, members in enumerate(clusters):
+        for key in members:
+            key_to_id[key] = cluster_id
+    # Per cross-cluster pair: finite-edge count, max, min and sum of the
+    # pairwise distances, aggregated over one sweep of the finite edges.
+    stats: dict[frozenset[int], list] = {}
+    for key_a, id_a in key_to_id.items():
         for key_b in matrix.neighbors(key_a):
-            if key_b in component and key_a < key_b:
-                pair = frozenset((key_to_id[key_a], key_to_id[key_b]))
-                dist[pair] = correlation_to_distance(
-                    matrix.correlation_of(key_a, key_b)
-                )
+            id_b = key_to_id.get(key_b)
+            if id_b is None or id_b == id_a or key_b < key_a:
+                continue
+            d = correlation_to_distance(matrix.correlation_of(key_a, key_b))
+            pair = frozenset((id_a, id_b))
+            entry = stats.get(pair)
+            if entry is None:
+                stats[pair] = [1, d, d, d]
+            else:
+                entry[0] += 1
+                entry[1] = max(entry[1], d)
+                entry[2] = min(entry[2], d)
+                entry[3] += d
+    dist: dict[frozenset[int], float] = {}
+    for pair, (count, d_max, d_min, d_sum) in stats.items():
+        if linkage == LINKAGE_SINGLE:
+            dist[pair] = d_min
+            continue
+        id_a, id_b = pair
+        cross_pairs = len(clusters[id_a]) * len(clusters[id_b])
+        if count < cross_pairs:
+            continue  # some cross pair never co-modified: infinite
+        dist[pair] = d_max if linkage == LINKAGE_COMPLETE else d_sum / cross_pairs
+    return dist
 
+
+def agglomerate_clusters(
+    matrix: CorrelationMatrix,
+    clusters: Sequence[frozenset[str]],
+    linkage: str,
+) -> list[Merge]:
+    """Heap-driven HAC continued from an arbitrary disjoint partition.
+
+    ``clusters`` seed the agglomeration as super-nodes; their pairwise
+    linkage distances are derived from the matrix (:func:`seed_distances`),
+    so the run is indistinguishable from a from-scratch agglomeration that
+    already performed the merges building those clusters.  The spliced
+    dendrogram repair (:mod:`repro.core.dendro_repair`) relies on this to
+    re-agglomerate only the merge suffix an update invalidated.
+
+    Determinism under ties: every cluster is identified by the rank of its
+    lexicographically smallest key among the seeds, and a merged cluster
+    takes the smaller of its halves' ids — so the heap's ``(distance,
+    id, id)`` ordering is a function of cluster *contents*, independent of
+    creation order.
+    """
+    members: dict[int, frozenset[str]] = dict(enumerate(clusters))
+    if len(members) > 1 and sorted(members.values(), key=min) != list(clusters):
+        raise ValueError("seed clusters must be sorted by their smallest key")
+
+    dist = seed_distances(matrix, clusters, linkage)
     heap: list[tuple[float, int, int]] = [
         (d, *sorted(pair)) for pair, d in dist.items()
     ]
@@ -119,11 +198,18 @@ def agglomerate_component(
         if id_a not in members or id_b not in members:
             continue  # stale entry: one side already merged away
         pair = frozenset((id_a, id_b))
-        if not math.isclose(dist.get(pair, math.inf), distance):
-            continue  # stale entry: distance was updated
+        if dist.get(pair) != distance:
+            # Stale entry: the distance was updated.  Exact comparison is
+            # required, not isclose — merged clusters reuse their smaller
+            # half's id, so a stale entry can name a *live* pair whose
+            # distance moved to a nearby-but-different value; accepting it
+            # would merge at the wrong recorded distance and break the
+            # determinism the spliced repair relies on.  Exact equality is
+            # sound because heap entries are pushed verbatim from ``dist``.
+            continue
         left = members.pop(id_a)
         right = members.pop(id_b)
-        merged_id = next(next_id)
+        merged_id = min(id_a, id_b)
         merged = left | right
         merges.append(Merge(left=left, right=right, distance=distance, members=merged))
 

@@ -1,0 +1,346 @@
+"""Sub-component dendrogram repair: splice instead of re-agglomerating.
+
+The streaming engines confine every update to the connected components a
+write group dirtied, but until this module a dirty component was still
+re-agglomerated *wholesale* — O(n²) in the component size — even when the
+update touched two keys of a three-hundred-key component.  The hot-key
+component therefore dominated what remained of incremental update cost.
+
+Splicing exploits the shape of the damage.  A dendrogram is a merge list
+in non-decreasing distance order, and an update that dirties keys ``D``
+can only change pairwise distances of pairs with at least one key in
+``D`` (the correlation of a clean pair depends only on its own group
+counts and intersection, all untouched).  Every merge strictly below
+
+- the smallest *new* distance of any pair involving a dirty key, and
+- the distance of the first cached merge whose members intersect ``D``
+
+is still exactly what a from-scratch run would do: below that line no
+cluster containing a dirty key can form, so the agglomeration evolves on
+clean clusters with unchanged distances.  :func:`splice_dendrogram`
+keeps that merge prefix verbatim, rebuilds the surviving partition, and
+re-agglomerates only the remaining super-nodes
+(:func:`~repro.core.clustering.agglomerate_clusters` seeds the heap with
+multi-key clusters and derived inter-cluster linkage distances instead of
+singletons).  Merges at exactly the splice line are conservatively
+discarded — distance ties are where HAC is order-sensitive, so they are
+re-derived rather than trusted.
+
+The resulting *clusters* are bit-identical to a wholesale
+re-agglomeration at every threshold — agglomeration tie-breaks are
+content-based, so continuing from the spliced state replays the merges a
+full run performs; the property tests pin spliced ≡ wholesale ≡ batch.
+One cosmetic caveat: when an update bridges two cached components that
+each hold a merge at the *same* distance, the spliced merge list keeps
+those tied merges grouped per source cache while a from-scratch run may
+interleave them — same merge set, same distances, identical ``cut`` at
+every threshold, and deterministic either way (caches are consumed in
+sorted order), but not always list-equal.  Whenever the cached material
+cannot be proven valid (components shrank after a retraction, a cached
+dendrogram straddles the component boundary, or the spliced merge list
+fails validation) the repair falls back to a wholesale rebuild — the
+fallback is a performance event, never a correctness one.
+
+Splicing is exact for ``complete`` and ``single`` linkage, whose
+Lance–Williams updates are pure ``max``/``min`` over the base distances.
+``average`` linkage accumulates floating-point rounding along the merge
+path, so a seeded continuation can differ from a wholesale run in the
+last ulp — rather than weaken the bit-identical guarantee, average
+linkage always takes the rebuild path.
+
+Example — a 120-key component, its farthest key touched::
+
+    >>> from repro.core.correlation import CorrelationMatrix
+    >>> matrix = CorrelationMatrix(
+    ...     {f"k{i:03d}": set(range(max(i, 1), 120)) for i in range(120)}
+    ... )
+    >>> component = frozenset(matrix.keys)
+    >>> cached = build_dendrogram(matrix, component, "complete")
+    >>> matrix.observe_group(500, ["k119"])     # dirties one key
+    >>> outcome = splice_dendrogram(
+    ...     matrix, component, {"k119"}, [cached], "complete"
+    ... )
+    >>> outcome.spliced, outcome.merges_reused, outcome.merges_recomputed
+    (True, 114, 5)
+    >>> outcome.dendrogram.merges == build_dendrogram(
+    ...     matrix, component, "complete"
+    ... ).merges
+    True
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.clustering import LINKAGE_AVERAGE, agglomerate_clusters
+from repro.core.correlation import CorrelationMatrix, correlation_to_distance
+from repro.core.dendrogram import Dendrogram, Merge
+from repro.core.unionfind import UnionFind
+
+#: Repair every dirty component by splicing its cached dendrogram (the
+#: default; falls back to a wholesale rebuild when splicing is unsafe).
+REPAIR_SPLICE = "splice"
+#: Always re-agglomerate dirty components from singletons (the escape
+#: hatch; what every engine did before spliced repair existed).
+REPAIR_REBUILD = "rebuild"
+#: The repair modes understood by the engines and ``--repair-mode``.
+REPAIR_MODES = (REPAIR_SPLICE, REPAIR_REBUILD)
+
+
+@dataclass(frozen=True)
+class SpliceOutcome:
+    """One repaired component: its dendrogram plus the work accounting.
+
+    ``merges_reused`` counts cached merges kept verbatim (the spliced
+    prefix); ``merges_recomputed`` counts merges the seeded agglomeration
+    re-derived.  ``spliced`` says whether the splice path actually ran —
+    ``False`` means a wholesale rebuild (requested, no usable cache, or a
+    safety fallback).
+    """
+
+    dendrogram: Dendrogram
+    merges_reused: int
+    merges_recomputed: int
+    spliced: bool
+
+
+def check_repair_mode(mode: str) -> str:
+    """Validate a repair mode name (returns it unchanged)."""
+    if mode not in REPAIR_MODES:
+        raise ValueError(f"unknown repair mode {mode!r}; options: {REPAIR_MODES}")
+    return mode
+
+
+def build_dendrogram(
+    matrix: CorrelationMatrix,
+    component: frozenset[str] | set[str],
+    linkage: str,
+) -> Dendrogram:
+    """Wholesale agglomeration of one component into a dendrogram.
+
+    The rebuild half of every repair: also the fallback target whenever
+    :func:`splice_dendrogram` cannot prove its cache valid.
+    """
+    component = frozenset(component)
+    if len(component) < 2:
+        return Dendrogram(component, [])
+    merges = agglomerate_clusters(
+        matrix, [frozenset((key,)) for key in sorted(component)], linkage
+    )
+    merges.sort(key=lambda merge: merge.distance)
+    return Dendrogram(component, merges)
+
+
+def rebuild_outcome(
+    matrix: CorrelationMatrix,
+    component: frozenset[str] | set[str],
+    linkage: str,
+) -> SpliceOutcome:
+    """A wholesale rebuild packaged as a :class:`SpliceOutcome`."""
+    dendrogram = build_dendrogram(matrix, component, linkage)
+    return SpliceOutcome(
+        dendrogram=dendrogram,
+        merges_reused=0,
+        merges_recomputed=len(dendrogram.merges),
+        spliced=False,
+    )
+
+
+def first_affected_distance(
+    matrix: CorrelationMatrix,
+    component: frozenset[str],
+    dirty: Iterable[str],
+) -> float:
+    """Smallest current distance of any in-component pair touching ``dirty``.
+
+    This is the floor below which no cluster containing a dirty key can
+    form in a fresh agglomeration: every linkage criterion in use rates a
+    merge involving a dirty singleton at one of these pair distances or
+    higher.  Returns ``inf`` when no dirty key has in-component neighbours.
+    """
+    floor = math.inf
+    for key in dirty:
+        if key not in component or key not in matrix:
+            continue
+        for other in matrix.neighbors(key):
+            if other in component:
+                d = correlation_to_distance(matrix.correlation_of(key, other))
+                if d < floor:
+                    floor = d
+    return floor
+
+
+def surviving_clusters(
+    component: frozenset[str], merges: Sequence[Merge]
+) -> list[frozenset[str]]:
+    """The partition of ``component`` after applying a merge prefix.
+
+    Sorted by each cluster's smallest key — the seed order
+    :func:`~repro.core.clustering.agglomerate_clusters` requires.
+    """
+    forest = UnionFind()
+    for key in component:
+        forest.add(key)
+    for merge in merges:
+        forest.union(next(iter(merge.left)), next(iter(merge.right)))
+    return sorted((frozenset(c) for c in forest.components()), key=min)
+
+
+def splice_dendrogram(
+    matrix: CorrelationMatrix,
+    component: frozenset[str] | set[str],
+    dirty: Iterable[str],
+    cached: Sequence[Dendrogram],
+    linkage: str,
+) -> SpliceOutcome:
+    """Repair one dirty component by splicing its cached merge history.
+
+    Parameters
+    ----------
+    matrix:
+        The *current* (post-update) correlation matrix.
+    component:
+        The component's current key set (a connected component of
+        ``matrix``'s finite-distance graph).
+    dirty:
+        Keys whose correlations may have changed in the update (the
+        matrix's dirty set).  Keys of ``component`` not covered by any
+        cached dendrogram are treated as dirty implicitly — a brand-new
+        key always arrives via a touched group.
+    cached:
+        Dendrograms cached *before* the update for the sub-components
+        that grew into ``component`` — one when the component merely
+        changed internally, several when the update bridged components.
+        Each must cover a disjoint subset of ``component``.
+    linkage:
+        The linkage criterion (must match the cached dendrograms').
+
+    Returns a :class:`SpliceOutcome` whose dendrogram is bit-identical to
+    :func:`build_dendrogram` on the same inputs.  Falls back to the
+    wholesale rebuild (``spliced=False``) when the cache is unusable:
+    a cached dendrogram straddling the component boundary (a retraction
+    shrank components), overlapping caches, or a spliced merge list that
+    fails the dendrogram's ordering validation.
+
+    >>> from repro.core.correlation import CorrelationMatrix
+    >>> matrix = CorrelationMatrix({"a": {0}, "b": {0}, "c": {0, 1}})
+    >>> old = build_dendrogram(matrix, frozenset("abc"), "complete")
+    >>> matrix.observe_group(9, ["c"])        # only c's group count moves
+    >>> outcome = splice_dendrogram(
+    ...     matrix, frozenset("abc"), {"c"}, [old], "complete"
+    ... )
+    >>> outcome.spliced, outcome.merges_reused, outcome.merges_recomputed
+    (True, 1, 1)
+    """
+    component = frozenset(component)
+    if linkage == LINKAGE_AVERAGE:
+        # Lance–Williams average linkage rounds differently along a
+        # seeded path than along the singleton path (nested weighted
+        # means vs one mean) — the results can differ in the last ulp.
+        # Bit-identical beats fast here.
+        return rebuild_outcome(matrix, component, linkage)
+    affected = {key for key in dirty if key in component}
+
+    old_merges: list[Merge] = []
+    covered: set[str] = set()
+    for dendrogram in cached:
+        items = dendrogram.items
+        if not items <= component or items & covered:
+            # A cached dendrogram holds keys outside the component (it
+            # shrank — retraction territory) or two caches overlap; the
+            # prefix argument no longer applies.
+            return rebuild_outcome(matrix, component, linkage)
+        covered |= items
+        old_merges.extend(dendrogram.merges)
+    # Keys no cache knows about joined the component in this update.
+    affected |= component - covered
+    if not affected or not old_merges:
+        return rebuild_outcome(matrix, component, linkage)
+
+    splice_at = first_affected_distance(matrix, component, affected)
+    for merge in old_merges:
+        if merge.distance >= splice_at:
+            continue
+        if not affected.isdisjoint(merge.members):
+            splice_at = merge.distance
+    old_merges.sort(key=lambda merge: merge.distance)
+    prefix = [
+        merge
+        for merge in old_merges
+        if merge.distance < splice_at
+        and not math.isclose(merge.distance, splice_at)
+        and affected.isdisjoint(merge.members)
+    ]
+
+    seeds = surviving_clusters(component, prefix)
+    new_merges = agglomerate_clusters(matrix, seeds, linkage)
+    new_merges.sort(key=lambda merge: merge.distance)
+    try:
+        dendrogram = Dendrogram(component, prefix + new_merges)
+    except ValueError:
+        # The seeded continuation produced a merge below the kept prefix —
+        # the cache was inconsistent with the matrix.  Never guess.
+        return rebuild_outcome(matrix, component, linkage)
+    return SpliceOutcome(
+        dendrogram=dendrogram,
+        merges_reused=len(prefix),
+        merges_recomputed=len(new_merges),
+        spliced=True,
+    )
+
+
+# -- checkpoint encoding ------------------------------------------------------
+
+
+def dendrogram_to_state(dendrogram: Dendrogram) -> dict:
+    """A dendrogram as a compact JSON-safe dict.
+
+    Items are listed once; each merge is ``[left, right, distance]``
+    where ``left``/``right`` reference either an item (index < number of
+    items) or an earlier merge's result (number of items + merge index) —
+    the SciPy linkage-matrix convention, O(merges) instead of the O(n²)
+    of spelling every member set out.
+
+    >>> from repro.core.correlation import CorrelationMatrix
+    >>> matrix = CorrelationMatrix({"a": {0, 1}, "b": {0, 1}, "c": {1}})
+    >>> state = dendrogram_to_state(build_dendrogram(matrix, frozenset("abc"), "complete"))
+    >>> state["items"]
+    ['a', 'b', 'c']
+    >>> [sorted(c) for c in dendrogram_from_state(state).cut(0.5)]
+    [['a', 'b'], ['c']]
+    """
+    items = sorted(dendrogram.items)
+    node_of: dict[frozenset[str], int] = {
+        frozenset((item,)): index for index, item in enumerate(items)
+    }
+    merges: list[list] = []
+    for offset, merge in enumerate(dendrogram.merges):
+        try:
+            left = node_of[merge.left]
+            right = node_of[merge.right]
+        except KeyError:
+            raise ValueError(
+                "dendrogram merge references a cluster that is neither an "
+                "item nor a previous merge result"
+            ) from None
+        merges.append([left, right, merge.distance])
+        node_of[merge.members] = len(items) + offset
+    return {"items": items, "merges": merges}
+
+
+def dendrogram_from_state(state: dict) -> Dendrogram:
+    """Rebuild a dendrogram from :func:`dendrogram_to_state` output."""
+    items = [str(item) for item in state["items"]]
+    nodes: list[frozenset[str]] = [frozenset((item,)) for item in items]
+    merges: list[Merge] = []
+    for left_ref, right_ref, distance in state["merges"]:
+        left = nodes[int(left_ref)]
+        right = nodes[int(right_ref)]
+        members = left | right
+        merges.append(
+            Merge(left=left, right=right, distance=float(distance), members=members)
+        )
+        nodes.append(members)
+    return Dendrogram(frozenset(items), merges)

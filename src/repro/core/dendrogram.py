@@ -52,6 +52,22 @@ class Dendrogram:
         Items that never merge below the threshold come out as singletons.
         Order: larger clusters first, then lexicographic, so results are
         deterministic for tests and reports.
+
+        The flat partition depends only on *which* merges clear the
+        threshold, not on their order — each kept merge just unions its
+        two sides — which is why a spliced dendrogram
+        (:mod:`repro.core.dendro_repair`) cuts to exactly the clusters of
+        a wholesale rebuild.
+
+        >>> merges = [
+        ...     Merge(frozenset("a"), frozenset("b"), 0.5, frozenset("ab")),
+        ...     Merge(frozenset("ab"), frozenset("c"), 0.9, frozenset("abc")),
+        ... ]
+        >>> dendrogram = Dendrogram({"a", "b", "c", "d"}, merges)
+        >>> [sorted(c) for c in dendrogram.cut(0.5)]
+        [['a', 'b'], ['c'], ['d']]
+        >>> [sorted(c) for c in dendrogram.cut(2.0)]
+        [['a', 'b', 'c'], ['d']]
         """
         parent: dict[str, str] = {item: item for item in self.items}
 

@@ -24,6 +24,10 @@ list[ShardUpdate]``:
   clusters back.  Every update therefore exercises checkpoint/resume as
   a real serialization boundary; the state round-trip is O(session
   state), so this pays off when per-shard clustering work dominates.
+  The per-component dendrogram cache rides inside the checkpoint both
+  ways, so workers splice dirty components
+  (:mod:`repro.core.dendro_repair`) instead of re-agglomerating them
+  wholesale on every hand-off.
 
 All three produce identical cluster sets — the property tests pin
 serial ≡ thread ≡ process ≡ batch ``cluster_settings`` — only timing

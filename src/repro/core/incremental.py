@@ -49,6 +49,7 @@ from __future__ import annotations
 
 from repro.core.clustering import LINKAGE_COMPLETE
 from repro.core.correlation import CorrelationMatrixView
+from repro.core.dendro_repair import REPAIR_SPLICE
 from repro.core.sharded import ShardedPipeline, UpdateStats
 from repro.core.windowing import GROUPING_SLIDING
 from repro.ttkv.sharding import CATCH_ALL
@@ -96,6 +97,7 @@ class IncrementalPipeline(ShardedPipeline):
         key_filter: str | None = None,
         grouping: str = GROUPING_SLIDING,
         executor=None,
+        repair_mode: str = REPAIR_SPLICE,
     ) -> None:
         super().__init__(
             store,
@@ -107,6 +109,7 @@ class IncrementalPipeline(ShardedPipeline):
             grouping=grouping,
             catch_all=True,
             executor=executor,
+            repair_mode=repair_mode,
         )
 
     @property

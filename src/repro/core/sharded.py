@@ -62,9 +62,23 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
-from repro.core.clustering import LINKAGE_COMPLETE, _LINKAGES, component_clusters
+from repro.core.clustering import LINKAGE_COMPLETE, _LINKAGES
 from repro.core.cluster_model import ClusterSet
-from repro.core.correlation import CorrelationMatrix, CorrelationMatrixView
+from repro.core.correlation import (
+    CorrelationMatrix,
+    CorrelationMatrixView,
+    correlation_to_distance,
+)
+from repro.core.dendro_repair import (
+    REPAIR_SPLICE,
+    SpliceOutcome,
+    check_repair_mode,
+    dendrogram_from_state,
+    dendrogram_to_state,
+    rebuild_outcome,
+    splice_dendrogram,
+)
+from repro.core.dendrogram import Dendrogram
 from repro.core.pipeline import DEFAULT_CORRELATION_THRESHOLD, DEFAULT_WINDOW
 from repro.core.windowing import GROUPING_SLIDING, StreamingGroupExtractor
 from repro.ttkv.journal import (
@@ -105,6 +119,13 @@ class UpdateStats:
     is *not* a throughput claim — on a GIL-bound interpreter threads can
     overlap without finishing sooner; compare ``serial`` vs ``thread``
     wall clocks (``benchmarks/bench_parallel.py``) for that.
+
+    ``merges_reused`` / ``merges_recomputed`` account for the spliced
+    dendrogram repair (:mod:`repro.core.dendro_repair`): of all the
+    agglomeration merges backing this update's reclustered components,
+    how many were kept verbatim from cached dendrograms versus re-derived
+    by agglomeration.  Under ``repair_mode="rebuild"`` every merge of a
+    dirty component is recomputed, so ``merges_reused`` stays 0.
     """
 
     events_consumed: int
@@ -120,6 +141,8 @@ class UpdateStats:
     shard_timings: dict[str, float] = field(default_factory=dict)
     slowest_shard: str | None = None
     parallel_speedup: float = 1.0
+    merges_reused: int = 0
+    merges_recomputed: int = 0
 
 
 @dataclass(frozen=True)
@@ -155,6 +178,16 @@ class ShardEngine:
     group is absorbed by rewinding the extractor and re-feeding the
     re-sorted tail (an O(buffer) fixup); anything older forces the rebuild
     the journal's epoch machinery always allowed.
+
+    Each reclustered component's full dendrogram is cached alongside its
+    flat clusters, and ``repair_mode="splice"`` (the default) repairs a
+    dirty component by keeping the cached merge prefix below the first
+    affected linkage distance and re-agglomerating only the surviving
+    sub-clusters (:mod:`repro.core.dendro_repair`); ``"rebuild"`` always
+    re-agglomerates from singletons.  Both modes produce identical
+    clusters — the cache only changes how much work an update does, and
+    it survives checkpoints (:meth:`to_state`) and the process-executor
+    hand-off (:meth:`export_task`).
     """
 
     def __init__(
@@ -165,12 +198,17 @@ class ShardEngine:
         correlation_threshold: float = DEFAULT_CORRELATION_THRESHOLD,
         linkage: str = LINKAGE_COMPLETE,
         grouping: str = GROUPING_SLIDING,
+        repair_mode: str = REPAIR_SPLICE,
     ) -> None:
+        if linkage not in _LINKAGES:
+            raise ValueError(f"unknown linkage {linkage!r}; options: {_LINKAGES}")
         self._journal = journal
         self._window = window
         self._correlation_threshold = correlation_threshold
+        self._max_distance = correlation_to_distance(correlation_threshold)
         self._linkage = linkage
         self._grouping = grouping
+        self._repair_mode = check_repair_mode(repair_mode)
         self._reset_state()
 
     def _reset_state(self) -> None:
@@ -183,6 +221,7 @@ class ShardEngine:
         self._closed_count = 0
         self._pending_keys: frozenset[str] = frozenset()
         self._component_cache: dict[frozenset[str], list[frozenset[str]]] = {}
+        self._dendro_cache: dict[frozenset[str], Dendrogram] = {}
         self._component_of_key: dict[str, frozenset[str]] = {}
         self._seen_structure = self._matrix.structure_version
         self._key_sets: list[frozenset[str]] | None = None
@@ -222,6 +261,22 @@ class ShardEngine:
                 correlation_threshold=self._correlation_threshold,
             )
         return self._cluster_set
+
+    def set_repair_mode(self, mode: str) -> None:
+        """Switch the repair strategy in place (no session restart).
+
+        The mode only changes how much work future updates do, never
+        their output, so the engine's stream position and matrix are
+        untouched.  Entering ``"rebuild"`` drops the dendrogram cache (a
+        rebuild engine carries none — its checkpoints stay pre-splice
+        sized); returning to ``"splice"`` starts re-filling the cache as
+        components next go dirty.
+        """
+        if check_repair_mode(mode) == self._repair_mode:
+            return
+        self._repair_mode = mode
+        if mode != REPAIR_SPLICE:
+            self._dendro_cache.clear()
 
     def needs_update(self) -> bool:
         """O(1): did this shard's journal move since the engine last read?"""
@@ -299,13 +354,15 @@ class ShardEngine:
                 seconds=time.perf_counter() - started,
             )
 
-        if (
-            self._key_sets is None
-            or self._matrix.structure_version != self._seen_structure
-        ):
-            reclustered = self._rescan_components(dirty)
+        structure_kept = self._matrix.structure_version == self._seen_structure
+        if self._key_sets is None or not structure_kept:
+            reclustered, merges_reused, merges_recomputed = (
+                self._rescan_components(dirty, splice_ok=structure_kept)
+            )
         else:
-            reclustered = self._recluster_dirty(dirty)
+            reclustered, merges_reused, merges_recomputed = (
+                self._recluster_dirty(dirty)
+            )
         self._seen_structure = self._matrix.structure_version
 
         key_sets = _sorted_key_sets(
@@ -331,38 +388,108 @@ class ShardEngine:
                 rebuilt=rebuilt,
                 reorders_absorbed=absorbed,
                 shards_updated=1,
+                merges_reused=merges_reused,
+                merges_recomputed=merges_recomputed,
             ),
             changed=changed,
             seconds=time.perf_counter() - started,
         )
 
-    def _component_clusters(self, component: frozenset[str]) -> list[frozenset[str]]:
-        return component_clusters(
-            self._matrix,
-            component,
-            correlation_threshold=self._correlation_threshold,
-            linkage=self._linkage,
-        )
+    def _repair_component(
+        self,
+        component: frozenset[str],
+        dirty: set[str],
+        dendro_of_key: dict[str, frozenset[str]],
+    ) -> SpliceOutcome:
+        """Dendrogram for one dirty component — spliced when possible.
 
-    def _rescan_components(self, dirty: set[str]) -> int:
-        """Full component walk — first update and after structural loss."""
+        ``dendro_of_key`` maps keys to the cached-dendrogram component
+        they belonged to before the update.  Those dendrograms are popped
+        from the cache (they are consumed either way; the caller re-caches
+        the repaired result) and spliced under ``repair_mode="splice"``;
+        ``"rebuild"`` — or an empty cache — re-agglomerates from
+        singletons.
+        """
+        cached: list[Dendrogram] = []
+        seen: set[frozenset[str]] = set()
+        for key in component:
+            old = dendro_of_key.get(key)
+            if old is None or old in seen:
+                continue
+            seen.add(old)
+            dendrogram = self._dendro_cache.pop(old, None)
+            if dendrogram is not None:
+                cached.append(dendrogram)
+        # ``component`` iterates in hash order; sort the collected caches
+        # so the spliced merge list (and its checkpoint encoding) is a
+        # deterministic function of the session state.
+        cached.sort(key=lambda dendrogram: min(dendrogram.items))
+        if self._repair_mode == REPAIR_SPLICE and cached:
+            return splice_dendrogram(
+                self._matrix, component, dirty, cached, self._linkage
+            )
+        return rebuild_outcome(self._matrix, component, self._linkage)
+
+    def _rescan_components(
+        self, dirty: set[str], *, splice_ok: bool
+    ) -> tuple[int, int, int]:
+        """Full component walk — first update and after structural loss.
+
+        Components untouched by ``dirty`` keep their cached flat clusters
+        and dendrograms; a restored checkpoint arrives here with flat
+        clusters missing but dendrograms intact, in which case the merges
+        are reused and only the cheap threshold cut is redone.  Dirty
+        components are repaired through the dendrogram cache exactly like
+        the incremental path — unless ``splice_ok`` is false (a lossy
+        update: components may have *shrunk*, voiding the splice
+        argument), in which case they re-agglomerate wholesale.
+        """
+        if splice_ok and self._repair_mode == REPAIR_SPLICE:
+            dendro_of_key = {
+                key: old for old in self._dendro_cache for key in old
+            }
+        else:
+            # Rebuild mode never carries dendrograms, and after a lossy
+            # update components may have shrunk, which voids the splice
+            # argument for anything the update touched.  Cached entries
+            # are not dropped wholesale, though: a component disjoint
+            # from ``dirty`` was untouched by the retraction (lost edges
+            # only come from retracted groups, whose keys are all dirty),
+            # so the loop below carries its dendrogram across exactly
+            # like its flat clusters.
+            dendro_of_key = {}
         cache: dict[frozenset[str], list[frozenset[str]]] = {}
+        dendros: dict[frozenset[str], Dendrogram] = {}
         of_key: dict[str, frozenset[str]] = {}
         reclustered = 0
+        merges_reused = merges_recomputed = 0
         for component in self._matrix.connected_components():
             frozen = frozenset(component)
             clusters = self._component_cache.get(frozen)
+            dendrogram = self._dendro_cache.get(frozen)
             if clusters is None or not component.isdisjoint(dirty):
-                clusters = self._component_clusters(frozen)
+                if dendrogram is not None and component.isdisjoint(dirty):
+                    # restored checkpoint: the merges survived, only the
+                    # flat cut is missing
+                    merges_reused += len(dendrogram.merges)
+                else:
+                    outcome = self._repair_component(frozen, dirty, dendro_of_key)
+                    dendrogram = outcome.dendrogram
+                    merges_reused += outcome.merges_reused
+                    merges_recomputed += outcome.merges_recomputed
+                clusters = dendrogram.cut(self._max_distance)
                 reclustered += 1
             cache[frozen] = clusters
+            if dendrogram is not None and self._repair_mode == REPAIR_SPLICE:
+                dendros[frozen] = dendrogram
             for key in frozen:
                 of_key[key] = frozen
         self._component_cache = cache
+        self._dendro_cache = dendros
         self._component_of_key = of_key
-        return reclustered
+        return reclustered, merges_reused, merges_recomputed
 
-    def _recluster_dirty(self, dirty: set[str]) -> int:
+    def _recluster_dirty(self, dirty: set[str]) -> tuple[int, int, int]:
         """O(dirty region): recluster only components touching dirty keys.
 
         Sound because between structural losses components only ever grow:
@@ -380,12 +507,20 @@ class ShardEngine:
             stale = self._component_of_key.get(key)
             if stale is not None:
                 self._component_cache.pop(stale, None)
+        merges_reused = merges_recomputed = 0
         for root in roots:
             component = matrix.component_members(root)
-            self._component_cache[component] = self._component_clusters(component)
+            outcome = self._repair_component(component, dirty, self._component_of_key)
+            if self._repair_mode == REPAIR_SPLICE:
+                self._dendro_cache[component] = outcome.dendrogram
+            self._component_cache[component] = outcome.dendrogram.cut(
+                self._max_distance
+            )
+            merges_reused += outcome.merges_reused
+            merges_recomputed += outcome.merges_recomputed
             for key in component:
                 self._component_of_key[key] = component
-        return len(roots)
+        return len(roots), merges_reused, merges_recomputed
 
     # -- checkpointing -------------------------------------------------------
 
@@ -397,6 +532,12 @@ class ShardEngine:
         their op tag.  The first and last consumed events are recorded as
         a fingerprint of the consumed prefix, so :meth:`restore` can
         refuse a store holding a different stream.
+
+        The per-component dendrogram cache rides along (compactly encoded
+        via :func:`~repro.core.dendro_repair.dendrogram_to_state`), so a
+        resumed session — or a process-pool worker receiving this state
+        through :meth:`export_task` — keeps splicing instead of paying
+        one wholesale re-agglomeration per component to rebuild it.
         """
         position = 0 if self._cursor is None else self._cursor.position
         return {
@@ -416,6 +557,12 @@ class ShardEngine:
             "groups": [
                 [index, sorted(members)]
                 for index, members in sorted(self._matrix.observed_groups().items())
+            ],
+            # rebuild mode carries no dendrogram cache, so its
+            # checkpoints stay exactly as small as before splicing
+            "dendrograms": [
+                dendrogram_to_state(self._dendro_cache[component])
+                for component in sorted(self._dendro_cache, key=sorted)
             ],
         }
 
@@ -471,6 +618,16 @@ class ShardEngine:
                 )
         if groups:
             self._matrix.update_groups(added=groups)
+        known = set(self._matrix.keys)
+        for entry in state.get("dendrograms") or ():
+            dendrogram = dendrogram_from_state(entry)
+            if not dendrogram.items <= known:
+                raise ValueError(
+                    "checkpoint dendrogram covers keys absent from the "
+                    "checkpointed groups"
+                )
+            if self._repair_mode == REPAIR_SPLICE:
+                self._dendro_cache[dendrogram.items] = dendrogram
         self._seen_structure = self._matrix.structure_version
 
     # -- process-boundary execution ------------------------------------------
@@ -520,6 +677,7 @@ class ShardEngine:
                 "correlation_threshold": self._correlation_threshold,
                 "linkage": self._linkage,
                 "grouping": self._grouping,
+                "repair_mode": self._repair_mode,
             },
         }
 
@@ -613,6 +771,17 @@ class ShardedPipeline:
     without restarting the session, and it is caller-owned (closing the
     pipeline does not close the executor).
 
+    ``repair_mode`` selects how dirty components are re-clustered:
+    ``"splice"`` (default) repairs each one's cached dendrogram below the
+    first affected linkage distance (:mod:`repro.core.dendro_repair`);
+    ``"rebuild"`` re-agglomerates from singletons every time.  Both
+    produce identical clusters; ``last_stats.merges_reused`` /
+    ``merges_recomputed`` report the difference in work.  Unlike the
+    clustering parameters, reassigning ``repair_mode`` between updates
+    does *not* restart the session — the mode is applied to the live
+    engines in place (switching to ``"rebuild"`` drops their dendrogram
+    caches; switching back re-fills them as components next go dirty).
+
     Sessions checkpoint to JSON-safe dicts (:meth:`to_state`) and resume
     (:meth:`from_state`) without re-reading consumed journal events.
     """
@@ -629,6 +798,7 @@ class ShardedPipeline:
         grouping: str = GROUPING_SLIDING,
         catch_all: bool = True,
         executor: "ShardExecutor | None" = None,
+        repair_mode: str = REPAIR_SPLICE,
     ) -> None:
         self.store = store
         self.shard_prefixes = tuple(shard_prefixes)
@@ -639,11 +809,15 @@ class ShardedPipeline:
         self.key_filter = key_filter
         self.grouping = grouping
         self.executor = executor
+        self.repair_mode = repair_mode
         self.last_stats: UpdateStats | None = None
         self._journal_view: ShardedJournal | None = None
         self._reset()
 
     def _params(self) -> tuple:
+        # repair_mode is deliberately absent: it never changes results,
+        # so retuning it applies to the engines in place instead of
+        # restarting the session (see update()).
         return (
             self.window,
             self.correlation_threshold,
@@ -664,6 +838,7 @@ class ShardedPipeline:
             raise ValueError(
                 f"unknown linkage {self.linkage!r}; options: {_LINKAGES}"
             )
+        check_repair_mode(self.repair_mode)
         # window and grouping are validated before any journal is attached
         StreamingGroupExtractor(self.window, grouping=self.grouping)
         if self._journal_view is not None:
@@ -681,6 +856,7 @@ class ShardedPipeline:
                 correlation_threshold=self.correlation_threshold,
                 linkage=self.linkage,
                 grouping=self.grouping,
+                repair_mode=self.repair_mode,
             )
             for shard_id in self._journal_view.shard_ids
         }
@@ -735,7 +911,10 @@ class ShardedPipeline:
         if self._params() != self._active_params:
             self._reset()
             session_rebuilt = True
+        for engine in self._engines.values():
+            engine.set_repair_mode(self.repair_mode)
         events = groups = dirty = total = reclustered = reused = absorbed = 0
+        merges_reused = merges_recomputed = 0
         engine_rebuilt = False
         changed = False
         pending: list[tuple[str, ShardEngine]] = []
@@ -764,6 +943,8 @@ class ShardedPipeline:
             reclustered += result.stats.components_reclustered
             reused += result.stats.components_reused
             absorbed += result.stats.reorders_absorbed
+            merges_reused += result.stats.merges_reused
+            merges_recomputed += result.stats.merges_recomputed
             engine_rebuilt = engine_rebuilt or result.stats.rebuilt
             changed = changed or result.changed
         busy_seconds = sum(shard_timings.values())
@@ -802,6 +983,8 @@ class ShardedPipeline:
                 if wall_seconds > 0 and busy_seconds > 0
                 else 1.0
             ),
+            merges_reused=merges_reused,
+            merges_recomputed=merges_recomputed,
         )
         return self._cluster_set
 
@@ -825,6 +1008,7 @@ class ShardedPipeline:
                 "grouping": self.grouping,
                 "shard_prefixes": list(self.shard_prefixes),
                 "catch_all": self.catch_all,
+                "repair_mode": self.repair_mode,
             },
             "shards": {
                 shard_id: engine.to_state()
@@ -839,6 +1023,7 @@ class ShardedPipeline:
         state: dict,
         *,
         executor: "ShardExecutor | None" = None,
+        repair_mode: str | None = None,
     ) -> "ShardedPipeline":
         """Rebuild a session over ``store`` from :meth:`to_state` output.
 
@@ -848,7 +1033,9 @@ class ShardedPipeline:
         the checkpoint's parameters (not the defaults of ``cls``).
         ``executor`` is runtime configuration, not session state, so the
         resumed session takes whatever the caller passes (default:
-        serial).
+        serial).  ``repair_mode`` likewise affects only how much work
+        updates do, never their output: ``None`` (default) keeps the
+        checkpoint's mode, an explicit value overrides it.
         """
         version = state.get("version")
         if version != STATE_VERSION:
@@ -867,6 +1054,11 @@ class ShardedPipeline:
             grouping=params["grouping"],
             catch_all=params["catch_all"],
             executor=executor,
+            repair_mode=(
+                repair_mode
+                if repair_mode is not None
+                else params.get("repair_mode", REPAIR_SPLICE)
+            ),
         )
         shards = state["shards"]
         if set(shards) != set(pipeline._engines):

@@ -19,6 +19,7 @@ from repro.core.pipeline import (
     DEFAULT_WINDOW,
     singleton_clusters,
 )
+from repro.core.dendro_repair import REPAIR_SPLICE
 from repro.core.sharded import ShardedPipeline
 from repro.core.repair import FixOracle, RepairEngine, RepairOutcome
 from repro.core.search import (
@@ -78,6 +79,13 @@ class OcastaRepairTool:
         clustering session's shard updates (the tool has one shard, so
         this mainly matters when many tools share one pool).  Caller
         owned; the tool never closes it.
+    repair_mode:
+        Dirty-component repair strategy for the clustering session —
+        ``"splice"`` (default) keeps cached dendrogram merges below the
+        first affected linkage distance, ``"rebuild"`` re-agglomerates
+        from singletons (see :mod:`repro.core.dendro_repair`).  Both
+        yield identical clusters; ``last_update_stats`` shows the work
+        difference.
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class OcastaRepairTool:
         use_clustering: bool = True,
         clock: SimClock | None = None,
         executor=None,
+        repair_mode: str = REPAIR_SPLICE,
     ) -> None:
         self.app = app
         self.ttkv = ttkv
@@ -99,7 +108,15 @@ class OcastaRepairTool:
         self.use_clustering = use_clustering
         self.clock = clock if clock is not None else SimClock()
         self.executor = executor
+        self.repair_mode = repair_mode
         self._pipeline: ShardedPipeline | None = None
+
+    @property
+    def last_update_stats(self):
+        """The clustering session's :class:`~repro.core.sharded.UpdateStats`
+        from the most recent :meth:`build_clusters` (``None`` before the
+        first run or under ``use_clustering=False``)."""
+        return None if self._pipeline is None else self._pipeline.last_stats
 
     def build_clusters(self) -> ClusterSet:
         """Cluster this application's settings from the recorded trace.
@@ -123,12 +140,14 @@ class OcastaRepairTool:
                 correlation_threshold=self.correlation_threshold,
                 catch_all=False,
                 executor=self.executor,
+                repair_mode=self.repair_mode,
             )
         else:
             # the pipeline detects retuned parameters and restarts itself
             self._pipeline.window = self.window
             self._pipeline.correlation_threshold = self.correlation_threshold
             self._pipeline.executor = self.executor
+            self._pipeline.repair_mode = self.repair_mode
         return self._pipeline.update()
 
     def repair(

@@ -8,6 +8,9 @@ import repro
 import repro.analysis.stats
 import repro.analysis.tables
 import repro.common.format
+import repro.core.clustering
+import repro.core.dendro_repair
+import repro.core.dendrogram
 import repro.core.executors
 import repro.core.incremental
 import repro.core.sharded
@@ -20,6 +23,9 @@ _MODULES = [
     repro.analysis.stats,
     repro.analysis.tables,
     repro.common.format,
+    repro.core.clustering,
+    repro.core.dendro_repair,
+    repro.core.dendrogram,
     repro.core.executors,
     repro.core.incremental,
     repro.core.sharded,
