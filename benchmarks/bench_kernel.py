@@ -1,0 +1,206 @@
+"""Numpy HAC kernel vs pure-Python agglomeration on large components.
+
+The kernel (:mod:`repro.core.hac_kernel`) exists for exactly one reason:
+the pure-Python heap agglomeration is the hot path of every large-
+component repair, and it both scales super-quadratically in practice
+(dict-backed Lance–Williams updates, O(n²) heap churn) and holds the GIL
+throughout.  This benchmark pins the first claim with numbers: seeded
+random write-group traces are folded into one connected component of
+200–1000 keys, and both kernels agglomerate it from singletons —
+**merge-for-merge equality asserted on every timed run** — under
+complete linkage (the paper's choice; single-linkage equality is
+asserted as well on the smallest component).
+
+The headline ``kernel_speedup`` is the Python/numpy latency ratio on the
+largest component.  It is a within-run ratio, so the CI regression gate
+(``benchmarks/check_regression.py``) compares it across machines without
+wall-clock flakiness; full mode additionally enforces the ≥3x acceptance
+floor at every measured size (the real ratio is an order of magnitude
+above it — the floor only catches catastrophic regressions).
+
+Run as a script for CI/quick use::
+
+    python benchmarks/bench_kernel.py --quick --out benchmarks/out/BENCH_kernel.json
+
+or through the benchmark harness (``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.clustering import agglomerate_component
+from repro.core.correlation import CorrelationMatrix
+from repro.core.hac_kernel import KERNEL_NUMPY, KERNEL_PYTHON, numpy_available
+
+#: Trace-generation seed; recorded in the JSON so the CI regression gate
+#: only ever compares runs over the identical trace.
+SEED = 20260729
+
+#: Component sizes measured per mode (keys in the single hot component).
+QUICK_SIZES = (200,)
+FULL_SIZES = (200, 500, 1000)
+
+#: Timed repetitions per kernel per size (the best is recorded).
+REPEATS = 3
+
+#: Acceptance floor for the full-mode per-size speedup gate.
+SPEEDUP_FLOOR = 3.0
+
+
+def _component_matrix(keys: int, rng: random.Random) -> CorrelationMatrix:
+    """One dense-ish connected component of ``keys`` keys.
+
+    Write groups sample random subsets of the key space, the shape a busy
+    application's correlated settings produce: every key co-occurs with
+    many others at varied strengths, so the distance structure is dense
+    and tie-poor — the regime where agglomeration cost dominates.
+    """
+    names = [f"app/k{i:04d}" for i in range(keys)]
+    matrix = CorrelationMatrix()
+    width = max(3, keys // 13)
+    for gid in range(keys * 2):
+        matrix.observe_group(gid, rng.sample(names, rng.randint(2, width)))
+    components = matrix.connected_components()
+    assert len(components) == 1, "trace failed to form a single component"
+    return matrix
+
+
+def _time_kernel(matrix: CorrelationMatrix, kernel: str) -> tuple[float, list]:
+    component = set(matrix.keys)
+    best = float("inf")
+    merges = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = agglomerate_component(matrix, component, "complete", kernel=kernel)
+        best = min(best, time.perf_counter() - start)
+        if merges is not None and result != merges:
+            raise AssertionError("kernel produced unstable merges across runs")
+        merges = result
+    return best, merges
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    if not numpy_available():
+        raise RuntimeError("bench_kernel needs numpy (pip install numpy)")
+    rng = random.Random(SEED)
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    components = []
+    agree = True
+    for keys in sizes:
+        matrix = _component_matrix(keys, rng)
+        python_seconds, python_merges = _time_kernel(matrix, KERNEL_PYTHON)
+        numpy_seconds, numpy_merges = _time_kernel(matrix, KERNEL_NUMPY)
+        if python_merges != numpy_merges:
+            agree = False
+        if keys == sizes[0]:
+            # single-linkage equality ride-along on the smallest component
+            single_py = agglomerate_component(
+                matrix, set(matrix.keys), "single", kernel=KERNEL_PYTHON
+            )
+            single_np = agglomerate_component(
+                matrix, set(matrix.keys), "single", kernel=KERNEL_NUMPY
+            )
+            if single_py != single_np:
+                agree = False
+        components.append(
+            {
+                "keys": keys,
+                "merges": len(python_merges),
+                "python_seconds": python_seconds,
+                "numpy_seconds": numpy_seconds,
+                "speedup": (
+                    python_seconds / numpy_seconds
+                    if numpy_seconds
+                    else float("inf")
+                ),
+            }
+        )
+    return {
+        "seed": SEED,
+        "quick": quick,
+        "sizes": list(sizes),
+        "components": components,
+        "kernel_speedup": components[-1]["speedup"],
+        "kernels_agree": agree,
+    }
+
+
+def render(record: dict) -> str:
+    lines = [
+        "numpy HAC kernel vs pure-Python agglomeration "
+        f"(complete linkage, {len(record['components'])} component size(s)):"
+    ]
+    for entry in record["components"]:
+        lines.append(
+            f"  {entry['keys']:5d} keys ({entry['merges']} merges): "
+            f"python {entry['python_seconds'] * 1000:9.2f} ms, "
+            f"numpy {entry['numpy_seconds'] * 1000:8.2f} ms "
+            f"({entry['speedup']:6.1f}x)"
+        )
+    lines.append(
+        f"  merge-for-merge equality  : {record['kernels_agree']}"
+    )
+    return "\n".join(lines)
+
+
+def _gate(record: dict, quick: bool) -> list[str]:
+    """Human-readable failures; empty when the record passes its gates."""
+    failures = []
+    if not record["kernels_agree"]:
+        failures.append("numpy kernel diverged from the pure-Python merges")
+    if quick:
+        return failures
+    for entry in record["components"]:
+        if entry["speedup"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"{entry['keys']}-key component speedup "
+                f"{entry['speedup']:.2f}x below the {SPEEDUP_FLOOR}x floor"
+            )
+    if max(entry["keys"] for entry in record["components"]) < 1000:
+        failures.append("full mode must measure a 1000-key component")
+    return failures
+
+
+def test_kernel_speedup(benchmark, report):
+    record = benchmark.pedantic(
+        lambda: run_benchmark(quick=True), rounds=1, iterations=1
+    )
+    report("bench_kernel", render(record))
+    (Path(__file__).parent / "out" / "BENCH_kernel.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    assert record["kernels_agree"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smallest component only; skip the speedup floor",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the JSON record here"
+    )
+    args = parser.parse_args(argv)
+    record = run_benchmark(quick=args.quick)
+    print(render(record))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    failures = _gate(record, quick=args.quick)
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

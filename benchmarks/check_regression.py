@@ -10,10 +10,10 @@ compares like with like).
 
 Headline metrics are deliberately *ratios* (incremental-vs-batch speedup,
 sharded-vs-global speedup, union-find-vs-scan speedup, thread-vs-serial
-wall ratio, splice-vs-rebuild repair speedup): ratios measured within one
-run cancel out most of the
-machine-to-machine absolute-speed variance that makes wall-clock gates
-flaky on shared CI runners.
+wall ratio, splice-vs-rebuild repair speedup, numpy-kernel-vs-Python
+agglomeration speedup): ratios measured within one run cancel out most
+of the machine-to-machine absolute-speed variance that makes wall-clock
+gates flaky on shared CI runners.
 
 Usage::
 
@@ -21,6 +21,7 @@ Usage::
     python benchmarks/bench_sharded.py     --quick --out benchmarks/out/BENCH_sharded.json
     python benchmarks/bench_parallel.py    --quick --out benchmarks/out/BENCH_parallel.json
     python benchmarks/bench_splice.py      --quick --out benchmarks/out/BENCH_splice.json
+    python benchmarks/bench_kernel.py      --quick --out benchmarks/out/BENCH_kernel.json
     python benchmarks/check_regression.py
 
 Refreshing a baseline (after a deliberate perf change) is the same run
@@ -54,14 +55,26 @@ GATES: dict[str, dict] = {
         "identity": ["events", "seed", "quick"],
     },
     "BENCH_parallel.json": {
-        "headline": [("thread_speedup", "higher")],
-        "invariants": ["executors_agree", "matches_batch"],
-        "identity": ["events", "seed", "workers", "quick"],
+        "headline": [
+            ("thread_speedup", "higher"),
+            ("large_kernel_speedup", "higher"),
+        ],
+        "invariants": [
+            "executors_agree",
+            "matches_batch",
+            "large_executors_agree",
+        ],
+        "identity": ["events", "seed", "workers", "quick", "large_events"],
     },
     "BENCH_splice.json": {
         "headline": [("splice_speedup", "higher")],
         "invariants": ["splice_equals_rebuild", "splice_equals_batch"],
         "identity": ["events", "seed", "quick"],
+    },
+    "BENCH_kernel.json": {
+        "headline": [("kernel_speedup", "higher")],
+        "invariants": ["kernels_agree"],
+        "identity": ["seed", "quick", "sizes"],
     },
 }
 

@@ -131,10 +131,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--state resume the flag overrides the checkpointed mode",
     )
     stream.add_argument(
+        "--kernel", choices=("auto", "numpy", "python"), default=None,
+        help="agglomeration implementation: 'auto' (default) runs large "
+        "components on the numpy kernel when numpy is installed, "
+        "'numpy'/'python' force one path; results are identical either "
+        "way — on --state resume the flag overrides the checkpointed "
+        "kernel",
+    )
+    stream.add_argument(
         "--timings", action="store_true",
-        help="append per-shard timing (slowest shard, overlap factor) and "
-        "dendrogram-repair counters (merges spliced vs recomputed) to "
-        "each progress line",
+        help="append per-shard timing (slowest shard, overlap factor), "
+        "dendrogram-repair counters (merges spliced vs recomputed) and "
+        "kernel dispatch (components on the numpy kernel) to each "
+        "progress line",
     )
 
     repair = sub.add_parser("repair", help="repair one Table III error")
@@ -294,12 +303,17 @@ def _timing_suffix(stats) -> str:
         return "; no shard ran"
     slowest = stats.slowest_shard
     label = slowest if slowest else "<catch-all>"
+    kernel = (
+        f"numpy kernel on {stats.kernel_components} component(s)"
+        if stats.kernel_used
+        else "python kernel"
+    )
     return (
         f"; slowest shard {label} "
         f"{stats.shard_timings[slowest] * 1000:.1f}ms, "
         f"{stats.parallel_speedup:.1f}x overlap; "
         f"merges {stats.merges_reused} spliced/"
-        f"{stats.merges_recomputed} recomputed"
+        f"{stats.merges_recomputed} recomputed; {kernel}"
     )
 
 
@@ -329,6 +343,7 @@ def _cmd_stream(args) -> str:
                 json.loads(state_path.read_text(encoding="utf-8")),
                 executor=executor,
                 repair_mode=args.repair_mode,
+                kernel=args.kernel,
             )
             clusters = pipeline.update()
             stats = pipeline.last_stats
@@ -354,6 +369,7 @@ def _cmd_stream(args) -> str:
                 correlation_threshold=args.threshold,
                 executor=executor,
                 repair_mode=args.repair_mode or "splice",
+                kernel=args.kernel or "auto",
             )
             chunk_size = max(1, -(-len(events) // max(1, args.chunks)))
             chunks = -(-len(events) // chunk_size) if events else 0

@@ -34,6 +34,14 @@ from repro.core.dendro_repair import (
     build_dendrogram,
     splice_dendrogram,
 )
+from repro.core.hac_kernel import (
+    KERNEL_AUTO,
+    KERNEL_NAMES,
+    KERNEL_NUMPY,
+    KERNEL_PYTHON,
+    check_kernel,
+    numpy_available,
+)
 from repro.core.cluster_model import (
     Cluster,
     ClusterSet,
@@ -81,6 +89,12 @@ __all__ = [
     "SpliceOutcome",
     "build_dendrogram",
     "splice_dendrogram",
+    "KERNEL_AUTO",
+    "KERNEL_NAMES",
+    "KERNEL_NUMPY",
+    "KERNEL_PYTHON",
+    "check_kernel",
+    "numpy_available",
     "ClusterSession",
     "IncrementalPipeline",
     "UpdateStats",

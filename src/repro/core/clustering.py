@@ -35,6 +35,12 @@ from typing import Callable, Sequence
 
 from repro.core.correlation import CorrelationMatrix, correlation_to_distance
 from repro.core.dendrogram import Dendrogram, Merge
+from repro.core.hac_kernel import (
+    KERNEL_NUMPY,
+    KERNEL_PYTHON,
+    resolve_kernel,
+)
+from repro.core import hac_kernel
 
 #: maximum-linkage a.k.a. complete linkage (the paper's choice)
 LINKAGE_COMPLETE = "complete"
@@ -53,18 +59,30 @@ def hac_complete_linkage(matrix: CorrelationMatrix) -> Dendrogram:
     return hac(matrix, linkage=LINKAGE_COMPLETE)
 
 
-def hac(matrix: CorrelationMatrix, linkage: str = LINKAGE_COMPLETE) -> Dendrogram:
+def hac(
+    matrix: CorrelationMatrix,
+    linkage: str = LINKAGE_COMPLETE,
+    *,
+    kernel: str = KERNEL_PYTHON,
+) -> Dendrogram:
     """Agglomerate with the requested linkage criterion.
 
     ``single`` and ``average`` exist for the linkage ablation benchmark;
     the paper (and all defaults in this library) use ``complete``.
+
+    ``kernel`` selects the agglomeration implementation per component
+    (see :mod:`repro.core.hac_kernel`): the default keeps this function
+    the pure-Python reference; ``"auto"``/``"numpy"`` dispatch large
+    components to the numpy kernel, which produces bit-identical merges.
     """
     if linkage not in _LINKAGES:
         raise ValueError(f"unknown linkage {linkage!r}; options: {_LINKAGES}")
     merges: list[Merge] = []
     for component in matrix.connected_components():
         if len(component) > 1:
-            merges.extend(agglomerate_component(matrix, component, linkage))
+            merges.extend(
+                agglomerate_component(matrix, component, linkage, kernel=kernel)
+            )
     merges.sort(key=lambda merge: merge.distance)
     return Dendrogram(frozenset(matrix.keys), merges)
 
@@ -74,6 +92,8 @@ def component_clusters(
     component: frozenset[str] | set[str],
     correlation_threshold: float,
     linkage: str = LINKAGE_COMPLETE,
+    *,
+    kernel: str = KERNEL_PYTHON,
 ) -> list[frozenset[str]]:
     """Flat clusters of one connected component at a correlation threshold.
 
@@ -97,18 +117,25 @@ def component_clusters(
         raise ValueError(f"unknown linkage {linkage!r}; options: {_LINKAGES}")
     if len(component) == 1:
         return [frozenset(component)]
-    merges = agglomerate_component(matrix, set(component), linkage)
+    merges = agglomerate_component(matrix, set(component), linkage, kernel=kernel)
     merges.sort(key=lambda merge: merge.distance)
     dendrogram = Dendrogram(frozenset(component), merges)
     return dendrogram.cut(correlation_to_distance(correlation_threshold))
 
 
 def agglomerate_component(
-    matrix: CorrelationMatrix, component: set[str], linkage: str
+    matrix: CorrelationMatrix,
+    component: set[str],
+    linkage: str,
+    *,
+    kernel: str = KERNEL_PYTHON,
 ) -> list[Merge]:
-    """Classic heap-driven HAC restricted to one connected component."""
+    """HAC restricted to one connected component (singleton seeds)."""
     return agglomerate_clusters(
-        matrix, [frozenset((key,)) for key in sorted(component)], linkage
+        matrix,
+        [frozenset((key,)) for key in sorted(component)],
+        linkage,
+        kernel=kernel,
     )
 
 
@@ -166,6 +193,8 @@ def agglomerate_clusters(
     matrix: CorrelationMatrix,
     clusters: Sequence[frozenset[str]],
     linkage: str,
+    *,
+    kernel: str = KERNEL_PYTHON,
 ) -> list[Merge]:
     """Heap-driven HAC continued from an arbitrary disjoint partition.
 
@@ -181,10 +210,29 @@ def agglomerate_clusters(
     takes the smaller of its halves' ids — so the heap's ``(distance,
     id, id)`` ordering is a function of cluster *contents*, independent of
     creation order.
+
+    ``kernel`` dispatches the work to the numpy kernel
+    (:mod:`repro.core.hac_kernel`) when it resolves to ``"numpy"`` for
+    this component's size and linkage; the merges are bit-identical
+    either way, only the cost differs.
     """
     members: dict[int, frozenset[str]] = dict(enumerate(clusters))
     if len(members) > 1 and sorted(members.values(), key=min) != list(clusters):
         raise ValueError("seed clusters must be sorted by their smallest key")
+
+    component_keys = frozenset().union(*clusters) if clusters else frozenset()
+    if (
+        resolve_kernel(kernel, linkage, len(component_keys)) == KERNEL_NUMPY
+        and len(clusters) > 1
+    ):
+        block = matrix.component_distance_block(component_keys)
+        if len(clusters) == len(component_keys):
+            # singleton seeds in sorted-key order: the block *is* the
+            # seed matrix (copied — the kernel mutates it)
+            square = block.square.copy()
+        else:
+            square = hac_kernel.seed_matrix(block, clusters, linkage)
+        return hac_kernel.agglomerate_square(square, clusters, linkage)
 
     dist = seed_distances(matrix, clusters, linkage)
     heap: list[tuple[float, int, int]] = [
@@ -255,6 +303,8 @@ def flat_clusters(
     matrix: CorrelationMatrix,
     correlation_threshold: float = 2.0,
     linkage: str = LINKAGE_COMPLETE,
+    *,
+    kernel: str = KERNEL_PYTHON,
 ) -> list[frozenset[str]]:
     """Convenience: agglomerate and cut at a *correlation* threshold.
 
@@ -267,7 +317,7 @@ def flat_clusters(
             f"correlation threshold must lie in (0, 2], got {correlation_threshold}"
         )
     max_distance = correlation_to_distance(correlation_threshold)
-    return hac(matrix, linkage=linkage).cut(max_distance)
+    return hac(matrix, linkage=linkage, kernel=kernel).cut(max_distance)
 
 
 DistanceFunction = Callable[[str, str], float]

@@ -86,6 +86,15 @@ class CorrelationMatrix:
         self._uf = UnionFind()
         self._uf_stale = False
         self._structure_version = 0
+        # Dense distance blocks for the numpy HAC kernel, keyed by the
+        # component key set they cover.  Valid for the current
+        # structure_version only: a lossy update clears the lot, a
+        # growth-only update just records which keys went dirty so the
+        # next request refreshes those rows in place (pairs with no dirty
+        # endpoint cannot have changed).
+        self._blocks: dict[frozenset[str], "object"] = {}
+        self._block_of_key: dict[str, frozenset[str]] = {}
+        self._block_dirty: dict[frozenset[str], set[str]] = {}
         if key_groups:
             for key, groups in key_groups.items():
                 if not groups:
@@ -192,12 +201,22 @@ class CorrelationMatrix:
             # A co-occurrence edge or a key is really gone: the union-find
             # cannot un-merge, so flag it for a rebuild at the next
             # component query and tell engines their cached component
-            # structure is void.
+            # structure is void.  Cached distance blocks go with it —
+            # rows could silently keep edges the retraction removed.
             self._uf_stale = True
             self._structure_version += 1
-        elif not self._uf_stale:
-            for index, members in added:
-                self._uf.union_many(members)
+            self._blocks.clear()
+            self._block_of_key.clear()
+            self._block_dirty.clear()
+        else:
+            if not self._uf_stale:
+                for index, members in added:
+                    self._uf.union_many(members)
+            if self._blocks:
+                for key in dirty:
+                    covering = self._block_of_key.get(key)
+                    if covering is not None:
+                        self._block_dirty.setdefault(covering, set()).add(key)
         return dirty
 
     # -- queries -------------------------------------------------------------
@@ -289,6 +308,133 @@ class CorrelationMatrix:
             key_a, key_b = sorted(pair)
             yield key_a, key_b, self.correlation_of(key_a, key_b)
 
+    def component_distance_block(self, component: frozenset[str] | set[str]):
+        """Dense distance block over one component's keys, cached.
+
+        Returns a :class:`~repro.core.hac_kernel.DistanceBlock` whose
+        ``square`` holds every pairwise clustering distance among the
+        component's keys (``inf`` for pairs that never co-modified and on
+        the diagonal), with the keys in sorted order — exactly the seed
+        order the agglomeration uses.  Requires numpy (the numpy HAC
+        kernel is the only consumer).
+
+        The block is cached and **incrementally refreshed**: a later call
+        after growth-only updates recomputes only the rows of keys that
+        went dirty since (plus keys new to the component), reusing every
+        clean row — a pair's distance depends only on its endpoints'
+        group counts and intersection, so a pair with two clean endpoints
+        cannot have changed.  When an update truly removed an edge or key
+        the whole cache was already dropped (see :meth:`update_groups`)
+        and the block rebuilds from scratch.  Entries under stale keys
+        (sub-components that since merged) are absorbed into the merged
+        block and released.
+
+        The returned array is owned by the cache: consumers must copy
+        before mutating.
+        """
+        from repro.core.hac_kernel import DistanceBlock, require_numpy
+
+        np = require_numpy()
+        component = frozenset(component)
+        covering: dict[frozenset[str], object] = {}
+        for key in component:
+            owner = self._block_of_key.get(key)
+            if owner is not None and owner not in covering:
+                block = self._blocks.get(owner)
+                if block is not None:
+                    covering[owner] = block
+        if len(covering) == 1:
+            (owner, block), = covering.items()
+            if owner == component:
+                # Same key set as the cached block: refresh the rows of
+                # keys dirtied since it was built, in place — no
+                # allocation, no O(n²) copy.
+                pending = self._block_dirty.pop(owner, None)
+                if pending:
+                    self._fill_block_rows(np, block.square, block.index, pending)
+                return block
+
+        keys = sorted(component)
+        index = {key: i for i, key in enumerate(keys)}
+        square = np.full((len(keys), len(keys)), INFINITE_DISTANCE)
+        refresh = set(component)
+        for owner, block in covering.items():
+            if not owner <= component:
+                # The block straddles the component boundary — stale
+                # material from a code path that bypassed invalidation.
+                # Never guess: recompute those rows from the counts.
+                self._drop_block(owner)
+                continue
+            pos = np.fromiter(
+                (index[key] for key in block.keys),
+                dtype=np.intp,
+                count=len(block.keys),
+            )
+            square[np.ix_(pos, pos)] = block.square
+            refresh.difference_update(block.keys)
+            refresh.update(
+                key
+                for key in self._block_dirty.get(owner, ())
+                if key in component
+            )
+            self._drop_block(owner)
+        self._fill_block_rows(np, square, index, refresh, reset=True)
+        block = DistanceBlock(keys, square)
+        self._blocks[component] = block
+        for key in keys:
+            self._block_of_key[key] = component
+        return block
+
+    def _fill_block_rows(self, np, square, index, refresh, *, reset=False) -> None:
+        """Recompute the rows/columns of ``refresh`` keys in ``square``.
+
+        Two phases — clear every refreshed row first, then fill — so a
+        later key's clear cannot wipe an earlier key's freshly written
+        column entries.  ``reset`` skips the clear for brand-new arrays
+        (already all-infinite).
+        """
+        if not reset:  # freshly np.full'ed arrays are already infinite
+            for key in refresh:
+                at = index[key]
+                square[at, :] = INFINITE_DISTANCE
+                square[:, at] = INFINITE_DISTANCE
+        for key in refresh:
+            at = index[key]
+            neighbors = [n for n in self._neighbors[key] if n in index]
+            if not neighbors:
+                continue
+            cols = np.fromiter(
+                (index[n] for n in neighbors),
+                dtype=np.intp,
+                count=len(neighbors),
+            )
+            common = np.fromiter(
+                (self._common[frozenset((key, n))] for n in neighbors),
+                dtype=np.float64,
+                count=len(neighbors),
+            )
+            counts = np.fromiter(
+                (len(self._key_groups[n]) for n in neighbors),
+                dtype=np.float64,
+                count=len(neighbors),
+            )
+            # identical IEEE-754 ops to correlation_of/correlation_to_distance
+            own_count = float(len(self._key_groups[key]))
+            values = 1.0 / (common / own_count + common / counts)
+            square[at, cols] = values
+            square[cols, at] = values
+
+    def _drop_block(self, owner: frozenset[str]) -> None:
+        block = self._blocks.pop(owner, None)
+        self._block_dirty.pop(owner, None)
+        if block is not None:
+            for key in block.keys:
+                # identity check: the mapping stores the exact frozenset
+                # used as the cache key (an equality compare would be
+                # O(component) per key — O(n²) per drop)
+                if self._block_of_key.get(key) is owner:
+                    del self._block_of_key[key]
+
     def connected_components(self, *, method: str = "unionfind") -> list[set[str]]:
         """Components of the finite-distance graph.
 
@@ -368,6 +514,9 @@ class CorrelationMatrixView:
 
     def finite_pairs(self) -> Iterable[tuple[str, str, float]]:
         return self._matrix.finite_pairs()
+
+    def component_distance_block(self, component: frozenset[str] | set[str]):
+        return self._matrix.component_distance_block(component)
 
     def connected_components(self, *, method: str = "unionfind") -> list[set[str]]:
         return self._matrix.connected_components(method=method)

@@ -71,12 +71,19 @@ Example — a 120-key component, its farthest key touched::
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.core import hac_kernel
 from repro.core.clustering import LINKAGE_AVERAGE, agglomerate_clusters
 from repro.core.correlation import CorrelationMatrix, correlation_to_distance
 from repro.core.dendrogram import Dendrogram, Merge
+from repro.core.hac_kernel import (
+    KERNEL_NUMPY,
+    KERNEL_PYTHON,
+    require_numpy,
+    resolve_kernel,
+)
 from repro.core.unionfind import UnionFind
 
 #: Repair every dirty component by splicing its cached dendrogram (the
@@ -90,6 +97,26 @@ REPAIR_MODES = (REPAIR_SPLICE, REPAIR_REBUILD)
 
 
 @dataclass(frozen=True)
+class SeedDistanceCache:
+    """Inter-seed linkage distances from a component's previous repair.
+
+    ``seeds`` is the surviving-cluster partition that repair
+    re-agglomerated (sorted by smallest key) and ``matrix`` its dense
+    ``(k, k)`` linkage-distance array (the :func:`~repro.core.hac_kernel.
+    seed_matrix` output, *before* the merge loop mutated its copy).  On
+    the next repair of the same component, rows of seeds that survived
+    unchanged and contain no dirty key are copied over instead of being
+    re-reduced from the distance block — repeat repairs touch only the
+    affected rows.  Runtime-only derived data: it is never checkpointed
+    (a resumed session re-derives it on first repair).
+    """
+
+    linkage: str
+    seeds: tuple[frozenset[str], ...]
+    matrix: "object"
+
+
+@dataclass(frozen=True)
 class SpliceOutcome:
     """One repaired component: its dendrogram plus the work accounting.
 
@@ -97,13 +124,18 @@ class SpliceOutcome:
     prefix); ``merges_recomputed`` counts merges the seeded agglomeration
     re-derived.  ``spliced`` says whether the splice path actually ran —
     ``False`` means a wholesale rebuild (requested, no usable cache, or a
-    safety fallback).
+    safety fallback).  ``kernel`` records which implementation derived
+    the recomputed merges (``"numpy"`` or ``"python"``); ``seed_cache``
+    carries the refreshed inter-seed distances for the next repair of
+    this component (numpy splice path only).
     """
 
     dendrogram: Dendrogram
     merges_reused: int
     merges_recomputed: int
     spliced: bool
+    kernel: str = KERNEL_PYTHON
+    seed_cache: SeedDistanceCache | None = field(default=None, compare=False)
 
 
 def check_repair_mode(mode: str) -> str:
@@ -117,6 +149,8 @@ def build_dendrogram(
     matrix: CorrelationMatrix,
     component: frozenset[str] | set[str],
     linkage: str,
+    *,
+    kernel: str = KERNEL_PYTHON,
 ) -> Dendrogram:
     """Wholesale agglomeration of one component into a dendrogram.
 
@@ -127,7 +161,10 @@ def build_dendrogram(
     if len(component) < 2:
         return Dendrogram(component, [])
     merges = agglomerate_clusters(
-        matrix, [frozenset((key,)) for key in sorted(component)], linkage
+        matrix,
+        [frozenset((key,)) for key in sorted(component)],
+        linkage,
+        kernel=kernel,
     )
     merges.sort(key=lambda merge: merge.distance)
     return Dendrogram(component, merges)
@@ -137,14 +174,17 @@ def rebuild_outcome(
     matrix: CorrelationMatrix,
     component: frozenset[str] | set[str],
     linkage: str,
+    *,
+    kernel: str = KERNEL_PYTHON,
 ) -> SpliceOutcome:
     """A wholesale rebuild packaged as a :class:`SpliceOutcome`."""
-    dendrogram = build_dendrogram(matrix, component, linkage)
+    dendrogram = build_dendrogram(matrix, component, linkage, kernel=kernel)
     return SpliceOutcome(
         dendrogram=dendrogram,
         merges_reused=0,
         merges_recomputed=len(dendrogram.merges),
         spliced=False,
+        kernel=resolve_kernel(kernel, linkage, len(frozenset(component))),
     )
 
 
@@ -194,6 +234,9 @@ def splice_dendrogram(
     dirty: Iterable[str],
     cached: Sequence[Dendrogram],
     linkage: str,
+    *,
+    kernel: str = KERNEL_PYTHON,
+    seed_caches: Sequence[SeedDistanceCache] = (),
 ) -> SpliceOutcome:
     """Repair one dirty component by splicing its cached merge history.
 
@@ -216,6 +259,15 @@ def splice_dendrogram(
         Each must cover a disjoint subset of ``component``.
     linkage:
         The linkage criterion (must match the cached dendrograms').
+    kernel:
+        Implementation selector (:mod:`repro.core.hac_kernel`): when it
+        resolves to ``"numpy"`` for this component, the inter-seed
+        distances come from vectorized reductions over the component's
+        cached distance block — optionally reusing rows from
+        ``seed_caches`` (previous repairs' :class:`SeedDistanceCache`
+        records) so only rows of seeds touching dirty keys are
+        re-reduced — and the merge loop runs on the array kernel.
+        Results are bit-identical across kernels.
 
     Returns a :class:`SpliceOutcome` whose dendrogram is bit-identical to
     :func:`build_dendrogram` on the same inputs.  Falls back to the
@@ -240,7 +292,7 @@ def splice_dendrogram(
         # seeded path than along the singleton path (nested weighted
         # means vs one mean) — the results can differ in the last ulp.
         # Bit-identical beats fast here.
-        return rebuild_outcome(matrix, component, linkage)
+        return rebuild_outcome(matrix, component, linkage, kernel=kernel)
     affected = {key for key in dirty if key in component}
 
     old_merges: list[Merge] = []
@@ -251,13 +303,13 @@ def splice_dendrogram(
             # A cached dendrogram holds keys outside the component (it
             # shrank — retraction territory) or two caches overlap; the
             # prefix argument no longer applies.
-            return rebuild_outcome(matrix, component, linkage)
+            return rebuild_outcome(matrix, component, linkage, kernel=kernel)
         covered |= items
         old_merges.extend(dendrogram.merges)
     # Keys no cache knows about joined the component in this update.
     affected |= component - covered
     if not affected or not old_merges:
-        return rebuild_outcome(matrix, component, linkage)
+        return rebuild_outcome(matrix, component, linkage, kernel=kernel)
 
     splice_at = first_affected_distance(matrix, component, affected)
     for merge in old_merges:
@@ -275,20 +327,85 @@ def splice_dendrogram(
     ]
 
     seeds = surviving_clusters(component, prefix)
-    new_merges = agglomerate_clusters(matrix, seeds, linkage)
+    resolved = resolve_kernel(kernel, linkage, len(component))
+    seed_cache: SeedDistanceCache | None = None
+    if resolved == KERNEL_NUMPY and len(seeds) > 1:
+        block = matrix.component_distance_block(component)
+        seed_square = _seed_matrix_with_reuse(
+            block, seeds, affected, seed_caches, linkage
+        )
+        seed_cache = SeedDistanceCache(
+            linkage=linkage, seeds=tuple(seeds), matrix=seed_square
+        )
+        new_merges = hac_kernel.agglomerate_square(
+            seed_square.copy(), seeds, linkage
+        )
+    else:
+        new_merges = agglomerate_clusters(matrix, seeds, linkage)
     new_merges.sort(key=lambda merge: merge.distance)
     try:
         dendrogram = Dendrogram(component, prefix + new_merges)
     except ValueError:
         # The seeded continuation produced a merge below the kept prefix —
         # the cache was inconsistent with the matrix.  Never guess.
-        return rebuild_outcome(matrix, component, linkage)
+        return rebuild_outcome(matrix, component, linkage, kernel=kernel)
     return SpliceOutcome(
         dendrogram=dendrogram,
         merges_reused=len(prefix),
         merges_recomputed=len(new_merges),
         spliced=True,
+        kernel=resolved,
+        seed_cache=seed_cache,
     )
+
+
+def _seed_matrix_with_reuse(
+    block,
+    seeds: Sequence[frozenset[str]],
+    affected: set[str],
+    seed_caches: Sequence[SeedDistanceCache],
+    linkage: str,
+):
+    """The seeds' inter-cluster distance matrix, reusing cached rows.
+
+    A seed that also appears in a previous repair's cache and contains no
+    dirty key kept every distance to *other such seeds from the same
+    cache*: those entries are copied.  Distances across different caches
+    (the update bridged components) default to ``inf``, which is exact —
+    before the bridge there was no edge between the old components, and
+    any edge the bridge created involves a dirty key, i.e. an affected
+    seed.  Rows of affected or brand-new seeds are re-reduced from the
+    distance block (:func:`~repro.core.hac_kernel.seed_matrix_rows`).
+    """
+    np = require_numpy()
+    count = len(seeds)
+    square = np.full((count, count), math.inf)
+    reused: set[int] = set()
+    for cache in seed_caches:
+        if cache is None or cache.linkage != linkage:
+            continue
+        old_index = {cluster: at for at, cluster in enumerate(cache.seeds)}
+        new_ids: list[int] = []
+        old_ids: list[int] = []
+        for at, seed in enumerate(seeds):
+            if at in reused:
+                continue
+            old_at = old_index.get(seed)
+            if old_at is not None and affected.isdisjoint(seed):
+                new_ids.append(at)
+                old_ids.append(old_at)
+        if new_ids:
+            square[np.ix_(new_ids, new_ids)] = cache.matrix[
+                np.ix_(old_ids, old_ids)
+            ]
+            reused.update(new_ids)
+    fresh = [at for at in range(count) if at not in reused]
+    if fresh:
+        rows = hac_kernel.seed_matrix_rows(block, seeds, fresh, linkage)
+        square[fresh, :] = rows
+        square[:, fresh] = rows.T
+    np.fill_diagonal(square, math.inf)
+    return square
 
 
 # -- checkpoint encoding ------------------------------------------------------

@@ -50,6 +50,7 @@ from __future__ import annotations
 from repro.core.clustering import LINKAGE_COMPLETE
 from repro.core.correlation import CorrelationMatrixView
 from repro.core.dendro_repair import REPAIR_SPLICE
+from repro.core.hac_kernel import KERNEL_AUTO
 from repro.core.sharded import ShardedPipeline, UpdateStats
 from repro.core.windowing import GROUPING_SLIDING
 from repro.ttkv.sharding import CATCH_ALL
@@ -98,6 +99,7 @@ class IncrementalPipeline(ShardedPipeline):
         grouping: str = GROUPING_SLIDING,
         executor=None,
         repair_mode: str = REPAIR_SPLICE,
+        kernel: str = KERNEL_AUTO,
     ) -> None:
         super().__init__(
             store,
@@ -110,6 +112,7 @@ class IncrementalPipeline(ShardedPipeline):
             catch_all=True,
             executor=executor,
             repair_mode=repair_mode,
+            kernel=kernel,
         )
 
     @property

@@ -59,6 +59,7 @@ Example — two applications, updated and checkpointed::
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
@@ -71,6 +72,7 @@ from repro.core.correlation import (
 )
 from repro.core.dendro_repair import (
     REPAIR_SPLICE,
+    SeedDistanceCache,
     SpliceOutcome,
     check_repair_mode,
     dendrogram_from_state,
@@ -79,6 +81,8 @@ from repro.core.dendro_repair import (
     splice_dendrogram,
 )
 from repro.core.dendrogram import Dendrogram
+from repro.core.hac_kernel import KERNEL_AUTO, KERNEL_NUMPY, check_kernel
+from repro.core.ordering import SortedKeySets, diff_sorted
 from repro.core.pipeline import DEFAULT_CORRELATION_THRESHOLD, DEFAULT_WINDOW
 from repro.core.windowing import GROUPING_SLIDING, StreamingGroupExtractor
 from repro.ttkv.journal import (
@@ -126,6 +130,13 @@ class UpdateStats:
     how many were kept verbatim from cached dendrograms versus re-derived
     by agglomeration.  Under ``repair_mode="rebuild"`` every merge of a
     dirty component is recomputed, so ``merges_reused`` stays 0.
+
+    ``kernel_components`` counts the reclustered components whose merges
+    were derived by the numpy HAC kernel (:mod:`repro.core.hac_kernel`)
+    rather than the pure-Python reference path; ``kernel_used`` flags
+    whether the kernel ran at all in this update.  Both reflect the
+    per-component ``kernel="auto"`` dispatch — small components stay on
+    the Python path even when numpy is installed.
     """
 
     events_consumed: int
@@ -143,6 +154,8 @@ class UpdateStats:
     parallel_speedup: float = 1.0
     merges_reused: int = 0
     merges_recomputed: int = 0
+    kernel_used: bool = False
+    kernel_components: int = 0
 
 
 @dataclass(frozen=True)
@@ -157,10 +170,6 @@ class ShardUpdate:
     stats: UpdateStats
     changed: bool
     seconds: float = 0.0
-
-
-def _sorted_key_sets(key_sets: list[frozenset[str]]) -> list[frozenset[str]]:
-    return sorted(key_sets, key=lambda c: (-len(c), tuple(sorted(c))))
 
 
 class ShardEngine:
@@ -199,6 +208,7 @@ class ShardEngine:
         linkage: str = LINKAGE_COMPLETE,
         grouping: str = GROUPING_SLIDING,
         repair_mode: str = REPAIR_SPLICE,
+        kernel: str = KERNEL_AUTO,
     ) -> None:
         if linkage not in _LINKAGES:
             raise ValueError(f"unknown linkage {linkage!r}; options: {_LINKAGES}")
@@ -209,6 +219,7 @@ class ShardEngine:
         self._linkage = linkage
         self._grouping = grouping
         self._repair_mode = check_repair_mode(repair_mode)
+        self._kernel = check_kernel(kernel)
         self._reset_state()
 
     def _reset_state(self) -> None:
@@ -222,9 +233,13 @@ class ShardEngine:
         self._pending_keys: frozenset[str] = frozenset()
         self._component_cache: dict[frozenset[str], list[frozenset[str]]] = {}
         self._dendro_cache: dict[frozenset[str], Dendrogram] = {}
+        self._seed_cache: dict[frozenset[str], SeedDistanceCache] = {}
         self._component_of_key: dict[str, frozenset[str]] = {}
         self._seen_structure = self._matrix.structure_version
-        self._key_sets: list[frozenset[str]] | None = None
+        self._ready = False
+        self._order = SortedKeySets()
+        self._last_removed: list[frozenset[str]] = []
+        self._last_added: list[frozenset[str]] = []
         self._cluster_set: ClusterSet | None = None
 
     # -- inspection ----------------------------------------------------------
@@ -241,7 +256,7 @@ class ShardEngine:
     @property
     def ready(self) -> bool:
         """Whether the engine has produced clusters at least once."""
-        return self._key_sets is not None
+        return self._ready
 
     @property
     def component_count(self) -> int:
@@ -249,8 +264,25 @@ class ShardEngine:
 
     @property
     def cluster_key_sets(self) -> list[frozenset[str]]:
-        """Current clusters as key sets, largest first (a fresh list)."""
-        return list(self._key_sets or ())
+        """Current clusters as key sets, largest first (a fresh list).
+
+        The order is maintained incrementally
+        (:class:`~repro.core.ordering.SortedKeySets`) as components are
+        repaired, so reading it never re-sorts.
+        """
+        return self._order.as_key_sets()
+
+    @property
+    def last_order_delta(
+        self,
+    ) -> tuple[list[frozenset[str]], list[frozenset[str]]]:
+        """(removed, added) cluster key sets of the most recent update.
+
+        The exact difference between the previous and current cluster
+        lists — what the owning pipeline applies to its merged order so
+        session-level assembly is also incremental.
+        """
+        return list(self._last_removed), list(self._last_added)
 
     def cluster_set(self) -> ClusterSet:
         """Current clusters as a :class:`ClusterSet` (cached per update)."""
@@ -277,6 +309,20 @@ class ShardEngine:
         self._repair_mode = mode
         if mode != REPAIR_SPLICE:
             self._dendro_cache.clear()
+            self._seed_cache.clear()
+
+    def set_kernel(self, kernel: str) -> None:
+        """Switch the agglomeration kernel in place (no session restart).
+
+        Like the repair mode, the kernel only changes how updates compute
+        their (identical) results, so the stream position, matrix and
+        caches are untouched.  Leaving the numpy kernel drops the cached
+        inter-seed distance arrays — the Python path never reads them.
+        """
+        if check_kernel(kernel) == self._kernel:
+            return
+        self._kernel = kernel
+        self._seed_cache.clear()
 
     def needs_update(self) -> bool:
         """O(1): did this shard's journal move since the engine last read?"""
@@ -294,6 +340,8 @@ class ShardEngine:
         started = time.perf_counter()
         rebuilt = False
         absorbed = 0
+        self._last_removed = []
+        self._last_added = []
         rewound, events, cursor = self._journal.read_flexible(self._cursor)
         if rewound:
             if rewound <= len(self._extractor.pending_events):
@@ -305,8 +353,13 @@ class ShardEngine:
                 absorbed = rewound
             else:
                 # The reorder reaches into closed groups — the incremental
-                # state no longer matches the stream.  Rebuild.
+                # state no longer matches the stream.  Rebuild.  The old
+                # clusters enter the removal delta first (the rescan below
+                # only diffs against the freshly emptied order); the
+                # netting at the end of this update cancels survivors.
+                previous = self._order.as_key_sets()
                 self._reset_state()
+                self._last_removed = previous
                 rebuilt = True
                 rewound, events, cursor = self._journal.read_flexible(None)
         self._cursor = cursor
@@ -337,7 +390,7 @@ class ShardEngine:
         self._closed_count = base + len(closed)
         self._pending_keys = new_pending
 
-        if not dirty and self._key_sets is not None:
+        if not dirty and self._ready:
             return ShardUpdate(
                 stats=UpdateStats(
                     events_consumed=len(events),
@@ -355,25 +408,29 @@ class ShardEngine:
             )
 
         structure_kept = self._matrix.structure_version == self._seen_structure
-        if self._key_sets is None or not structure_kept:
-            reclustered, merges_reused, merges_recomputed = (
+        if not self._ready or not structure_kept:
+            reclustered, merges_reused, merges_recomputed, kernel_components = (
                 self._rescan_components(dirty, splice_ok=structure_kept)
             )
         else:
-            reclustered, merges_reused, merges_recomputed = (
+            reclustered, merges_reused, merges_recomputed, kernel_components = (
                 self._recluster_dirty(dirty)
             )
         self._seen_structure = self._matrix.structure_version
+        self._ready = True
 
-        key_sets = _sorted_key_sets(
-            [
-                key_set
-                for clusters in self._component_cache.values()
-                for key_set in clusters
-            ]
-        )
-        changed = key_sets != self._key_sets
-        self._key_sets = key_sets
+        if self._last_removed and self._last_added:
+            # Net out clusters that were evicted and re-added unchanged
+            # (e.g. two components bridged into one holding the same
+            # clusters): the delta — and the changed flag — reflect only
+            # real differences in the cluster list.
+            removed_counts = Counter(self._last_removed)
+            added_counts = Counter(self._last_added)
+            common = removed_counts & added_counts
+            if common:
+                self._last_removed = list((removed_counts - common).elements())
+                self._last_added = list((added_counts - common).elements())
+        changed = bool(self._last_removed or self._last_added)
         if changed:
             self._cluster_set = None
         total = len(self._component_cache)
@@ -390,6 +447,8 @@ class ShardEngine:
                 shards_updated=1,
                 merges_reused=merges_reused,
                 merges_recomputed=merges_recomputed,
+                kernel_used=kernel_components > 0,
+                kernel_components=kernel_components,
             ),
             changed=changed,
             seconds=time.perf_counter() - started,
@@ -411,6 +470,7 @@ class ShardEngine:
         singletons.
         """
         cached: list[Dendrogram] = []
+        seed_caches: list[SeedDistanceCache] = []
         seen: set[frozenset[str]] = set()
         for key in component:
             old = dendro_of_key.get(key)
@@ -420,19 +480,30 @@ class ShardEngine:
             dendrogram = self._dendro_cache.pop(old, None)
             if dendrogram is not None:
                 cached.append(dendrogram)
+            seed_cache = self._seed_cache.pop(old, None)
+            if seed_cache is not None:
+                seed_caches.append(seed_cache)
         # ``component`` iterates in hash order; sort the collected caches
         # so the spliced merge list (and its checkpoint encoding) is a
         # deterministic function of the session state.
         cached.sort(key=lambda dendrogram: min(dendrogram.items))
         if self._repair_mode == REPAIR_SPLICE and cached:
             return splice_dendrogram(
-                self._matrix, component, dirty, cached, self._linkage
+                self._matrix,
+                component,
+                dirty,
+                cached,
+                self._linkage,
+                kernel=self._kernel,
+                seed_caches=seed_caches,
             )
-        return rebuild_outcome(self._matrix, component, self._linkage)
+        return rebuild_outcome(
+            self._matrix, component, self._linkage, kernel=self._kernel
+        )
 
     def _rescan_components(
         self, dirty: set[str], *, splice_ok: bool
-    ) -> tuple[int, int, int]:
+    ) -> tuple[int, int, int, int]:
         """Full component walk — first update and after structural loss.
 
         Components untouched by ``dirty`` keep their cached flat clusters
@@ -460,9 +531,11 @@ class ShardEngine:
             dendro_of_key = {}
         cache: dict[frozenset[str], list[frozenset[str]]] = {}
         dendros: dict[frozenset[str], Dendrogram] = {}
+        seed_caches: dict[frozenset[str], SeedDistanceCache] = {}
         of_key: dict[str, frozenset[str]] = {}
         reclustered = 0
-        merges_reused = merges_recomputed = 0
+        merges_reused = merges_recomputed = kernel_components = 0
+        previous = self._order.as_key_sets()
         for component in self._matrix.connected_components():
             frozen = frozenset(component)
             clusters = self._component_cache.get(frozen)
@@ -477,8 +550,16 @@ class ShardEngine:
                     dendrogram = outcome.dendrogram
                     merges_reused += outcome.merges_reused
                     merges_recomputed += outcome.merges_recomputed
+                    if outcome.kernel == KERNEL_NUMPY:
+                        kernel_components += 1
+                    if outcome.seed_cache is not None:
+                        seed_caches[frozen] = outcome.seed_cache
                 clusters = dendrogram.cut(self._max_distance)
                 reclustered += 1
+            else:
+                kept = self._seed_cache.get(frozen)
+                if kept is not None:
+                    seed_caches[frozen] = kept
             cache[frozen] = clusters
             if dendrogram is not None and self._repair_mode == REPAIR_SPLICE:
                 dendros[frozen] = dendrogram
@@ -486,10 +567,17 @@ class ShardEngine:
                 of_key[key] = frozen
         self._component_cache = cache
         self._dendro_cache = dendros
+        self._seed_cache = seed_caches if self._repair_mode == REPAIR_SPLICE else {}
         self._component_of_key = of_key
-        return reclustered, merges_reused, merges_recomputed
+        self._order = SortedKeySets(
+            key_set for clusters in cache.values() for key_set in clusters
+        )
+        removed, added = diff_sorted(previous, self._order.as_key_sets())
+        self._last_removed.extend(removed)
+        self._last_added.extend(added)
+        return reclustered, merges_reused, merges_recomputed, kernel_components
 
-    def _recluster_dirty(self, dirty: set[str]) -> tuple[int, int, int]:
+    def _recluster_dirty(self, dirty: set[str]) -> tuple[int, int, int, int]:
         """O(dirty region): recluster only components touching dirty keys.
 
         Sound because between structural losses components only ever grow:
@@ -503,24 +591,45 @@ class ShardEngine:
         for key in dirty:
             if key in matrix:
                 roots.setdefault(matrix.find(key))
+        evicted: dict[frozenset[str], list[frozenset[str]]] = {}
         for key in dirty:
             stale = self._component_of_key.get(key)
             if stale is not None:
-                self._component_cache.pop(stale, None)
-        merges_reused = merges_recomputed = 0
+                old_clusters = self._component_cache.pop(stale, None)
+                if old_clusters is not None:
+                    evicted[stale] = old_clusters
+        merges_reused = merges_recomputed = kernel_components = 0
         for root in roots:
             component = matrix.component_members(root)
             outcome = self._repair_component(component, dirty, self._component_of_key)
             if self._repair_mode == REPAIR_SPLICE:
                 self._dendro_cache[component] = outcome.dendrogram
-            self._component_cache[component] = outcome.dendrogram.cut(
-                self._max_distance
-            )
+                if outcome.seed_cache is not None:
+                    self._seed_cache[component] = outcome.seed_cache
+            clusters = outcome.dendrogram.cut(self._max_distance)
+            self._component_cache[component] = clusters
             merges_reused += outcome.merges_reused
             merges_recomputed += outcome.merges_recomputed
+            if outcome.kernel == KERNEL_NUMPY:
+                kernel_components += 1
             for key in component:
                 self._component_of_key[key] = component
-        return len(roots), merges_reused, merges_recomputed
+            old_clusters = evicted.pop(component, None)
+            if old_clusters == clusters:
+                continue  # identical result: the order needs no touch
+            if old_clusters is not None:
+                for key_set in old_clusters:
+                    self._order.remove(key_set)
+                self._last_removed.extend(old_clusters)
+            for key_set in clusters:
+                self._order.add(key_set)
+            self._last_added.extend(clusters)
+        # components that vanished by merging into a larger one
+        for old_clusters in evicted.values():
+            for key_set in old_clusters:
+                self._order.remove(key_set)
+            self._last_removed.extend(old_clusters)
+        return len(roots), merges_reused, merges_recomputed, kernel_components
 
     # -- checkpointing -------------------------------------------------------
 
@@ -657,9 +766,7 @@ class ShardEngine:
             state["cursor"] = {"position": 0, "epoch": 0}
             state["head"] = state["tail"] = None
             base = self._cursor.position
-            components = (
-                self.components_snapshot() if self._key_sets is not None else None
-            )
+            components = self.components_snapshot() if self._ready else None
         else:
             state = None
             components = None
@@ -678,6 +785,7 @@ class ShardEngine:
                 "linkage": self._linkage,
                 "grouping": self._grouping,
                 "repair_mode": self._repair_mode,
+                "kernel": self._kernel,
             },
         }
 
@@ -707,9 +815,10 @@ class ShardEngine:
                 of_key[key] = component
         self._component_cache = cache
         self._component_of_key = of_key
-        self._key_sets = _sorted_key_sets(
-            [key_set for clusters in cache.values() for key_set in clusters]
+        self._order = SortedKeySets(
+            key_set for clusters in cache.values() for key_set in clusters
         )
+        self._ready = True
         self._cluster_set = None
         self._seen_structure = self._matrix.structure_version
 
@@ -734,10 +843,13 @@ class ShardEngine:
         merged = dict(state)
         merged["cursor"] = {"position": task["result_position"], "epoch": 0}
         merged["head"] = merged["tail"] = None
-        previous = self._key_sets
+        previous = self._order.as_key_sets() if self._ready else []
         self.restore(merged)
         self.install_components(components)
-        return replace(result, changed=self._key_sets != previous)
+        removed, added = diff_sorted(previous, self._order.as_key_sets())
+        self._last_removed = removed
+        self._last_added = added
+        return replace(result, changed=bool(removed or added))
 
 
 class ShardedPipeline:
@@ -799,6 +911,7 @@ class ShardedPipeline:
         catch_all: bool = True,
         executor: "ShardExecutor | None" = None,
         repair_mode: str = REPAIR_SPLICE,
+        kernel: str = KERNEL_AUTO,
     ) -> None:
         self.store = store
         self.shard_prefixes = tuple(shard_prefixes)
@@ -810,14 +923,15 @@ class ShardedPipeline:
         self.grouping = grouping
         self.executor = executor
         self.repair_mode = repair_mode
+        self.kernel = kernel
         self.last_stats: UpdateStats | None = None
         self._journal_view: ShardedJournal | None = None
         self._reset()
 
     def _params(self) -> tuple:
-        # repair_mode is deliberately absent: it never changes results,
-        # so retuning it applies to the engines in place instead of
-        # restarting the session (see update()).
+        # repair_mode and kernel are deliberately absent: they never
+        # change results, so retuning them applies to the engines in
+        # place instead of restarting the session (see update()).
         return (
             self.window,
             self.correlation_threshold,
@@ -839,6 +953,7 @@ class ShardedPipeline:
                 f"unknown linkage {self.linkage!r}; options: {_LINKAGES}"
             )
         check_repair_mode(self.repair_mode)
+        check_kernel(self.kernel)
         # window and grouping are validated before any journal is attached
         StreamingGroupExtractor(self.window, grouping=self.grouping)
         if self._journal_view is not None:
@@ -857,10 +972,12 @@ class ShardedPipeline:
                 linkage=self.linkage,
                 grouping=self.grouping,
                 repair_mode=self.repair_mode,
+                kernel=self.kernel,
             )
             for shard_id in self._journal_view.shard_ids
         }
         self._active_params = self._params()
+        self._order = SortedKeySets()
         self._cluster_set: ClusterSet | None = None
 
     # -- public API ----------------------------------------------------------
@@ -913,8 +1030,9 @@ class ShardedPipeline:
             session_rebuilt = True
         for engine in self._engines.values():
             engine.set_repair_mode(self.repair_mode)
+            engine.set_kernel(self.kernel)
         events = groups = dirty = total = reclustered = reused = absorbed = 0
-        merges_reused = merges_recomputed = 0
+        merges_reused = merges_recomputed = kernel_components = 0
         engine_rebuilt = False
         changed = False
         pending: list[tuple[str, ShardEngine]] = []
@@ -934,7 +1052,7 @@ class ShardedPipeline:
             )
         wall_seconds = time.perf_counter() - wall_started
         shard_timings: dict[str, float] = {}
-        for (shard_id, _), result in zip(pending, results):
+        for (shard_id, engine), result in zip(pending, results):
             shard_timings[shard_id] = result.seconds
             events += result.stats.events_consumed
             groups += result.stats.groups_closed
@@ -945,19 +1063,20 @@ class ShardedPipeline:
             absorbed += result.stats.reorders_absorbed
             merges_reused += result.stats.merges_reused
             merges_recomputed += result.stats.merges_recomputed
+            kernel_components += result.stats.kernel_components
             engine_rebuilt = engine_rebuilt or result.stats.rebuilt
             changed = changed or result.changed
+            removed, added = engine.last_order_delta
+            for key_set in removed:
+                self._order.remove(key_set)
+            for key_set in added:
+                self._order.add(key_set)
         busy_seconds = sum(shard_timings.values())
         if changed or self._cluster_set is None:
-            key_sets = _sorted_key_sets(
-                [
-                    key_set
-                    for engine in self._engines.values()
-                    for key_set in engine.cluster_key_sets
-                ]
-            )
+            # the merged order is maintained incrementally from the
+            # engines' deltas — no cross-shard re-sort per update
             self._cluster_set = ClusterSet.from_key_sets(
-                key_sets,
+                self._order.as_key_sets(),
                 window=self.window,
                 correlation_threshold=self.correlation_threshold,
             )
@@ -985,6 +1104,8 @@ class ShardedPipeline:
             ),
             merges_reused=merges_reused,
             merges_recomputed=merges_recomputed,
+            kernel_used=kernel_components > 0,
+            kernel_components=kernel_components,
         )
         return self._cluster_set
 
@@ -1009,6 +1130,7 @@ class ShardedPipeline:
                 "shard_prefixes": list(self.shard_prefixes),
                 "catch_all": self.catch_all,
                 "repair_mode": self.repair_mode,
+                "kernel": self.kernel,
             },
             "shards": {
                 shard_id: engine.to_state()
@@ -1024,6 +1146,7 @@ class ShardedPipeline:
         *,
         executor: "ShardExecutor | None" = None,
         repair_mode: str | None = None,
+        kernel: str | None = None,
     ) -> "ShardedPipeline":
         """Rebuild a session over ``store`` from :meth:`to_state` output.
 
@@ -1033,9 +1156,10 @@ class ShardedPipeline:
         the checkpoint's parameters (not the defaults of ``cls``).
         ``executor`` is runtime configuration, not session state, so the
         resumed session takes whatever the caller passes (default:
-        serial).  ``repair_mode`` likewise affects only how much work
-        updates do, never their output: ``None`` (default) keeps the
-        checkpoint's mode, an explicit value overrides it.
+        serial).  ``repair_mode`` and ``kernel`` likewise affect only how
+        much work updates do, never their output: ``None`` (default)
+        keeps the checkpoint's value, an explicit value overrides it
+        (pre-kernel checkpoints default to ``"auto"``).
         """
         version = state.get("version")
         if version != STATE_VERSION:
@@ -1058,6 +1182,9 @@ class ShardedPipeline:
                 repair_mode
                 if repair_mode is not None
                 else params.get("repair_mode", REPAIR_SPLICE)
+            ),
+            kernel=(
+                kernel if kernel is not None else params.get("kernel", KERNEL_AUTO)
             ),
         )
         shards = state["shards"]

@@ -20,6 +20,7 @@ from repro.core.pipeline import (
     singleton_clusters,
 )
 from repro.core.dendro_repair import REPAIR_SPLICE
+from repro.core.hac_kernel import KERNEL_AUTO
 from repro.core.sharded import ShardedPipeline
 from repro.core.repair import FixOracle, RepairEngine, RepairOutcome
 from repro.core.search import (
@@ -86,6 +87,13 @@ class OcastaRepairTool:
         from singletons (see :mod:`repro.core.dendro_repair`).  Both
         yield identical clusters; ``last_update_stats`` shows the work
         difference.
+    kernel:
+        Agglomeration implementation selector
+        (:mod:`repro.core.hac_kernel`): ``"auto"`` (default) runs large
+        components on the numpy kernel when numpy is installed,
+        ``"numpy"``/``"python"`` force one path.  Identical clusters
+        either way; ``last_update_stats.kernel_components`` shows the
+        dispatch.
     """
 
     def __init__(
@@ -99,6 +107,7 @@ class OcastaRepairTool:
         clock: SimClock | None = None,
         executor=None,
         repair_mode: str = REPAIR_SPLICE,
+        kernel: str = KERNEL_AUTO,
     ) -> None:
         self.app = app
         self.ttkv = ttkv
@@ -109,6 +118,7 @@ class OcastaRepairTool:
         self.clock = clock if clock is not None else SimClock()
         self.executor = executor
         self.repair_mode = repair_mode
+        self.kernel = kernel
         self._pipeline: ShardedPipeline | None = None
 
     @property
@@ -141,6 +151,7 @@ class OcastaRepairTool:
                 catch_all=False,
                 executor=self.executor,
                 repair_mode=self.repair_mode,
+                kernel=self.kernel,
             )
         else:
             # the pipeline detects retuned parameters and restarts itself
@@ -148,6 +159,7 @@ class OcastaRepairTool:
             self._pipeline.correlation_threshold = self.correlation_threshold
             self._pipeline.executor = self.executor
             self._pipeline.repair_mode = self.repair_mode
+            self._pipeline.kernel = self.kernel
         return self._pipeline.update()
 
     def repair(

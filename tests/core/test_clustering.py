@@ -3,8 +3,16 @@
 import itertools
 import math
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip(
+    "numpy", reason="SciPy cross-checks need the numeric stack",
+    exc_type=ImportError,
+)
+scipy = pytest.importorskip(
+    "scipy", reason="SciPy cross-checks need the numeric stack",
+    exc_type=ImportError,
+)
 from hypothesis import given, settings, strategies as st
 from scipy.cluster.hierarchy import fcluster, linkage
 from scipy.spatial.distance import squareform

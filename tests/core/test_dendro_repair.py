@@ -459,8 +459,8 @@ class TestEngineRepair:
         clean = frozenset({"x", "y"})
         assert hot in engine._dendro_cache and clean in engine._dendro_cache
         kept = engine._dendro_cache[clean]
-        reclustered, reused, recomputed = engine._rescan_components(
-            {"a"}, splice_ok=False
+        reclustered, reused, recomputed, kernel_components = (
+            engine._rescan_components({"a"}, splice_ok=False)
         )
         assert engine._dendro_cache[clean] is kept
         assert hot in engine._dendro_cache  # rebuilt, not spliced

@@ -89,6 +89,15 @@ class TestStreamExecutorFlags:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["stream", "--workers", workers])
 
+    def test_kernel_parses_and_defaults_to_checkpoint_friendly_none(self):
+        assert build_parser().parse_args(["stream"]).kernel is None
+        args = build_parser().parse_args(["stream", "--kernel", "numpy"])
+        assert args.kernel == "numpy"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--kernel", "fortran"])
+
 
 class TestStreamCommand:
     ARGS = ["stream", "--shards", "2", "--days", "2", "--chunks", "3"]
@@ -129,3 +138,15 @@ class TestStreamCommand:
     def test_timings_flag_adds_shard_timing(self, capsys):
         lines = self._run(capsys, "--timings")
         assert any("slowest shard" in line for line in lines)
+        assert any("kernel" in line for line in lines)
+
+    def test_identical_output_across_kernels(self, capsys):
+        """Same clusters and progress whatever the agglomeration kernel."""
+        pytest.importorskip(
+            "numpy", reason="--kernel numpy needs numpy", exc_type=ImportError
+        )
+        outputs = {
+            kernel: self._run(capsys, "--kernel", kernel)
+            for kernel in ("auto", "numpy", "python")
+        }
+        assert outputs["auto"] == outputs["numpy"] == outputs["python"]
