@@ -57,12 +57,15 @@ GATES: dict[str, dict] = {
     "BENCH_parallel.json": {
         "headline": [
             ("thread_speedup", "higher"),
+            ("process_speedup", "higher"),
             ("large_kernel_speedup", "higher"),
+            ("checkpoint_bytes", "lower"),
         ],
         "invariants": [
             "executors_agree",
             "matches_batch",
             "large_executors_agree",
+            "deployment_checkpoint_flat",
         ],
         "identity": ["events", "seed", "workers", "quick", "large_events"],
     },

@@ -69,9 +69,11 @@ True
 >>> concurrent.close(); pool.close()
 
 (``python -m repro stream --executor thread --workers 4`` is the same
-thing from the command line; ``--executor process`` runs every dirty
-shard through the checkpoint serialization boundary in worker
-processes.)
+thing from the command line; ``--executor process`` pins every shard to
+a sticky worker process that caches the restored engine, so steady-state
+updates ship only the unread journal slice — the full checkpoint
+serialization boundary is crossed on cold start and after
+invalidations.)
 
 Single-application stores can stay on the unsharded
 :class:`IncrementalPipeline` (a sharded session with one catch-all shard),

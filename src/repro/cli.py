@@ -32,18 +32,24 @@ def _parse_floats(text: str) -> tuple[float, ...]:
         ) from None
 
 
-def _positive_int(text: str) -> int:
+def _worker_count(text: str) -> int:
+    """``--workers`` through the executors' own validation rule.
+
+    One source of truth: ``--workers 0`` fails with exactly the message
+    ``ProcessShardExecutor(workers=0)`` raises, re-wrapped for argparse.
+    """
+    from repro.core.executors import _checked_workers
+
     try:
         value = int(text)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"expected a positive integer, got {text!r}"
+            f"workers must be an integer, got {text!r}"
         ) from None
-    if value < 1:
-        raise argparse.ArgumentTypeError(
-            f"expected a positive integer, got {value}"
-        )
-    return value
+    try:
+        return _checked_workers(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,7 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
         "them concurrently on a thread or process pool",
     )
     stream.add_argument(
-        "--workers", type=_positive_int, default=None, metavar="N",
+        "--workers", type=_worker_count, default=None, metavar="N",
         help="worker count for --executor thread/process "
         "(default: the machine's CPU count; ignored by serial)",
     )
@@ -140,10 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--timings", action="store_true",
-        help="append per-shard timing (slowest shard, overlap factor), "
-        "dendrogram-repair counters (merges spliced vs recomputed) and "
-        "kernel dispatch (components on the numpy kernel) to each "
-        "progress line",
+        help="append per-shard timing (slowest shard, overlap factor, "
+        "process hand-off vs compute split), dendrogram-repair counters "
+        "(merges spliced vs recomputed) and kernel dispatch (components "
+        "on the numpy kernel) to each progress line",
     )
 
     repair = sub.add_parser("repair", help="repair one Table III error")
@@ -308,10 +314,17 @@ def _timing_suffix(stats) -> str:
         if stats.kernel_used
         else "python kernel"
     )
+    compute = sum(stats.shard_timings.values())
+    handoff = (
+        f", hand-off {stats.handoff_seconds * 1000:.1f}ms vs "
+        f"compute {compute * 1000:.1f}ms"
+        if stats.handoff_seconds
+        else ""
+    )
     return (
         f"; slowest shard {label} "
         f"{stats.shard_timings[slowest] * 1000:.1f}ms, "
-        f"{stats.parallel_speedup:.1f}x overlap; "
+        f"{stats.parallel_speedup:.1f}x overlap{handoff}; "
         f"merges {stats.merges_reused} spliced/"
         f"{stats.merges_recomputed} recomputed; {kernel}"
     )

@@ -95,6 +95,16 @@ class CorrelationMatrix:
         self._blocks: dict[frozenset[str], "object"] = {}
         self._block_of_key: dict[str, frozenset[str]] = {}
         self._block_dirty: dict[frozenset[str], set[str]] = {}
+        # Compaction baseline: groups older than the retractable tail are
+        # coalesced into the per-key and per-pair counts they imply
+        # (:meth:`compact`), so neither the in-memory group registry nor a
+        # checkpoint has to carry one entry per consumed group forever.
+        # Every query folds the baseline back in, so a compacted matrix is
+        # observationally identical to the uncompacted one.
+        self._base_counts: dict[str, int] = {}
+        self._base_common: dict[frozenset[str], int] = {}
+        self._compacted_count = 0
+        self._compact_floor = 0
         if key_groups:
             for key, groups in key_groups.items():
                 if not groups:
@@ -146,6 +156,11 @@ class CorrelationMatrix:
         for index, members in removed:
             registered = self._group_members.get(index)
             if registered is None:
+                if index < self._compact_floor:
+                    raise ValueError(
+                        f"group {index} was compacted into the aggregate "
+                        "baseline and can no longer be retracted"
+                    )
                 raise ValueError(f"group {index} was never observed")
             if frozenset(members) != registered:
                 raise ValueError(
@@ -158,6 +173,12 @@ class CorrelationMatrix:
                 raise ValueError(f"group {index} has no keys")
             if index in self._group_members and index not in removed_indices:
                 raise ValueError(f"group {index} already observed")
+            if index < self._compact_floor:
+                raise ValueError(
+                    f"group {index} lies below the compaction floor "
+                    f"{self._compact_floor}; compacted indices cannot be "
+                    "reused"
+                )
 
         dirty: set[str] = set()
         lost_pairs: set[frozenset[str]] = set()
@@ -172,13 +193,14 @@ class CorrelationMatrix:
                         self._common[pair] = remaining
                     else:
                         del self._common[pair]
-                        self._neighbors[key_a].discard(key_b)
-                        self._neighbors[key_b].discard(key_a)
-                        lost_pairs.add(pair)
+                        if not self._base_common.get(pair):
+                            self._neighbors[key_a].discard(key_b)
+                            self._neighbors[key_b].discard(key_a)
+                            lost_pairs.add(pair)
             for key in members:
                 groups = self._key_groups[key]
                 groups.remove(index)
-                if not groups:
+                if not groups and not self._base_counts.get(key):
                     del self._key_groups[key]
                     del self._neighbors[key]
                     lost_keys.add(key)
@@ -229,12 +251,139 @@ class CorrelationMatrix:
         return key in self._key_groups
 
     def observed_groups(self) -> dict[int, frozenset[str]]:
-        """Every observed group's member set, by index (a fresh dict).
+        """Every *retained* group's member set, by index (a fresh dict).
 
-        Replaying these through :meth:`update_groups` on an empty matrix
-        reproduces this matrix exactly — the basis of session checkpoints.
+        Replaying these through :meth:`update_groups` on an empty matrix —
+        then installing :meth:`compacted_state` — reproduces this matrix
+        exactly: the basis of session checkpoints.  Before any
+        :meth:`compact` call the retained groups are simply all of them.
         """
         return dict(self._group_members)
+
+    # -- compaction ----------------------------------------------------------
+
+    def _count_of(self, key: str) -> int:
+        """Effective group count: retained groups plus the compacted base."""
+        return len(self._key_groups[key]) + self._base_counts.get(key, 0)
+
+    def _common_of(self, pair: frozenset[str]) -> int:
+        """Effective intersection count: retained plus compacted."""
+        return self._common.get(pair, 0) + self._base_common.get(pair, 0)
+
+    @property
+    def compacted_groups(self) -> int:
+        """How many groups have been folded into the aggregate baseline."""
+        return self._compacted_count
+
+    @property
+    def compact_floor(self) -> int:
+        """Group indices below this are compacted (no longer retractable)."""
+        return self._compact_floor
+
+    def compact(self, keep_from: int) -> int:
+        """Coalesce groups with ``index < keep_from`` into aggregate counts.
+
+        Every correlation is a pure function of per-key group counts and
+        per-pair intersection counts, so a closed group that will never be
+        retracted does not need its member list kept around: its
+        contribution is folded into the per-key / per-pair baseline and
+        the registration is dropped.  No query result changes — distances,
+        neighbours, components and cached distance blocks are all exactly
+        as before — only :meth:`retract_group` on a compacted index now
+        fails (callers keep the retractable tail above ``keep_from``; the
+        streaming engine keeps exactly its provisional trailing group).
+
+        Returns the number of groups compacted by this call.  Idempotent:
+        re-calling with the same ``keep_from`` compacts nothing.
+        """
+        victims = sorted(
+            index for index in self._group_members if index < keep_from
+        )
+        for index in victims:
+            members = sorted(self._group_members.pop(index))
+            for key in members:
+                self._key_groups[key].discard(index)
+                self._base_counts[key] = self._base_counts.get(key, 0) + 1
+            for position, key_a in enumerate(members):
+                for key_b in members[position + 1:]:
+                    pair = frozenset((key_a, key_b))
+                    self._base_common[pair] = self._base_common.get(pair, 0) + 1
+                    remaining = self._common[pair] - 1
+                    if remaining:
+                        self._common[pair] = remaining
+                    else:
+                        del self._common[pair]
+        self._compacted_count += len(victims)
+        if keep_from > self._compact_floor:
+            self._compact_floor = keep_from
+        return len(victims)
+
+    def compacted_state(self) -> dict | None:
+        """JSON-safe aggregate baseline, or ``None`` when nothing compacted.
+
+        Pairs with :meth:`install_compacted`: replay
+        :meth:`observed_groups` on an empty matrix, install this, and the
+        result is observationally identical to this matrix — the
+        checkpoint stays O(live keys + live pairs) no matter how many
+        groups the session has consumed.
+        """
+        if not self._compacted_count:
+            return None
+        return {
+            "count": self._compacted_count,
+            "floor": self._compact_floor,
+            "keys": [
+                [key, count]
+                for key, count in sorted(self._base_counts.items())
+                if count
+            ],
+            "pairs": [
+                [*sorted(pair), count]
+                for pair, count in sorted(
+                    self._base_common.items(), key=lambda item: sorted(item[0])
+                )
+                if count
+            ],
+        }
+
+    def install_compacted(self, state: dict) -> None:
+        """Adopt a :meth:`compacted_state` baseline into this matrix.
+
+        Must run after the retained groups have been replayed (the
+        checkpoint-restore path); keys and pairs that exist only in the
+        baseline are registered as live keys and neighbour edges, and the
+        union-find learns the baseline's connectivity.
+        """
+        count = int(state["count"])
+        floor = int(state["floor"])
+        if count < 0 or floor < 0:
+            raise ValueError(f"compacted state out of range: {state!r}")
+        self._compacted_count = count
+        self._compact_floor = max(self._compact_floor, floor)
+        for key, key_count in state["keys"]:
+            if int(key_count) < 1:
+                raise ValueError(f"compacted count for {key!r} must be >= 1")
+            self._base_counts[key] = int(key_count)
+            self._key_groups.setdefault(key, set())
+            self._neighbors.setdefault(key, set())
+            if not self._uf_stale:
+                self._uf.add(key)
+        for key_a, key_b, pair_count in state["pairs"]:
+            if int(pair_count) < 1:
+                raise ValueError(
+                    f"compacted intersection for {key_a!r}/{key_b!r} "
+                    "must be >= 1"
+                )
+            for key in (key_a, key_b):
+                if key not in self._key_groups:
+                    raise ValueError(
+                        f"compacted pair names unknown key {key!r}"
+                    )
+            self._base_common[frozenset((key_a, key_b))] = int(pair_count)
+            self._neighbors[key_a].add(key_b)
+            self._neighbors[key_b].add(key_a)
+            if not self._uf_stale:
+                self._uf.union_many((key_a, key_b))
 
     @property
     def structure_version(self) -> int:
@@ -254,6 +403,8 @@ class CorrelationMatrix:
             uf.add(key)
         for members in self._group_members.values():
             uf.union_many(members)
+        for pair in self._base_common:
+            uf.union_many(pair)
         self._uf = uf
         self._uf_stale = False
 
@@ -275,7 +426,7 @@ class CorrelationMatrix:
     def group_count(self, key: str) -> int:
         """Number of write groups ``key`` appears in (the metric's ``|A|``)."""
         self._check(key)
-        return len(self._key_groups[key])
+        return self._count_of(key)
 
     def correlation_of(self, key_a: str, key_b: str) -> float:
         """Correlation between two keys (0 when they never co-modify)."""
@@ -283,12 +434,10 @@ class CorrelationMatrix:
             raise ValueError("correlation with itself is not meaningful")
         self._check(key_a)
         self._check(key_b)
-        common = self._common.get(frozenset((key_a, key_b)), 0)
+        common = self._common_of(frozenset((key_a, key_b)))
         if not common:
             return 0.0
-        return common / len(self._key_groups[key_a]) + common / len(
-            self._key_groups[key_b]
-        )
+        return common / self._count_of(key_a) + common / self._count_of(key_b)
 
     def distance_of(self, key_a: str, key_b: str) -> float:
         return correlation_to_distance(self.correlation_of(key_a, key_b))
@@ -304,7 +453,7 @@ class CorrelationMatrix:
 
     def finite_pairs(self) -> Iterable[tuple[str, str, float]]:
         """All stored (key_a, key_b, correlation) entries."""
-        for pair in self._common:
+        for pair in self._common.keys() | self._base_common.keys():
             key_a, key_b = sorted(pair)
             yield key_a, key_b, self.correlation_of(key_a, key_b)
 
@@ -409,17 +558,17 @@ class CorrelationMatrix:
                 count=len(neighbors),
             )
             common = np.fromiter(
-                (self._common[frozenset((key, n))] for n in neighbors),
+                (self._common_of(frozenset((key, n))) for n in neighbors),
                 dtype=np.float64,
                 count=len(neighbors),
             )
             counts = np.fromiter(
-                (len(self._key_groups[n]) for n in neighbors),
+                (self._count_of(n) for n in neighbors),
                 dtype=np.float64,
                 count=len(neighbors),
             )
             # identical IEEE-754 ops to correlation_of/correlation_to_distance
-            own_count = float(len(self._key_groups[key]))
+            own_count = float(self._count_of(key))
             values = 1.0 / (common / own_count + common / counts)
             square[at, cols] = values
             square[cols, at] = values
@@ -530,6 +679,17 @@ class CorrelationMatrixView:
     def observed_groups(self) -> dict[int, frozenset[str]]:
         return self._matrix.observed_groups()
 
+    @property
+    def compacted_groups(self) -> int:
+        return self._matrix.compacted_groups
+
+    @property
+    def compact_floor(self) -> int:
+        return self._matrix.compact_floor
+
+    def compacted_state(self) -> dict | None:
+        return self._matrix.compacted_state()
+
     # -- mutators (refused) --------------------------------------------------
 
     def _read_only(self, *_args, **_kwargs):
@@ -541,3 +701,5 @@ class CorrelationMatrixView:
     observe_group = _read_only
     retract_group = _read_only
     update_groups = _read_only
+    compact = _read_only
+    install_compacted = _read_only

@@ -14,18 +14,25 @@ list[ShardUpdate]``:
   overlap (``UpdateStats.parallel_speedup``), and any future
   GIL-releasing kernel (or a free-threaded interpreter) turns that
   overlap into throughput with no API change.
-- :class:`ProcessShardExecutor` — a ``ProcessPoolExecutor``.  Engines
-  cross the process boundary through the checkpoint path:
-  :meth:`~repro.core.sharded.ShardEngine.export_task` ships
-  ``to_state()`` plus the unread journal slice, :func:`run_shard_task`
-  rebuilds, updates and re-checkpoints in the worker, and
-  :meth:`~repro.core.sharded.ShardEngine.adopt_update` merges the
-  returned :class:`~repro.core.sharded.ShardUpdate`, state and component
-  clusters back.  Every update therefore exercises checkpoint/resume as
-  a real serialization boundary; the state round-trip is O(session
-  state), so this pays off when per-shard clustering work dominates.
-  The per-component dendrogram cache rides inside the checkpoint both
-  ways, so workers splice dirty components
+- :class:`ProcessShardExecutor` — worker processes with *engine
+  affinity*.  Each shard is routed to a sticky single-process pool slot
+  whose worker caches the restored engine between updates; steady-state
+  updates ship only the unread journal slice
+  (:meth:`~repro.core.sharded.ShardEngine.export_slice_task`) and get
+  back the worker's component clusters, so the per-update payload is
+  O(new events + changed clusters), not O(session state).  The full
+  checkpoint hand-off — :meth:`~repro.core.sharded.ShardEngine.
+  export_task` shipping ``to_state()``, :func:`run_shard_task`
+  rebuilding, updating and re-checkpointing in the worker,
+  :meth:`~repro.core.sharded.ShardEngine.adopt_update` merging the
+  result back — remains as the cold-start and invalidation path: it
+  runs when a worker does not hold the engine at the right
+  ``(affinity_key, state_epoch, cursor)`` view (first update, evicted
+  cache, restore, reorder into the consumed prefix, retune), and is
+  what makes every such transition exercise checkpoint/resume as a
+  real serialization boundary.  The per-component dendrogram cache
+  rides inside the checkpoint, and the sticky worker keeps it live
+  across slice updates, so workers splice dirty components
   (:mod:`repro.core.dendro_repair`) instead of re-agglomerating them
   wholesale on every hand-off.
 
@@ -74,6 +81,8 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import time
+from collections import OrderedDict
+from dataclasses import replace
 from typing import Sequence
 
 from repro.core.sharded import ShardEngine, ShardUpdate
@@ -166,21 +175,8 @@ class ThreadShardExecutor(ShardExecutor):
             self._pool = None
 
 
-def run_shard_task(
-    task: dict,
-) -> tuple[ShardUpdate, dict, list[tuple[list[str], list[list[str]]]]]:
-    """Worker half of process-mode execution: rebuild, update, re-export.
-
-    ``task`` is a :meth:`~repro.core.sharded.ShardEngine.export_task`
-    payload.  The worker materialises the journal slice, restores the
-    checkpointed engine over it, runs one update, and returns the
-    :class:`ShardUpdate` (with ``seconds`` covering the whole
-    rebuild-update-export round), the engine's post-update checkpoint,
-    and its component clusters so the parent does not re-agglomerate.
-    Runs identically in-process — the serialization boundary is the
-    pickling done by the pool, not anything in here.
-    """
-    started = time.perf_counter()
+def _materialize_engine(task: dict) -> ShardEngine:
+    """Rebuild the checkpointed engine over the shipped journal slice."""
     journal = EventJournal()
     for entry in task["events"]:
         journal.append_event(decode_event(entry))
@@ -189,29 +185,129 @@ def run_shard_task(
         engine.restore(task["state"])
         if task["components"] is not None:
             engine.install_components(task["components"])
+    return engine
+
+
+def run_shard_task(
+    task: dict,
+) -> tuple[ShardUpdate, dict, list[tuple[list[str], list[list[str]]]]]:
+    """Worker half of a full-state hand-off: rebuild, update, re-export.
+
+    ``task`` is a :meth:`~repro.core.sharded.ShardEngine.export_task`
+    payload.  The worker materialises the journal slice, restores the
+    checkpointed engine over it, runs one update, and returns the
+    :class:`ShardUpdate`, the engine's post-update checkpoint, and its
+    component clusters so the parent does not re-agglomerate.
+    ``ShardUpdate.seconds`` covers only the engine's own update — the
+    same quantity every other executor reports — while the journal
+    materialisation, restore and re-export land in
+    ``ShardUpdate.handoff_seconds``.  Runs identically in-process — the
+    serialization boundary is the pickling done by the pool, not
+    anything in here.
+    """
+    started = time.perf_counter()
+    engine = _materialize_engine(task)
     result = engine.update()
     components = engine.components_snapshot()
     state = engine.to_state()
-    seconds = time.perf_counter() - started
+    handoff = time.perf_counter() - started - result.seconds
     return (
-        ShardUpdate(stats=result.stats, changed=result.changed, seconds=seconds),
+        replace(result, handoff_seconds=max(handoff, 0.0)),
         state,
         components,
     )
 
 
+#: Worker-side engine cache for :class:`ProcessShardExecutor` affinity:
+#: ``affinity_key -> (state_epoch, journal position, engine)``.  Lives in
+#: the worker process; bounded LRU so a long-lived pool serving many
+#: sessions cannot grow without limit.
+_WORKER_ENGINES: "OrderedDict[str, tuple[int, int, ShardEngine]]" = OrderedDict()
+_WORKER_CACHE_LIMIT = 32
+
+
+def _cache_engine(key: str, epoch: int, position: int, engine: ShardEngine) -> None:
+    _WORKER_ENGINES.pop(key, None)
+    _WORKER_ENGINES[key] = (epoch, position, engine)
+    while len(_WORKER_ENGINES) > _WORKER_CACHE_LIMIT:
+        _WORKER_ENGINES.popitem(last=False)
+
+
+def run_affinity_task(task: dict) -> dict:
+    """Worker entry point for :class:`ProcessShardExecutor`.
+
+    Dispatches on ``task["mode"]``:
+
+    - ``"slice"`` (:meth:`~repro.core.sharded.ShardEngine.
+      export_slice_task`): applies the unread journal slice to the engine
+      this worker cached earlier.  The cached engine must sit at exactly
+      the ``(state epoch, cursor position)`` view the parent exported
+      against; otherwise ``{"miss": True}`` is returned and the parent
+      falls back to a full task.  A hit returns only the
+      :class:`ShardUpdate` and the component clusters — no checkpoint
+      crosses the boundary in either direction.
+    - ``"full"`` (:meth:`~repro.core.sharded.ShardEngine.export_task`):
+      delegates to :func:`run_shard_task` semantics and additionally
+      caches the updated engine under the task's affinity tag, arming the
+      slice fast path for the next update.
+    """
+    affinity = task["affinity"]
+    key = affinity["key"]
+    started = time.perf_counter()
+    if task["mode"] == "slice":
+        cached = _WORKER_ENGINES.get(key)
+        if (
+            cached is None
+            or cached[0] != affinity["epoch"]
+            or cached[1] != task["base"]
+        ):
+            return {"miss": True}
+        engine = cached[2]
+        for entry in task["events"]:
+            engine.journal.append_event(decode_event(entry))
+        result = engine.update()
+        components = engine.components_snapshot()
+        _cache_engine(key, affinity["epoch"], task["result_position"], engine)
+        handoff = time.perf_counter() - started - result.seconds
+        return {
+            "result": replace(result, handoff_seconds=max(handoff, 0.0)),
+            "components": components,
+        }
+    engine = _materialize_engine(task)
+    result = engine.update()
+    components = engine.components_snapshot()
+    state = engine.to_state()
+    _cache_engine(key, affinity["epoch"], task["result_position"], engine)
+    handoff = time.perf_counter() - started - result.seconds
+    return {
+        "result": replace(result, handoff_seconds=max(handoff, 0.0)),
+        "state": state,
+        "components": components,
+    }
+
+
 class ProcessShardExecutor(ShardExecutor):
-    """Update shards on a process pool via the checkpoint boundary.
+    """Update shards on worker processes with sticky engine affinity.
 
-    Each dirty engine is exported (state + unread journal slice), run by
-    :func:`run_shard_task` in a worker process, and merged back with
-    :meth:`~repro.core.sharded.ShardEngine.adopt_update`.  True CPU
-    parallelism, bought with an O(session state) round-trip per shard per
-    update — worthwhile when per-shard clustering work dominates state
-    size, e.g. components with hundreds of keys.
+    Each engine is pinned (round-robin) to one of ``workers``
+    single-process pool *slots*; the slot's worker caches the engine it
+    restored, keyed by ``(affinity_key, state_epoch, cursor)``.  When the
+    parent engine still sits exactly where the worker last left it, only
+    the unread journal slice is shipped (:meth:`~repro.core.sharded.
+    ShardEngine.export_slice_task`) and only the update result plus
+    changed component clusters come back — O(new events), true CPU
+    parallelism with none of the per-update O(session state) round-trip
+    that made process mode slower than serial.  Anything that moves the
+    parent engine without the worker seeing it — a restore, a reorder
+    into the consumed prefix, a retune, a serial update under a swapped
+    executor, a worker cache eviction — bumps the engine's
+    ``state_epoch`` or moves its cursor, the view check fails (worker
+    side it reports a miss), and the update falls back to the full
+    checkpoint hand-off (:func:`run_shard_task` semantics), which
+    re-arms the fast path.
 
-    On POSIX the pool uses the ``forkserver`` start method: plain ``fork``
-    is unsafe once the parent has live threads (a
+    On POSIX the slots use the ``forkserver`` start method: plain
+    ``fork`` is unsafe once the parent has live threads (a
     :class:`ThreadShardExecutor` in the same program, an embedding
     application's worker threads — a lock held mid-fork deadlocks the
     child), while forkserver forks from a clean single-threaded server
@@ -224,10 +320,17 @@ class ProcessShardExecutor(ShardExecutor):
 
     def __init__(self, workers: int | None = None) -> None:
         self.workers = _checked_workers(workers)
-        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._slots: list[concurrent.futures.ProcessPoolExecutor | None] = (
+            [None] * self.workers
+        )
+        self._slot_of: dict[str, int] = {}
+        #: (state_epoch, journal position) each slot's worker holds per
+        #: affinity key — the parent-side half of the view check.
+        self._views: dict[str, tuple[int, int]] = {}
 
-    def _live_pool(self) -> concurrent.futures.ProcessPoolExecutor:
-        if self._pool is None:
+    def _slot_pool(self, slot: int) -> concurrent.futures.ProcessPoolExecutor:
+        pool = self._slots[slot]
+        if pool is None:
             import multiprocessing
 
             kwargs = {}
@@ -235,26 +338,69 @@ class ProcessShardExecutor(ShardExecutor):
                 kwargs["mp_context"] = multiprocessing.get_context("forkserver")
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 pass
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers, **kwargs
-            )
-        return self._pool
+            pool = concurrent.futures.ProcessPoolExecutor(max_workers=1, **kwargs)
+            self._slots[slot] = pool
+        return pool
+
+    def _export(self, engine: ShardEngine) -> dict:
+        view = self._views.get(engine.affinity_key)
+        if (
+            view is not None
+            and view == (engine.state_epoch, engine.cursor_position)
+            and engine.can_export_slice()
+        ):
+            return engine.export_slice_task()
+        return engine.export_task()
 
     def map_shards(self, engines: Sequence[ShardEngine]) -> list[ShardUpdate]:
         engines = list(engines)
         if not engines:
             return []
-        tasks = [engine.export_task() for engine in engines]
-        outcomes = list(self._live_pool().map(run_shard_task, tasks))
-        return [
-            engine.adopt_update(task, *outcome)
-            for engine, task, outcome in zip(engines, tasks, outcomes)
-        ]
+        submissions = []
+        for engine in engines:
+            slot = self._slot_of.setdefault(
+                engine.affinity_key, len(self._slot_of) % self.workers
+            )
+            task = self._export(engine)
+            future = self._slot_pool(slot).submit(run_affinity_task, task)
+            submissions.append((engine, slot, task, future))
+        results = []
+        for engine, slot, task, future in submissions:
+            outcome = future.result()
+            if outcome.get("miss"):
+                # the worker no longer holds the engine at the exported
+                # view (evicted, or a restarted pool): re-arm it with the
+                # full checkpoint hand-off on the same slot
+                task = engine.export_task()
+                outcome = (
+                    self._slot_pool(slot).submit(run_affinity_task, task).result()
+                )
+            self._views[engine.affinity_key] = (
+                task["affinity"]["epoch"],
+                task["result_position"],
+            )
+            if task["mode"] == "slice":
+                results.append(
+                    engine.adopt_slice(task, outcome["result"], outcome["components"])
+                )
+            else:
+                results.append(
+                    engine.adopt_update(
+                        task,
+                        outcome["result"],
+                        outcome["state"],
+                        outcome["components"],
+                    )
+                )
+        return results
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        for slot, pool in enumerate(self._slots):
+            if pool is not None:
+                pool.shutdown(wait=True)
+                self._slots[slot] = None
+        self._slot_of.clear()
+        self._views.clear()
 
 
 def make_executor(name: str, workers: int | None = None) -> ShardExecutor:

@@ -59,6 +59,7 @@ Example — two applications, updated and checkpointed::
 from __future__ import annotations
 
 import time
+import uuid
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
@@ -98,7 +99,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.executors import ShardExecutor
 
 #: Checkpoint format version written by :meth:`ShardedPipeline.to_state`.
-STATE_VERSION = 1
+#: Version 2 added matrix compaction: shard states carry a ``"compacted"``
+#: aggregate baseline and their ``"groups"`` list holds only the
+#: retractable tail.  Version-1 checkpoints (full group history, no
+#: baseline) still load; their groups are compacted on the first update.
+STATE_VERSION = 2
+
+#: Checkpoint versions :meth:`ShardedPipeline.from_state` accepts.
+SUPPORTED_STATE_VERSIONS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -114,8 +122,12 @@ class UpdateStats:
     full rebuild that ``rebuilt`` reports.
 
     ``shard_timings`` maps each updated shard id to the wall-clock seconds
-    its engine spent (skipped shards are absent); ``slowest_shard`` is the
-    id with the largest timing (``None`` when nothing ran).
+    its engine spent *computing* — journal materialisation, checkpoint
+    restore and re-export on a process-pool worker are excluded, so the
+    timings are comparable across executors; that excluded serialization
+    cost is aggregated in ``handoff_seconds`` (0.0 for the in-process
+    executors).  ``slowest_shard`` is the id with the largest timing
+    (``None`` when nothing ran).
     ``parallel_speedup`` is the overlap factor of the update: total
     per-shard busy seconds divided by the wall time of the whole shard
     pass.  With the serial executor it is at most 1.0; a parallel executor
@@ -152,6 +164,7 @@ class UpdateStats:
     shard_timings: dict[str, float] = field(default_factory=dict)
     slowest_shard: str | None = None
     parallel_speedup: float = 1.0
+    handoff_seconds: float = 0.0
     merges_reused: int = 0
     merges_recomputed: int = 0
     kernel_used: bool = False
@@ -162,14 +175,19 @@ class UpdateStats:
 class ShardUpdate:
     """Result of one :meth:`ShardEngine.update`: stats plus a change flag.
 
-    ``seconds`` is the wall-clock cost of producing this result — the
-    engine's own ``update()`` for in-process executors, the whole
-    rebuild-update-export round for a process-pool worker.
+    ``seconds`` is the wall-clock cost of the engine's own ``update()`` —
+    pure shard compute, whichever executor produced it.
+    ``handoff_seconds`` is everything a process-pool round adds on top:
+    journal materialisation, checkpoint restore and re-export in the
+    worker plus the parent-side adoption.  In-process executors report
+    0.0, so ``seconds`` (and the ``shard_timings`` built from it) stay
+    comparable across executors.
     """
 
     stats: UpdateStats
     changed: bool
     seconds: float = 0.0
+    handoff_seconds: float = 0.0
 
 
 class ShardEngine:
@@ -220,9 +238,17 @@ class ShardEngine:
         self._grouping = grouping
         self._repair_mode = check_repair_mode(repair_mode)
         self._kernel = check_kernel(kernel)
+        # Identity tag for worker-affinity caching: a process executor
+        # remembers which engine a sticky worker holds by this key (an
+        # ``id()`` could be reused after garbage collection; a uuid not).
+        self._affinity_key = uuid.uuid4().hex
+        self._state_epoch = 0
         self._reset_state()
 
     def _reset_state(self) -> None:
+        # Any reset invalidates engine copies cached by out-of-process
+        # workers: bump the epoch so their slice fast path stops matching.
+        self._state_epoch += 1
         # window and grouping are validated by the extractor
         self._extractor = StreamingGroupExtractor(
             self._window, grouping=self._grouping
@@ -247,6 +273,28 @@ class ShardEngine:
     @property
     def journal(self) -> EventJournal:
         return self._journal
+
+    @property
+    def affinity_key(self) -> str:
+        """Stable identity tag for worker-side engine caching."""
+        return self._affinity_key
+
+    @property
+    def state_epoch(self) -> int:
+        """Counter of state mutations; tags :meth:`export_task` payloads.
+
+        A sticky process-pool worker caches the engine it restored under
+        ``(affinity_key, state_epoch, cursor position)``; any mutation the
+        worker did not itself produce — an update, a restore, a rebuild, a
+        retune — bumps the epoch, so the worker's cached copy stops
+        matching and the executor falls back to the full-state hand-off.
+        """
+        return self._state_epoch
+
+    @property
+    def cursor_position(self) -> int:
+        """Journal position of the consumed prefix (0 when fresh)."""
+        return 0 if self._cursor is None else self._cursor.position
 
     @property
     def matrix(self) -> CorrelationMatrixView:
@@ -307,6 +355,7 @@ class ShardEngine:
         if check_repair_mode(mode) == self._repair_mode:
             return
         self._repair_mode = mode
+        self._state_epoch += 1
         if mode != REPAIR_SPLICE:
             self._dendro_cache.clear()
             self._seed_cache.clear()
@@ -322,6 +371,7 @@ class ShardEngine:
         if check_kernel(kernel) == self._kernel:
             return
         self._kernel = kernel
+        self._state_epoch += 1
         self._seed_cache.clear()
 
     def needs_update(self) -> bool:
@@ -344,11 +394,18 @@ class ShardEngine:
         self._last_added = []
         rewound, events, cursor = self._journal.read_flexible(self._cursor)
         if rewound:
-            if rewound <= len(self._extractor.pending_events):
+            pending = len(self._extractor.pending_events)
+            if rewound < pending or (
+                rewound == pending and self._closed_count == 0
+            ):
                 # The reordered suffix is still inside the provisional
                 # trailing group: drop it from the extractor and re-feed
                 # the re-sorted tail.  The group registrations diff below
-                # picks up any resulting changes.
+                # picks up any resulting changes.  Rewinding the *whole*
+                # pending group is only sound while no group has closed
+                # yet: the first pending event is what closed the previous
+                # group, and the extractor cannot retract that decision —
+                # an insertion landing at or before it must rebuild.
                 self._extractor.rewind(rewound)
                 absorbed = rewound
             else:
@@ -363,38 +420,17 @@ class ShardEngine:
                 rebuilt = True
                 rewound, events, cursor = self._journal.read_flexible(None)
         self._cursor = cursor
+        if events or rewound:
+            # state is about to diverge from any worker-cached copy
+            self._state_epoch += 1
 
-        old_pending = self._pending_keys
-        base = self._closed_count
-        closed = self._extractor.feed_many(events)
-        new_pending = self._extractor.pending_keys
-
-        # Desired registrations for group indices >= base.  The formerly
-        # provisional group sits at index `base`: it either became
-        # closed[0] or is still pending; re-register it only if its key set
-        # actually changed.
-        desired: list[tuple[int, frozenset[str]]] = []
-        index = base
-        for group in closed:
-            desired.append((index, group.keys))
-            index += 1
-        if new_pending:
-            desired.append((index, new_pending))
-        removed: list[tuple[int, frozenset[str]]] = []
-        if old_pending:
-            if desired and desired[0][1] == old_pending:
-                desired = desired[1:]
-            else:
-                removed.append((base, old_pending))
-        dirty = self._matrix.update_groups(added=desired, removed=removed)
-        self._closed_count = base + len(closed)
-        self._pending_keys = new_pending
+        closed_count, dirty = self._register_stream(events)
 
         if not dirty and self._ready:
             return ShardUpdate(
                 stats=UpdateStats(
                     events_consumed=len(events),
-                    groups_closed=len(closed),
+                    groups_closed=closed_count,
                     dirty_keys=0,
                     components_total=len(self._component_cache),
                     components_reclustered=0,
@@ -437,7 +473,7 @@ class ShardEngine:
         return ShardUpdate(
             stats=UpdateStats(
                 events_consumed=len(events),
-                groups_closed=len(closed),
+                groups_closed=closed_count,
                 dirty_keys=len(dirty),
                 components_total=total,
                 components_reclustered=reclustered,
@@ -453,6 +489,45 @@ class ShardEngine:
             changed=changed,
             seconds=time.perf_counter() - started,
         )
+
+    def _register_stream(self, events: list) -> tuple[int, set[str]]:
+        """Fold a sorted event run into the extractor and matrix.
+
+        The stream half of an update: close write groups, register them
+        (and the provisional trailing group) with the matrix, then compact
+        every newly closed group into the matrix's aggregate baseline —
+        only the provisional group stays individually retractable, which
+        is exactly the retraction the engine ever performs (anything
+        deeper forces the :meth:`_reset_state` rebuild).  Returns
+        ``(groups_closed, dirty_keys)``.
+        """
+        old_pending = self._pending_keys
+        base = self._closed_count
+        closed = self._extractor.feed_many(events)
+        new_pending = self._extractor.pending_keys
+
+        # Desired registrations for group indices >= base.  The formerly
+        # provisional group sits at index `base`: it either became
+        # closed[0] or is still pending; re-register it only if its key set
+        # actually changed.
+        desired: list[tuple[int, frozenset[str]]] = []
+        index = base
+        for group in closed:
+            desired.append((index, group.keys))
+            index += 1
+        if new_pending:
+            desired.append((index, new_pending))
+        removed: list[tuple[int, frozenset[str]]] = []
+        if old_pending:
+            if desired and desired[0][1] == old_pending:
+                desired = desired[1:]
+            else:
+                removed.append((base, old_pending))
+        dirty = self._matrix.update_groups(added=desired, removed=removed)
+        self._closed_count = base + len(closed)
+        self._pending_keys = new_pending
+        self._matrix.compact(self._closed_count)
+        return len(closed), dirty
 
     def _repair_component(
         self,
@@ -663,6 +738,10 @@ class ShardEngine:
             "pending": [
                 encode_event(event) for event in self._extractor.pending_events
             ],
+            # closed groups live compacted in the aggregate baseline;
+            # "groups" holds only the retractable provisional tail, so the
+            # checkpoint is O(live keys) however long the session ran
+            "compacted": self._matrix.compacted_state(),
             "groups": [
                 [index, sorted(members)]
                 for index, members in sorted(self._matrix.observed_groups().items())
@@ -727,6 +806,11 @@ class ShardEngine:
                 )
         if groups:
             self._matrix.update_groups(added=groups)
+        compacted = state.get("compacted")
+        if compacted is not None:
+            # version-1 checkpoints carry no baseline: their full group
+            # history replays above and is compacted on the next update
+            self._matrix.install_compacted(compacted)
         known = set(self._matrix.keys)
         for entry in state.get("dendrograms") or ():
             dendrogram = dendrogram_from_state(entry)
@@ -772,6 +856,9 @@ class ShardEngine:
             components = None
             base = 0
         return {
+            "mode": "full",
+            "affinity": {"key": self._affinity_key, "epoch": self._state_epoch},
+            "journal_epoch": self._journal.epoch,
             "state": state,
             "components": components,
             "events": [
@@ -788,6 +875,72 @@ class ShardEngine:
                 "kernel": self._kernel,
             },
         }
+
+    def can_export_slice(self) -> bool:
+        """Whether the engine's state can be expressed as a journal slice.
+
+        True once the engine has clustered at least once and no reorder
+        has reached into its consumed prefix — the preconditions for
+        :meth:`export_slice_task`.
+        """
+        return (
+            self._ready
+            and self._cursor is not None
+            and self._journal.reorder_depth(self._cursor) == 0
+        )
+
+    def export_slice_task(self) -> dict:
+        """Slim work unit for a worker that already holds this engine.
+
+        The affinity fast path: no checkpoint, no component snapshot —
+        just the unread journal slice plus the ``(affinity key, state
+        epoch, cursor position)`` view the worker must hold for the slice
+        to apply.  A worker whose cached engine does not match reports a
+        miss and the executor falls back to :meth:`export_task`.  Requires
+        :meth:`can_export_slice`.
+        """
+        if not self.can_export_slice():
+            raise ValueError(
+                "engine state cannot be expressed as a journal slice; "
+                "export a full task instead"
+            )
+        base = self._cursor.position
+        return {
+            "mode": "slice",
+            "affinity": {"key": self._affinity_key, "epoch": self._state_epoch},
+            "journal_epoch": self._journal.epoch,
+            "base": base,
+            "events": [
+                encode_event(event)
+                for event in self._journal.events_from(base)
+            ],
+            "result_position": len(self._journal),
+        }
+
+    def mirror_consume(self, position: int) -> bool:
+        """Advance the stream state to ``position`` without reclustering.
+
+        The parent half of a slice hand-off: the sticky worker does the
+        re-agglomeration on its cached engine, the parent replays only the
+        cheap stream bookkeeping — cursor, extractor, matrix counts,
+        compaction — so its own state stays checkpoint-complete.  Cluster
+        caches are not touched; the caller installs the worker's
+        components next.  Returns ``False`` when the stream cannot be
+        mirrored in order (fresh engine, a reorder into the consumed
+        prefix, or ``position`` out of range) — the caller must fall back
+        to a full local :meth:`update`.
+        """
+        if self._cursor is None or not self._ready:
+            return False
+        if self._journal.reorder_depth(self._cursor) > 0:
+            return False
+        start = self._cursor.position
+        if position < start or position > len(self._journal):
+            return False
+        events = self._journal.events_from(start)[: position - start]
+        self._cursor = JournalCursor(position, self._journal.epoch)
+        self._register_stream(events)
+        return True
 
     def components_snapshot(self) -> list[tuple[list[str], list[list[str]]]]:
         """The component cluster cache as sorted key lists (picklable)."""
@@ -839,17 +992,77 @@ class ShardEngine:
         is not repeated in the parent.  Returns ``result`` with the
         ``changed`` flag recomputed against the parent's previous clusters
         (the worker cannot see them after a rebuild hand-off).
+
+        If an out-of-order append landed inside the worker's consumed
+        range while the task was in flight, the worker's clusters describe
+        a stream this journal no longer holds — the stale result is
+        discarded and the engine recomputes locally instead of silently
+        installing it.
         """
+        started = time.perf_counter()
+        if (
+            self._journal.reorder_depth(
+                JournalCursor(task["result_position"], task["journal_epoch"])
+            )
+            > 0
+        ):
+            return self.update()
         merged = dict(state)
         merged["cursor"] = {"position": task["result_position"], "epoch": 0}
         merged["head"] = merged["tail"] = None
         previous = self._order.as_key_sets() if self._ready else []
         self.restore(merged)
         self.install_components(components)
+        # the engine now holds exactly the state the worker cached under
+        # the task's affinity tag, so future slice hand-offs can hit
+        self._state_epoch = task["affinity"]["epoch"]
         removed, added = diff_sorted(previous, self._order.as_key_sets())
         self._last_removed = removed
         self._last_added = added
-        return replace(result, changed=bool(removed or added))
+        return replace(
+            result,
+            changed=bool(removed or added),
+            handoff_seconds=result.handoff_seconds
+            + (time.perf_counter() - started),
+        )
+
+    def adopt_slice(
+        self,
+        task: dict,
+        result: ShardUpdate,
+        components: list[tuple[list[str], list[list[str]]]],
+    ) -> ShardUpdate:
+        """Merge a sticky worker's slice-task outcome back into this engine.
+
+        The cheap counterpart of :meth:`adopt_update` for the affinity
+        fast path (``task`` is the :meth:`export_slice_task` payload): the
+        parent mirrors the stream bookkeeping locally
+        (:meth:`mirror_consume`) and installs the worker's component
+        clusters — no checkpoint crosses the boundary.  The parent's
+        dendrogram caches are dropped: a slice adopt advances the matrix
+        without repairing them, and a later serial update must not splice
+        merges that are several updates stale (the sticky worker keeps its
+        own, live cache).  Falls back to a full local :meth:`update` when
+        the journal reordered while the task was in flight.
+        """
+        started = time.perf_counter()
+        if self._journal.epoch != task["journal_epoch"] or (
+            not self.mirror_consume(task["result_position"])
+        ):
+            return self.update()
+        previous = self._order.as_key_sets()
+        self.install_components(components)
+        self._dendro_cache.clear()
+        self._seed_cache.clear()
+        removed, added = diff_sorted(previous, self._order.as_key_sets())
+        self._last_removed = removed
+        self._last_added = added
+        return replace(
+            result,
+            changed=bool(removed or added),
+            handoff_seconds=result.handoff_seconds
+            + (time.perf_counter() - started),
+        )
 
 
 class ShardedPipeline:
@@ -1052,8 +1265,10 @@ class ShardedPipeline:
             )
         wall_seconds = time.perf_counter() - wall_started
         shard_timings: dict[str, float] = {}
+        handoff_seconds = 0.0
         for (shard_id, engine), result in zip(pending, results):
             shard_timings[shard_id] = result.seconds
+            handoff_seconds += result.handoff_seconds
             events += result.stats.events_consumed
             groups += result.stats.groups_closed
             dirty += result.stats.dirty_keys
@@ -1102,6 +1317,7 @@ class ShardedPipeline:
                 if wall_seconds > 0 and busy_seconds > 0
                 else 1.0
             ),
+            handoff_seconds=handoff_seconds,
             merges_reused=merges_reused,
             merges_recomputed=merges_recomputed,
             kernel_used=kernel_components > 0,
@@ -1162,10 +1378,10 @@ class ShardedPipeline:
         (pre-kernel checkpoints default to ``"auto"``).
         """
         version = state.get("version")
-        if version != STATE_VERSION:
+        if version not in SUPPORTED_STATE_VERSIONS:
             raise ValueError(
                 f"unsupported session state version {version!r} "
-                f"(expected {STATE_VERSION})"
+                f"(expected one of {SUPPORTED_STATE_VERSIONS})"
             )
         params = state["params"]
         pipeline = ShardedPipeline(

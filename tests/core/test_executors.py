@@ -30,6 +30,7 @@ from repro.core.executors import (
     ShardExecutor,
     ThreadShardExecutor,
     make_executor,
+    run_affinity_task,
     run_shard_task,
 )
 from repro.core.pipeline import cluster_settings
@@ -245,6 +246,15 @@ class TestTimingStats:
         assert stats.parallel_speedup == 1.0
         pipeline.close()
 
+    def test_serial_updates_report_no_handoff(self):
+        store, pipeline = self._pipeline()
+        store.record_write("app_a/k0", 1, 10.0)
+        pipeline.update()
+        # hand-off time is a process-boundary cost; in-process updates
+        # are pure compute
+        assert pipeline.last_stats.handoff_seconds == 0.0
+        pipeline.close()
+
     def test_serial_overlap_factor_is_at_most_one(self):
         store, pipeline = self._pipeline()
         for t in range(30):
@@ -337,3 +347,190 @@ class TestProcessBoundary:
             cluster_settings(store, key_filter="app_a/")
         )
         pipeline.close()
+
+    def test_worker_round_trip_reports_handoff_separately(self):
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=PREFIXES)
+        store.record_write("app_a/k0", 1, 10.0)
+        engine = pipeline._engines["app_a/"]
+        task = engine.export_task()
+        result, state, components = run_shard_task(task)
+        # serialization/restore overhead is split out of compute time
+        assert result.handoff_seconds >= 0.0
+        adopted = engine.adopt_update(task, result, state, components)
+        assert adopted.seconds == result.seconds
+        assert adopted.handoff_seconds > result.handoff_seconds
+        pipeline.close()
+
+    def test_stale_worker_result_is_recomputed_not_installed(self):
+        """A reorder landing between export_task and adopt_update must not
+        install the worker's clusters — they describe a stream the journal
+        no longer holds (regression: the adopted cursor used to hide the
+        reorder behind the current journal epoch)."""
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=PREFIXES)
+        store.record_write("app_a/k0", 1, 10.0)
+        store.record_write("app_a/k1", 1, 100.0)
+        store.record_write("app_a/k2", 1, 200.0)
+        pipeline.update()
+        store.record_write("app_a/k2", 2, 400.0)
+        engine = pipeline._engines["app_a/"]
+        task = engine.export_task()
+        result, state, components = run_shard_task(task)
+        # while the result was in flight, a late writer landed inside the
+        # very range the worker consumed: k3 joins k0's long-closed group
+        store.record_write("app_a/k3", 1, 10.0)
+        engine.adopt_update(task, result, state, components)
+        assert not engine.needs_update()
+        # the stale result was discarded: k0 and k3 correlate, which the
+        # worker could never have seen
+        key_sets = _key_sets(pipeline.cluster_set_for("app_a/"))
+        assert ("app_a/k0", "app_a/k3") in key_sets
+        assert key_sets == _key_sets(
+            cluster_settings(store, key_filter="app_a/")
+        )
+        pipeline.close()
+
+    def test_slice_adopt_mirrors_stream_and_installs_components(self):
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=PREFIXES)
+        store.record_write("app_a/k0", 1, 10.0)
+        store.record_write("app_a/k1", 1, 10.0)
+        pipeline.update()
+        store.record_write("app_a/k0", 2, 400.0)
+        engine = pipeline._engines["app_a/"]
+        assert engine.can_export_slice()
+        slice_task = engine.export_slice_task()
+        # the fast path ships no checkpoint in either direction
+        assert slice_task["mode"] == "slice"
+        assert "state" not in slice_task
+        assert len(slice_task["events"]) == 1
+        # a full-task worker computes the identical result the sticky
+        # worker would — adopt it through the slice path
+        result, _state, components = run_shard_task(engine.export_task())
+        adopted = engine.adopt_slice(slice_task, result, components)
+        assert adopted.stats.events_consumed == 1
+        assert not engine.needs_update()
+        assert _key_sets(pipeline.cluster_set_for("app_a/")) == _key_sets(
+            cluster_settings(store, key_filter="app_a/")
+        )
+        pipeline.close()
+
+    def test_stale_slice_result_falls_back_to_local_update(self):
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=PREFIXES)
+        store.record_write("app_a/k0", 1, 10.0)
+        store.record_write("app_a/k1", 1, 100.0)
+        pipeline.update()
+        store.record_write("app_a/k2", 1, 200.0)
+        engine = pipeline._engines["app_a/"]
+        slice_task = engine.export_slice_task()
+        result, _state, components = run_shard_task(engine.export_task())
+        # the journal reorders while the slice result is in flight
+        store.record_write("app_a/k3", 1, 10.0)
+        engine.adopt_slice(slice_task, result, components)
+        assert not engine.needs_update()
+        assert _key_sets(pipeline.cluster_set_for("app_a/")) == _key_sets(
+            cluster_settings(store, key_filter="app_a/")
+        )
+        pipeline.close()
+
+    def test_slice_export_requires_a_clean_consumed_prefix(self):
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=PREFIXES)
+        engine = pipeline._engines["app_a/"]
+        assert not engine.can_export_slice()  # fresh engine
+        with pytest.raises(ValueError, match="journal slice"):
+            engine.export_slice_task()
+        pipeline.close()
+
+
+class TestWorkerAffinity:
+    """The sticky-worker engine cache and its (epoch, position) views."""
+
+    def test_worker_cache_round_trip_in_process(self):
+        """A full task primes the worker cache; the follow-up ships only
+        the journal slice and still matches the batch reference."""
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=PREFIXES)
+        store.record_write("app_a/k0", 1, 10.0)
+        store.record_write("app_a/k1", 1, 10.0)
+        engine = pipeline._engines["app_a/"]
+        task = engine.export_task()
+        outcome = run_affinity_task(task)
+        assert outcome["state"] is not None
+        engine.adopt_update(
+            task, outcome["result"], outcome["state"], outcome["components"]
+        )
+        store.record_write("app_a/k0", 2, 400.0)
+        slice_task = engine.export_slice_task()
+        outcome = run_affinity_task(slice_task)
+        assert "miss" not in outcome
+        engine.adopt_slice(slice_task, outcome["result"], outcome["components"])
+        assert _key_sets(pipeline.cluster_set_for("app_a/")) == _key_sets(
+            cluster_settings(store, key_filter="app_a/")
+        )
+        pipeline.close()
+
+    def test_worker_reports_miss_without_a_cached_engine(self):
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=PREFIXES)
+        store.record_write("app_a/k0", 1, 10.0)
+        store.record_write("app_a/k1", 1, 10.0)
+        pipeline.update()
+        store.record_write("app_a/k0", 2, 400.0)
+        task = pipeline._engines["app_a/"].export_slice_task()
+        assert run_affinity_task(task) == {"miss": True}
+        pipeline.close()
+
+    def test_second_update_ships_only_the_journal_slice(self):
+        with ProcessShardExecutor(2) as executor:
+            store = TTKV()
+            pipeline = ShardedPipeline(
+                store, shard_prefixes=PREFIXES, executor=executor
+            )
+            store.record_write("app_a/k0", 1, 10.0)
+            store.record_write("app_a/k1", 1, 10.0)
+            pipeline.update()
+            engine = pipeline._engines["app_a/"]
+            # the executor recorded the exact view the worker now holds
+            assert executor._views[engine.affinity_key] == (
+                engine.state_epoch,
+                engine.cursor_position,
+            )
+            store.record_write("app_a/k0", 2, 400.0)
+            assert executor._export(engine)["mode"] == "slice"
+            pipeline.update()
+            # process hand-off cost is visible, split from compute
+            assert pipeline.last_stats.handoff_seconds > 0.0
+            for prefix in PREFIXES:
+                assert _key_sets(pipeline.cluster_set_for(prefix)) == _key_sets(
+                    cluster_settings(store, key_filter=prefix)
+                )
+            pipeline.close()
+
+    def test_serial_interleave_invalidates_the_cached_view(self):
+        """Any mutation outside the executor bumps the state epoch, so the
+        next process update falls back to the full checkpoint path instead
+        of applying a slice to a stale worker engine."""
+        with ProcessShardExecutor(2) as executor:
+            store = TTKV()
+            pipeline = ShardedPipeline(
+                store, shard_prefixes=PREFIXES, executor=executor
+            )
+            store.record_write("app_a/k0", 1, 10.0)
+            store.record_write("app_a/k1", 1, 10.0)
+            pipeline.update()
+            engine = pipeline._engines["app_a/"]
+            pipeline.executor = None
+            store.record_write("app_a/k0", 2, 400.0)
+            pipeline.update()  # serial: diverges from the worker's copy
+            store.record_write("app_a/k1", 2, 800.0)
+            assert executor._export(engine)["mode"] == "full"
+            pipeline.executor = executor
+            pipeline.update()
+            for prefix in PREFIXES:
+                assert _key_sets(pipeline.cluster_set_for(prefix)) == _key_sets(
+                    cluster_settings(store, key_filter=prefix)
+                )
+            pipeline.close()

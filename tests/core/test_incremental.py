@@ -225,6 +225,22 @@ class TestIncrementalBehaviour:
         assert pipeline.last_stats.reorders_absorbed == 0
         assert _key_sets(incremental) == _key_sets(cluster_settings(store))
 
+    def test_reorder_at_the_pending_group_boundary_rebuilds(self):
+        # the insertion re-delivers the *entire* pending group: its first
+        # event is what closed the previous group, a decision the
+        # extractor cannot retract.  Absorbing here used to split the
+        # closed group and silently diverge from batch.
+        store = TTKV()
+        store.record_write("a", 1, 10.0)
+        store.record_write("b", 1, 100.0)
+        pipeline = IncrementalPipeline(store)
+        pipeline.update()
+        store.record_write("race", 1, 10.0)  # joins the closed {a} group
+        incremental = pipeline.update()
+        assert pipeline.last_stats.rebuilt
+        assert pipeline.last_stats.reorders_absorbed == 0
+        assert _key_sets(incremental) == _key_sets(cluster_settings(store))
+
     def test_reorder_absorption_matches_batch_when_group_merges(self):
         # the inserted event falls within the trailing group's window, so
         # re-feeding extends the provisional group to include it

@@ -282,6 +282,47 @@ class TestCheckpointValidation:
         with pytest.raises(ValueError):
             ShardedPipeline.from_state(TTKV(), {"version": 99})
 
+    def test_checkpoints_are_written_at_version_2(self):
+        pipeline = ShardedPipeline(TTKV(), shard_prefixes=("a/",))
+        assert pipeline.to_state()["version"] == 2
+        pipeline.close()
+
+    def test_legacy_v1_checkpoint_loads_and_compacts(self):
+        # a version-1 checkpoint carries the FULL group history and no
+        # compacted baseline; it must still resume, produce identical
+        # clusters, and compact on the first update
+        store = TTKV()
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/",))
+        # pin the matrices to the uncompacted v1 behaviour so to_state()
+        # emits the legacy layout
+        for engine in pipeline._engines.values():
+            engine._matrix.compact = lambda keep_from: 0
+        for t in range(12):
+            store.record_write("a/x", t, t * 100.0)
+            store.record_write("a/y", t, t * 100.0 + 0.2)
+        before = pipeline.update()
+        legacy = json.loads(json.dumps(pipeline.to_state()))
+        legacy["version"] = 1
+        assert len(legacy["shards"]["a/"]["groups"]) > 1  # full history
+        for shard_state in legacy["shards"].values():
+            assert shard_state.pop("compacted") is None
+        pipeline.close()
+
+        resumed = ShardedPipeline.from_state(store, legacy)
+        assert _key_sets(resumed.update()) == _key_sets(before)
+        store.record_write("a/x", 99, 5000.0)
+        store.record_write("a/y", 99, 5000.2)
+        resumed.update()
+        state = resumed.to_state()
+        assert state["version"] == 2
+        for shard_state in state["shards"].values():
+            assert len(shard_state["groups"]) <= 1
+        assert state["shards"]["a/"]["compacted"] is not None
+        assert _key_sets(resumed.cluster_set) == _key_sets(
+            _batch_for_shard(store, "a/")
+        )
+        resumed.close()
+
     def test_mismatched_store_rejected(self):
         store = TTKV()
         store.record_write("a/x", 1, 10.0)

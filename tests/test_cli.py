@@ -89,6 +89,18 @@ class TestStreamExecutorFlags:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["stream", "--workers", workers])
 
+    def test_worker_validation_shares_the_executor_message(self, capsys):
+        # one source of truth: the CLI routes through the executors'
+        # _checked_workers rule instead of a parallel argparse check
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--workers", "0"])
+        assert "workers must be at least 1, got 0" in capsys.readouterr().err
+
+    def test_non_integer_workers_message(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--workers", "two"])
+        assert "workers must be an integer, got 'two'" in capsys.readouterr().err
+
     def test_kernel_parses_and_defaults_to_checkpoint_friendly_none(self):
         assert build_parser().parse_args(["stream"]).kernel is None
         args = build_parser().parse_args(["stream", "--kernel", "numpy"])
