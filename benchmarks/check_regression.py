@@ -22,6 +22,7 @@ Usage::
     python benchmarks/bench_parallel.py    --quick --out benchmarks/out/BENCH_parallel.json
     python benchmarks/bench_splice.py      --quick --out benchmarks/out/BENCH_splice.json
     python benchmarks/bench_kernel.py      --quick --out benchmarks/out/BENCH_kernel.json
+    python benchmarks/bench_ingest.py      --quick --out benchmarks/out/BENCH_ingest.json
     python benchmarks/check_regression.py
 
 Refreshing a baseline (after a deliberate perf change) is the same run
@@ -78,6 +79,16 @@ GATES: dict[str, dict] = {
         "headline": [("kernel_speedup", "higher")],
         "invariants": ["kernels_agree"],
         "identity": ["seed", "quick", "sizes"],
+    },
+    "BENCH_ingest.json": {
+        "headline": [
+            ("ingest_speedup", "higher"),
+            ("ingest_throughput", "higher"),
+            ("resume_speedup", "higher"),
+            ("slice_bytes", "lower"),
+        ],
+        "invariants": ["columnar_equals_list"],
+        "identity": ["seed", "quick", "groups", "events"],
     },
 }
 

@@ -145,11 +145,21 @@ def build_parser() -> argparse.ArgumentParser:
         "kernel",
     )
     stream.add_argument(
+        "--journal", choices=("auto", "list", "columnar"), default=None,
+        help="event-journal backend: 'auto' (default) stores events in "
+        "columnar numpy segments when numpy is installed and falls back "
+        "to the pure-Python list journal otherwise; 'columnar'/'list' "
+        "force one backend; clusters are identical either way — on "
+        "--state resume the flag overrides the checkpointed backend",
+    )
+    stream.add_argument(
         "--timings", action="store_true",
-        help="append per-shard timing (slowest shard, overlap factor, "
-        "process hand-off vs compute split), dendrogram-repair counters "
-        "(merges spliced vs recomputed) and kernel dispatch (components "
-        "on the numpy kernel) to each progress line",
+        help="append ingest timing (journal append + shard routing, "
+        "separate from compute and hand-off), per-shard timing (slowest "
+        "shard, overlap factor, process hand-off vs compute split), "
+        "dendrogram-repair counters (merges spliced vs recomputed) and "
+        "kernel dispatch (components on the numpy kernel) to each "
+        "progress line",
     )
 
     repair = sub.add_parser("repair", help="repair one Table III error")
@@ -303,6 +313,16 @@ def _stream_trace(args):
     return trace, apps, prefixes
 
 
+def _ingest_suffix(ingest_seconds: float) -> str:
+    """Ingest tail for one progress line (``--timings``).
+
+    Covers journal append plus shard routing only — the pipeline compute
+    and any process hand-off are reported separately by
+    :func:`_timing_suffix`, so the three phases can be compared.
+    """
+    return f"; ingest {ingest_seconds * 1000:.1f}ms (append + routing)"
+
+
 def _timing_suffix(stats) -> str:
     """Per-shard timing tail for one progress line (``--timings``)."""
     if not stats.shard_timings:
@@ -332,6 +352,7 @@ def _timing_suffix(stats) -> str:
 
 def _cmd_stream(args) -> str:
     import json
+    import time
     from pathlib import Path
 
     from repro.core.executors import make_executor
@@ -349,14 +370,17 @@ def _cmd_stream(args) -> str:
             # Resume: the deployment re-opens its recorded store and the
             # session picks up at its checkpointed cursors — consumed events
             # are never read again.
-            live = TTKV()
+            live = TTKV(journal_backend=args.journal or "list")
+            ingest_start = time.perf_counter()
             live.record_events(events)
+            ingest_seconds = time.perf_counter() - ingest_start
             pipeline = ShardedPipeline.from_state(
                 live,
                 json.loads(state_path.read_text(encoding="utf-8")),
                 executor=executor,
                 repair_mode=args.repair_mode,
                 kernel=args.kernel,
+                journal_backend=args.journal,
             )
             clusters = pipeline.update()
             stats = pipeline.last_stats
@@ -371,10 +395,10 @@ def _cmd_stream(args) -> str:
                 f"({len(clusters.multi_clusters())} multi-key)"
             )
             if args.timings:
-                line += _timing_suffix(stats)
+                line += _ingest_suffix(ingest_seconds) + _timing_suffix(stats)
             lines.append(line)
         else:
-            live = TTKV()
+            live = TTKV(journal_backend=args.journal or "list")
             pipeline = ShardedPipeline(
                 live,
                 shard_prefixes=prefixes,
@@ -383,6 +407,7 @@ def _cmd_stream(args) -> str:
                 executor=executor,
                 repair_mode=args.repair_mode or "splice",
                 kernel=args.kernel or "auto",
+                journal_backend=args.journal or "auto",
             )
             chunk_size = max(1, -(-len(events) // max(1, args.chunks)))
             chunks = -(-len(events) // chunk_size) if events else 0
@@ -398,7 +423,9 @@ def _cmd_stream(args) -> str:
                 f"chunk(s){sharded}{concurrency}"
             )
             for start in range(0, len(events), chunk_size):
+                ingest_start = time.perf_counter()
                 live.record_events(events[start:start + chunk_size])
+                ingest_seconds = time.perf_counter() - ingest_start
                 clusters = pipeline.update()
                 stats = pipeline.last_stats
                 line = (
@@ -414,7 +441,7 @@ def _cmd_stream(args) -> str:
                         "shards updated"
                     )
                 if args.timings:
-                    line += _timing_suffix(stats)
+                    line += _ingest_suffix(ingest_seconds) + _timing_suffix(stats)
                 lines.append(line)
 
         if state_path is not None:

@@ -16,6 +16,16 @@ from typing import Iterable, Mapping
 
 from repro.core.unionfind import UnionFind
 
+try:  # soft dependency: the dict-update path is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via tests' import guard
+    _np = None
+
+#: Below this many total group memberships, :meth:`CorrelationMatrix.
+#: observe_groups_batch` uses the per-group dict path — array setup costs
+#: more than it saves on tiny batches.
+BATCH_VECTOR_MIN = 64
+
 INFINITE_DISTANCE = math.inf
 
 
@@ -299,6 +309,14 @@ class CorrelationMatrix:
         victims = sorted(
             index for index in self._group_members if index < keep_from
         )
+        self._fold_groups(victims)
+        self._compacted_count += len(victims)
+        if keep_from > self._compact_floor:
+            self._compact_floor = keep_from
+        return len(victims)
+
+    def _fold_groups(self, victims: Iterable[int]) -> None:
+        """Move registered groups into the aggregate baseline (no queries change)."""
         for index in victims:
             members = sorted(self._group_members.pop(index))
             for key in members:
@@ -313,10 +331,167 @@ class CorrelationMatrix:
                         self._common[pair] = remaining
                     else:
                         del self._common[pair]
-        self._compacted_count += len(victims)
-        if keep_from > self._compact_floor:
-            self._compact_floor = keep_from
-        return len(victims)
+
+    def observe_groups_batch(
+        self, start_index: int, groups: Iterable[Iterable[str]]
+    ) -> set[str]:
+        """Fold a contiguous run of *final* write groups straight into the
+        aggregate baseline — the vectorized bulk-ingest path.
+
+        Observationally identical to ``observe_group`` for indices
+        ``start_index .. start_index + n - 1`` followed by compacting
+        *exactly those groups* (other retained groups are untouched — a
+        later :meth:`compact` call handles them as usual).  The groups
+        never become individually retractable: the caller asserts they are
+        closed for good, exactly what the streaming engine asserts by
+        compacting after every update.  That lets their per-key and
+        per-pair contributions be counted in bulk — one ``np.bincount``
+        for key occurrences and one ``np.unique`` over integer-encoded
+        in-group pairs — instead of a Python dict update per event.
+        Returns the dirty key set, like :meth:`update_groups`.
+
+        Without numpy (or for tiny batches) the per-group path runs
+        instead; the result is the same either way, which the property
+        suite asserts.
+        """
+        prepared = [sorted(set(keys)) for keys in groups]
+        count = len(prepared)
+        if start_index < self._compact_floor:
+            raise ValueError(
+                f"batch start {start_index} lies below the compaction floor "
+                f"{self._compact_floor}; compacted indices cannot be reused"
+            )
+        for offset, members in enumerate(prepared):
+            if not members:
+                raise ValueError(f"group {start_index + offset} has no keys")
+            if start_index + offset in self._group_members:
+                raise ValueError(
+                    f"group {start_index + offset} already observed"
+                )
+        if not count:
+            return set()
+        total = sum(len(members) for members in prepared)
+        if _np is None or total < BATCH_VECTOR_MIN:
+            dirty = self.update_groups(
+                added=[
+                    (start_index + offset, members)
+                    for offset, members in enumerate(prepared)
+                ]
+            )
+            self._fold_groups(range(start_index, start_index + count))
+            self._compacted_count += count
+            if start_index + count > self._compact_floor:
+                self._compact_floor = start_index + count
+            return dirty
+
+        # Integer-encode the batch: one code per distinct key, one flat
+        # array of per-group member codes.
+        code_of: dict[str, int] = {}
+        names: list[str] = []
+        flat: list[int] = []
+        for members in prepared:
+            for key in members:
+                code = code_of.get(key)
+                if code is None:
+                    code = len(names)
+                    code_of[key] = code
+                    names.append(key)
+                flat.append(code)
+        codes = _np.asarray(flat, dtype=_np.int64)
+        lengths = _np.fromiter(
+            (len(members) for members in prepared), dtype=_np.intp, count=count
+        )
+        key_counts = _np.bincount(codes, minlength=len(names))
+
+        # Enumerate every unordered in-group pair without a Python loop:
+        # member j of a group pairs with each of its later members, so it
+        # contributes (group length - 1 - local position) ordered pairs.
+        starts = _np.zeros(count, dtype=_np.intp)
+        _np.cumsum(lengths[:-1], out=starts[1:])
+        local = _np.arange(total) - _np.repeat(starts, lengths)
+        fanout = _np.repeat(lengths, lengths) - 1 - local
+        pair_total = int(fanout.sum())
+        pair_codes = None
+        if pair_total:
+            first = _np.repeat(_np.arange(total), fanout)
+            pair_starts = _np.zeros(total, dtype=_np.intp)
+            _np.cumsum(fanout[:-1], out=pair_starts[1:])
+            second = first + 1 + (_np.arange(pair_total) - _np.repeat(pair_starts, fanout))
+            code_a = codes[first]
+            code_b = codes[second]
+            low = _np.minimum(code_a, code_b)
+            high = _np.maximum(code_a, code_b)
+            pair_codes, pair_counts = _np.unique(
+                low * _np.int64(len(names)) + high, return_counts=True
+            )
+
+        # Apply the aggregated counts — the same writes observe+compact
+        # would have netted to, without materialising the groups.
+        base_counts = self._base_counts
+        key_groups = self._key_groups
+        neighbors = self._neighbors
+        union_live = not self._uf_stale
+        for name, occurrences in zip(names, key_counts.tolist()):
+            base_counts[name] = base_counts.get(name, 0) + occurrences
+            key_groups.setdefault(name, set())
+            neighbors.setdefault(name, set())
+            if union_live:
+                self._uf.add(name)
+        if union_live:
+            # Groups are cliques, so their connectivity is fully captured
+            # by a throwaway integer union-find over the local codes; only
+            # the resulting local components (usually a handful) are merged
+            # into the incremental global structure.
+            parent = list(range(len(names)))
+
+            def _root(code: int) -> int:
+                while parent[code] != code:
+                    parent[code] = parent[parent[code]]
+                    code = parent[code]
+                return code
+
+            at = 0
+            for members in prepared:
+                size = len(members)
+                if size > 1:
+                    anchor = _root(flat[at])
+                    for offset in range(at + 1, at + size):
+                        other = _root(flat[offset])
+                        if other != anchor:
+                            parent[other] = anchor
+                at += size
+            local_components: dict[int, list[str]] = {}
+            for code, name in enumerate(names):
+                local_components.setdefault(_root(code), []).append(name)
+            for component in local_components.values():
+                if len(component) > 1:
+                    self._uf.union_many(component)
+        if pair_codes is not None:
+            base_common = self._base_common
+            width = len(names)
+            for key_a, key_b, occurrences in zip(
+                [names[c] for c in (pair_codes // width).tolist()],
+                [names[c] for c in (pair_codes % width).tolist()],
+                pair_counts.tolist(),
+            ):
+                pair = frozenset((key_a, key_b))
+                known = base_common.get(pair)
+                if known is None:
+                    base_common[pair] = occurrences
+                    neighbors[key_a].add(key_b)
+                    neighbors[key_b].add(key_a)
+                else:
+                    base_common[pair] = known + occurrences
+        dirty = set(names)
+        if self._blocks:
+            for key in dirty:
+                covering = self._block_of_key.get(key)
+                if covering is not None:
+                    self._block_dirty.setdefault(covering, set()).add(key)
+        self._compacted_count += count
+        if start_index + count > self._compact_floor:
+            self._compact_floor = start_index + count
+        return dirty
 
     def compacted_state(self) -> dict | None:
         """JSON-safe aggregate baseline, or ``None`` when nothing compacted.
@@ -701,5 +876,6 @@ class CorrelationMatrixView:
     observe_group = _read_only
     retract_group = _read_only
     update_groups = _read_only
+    observe_groups_batch = _read_only
     compact = _read_only
     install_compacted = _read_only

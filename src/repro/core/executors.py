@@ -86,7 +86,8 @@ from dataclasses import replace
 from typing import Sequence
 
 from repro.core.sharded import ShardEngine, ShardUpdate
-from repro.ttkv.journal import EventJournal, decode_event
+from repro.ttkv.columnar import BACKEND_LIST, make_journal
+from repro.ttkv.journal import decode_event_batch
 
 #: The executor names understood by :func:`make_executor` (and the
 #: ``--executor`` flag of ``python -m repro stream``).
@@ -177,10 +178,11 @@ class ThreadShardExecutor(ShardExecutor):
 
 def _materialize_engine(task: dict) -> ShardEngine:
     """Rebuild the checkpointed engine over the shipped journal slice."""
-    journal = EventJournal()
-    for entry in task["events"]:
-        journal.append_event(decode_event(entry))
-    engine = ShardEngine(journal, **task["params"])
+    params = dict(task["params"])
+    journal = make_journal(params.pop("journal_backend", BACKEND_LIST))
+    for event in decode_event_batch(task["events"]):
+        journal.append_event(event)
+    engine = ShardEngine(journal, **params)
     if task["state"] is not None:
         engine.restore(task["state"])
         if task["components"] is not None:
@@ -263,8 +265,8 @@ def run_affinity_task(task: dict) -> dict:
         ):
             return {"miss": True}
         engine = cached[2]
-        for entry in task["events"]:
-            engine.journal.append_event(decode_event(entry))
+        for event in decode_event_batch(task["events"]):
+            engine.journal.append_event(event)
         result = engine.update()
         components = engine.components_snapshot()
         _cache_engine(key, affinity["epoch"], task["result_position"], engine)

@@ -86,11 +86,13 @@ from repro.core.hac_kernel import KERNEL_AUTO, KERNEL_NUMPY, check_kernel
 from repro.core.ordering import SortedKeySets, diff_sorted
 from repro.core.pipeline import DEFAULT_CORRELATION_THRESHOLD, DEFAULT_WINDOW
 from repro.core.windowing import GROUPING_SLIDING, StreamingGroupExtractor
+from repro.ttkv.columnar import BACKEND_AUTO, journal_backend, resolve_backend
 from repro.ttkv.journal import (
     EventJournal,
     JournalCursor,
     decode_event,
     encode_event,
+    encode_event_batch,
 )
 from repro.ttkv.sharding import ShardedJournal
 from repro.ttkv.store import TTKV
@@ -101,12 +103,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: Checkpoint format version written by :meth:`ShardedPipeline.to_state`.
 #: Version 2 added matrix compaction: shard states carry a ``"compacted"``
 #: aggregate baseline and their ``"groups"`` list holds only the
-#: retractable tail.  Version-1 checkpoints (full group history, no
-#: baseline) still load; their groups are compacted on the first update.
-STATE_VERSION = 2
+#: retractable tail.  Version 3 added the columnar journal backbone: the
+#: session params record ``"journal_backend"``.  Version-1 and version-2
+#: checkpoints still load (missing backend defaults to ``"auto"``;
+#: version-1 group histories are compacted on the first update).
+STATE_VERSION = 3
 
 #: Checkpoint versions :meth:`ShardedPipeline.from_state` accepts.
-SUPPORTED_STATE_VERSIONS = (1, 2)
+SUPPORTED_STATE_VERSIONS = (1, 2, 3)
+
+#: Minimum closed groups per update before :meth:`ShardEngine.
+#: _register_stream` takes the matrix's bulk-ingest path; the routine
+#: one-group-closed update stays on the single ``update_groups`` call.
+STREAM_BATCH_MIN = 4
 
 
 @dataclass(frozen=True)
@@ -523,8 +532,28 @@ class ShardEngine:
                 desired = desired[1:]
             else:
                 removed.append((base, old_pending))
-        dirty = self._matrix.update_groups(added=desired, removed=removed)
-        self._closed_count = base + len(closed)
+        closed_through = base + len(closed)
+        pending_entry = None
+        closed_entries = desired
+        if desired and desired[-1][0] == closed_through:
+            pending_entry = desired[-1]
+            closed_entries = desired[:-1]
+        if not removed and len(closed_entries) >= STREAM_BATCH_MIN:
+            # Bulk run of final groups: count them straight into the
+            # matrix's aggregate baseline (vectorized when numpy is
+            # present).  Sound only without a retraction in the same
+            # step — netting a retraction against re-additions must stay
+            # one update_groups call, or a transient pair loss would bump
+            # structure_version and void caches the combined call keeps.
+            dirty = self._matrix.observe_groups_batch(
+                closed_entries[0][0],
+                [members for _, members in closed_entries],
+            )
+            if pending_entry is not None:
+                dirty |= self._matrix.update_groups(added=[pending_entry])
+        else:
+            dirty = self._matrix.update_groups(added=desired, removed=removed)
+        self._closed_count = closed_through
         self._pending_keys = new_pending
         self._matrix.compact(self._closed_count)
         return len(closed), dirty
@@ -861,10 +890,7 @@ class ShardEngine:
             "journal_epoch": self._journal.epoch,
             "state": state,
             "components": components,
-            "events": [
-                encode_event(event)
-                for event in self._journal.events_from(base)
-            ],
+            "events": encode_event_batch(self._journal.events_from(base)),
             "result_position": len(self._journal),
             "params": {
                 "window": self._window,
@@ -873,6 +899,7 @@ class ShardEngine:
                 "grouping": self._grouping,
                 "repair_mode": self._repair_mode,
                 "kernel": self._kernel,
+                "journal_backend": journal_backend(self._journal),
             },
         }
 
@@ -910,10 +937,7 @@ class ShardEngine:
             "affinity": {"key": self._affinity_key, "epoch": self._state_epoch},
             "journal_epoch": self._journal.epoch,
             "base": base,
-            "events": [
-                encode_event(event)
-                for event in self._journal.events_from(base)
-            ],
+            "events": encode_event_batch(self._journal.events_from(base)),
             "result_position": len(self._journal),
         }
 
@@ -1125,6 +1149,7 @@ class ShardedPipeline:
         executor: "ShardExecutor | None" = None,
         repair_mode: str = REPAIR_SPLICE,
         kernel: str = KERNEL_AUTO,
+        journal_backend: str = BACKEND_AUTO,
     ) -> None:
         self.store = store
         self.shard_prefixes = tuple(shard_prefixes)
@@ -1137,6 +1162,7 @@ class ShardedPipeline:
         self.executor = executor
         self.repair_mode = repair_mode
         self.kernel = kernel
+        self.journal_backend = journal_backend
         self.last_stats: UpdateStats | None = None
         self._journal_view: ShardedJournal | None = None
         self._reset()
@@ -1145,6 +1171,9 @@ class ShardedPipeline:
         # repair_mode and kernel are deliberately absent: they never
         # change results, so retuning them applies to the engines in
         # place instead of restarting the session (see update()).
+        # journal_backend never changes results either, but retuning it
+        # *is* a restart: the shard journals must be rebuilt on the new
+        # storage.
         return (
             self.window,
             self.correlation_threshold,
@@ -1153,6 +1182,7 @@ class ShardedPipeline:
             self.grouping,
             tuple(self.shard_prefixes),
             self.catch_all,
+            self.journal_backend,
         )
 
     def _reset(self) -> None:
@@ -1176,6 +1206,7 @@ class ShardedPipeline:
             self.shard_prefixes,
             catch_all=self.catch_all,
             key_filter=self.key_filter,
+            backend=resolve_backend(self.journal_backend),
         )
         self._engines = {
             shard_id: ShardEngine(
@@ -1347,6 +1378,7 @@ class ShardedPipeline:
                 "catch_all": self.catch_all,
                 "repair_mode": self.repair_mode,
                 "kernel": self.kernel,
+                "journal_backend": self.journal_backend,
             },
             "shards": {
                 shard_id: engine.to_state()
@@ -1363,6 +1395,7 @@ class ShardedPipeline:
         executor: "ShardExecutor | None" = None,
         repair_mode: str | None = None,
         kernel: str | None = None,
+        journal_backend: str | None = None,
     ) -> "ShardedPipeline":
         """Rebuild a session over ``store`` from :meth:`to_state` output.
 
@@ -1376,6 +1409,8 @@ class ShardedPipeline:
         much work updates do, never their output: ``None`` (default)
         keeps the checkpoint's value, an explicit value overrides it
         (pre-kernel checkpoints default to ``"auto"``).
+        ``journal_backend`` follows the same rule — version-2 and older
+        checkpoints carry no backend and default to ``"auto"``.
         """
         version = state.get("version")
         if version not in SUPPORTED_STATE_VERSIONS:
@@ -1401,6 +1436,11 @@ class ShardedPipeline:
             ),
             kernel=(
                 kernel if kernel is not None else params.get("kernel", KERNEL_AUTO)
+            ),
+            journal_backend=(
+                journal_backend
+                if journal_backend is not None
+                else params.get("journal_backend", BACKEND_AUTO)
             ),
         )
         shards = state["shards"]

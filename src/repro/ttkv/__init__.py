@@ -9,9 +9,26 @@ recorded in the history via a special sentinel value.
 from repro.ttkv.store import DELETED, MISSING, KeyRecord, TTKV, VersionedValue
 from repro.ttkv.journal import (
     EventJournal,
+    EventSliceView,
     JournalCursor,
     decode_event,
+    decode_event_batch,
     encode_event,
+    encode_event_batch,
+)
+from repro.ttkv.columnar import (
+    BACKEND_AUTO,
+    BACKEND_COLUMNAR,
+    BACKEND_LIST,
+    BACKEND_NAMES,
+    ColumnarJournal,
+    ColumnarView,
+    columnar_available,
+    journal_backend,
+    load_columnar,
+    make_journal,
+    resolve_backend,
+    save_columnar,
 )
 from repro.ttkv.sharding import CATCH_ALL, ShardedJournal
 from repro.ttkv.snapshot import RollbackPlan, SnapshotView, rollback_plan
@@ -24,9 +41,24 @@ __all__ = [
     "TTKV",
     "VersionedValue",
     "EventJournal",
+    "EventSliceView",
     "JournalCursor",
     "decode_event",
+    "decode_event_batch",
     "encode_event",
+    "encode_event_batch",
+    "BACKEND_AUTO",
+    "BACKEND_COLUMNAR",
+    "BACKEND_LIST",
+    "BACKEND_NAMES",
+    "ColumnarJournal",
+    "ColumnarView",
+    "columnar_available",
+    "journal_backend",
+    "load_columnar",
+    "make_journal",
+    "resolve_backend",
+    "save_columnar",
     "CATCH_ALL",
     "ShardedJournal",
     "RollbackPlan",

@@ -1,0 +1,786 @@
+"""Columnar event journal: numpy segments, zero-copy slices, mmap resume.
+
+The list-backed :class:`~repro.ttkv.journal.EventJournal` holds one Python
+tuple (plus a key string and a value object) per modification.  At fleet
+scale — months of events for thousands of machines — that representation
+is the memory and (de)serialization wall ROADMAP.md names: every resume
+re-decodes the whole history through JSON, every shard slice copies a list
+of tuples, and every hand-off pickles the tuples one by one.
+
+:class:`ColumnarJournal` is the array-backed replacement.  Same API, same
+observable event stream, different storage:
+
+- **Interned string tables.**  Keys repeat constantly (a config key is
+  written many times) and values repeat often (booleans, small enums).
+  Each distinct key/value is stored once in a side table; events refer to
+  them by ``int32`` id.
+- **Sealed segments.**  Events accumulate in a small Python append buffer;
+  once it reaches ``segment_size`` entries it is *sealed* into an
+  immutable numpy structured array of ``(float64 time, int32 key id,
+  int32 value id)`` rows.  Appends therefore stay O(1) amortised, and the
+  sealed bulk of the journal is a handful of flat arrays.
+- **Zero-copy slices.**  :meth:`ColumnarJournal.events_from` (and
+  :meth:`read`/:meth:`read_flexible`) return a :class:`ColumnarView` —
+  numpy slice views over the sealed segments plus a snapshot of the
+  buffer tail.  Nothing is decoded until a consumer actually touches an
+  event, and bulk consumers (windowing, export payloads) use the column
+  arrays directly.
+- **Memory-mapped persistence.**  :func:`save_columnar` writes the sealed
+  columns as one ``.npy`` array plus a JSON side-car for the string
+  tables; :func:`load_columnar` memory-maps the array back, so resume is
+  an mmap + cursor seek instead of a JSON decode of every event.
+
+**Timestamps are float64**, not the int64 the columnar plan first
+sketched: the whole equality contract of this repository compares Python
+``float`` timestamps bit-for-bit, and IEEE-754 doubles round-trip those
+exactly while int64 would quantise them.
+
+**Out-of-order appends** follow the same bisect rule as the list backend.
+An insertion landing in the buffer is a list insert; one landing in a
+sealed segment rebuilds just that segment (a rare O(segment) splice —
+loggers race across quantisation boundaries occasionally, not often).
+Cursor semantics (:class:`~repro.ttkv.journal.JournalCursor`, epochs,
+:class:`~repro.exceptions.StaleCursorError`) are identical.  Views are
+snapshots: an out-of-order insertion below a view's range leaves the view
+showing pre-insertion history, so consumers materialise or consume a view
+within the update that produced it (every caller in this repository does).
+
+numpy is a **soft dependency** (``pip install repro-ocasta[fast]``): the
+list journal remains the reference implementation and the fallback.
+:func:`make_journal` picks the backend — ``"auto"`` silently falls back
+to the list journal without numpy, ``"columnar"`` raises a clear error.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.exceptions import PersistenceError, StaleCursorError
+from repro.ttkv.journal import Event, EventJournal, JournalCursor
+
+try:  # soft dependency: the list journal is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via tests' import guard
+    _np = None
+
+#: Backend names accepted by :func:`make_journal` and the pipeline layers.
+BACKEND_AUTO = "auto"
+BACKEND_COLUMNAR = "columnar"
+BACKEND_LIST = "list"
+BACKEND_NAMES = (BACKEND_AUTO, BACKEND_COLUMNAR, BACKEND_LIST)
+
+#: Events per sealed segment (see :meth:`ColumnarJournal.seal`).
+SEGMENT_SIZE = 4096
+
+#: On-disk format version written by :func:`save_columnar`.
+COLUMNAR_FORMAT_VERSION = 1
+
+
+def columnar_available() -> bool:
+    """True when numpy is importable and the columnar backend can be used."""
+    return _np is not None
+
+
+def resolve_backend(backend: str) -> str:
+    """Normalise a backend name to ``"columnar"`` or ``"list"``.
+
+    ``"auto"`` resolves to columnar when numpy is available and falls back
+    to the list journal silently otherwise; an explicit ``"columnar"``
+    without numpy raises, mirroring the kernel soft-dep contract.
+    """
+    if backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown journal backend {backend!r}; expected one of {BACKEND_NAMES}"
+        )
+    if backend == BACKEND_AUTO:
+        return BACKEND_COLUMNAR if columnar_available() else BACKEND_LIST
+    if backend == BACKEND_COLUMNAR and not columnar_available():
+        raise RuntimeError(
+            "journal backend 'columnar' requires numpy; install "
+            "repro-ocasta[fast] or use backend='auto'/'list'"
+        )
+    return backend
+
+
+def make_journal(
+    backend: str = BACKEND_AUTO, *, segment_size: int = SEGMENT_SIZE
+):
+    """Construct a journal for ``backend`` (see :func:`resolve_backend`)."""
+    if resolve_backend(backend) == BACKEND_COLUMNAR:
+        return ColumnarJournal(segment_size=segment_size)
+    return EventJournal()
+
+
+def journal_backend(journal: Any) -> str:
+    """The backend name of a live journal instance."""
+    return (
+        BACKEND_COLUMNAR if isinstance(journal, ColumnarJournal) else BACKEND_LIST
+    )
+
+
+def _event_dtype():
+    return _np.dtype([("t", "<f8"), ("k", "<i4"), ("v", "<i4")])
+
+
+class _KeyTable:
+    """Append-only str <-> int32 intern table."""
+
+    __slots__ = ("_names", "_ids")
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._ids: dict[str, int] = {}
+
+    def intern(self, name: str) -> int:
+        ident = self._ids.get(name)
+        if ident is None:
+            ident = len(self._names)
+            self._ids[name] = ident
+            self._names.append(name)
+        return ident
+
+    def value(self, ident: int) -> str:
+        return self._names[ident]
+
+    def to_state(self) -> list[str]:
+        return list(self._names)
+
+    @classmethod
+    def from_state(cls, names: Iterable[str]) -> "_KeyTable":
+        table = cls()
+        for name in names:
+            table.intern(str(name))
+        return table
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+class _ValueTable:
+    """Append-only value intern table keyed by a JSON canonical token.
+
+    Values follow the persistence contract (JSON-serialisable, plus the
+    DELETED sentinel).  Interning preserves the *original* object — a
+    decode returns the same object that was appended, so non-JSON types
+    that happen to serialise (tuples never do here: the token includes the
+    type name) keep their identity.  Objects JSON cannot serialise are
+    stored uninterned (identity-keyed) and only fail at :func:`save_columnar`
+    time, matching where the list backend's JSON persistence fails.
+    """
+
+    __slots__ = ("_objects", "_tokens", "_ids", "_by_identity")
+
+    def __init__(self) -> None:
+        self._objects: list[Any] = []
+        self._tokens: list[str | None] = []
+        self._ids: dict[str, int] = {}
+        self._by_identity: dict[int, int] = {}
+
+    @staticmethod
+    def _token(value: Any) -> str | None:
+        from repro.ttkv.store import DELETED  # local to avoid import cycle
+
+        if value is DELETED:
+            return "d"
+        try:
+            return f"w:{type(value).__name__}:{json.dumps(value, sort_keys=True)}"
+        except (TypeError, ValueError):
+            return None
+
+    def intern(self, value: Any) -> int:
+        token = self._token(value)
+        if token is not None:
+            ident = self._ids.get(token)
+            if ident is not None:
+                return ident
+        else:
+            ident = self._by_identity.get(id(value))
+            if ident is not None:
+                return ident
+        ident = len(self._objects)
+        self._objects.append(value)
+        self._tokens.append(token)
+        if token is not None:
+            self._ids[token] = ident
+        else:
+            # the table holds a reference, so id() stays stable
+            self._by_identity[id(value)] = ident
+        return ident
+
+    def value(self, ident: int) -> Any:
+        return self._objects[ident]
+
+    def to_state(self) -> list[list]:
+        from repro.ttkv.store import DELETED  # local to avoid import cycle
+
+        entries: list[list] = []
+        for value, token in zip(self._objects, self._tokens):
+            if value is DELETED:
+                entries.append(["d"])
+            elif token is None:
+                raise PersistenceError(
+                    f"journal value {value!r} is not JSON-serialisable"
+                )
+            else:
+                entries.append(["w", value])
+        return entries
+
+    @classmethod
+    def from_state(cls, entries: Iterable[Sequence]) -> "_ValueTable":
+        from repro.ttkv.store import DELETED  # local to avoid import cycle
+
+        table = cls()
+        for entry in entries:
+            if entry[0] == "d":
+                table.intern(DELETED)
+            elif entry[0] == "w":
+                table.intern(entry[1])
+            else:
+                raise PersistenceError(f"unknown value entry op {entry[0]!r}")
+        return table
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+
+class ColumnarView(Sequence):
+    """Zero-copy window over a :class:`ColumnarJournal` slice.
+
+    Sealed portions are numpy slice views (no copy); the buffer tail is a
+    snapshot of its int-id columns.  Events decode lazily through the
+    journal's intern tables.  Compares equal to any sequence holding the
+    same event tuples, so view-returning reads stay drop-in for list
+    consumers.
+    """
+
+    __slots__ = ("_journal", "_chunks", "_offsets", "_length")
+
+    def __init__(self, journal: "ColumnarJournal", chunks: list) -> None:
+        self._journal = journal
+        self._chunks = chunks
+        offsets = []
+        total = 0
+        for chunk in chunks:
+            offsets.append(total)
+            total += _chunk_len(chunk)
+        self._offsets = offsets
+        self._length = total
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._length)
+            if step != 1:
+                return self.materialize()[index]
+            return self._slice(start, stop)
+        i = index
+        if i < 0:
+            i += self._length
+        if not 0 <= i < self._length:
+            raise IndexError("view index out of range")
+        at = bisect.bisect_right(self._offsets, i) - 1
+        return self._journal._decode_chunk_row(self._chunks[at], i - self._offsets[at])
+
+    def __iter__(self):
+        for chunk in self._chunks:
+            yield from self._journal._decode_chunk(chunk)
+
+    def __eq__(self, other):
+        if isinstance(other, (str, bytes)) or not isinstance(
+            other, (Sequence, list, tuple)
+        ):
+            return NotImplemented
+        if len(other) != self._length:
+            return False
+        return all(mine == theirs for mine, theirs in zip(self, other))
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # views are comparisons-only, like lists
+
+    def __repr__(self) -> str:
+        return f"ColumnarView({self.materialize()!r})"
+
+    def _slice(self, start: int, stop: int) -> "ColumnarView":
+        chunks: list = []
+        remaining_start, remaining = start, max(0, stop - start)
+        for chunk in self._chunks:
+            if remaining <= 0:
+                break
+            size = _chunk_len(chunk)
+            if remaining_start >= size:
+                remaining_start -= size
+                continue
+            take = min(size - remaining_start, remaining)
+            chunks.append(_chunk_slice(chunk, remaining_start, remaining_start + take))
+            remaining -= take
+            remaining_start = 0
+        return ColumnarView(self._journal, chunks)
+
+    # -- bulk access ---------------------------------------------------------
+
+    def materialize(self) -> list[Event]:
+        """The slice as a plain list of event tuples (one bulk decode)."""
+        out: list[Event] = []
+        for chunk in self._chunks:
+            out.extend(self._journal._decode_chunk(chunk))
+        return out
+
+    def columnar_parts(self):
+        """``(times, key_ids, key_table)`` column arrays for bulk consumers.
+
+        ``times`` is a float64 array and ``key_ids`` an int array covering
+        the whole view (concatenated across chunks; single-chunk views pay
+        no copy), with ``key_table`` mapping ids to key strings.  Returns
+        ``None`` when numpy is unavailable (never, in practice: the view
+        exists only with numpy).
+        """
+        if _np is None:  # pragma: no cover - defensive
+            return None
+        times, kids = [], []
+        for chunk in self._chunks:
+            if isinstance(chunk, tuple):
+                times.append(_np.asarray(chunk[0], dtype=_np.float64))
+                kids.append(_np.asarray(chunk[1], dtype=_np.int64))
+            else:
+                times.append(chunk["t"])
+                kids.append(chunk["k"])
+        if not times:
+            empty = _np.empty(0, dtype=_np.float64)
+            return empty, _np.empty(0, dtype=_np.int64), self._journal._keys
+        if len(times) == 1:
+            return times[0], kids[0], self._journal._keys
+        return (
+            _np.concatenate(times),
+            _np.concatenate(kids),
+            self._journal._keys,
+        )
+
+    def batch_payload(self) -> dict:
+        """Columnar hand-off payload (see :func:`repro.ttkv.journal.encode_event_batch`).
+
+        Local intern tables are rebuilt over just the slice, so the payload
+        ships each distinct key/value once regardless of journal size.
+        """
+        from repro.ttkv.store import DELETED  # local to avoid import cycle
+
+        times: list[float] = []
+        kid_parts = []
+        vid_parts = []
+        for chunk in self._chunks:
+            if isinstance(chunk, tuple):
+                times.extend(chunk[0])
+                kid_parts.append(_np.asarray(chunk[1], dtype=_np.int64))
+                vid_parts.append(_np.asarray(chunk[2], dtype=_np.int64))
+            else:
+                times.extend(chunk["t"].tolist())
+                kid_parts.append(chunk["k"].astype(_np.int64, copy=False))
+                vid_parts.append(chunk["v"].astype(_np.int64, copy=False))
+        if not kid_parts:
+            return {"t": [], "k": [], "keys": [], "v": [], "vals": []}
+        kids = kid_parts[0] if len(kid_parts) == 1 else _np.concatenate(kid_parts)
+        vids = vid_parts[0] if len(vid_parts) == 1 else _np.concatenate(vid_parts)
+        uniq_k, local_k = _np.unique(kids, return_inverse=True)
+        uniq_v, local_v = _np.unique(vids, return_inverse=True)
+        key_of = self._journal._keys.value
+        val_of = self._journal._values.value
+        vals: list[list] = []
+        for ident in uniq_v.tolist():
+            value = val_of(ident)
+            vals.append(["d"] if value is DELETED else ["w", value])
+        return {
+            "t": times,
+            "k": local_k.tolist(),
+            "keys": [key_of(ident) for ident in uniq_k.tolist()],
+            "v": local_v.tolist(),
+            "vals": vals,
+        }
+
+
+def _chunk_len(chunk) -> int:
+    return len(chunk[0]) if isinstance(chunk, tuple) else len(chunk)
+
+
+def _chunk_slice(chunk, start: int, stop: int):
+    if isinstance(chunk, tuple):
+        return (chunk[0][start:stop], chunk[1][start:stop], chunk[2][start:stop])
+    return chunk[start:stop]
+
+
+class ColumnarJournal:
+    """Array-backed :class:`~repro.ttkv.journal.EventJournal` drop-in.
+
+    Same API and observable behaviour (see the module docstring for the
+    storage model).  ``segment_size`` tunes the append-buffer seal
+    threshold; tests shrink it to force multi-segment layouts.
+    """
+
+    __slots__ = (
+        "_segments",
+        "_starts",
+        "_seg_last",
+        "_sealed_len",
+        "_buf_t",
+        "_buf_k",
+        "_buf_v",
+        "_keys",
+        "_values",
+        "_insertions",
+        "_listeners",
+        "_last_time",
+        "_segment_size",
+    )
+
+    def __init__(self, *, segment_size: int = SEGMENT_SIZE) -> None:
+        if _np is None:
+            raise RuntimeError(
+                "ColumnarJournal requires numpy; install repro-ocasta[fast] "
+                "or use the list-backed EventJournal"
+            )
+        if segment_size < 1:
+            raise ValueError(f"segment_size must be >= 1, got {segment_size}")
+        self._segments: list = []  # sealed structured arrays (immutable)
+        self._starts: list[int] = []  # global offset of each segment
+        self._seg_last: list[float] = []  # last timestamp per segment
+        self._sealed_len = 0
+        self._buf_t: list[float] = []
+        self._buf_k: list[int] = []
+        self._buf_v: list[int] = []
+        self._keys = _KeyTable()
+        self._values = _ValueTable()
+        self._insertions: list[int] = []
+        self._listeners: list[Callable[[Event], None]] = []
+        self._last_time: float | None = None
+        self._segment_size = segment_size
+
+    # -- appends -------------------------------------------------------------
+
+    def append(self, timestamp: float, key: str, value: Any) -> None:
+        """Record one modification."""
+        self.append_event((timestamp, key, value))
+
+    def append_event(self, event: Event) -> None:
+        """Record one modification given as an event tuple."""
+        timestamp = event[0]
+        kid = self._keys.intern(event[1])
+        vid = self._values.intern(event[2])
+        if self._last_time is None or timestamp >= self._last_time:
+            self._buf_t.append(timestamp)
+            self._buf_k.append(kid)
+            self._buf_v.append(vid)
+            self._last_time = timestamp
+            if len(self._buf_t) >= self._segment_size:
+                self.seal()
+        else:
+            self._insert(timestamp, kid, vid)
+        for listener in self._listeners:
+            listener(event)
+
+    def _insert(self, timestamp: float, kid: int, vid: int) -> None:
+        """Out-of-order append: bisect placement, same rule as the list journal."""
+        sealed_last = self._seg_last[-1] if self._seg_last else None
+        if self._buf_t and (sealed_last is None or timestamp >= sealed_last):
+            # lands in the append buffer: a plain list insert
+            local = bisect.bisect_right(self._buf_t, timestamp)
+            self._buf_t.insert(local, timestamp)
+            self._buf_k.insert(local, kid)
+            self._buf_v.insert(local, vid)
+            self._insertions.append(self._sealed_len + local)
+            if len(self._buf_t) >= self._segment_size:
+                self.seal()
+            return
+        # lands in a sealed segment: splice-rebuild just that segment
+        at = bisect.bisect_right(self._seg_last, timestamp)
+        segment = self._segments[at]
+        local = int(_np.searchsorted(segment["t"], timestamp, side="right"))
+        row = _np.zeros(1, dtype=_event_dtype())
+        row["t"] = timestamp
+        row["k"] = kid
+        row["v"] = vid
+        rebuilt = _np.concatenate((segment[:local], row, segment[local:]))
+        rebuilt.setflags(write=False)
+        self._segments[at] = rebuilt
+        self._seg_last[at] = float(rebuilt["t"][-1])
+        for later in range(at + 1, len(self._starts)):
+            self._starts[later] += 1
+        self._insertions.append(self._starts[at] + local)
+        self._sealed_len += 1
+
+    def seal(self) -> None:
+        """Freeze the append buffer into an immutable sealed segment."""
+        if not self._buf_t:
+            return
+        count = len(self._buf_t)
+        segment = _np.empty(count, dtype=_event_dtype())
+        segment["t"] = self._buf_t
+        segment["k"] = self._buf_k
+        segment["v"] = self._buf_v
+        segment.setflags(write=False)
+        self._starts.append(self._sealed_len)
+        self._segments.append(segment)
+        self._seg_last.append(float(segment["t"][-1]))
+        self._sealed_len += count
+        self._buf_t.clear()
+        self._buf_k.clear()
+        self._buf_v.clear()
+
+    # -- listeners -----------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[Event], None]) -> None:
+        """Call ``listener(event)`` after every future append (arrival order)."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[Event], None]) -> None:
+        """Detach a listener registered with :meth:`subscribe`."""
+        self._listeners.remove(listener)
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Total out-of-order insertions so far (0 for a purely ordered log)."""
+        return len(self._insertions)
+
+    @property
+    def segment_count(self) -> int:
+        """Sealed segments so far (excludes the append buffer)."""
+        return len(self._segments)
+
+    def events(self) -> list[Event]:
+        """The full sorted stream (a fresh list; safe for callers to mutate)."""
+        return self._view(0, len(self)).materialize()
+
+    def events_from(self, position: int) -> ColumnarView:
+        """The sorted suffix starting at ``position`` as a zero-copy view."""
+        if position < 0:
+            raise ValueError(f"journal position must be >= 0, got {position}")
+        return self._view(position, len(self))
+
+    def reorder_depth(self, cursor: JournalCursor) -> int:
+        """How far into ``cursor``'s consumed prefix reorders have reached."""
+        start = cursor.position
+        for index in self._insertions[cursor.epoch:]:
+            if index < start:
+                start = index
+        return cursor.position - start
+
+    def event_at(self, index: int) -> Event:
+        """The event at one position of the sorted stream (O(log segments))."""
+        total = len(self)
+        if index < 0:
+            index += total
+        if not 0 <= index < total:
+            raise IndexError("journal index out of range")
+        if index >= self._sealed_len:
+            local = index - self._sealed_len
+            return (
+                self._buf_t[local],
+                self._keys.value(self._buf_k[local]),
+                self._values.value(self._buf_v[local]),
+            )
+        at = bisect.bisect_right(self._starts, index) - 1
+        return self._decode_row(self._segments[at][index - self._starts[at]])
+
+    def read(
+        self, cursor: JournalCursor | None = None
+    ) -> tuple[ColumnarView, JournalCursor]:
+        """Events appended since ``cursor`` plus the advanced cursor."""
+        if cursor is None:
+            start = 0
+        else:
+            for index in self._insertions[cursor.epoch:]:
+                if index < cursor.position:
+                    raise StaleCursorError(cursor.position)
+            start = cursor.position
+        total = len(self)
+        return self._view(start, total), JournalCursor(total, len(self._insertions))
+
+    def read_flexible(
+        self, cursor: JournalCursor | None = None
+    ) -> tuple[int, ColumnarView, JournalCursor]:
+        """Reorder-tolerant read: ``(rewound, events, cursor)``."""
+        if cursor is None:
+            start = 0
+            rewound = 0
+        else:
+            start = cursor.position
+            for index in self._insertions[cursor.epoch:]:
+                if index < start:
+                    start = index
+            rewound = cursor.position - start
+        total = len(self)
+        return (
+            rewound,
+            self._view(start, total),
+            JournalCursor(total, len(self._insertions)),
+        )
+
+    def __len__(self) -> int:
+        return self._sealed_len + len(self._buf_t)
+
+    # -- decoding helpers (shared with ColumnarView) -------------------------
+
+    def _decode_row(self, row) -> Event:
+        return (
+            float(row["t"]),
+            self._keys.value(int(row["k"])),
+            self._values.value(int(row["v"])),
+        )
+
+    def _decode_chunk(self, chunk) -> list[Event]:
+        key_of = self._keys.value
+        val_of = self._values.value
+        if isinstance(chunk, tuple):
+            times, kids, vids = chunk
+            return [
+                (t, key_of(k), val_of(v)) for t, k, v in zip(times, kids, vids)
+            ]
+        return [
+            (t, key_of(k), val_of(v))
+            for t, k, v in zip(
+                chunk["t"].tolist(), chunk["k"].tolist(), chunk["v"].tolist()
+            )
+        ]
+
+    def _decode_chunk_row(self, chunk, local: int) -> Event:
+        if isinstance(chunk, tuple):
+            return (
+                chunk[0][local],
+                self._keys.value(chunk[1][local]),
+                self._values.value(chunk[2][local]),
+            )
+        return self._decode_row(chunk[local])
+
+    def _view(self, start: int, stop: int) -> ColumnarView:
+        chunks: list = []
+        stop = min(stop, len(self))
+        if start < self._sealed_len:
+            first = bisect.bisect_right(self._starts, start) - 1
+            for at in range(max(first, 0), len(self._segments)):
+                seg_start = self._starts[at]
+                segment = self._segments[at]
+                seg_stop = seg_start + len(segment)
+                if seg_start >= stop:
+                    break
+                lo = max(start, seg_start) - seg_start
+                hi = min(stop, seg_stop) - seg_start
+                if lo < hi:
+                    chunks.append(segment[lo:hi])
+        if stop > self._sealed_len:
+            lo = max(start - self._sealed_len, 0)
+            hi = stop - self._sealed_len
+            if lo < hi:
+                chunks.append(
+                    (
+                        self._buf_t[lo:hi],
+                        self._buf_k[lo:hi],
+                        self._buf_v[lo:hi],
+                    )
+                )
+        return ColumnarView(self, chunks)
+
+
+# -- persistence --------------------------------------------------------------
+
+
+def save_columnar(journal, path: str) -> None:
+    """Persist a journal's event stream as columnar files.
+
+    Writes the sealed column array to ``path`` (``.npy`` format) and the
+    intern tables plus reorder history to ``path + ".meta"`` (JSON).
+    Accepts either backend: a list journal is converted on the way out, a
+    :class:`ColumnarJournal` is sealed and written directly.  Values must
+    be JSON-serialisable — the same contract
+    :mod:`repro.ttkv.persistence` imposes.
+    """
+    if _np is None:
+        raise RuntimeError(
+            "columnar persistence requires numpy; install repro-ocasta[fast]"
+        )
+    if not isinstance(journal, ColumnarJournal):
+        converted = ColumnarJournal()
+        for event in journal.events():
+            converted.append_event(event)
+        converted._insertions = list(journal._insertions)
+        journal = converted
+    journal.seal()
+    if journal._segments:
+        data = (
+            journal._segments[0]
+            if len(journal._segments) == 1
+            else _np.concatenate(journal._segments)
+        )
+    else:
+        data = _np.empty(0, dtype=_event_dtype())
+    meta = {
+        "version": COLUMNAR_FORMAT_VERSION,
+        "count": int(len(data)),
+        "keys": journal._keys.to_state(),
+        "vals": journal._values.to_state(),
+        "insertions": list(journal._insertions),
+    }
+    with open(path, "wb") as handle:
+        _np.save(handle, data)
+    with open(path + ".meta", "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, separators=(",", ":"))
+
+
+def load_columnar(
+    path: str, *, mmap: bool = True, segment_size: int = SEGMENT_SIZE
+) -> ColumnarJournal:
+    """Reopen a journal written by :func:`save_columnar`.
+
+    With ``mmap=True`` (default) the event columns stay on disk and are
+    memory-mapped — resume touches only the pages a cursor seek needs,
+    instead of JSON-decoding every event.  The loaded array becomes one
+    sealed read-only segment; future appends buffer and seal as usual.
+    """
+    if _np is None:
+        raise RuntimeError(
+            "columnar persistence requires numpy; install repro-ocasta[fast]"
+        )
+    try:
+        with open(path + ".meta", "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise PersistenceError(f"unreadable columnar metadata: {error}") from error
+    if meta.get("version") != COLUMNAR_FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported columnar format version {meta.get('version')!r}"
+        )
+    try:
+        data = _np.load(path, mmap_mode="r" if mmap else None)
+    except (OSError, ValueError) as error:
+        raise PersistenceError(f"unreadable columnar data: {error}") from error
+    expected = {"t", "k", "v"}
+    if data.dtype.names is None or set(data.dtype.names) != expected:
+        raise PersistenceError(
+            f"columnar data has unexpected dtype {data.dtype!r}"
+        )
+    if len(data) != int(meta.get("count", -1)):
+        raise PersistenceError(
+            f"columnar data length {len(data)} does not match metadata "
+            f"count {meta.get('count')!r}"
+        )
+    if not mmap:
+        data = data.copy()
+        data.setflags(write=False)
+    journal = ColumnarJournal(segment_size=segment_size)
+    journal._keys = _KeyTable.from_state(meta["keys"])
+    journal._values = _ValueTable.from_state(meta["vals"])
+    journal._insertions = [int(index) for index in meta["insertions"]]
+    if len(data):
+        journal._segments = [data]
+        journal._starts = [0]
+        journal._seg_last = [float(data["t"][-1])]
+        journal._sealed_len = len(data)
+        journal._last_time = journal._seg_last[0]
+    return journal

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.exceptions import StaleCursorError
 
@@ -100,6 +100,147 @@ def decode_event(state: dict) -> Event:
     if op == "w":
         return (float(state["t"]), state["k"], state["v"])
     raise ValueError(f"unknown event op {op!r}")
+
+
+def encode_event_batch(events: Sequence[Event]) -> dict:
+    """A whole event slice as one columnar, interned hand-off payload.
+
+    The per-event :func:`encode_event` dicts repeat every key string and
+    every common value once *per event*; at hand-off volume (a shard slice
+    shipped to a worker process each update) that dominates the payload.
+    This codec ships each distinct key and value once and refers to them
+    by index::
+
+        {"t": [times...], "k": [key idx...], "keys": [distinct keys...],
+         "v": [value idx...], "vals": [["d"] | ["w", value], ...]}
+
+    Deletions are carried as ``["d"]`` entries so the DELETED sentinel
+    survives the boundary by role, not identity.  Columnar views supply
+    the payload straight from their column arrays
+    (:meth:`~repro.ttkv.columnar.ColumnarView.batch_payload`); any other
+    sequence of events takes the generic interning loop below.
+    """
+    fast = getattr(events, "batch_payload", None)
+    if fast is not None:
+        return fast()
+    from repro.ttkv.store import DELETED  # local to avoid import cycle
+
+    times: list[float] = []
+    key_index: list[int] = []
+    val_index: list[int] = []
+    keys: list[str] = []
+    vals: list[list] = []
+    key_ids: dict[str, int] = {}
+    val_ids: dict[tuple, int] = {}
+    for timestamp, key, value in events:
+        kid = key_ids.get(key)
+        if kid is None:
+            kid = key_ids[key] = len(keys)
+            keys.append(key)
+        if value is DELETED:
+            token: tuple | None = ("d",)
+        else:
+            # type name disambiguates e.g. True from 1 under dict hashing
+            token = ("w", type(value).__name__, value)
+        vid = None
+        if token is not None:
+            try:
+                vid = val_ids.get(token)
+            except TypeError:  # unhashable value: store uninterned
+                token = None
+        if vid is None:
+            vid = len(vals)
+            vals.append(["d"] if value is DELETED else ["w", value])
+            if token is not None:
+                val_ids[token] = vid
+        times.append(timestamp)
+        key_index.append(kid)
+        val_index.append(vid)
+    return {"t": times, "k": key_index, "keys": keys, "v": val_index, "vals": vals}
+
+
+def decode_event_batch(payload: dict) -> list[Event]:
+    """Inverse of :func:`encode_event_batch`."""
+    from repro.ttkv.store import DELETED  # local to avoid import cycle
+
+    keys = payload["keys"]
+    values = []
+    for entry in payload["vals"]:
+        if entry[0] == "d":
+            values.append(DELETED)
+        elif entry[0] == "w":
+            values.append(entry[1])
+        else:
+            raise ValueError(f"unknown event op {entry[0]!r}")
+    return [
+        (float(timestamp), keys[kid], values[vid])
+        for timestamp, kid, vid in zip(payload["t"], payload["k"], payload["v"])
+    ]
+
+
+class EventSliceView(Sequence):
+    """Lazy window over a journal's event list — no tail copy.
+
+    ``events_from``/``read``/``read_flexible`` are called once per shard
+    per update; copying the tail made every no-op update O(journal).  The
+    view pins ``[start, stop)`` positions against the journal's *live*
+    list at creation time, so it is free to create and compares equal to
+    the list it replaces.  Like its columnar counterpart it is a snapshot
+    only until the next out-of-order insertion at or below its range
+    (consumers materialise or consume a view within one update).
+    """
+
+    __slots__ = ("_events", "_start", "_stop")
+
+    def __init__(self, events: list[Event], start: int, stop: int) -> None:
+        self._events = events
+        self._start = start
+        self._stop = max(start, stop)
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step != 1:
+                return self.materialize()[index]
+            return EventSliceView(
+                self._events, self._start + start, self._start + stop
+            )
+        i = index
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError("view index out of range")
+        return self._events[self._start + i]
+
+    def __iter__(self):
+        events = self._events
+        for i in range(self._start, self._stop):
+            yield events[i]
+
+    def __eq__(self, other):
+        if isinstance(other, (str, bytes)) or not isinstance(
+            other, (Sequence, list, tuple)
+        ):
+            return NotImplemented
+        if len(other) != len(self):
+            return False
+        return all(mine == theirs for mine, theirs in zip(self, other))
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # views are comparisons-only, like lists
+
+    def __repr__(self) -> str:
+        return f"EventSliceView({self.materialize()!r})"
+
+    def materialize(self) -> list[Event]:
+        """The window as a plain list (for callers that will mutate it)."""
+        return self._events[self._start:self._stop]
 
 
 class EventJournal:
@@ -170,17 +311,18 @@ class EventJournal:
         """The full sorted stream (a fresh list; safe for callers to mutate)."""
         return list(self._events)
 
-    def events_from(self, position: int) -> list[Event]:
-        """The sorted suffix starting at ``position`` (a fresh list).
+    def events_from(self, position: int) -> EventSliceView:
+        """The sorted suffix starting at ``position`` (a zero-copy view).
 
         This is the "journal slice" a parallel execution layer ships to a
         worker process together with an engine checkpoint: the consumed
         prefix stays behind, only the unread suffix crosses the process
-        boundary.
+        boundary.  The view is lazy — it is called once per shard per
+        update, and copying the tail made every no-op update O(journal).
         """
         if position < 0:
             raise ValueError(f"journal position must be >= 0, got {position}")
-        return self._events[position:]
+        return EventSliceView(self._events, position, len(self._events))
 
     def reorder_depth(self, cursor: JournalCursor) -> int:
         """How far into ``cursor``'s consumed prefix reorders have reached.
@@ -203,7 +345,7 @@ class EventJournal:
 
     def read(
         self, cursor: JournalCursor | None = None
-    ) -> tuple[list[Event], JournalCursor]:
+    ) -> tuple[EventSliceView, JournalCursor]:
         """Events appended since ``cursor`` plus the advanced cursor.
 
         ``None`` reads from the beginning.  Raises
@@ -219,13 +361,13 @@ class EventJournal:
                 if index < cursor.position:
                     raise StaleCursorError(cursor.position)
             start = cursor.position
-        return self._events[start:], JournalCursor(
+        return EventSliceView(self._events, start, len(self._events)), JournalCursor(
             len(self._events), len(self._insertions)
         )
 
     def read_flexible(
         self, cursor: JournalCursor | None = None
-    ) -> tuple[int, list[Event], JournalCursor]:
+    ) -> tuple[int, EventSliceView, JournalCursor]:
         """Reorder-tolerant read: ``(rewound, events, cursor)``.
 
         Like :meth:`read`, but an out-of-order insertion inside the
@@ -248,8 +390,8 @@ class EventJournal:
                 if index < start:
                     start = index
             rewound = cursor.position - start
-        return rewound, self._events[start:], JournalCursor(
-            len(self._events), len(self._insertions)
+        return rewound, EventSliceView(self._events, start, len(self._events)), (
+            JournalCursor(len(self._events), len(self._insertions))
         )
 
     def __len__(self) -> int:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.ttkv.columnar import BACKEND_LIST, make_journal
 from repro.ttkv.journal import Event, EventJournal
 
 #: Shard id of the catch-all shard (routes keys matching no other prefix).
@@ -53,6 +54,11 @@ class ShardedJournal:
     key_filter:
         Optional global prefix filter applied *before* routing, mirroring
         the batch pipeline's ``key_filter`` parameter.
+    backend:
+        Journal backend for the per-shard journals (``"list"``,
+        ``"columnar"`` or ``"auto"`` — see
+        :func:`repro.ttkv.columnar.make_journal`).  The *source* journal's
+        backend is the caller's choice and is independent.
     """
 
     def __init__(
@@ -62,6 +68,7 @@ class ShardedJournal:
         *,
         catch_all: bool = True,
         key_filter: str | None = None,
+        backend: str = BACKEND_LIST,
     ) -> None:
         ordered = sorted(set(prefixes), key=lambda p: (-len(p), p))
         if CATCH_ALL in ordered:
@@ -75,11 +82,11 @@ class ShardedJournal:
         self._key_filter = key_filter
         self._route_order: tuple[str, ...] = tuple(ordered)
         self._catch_all = catch_all
-        self._shards: dict[str, EventJournal] = {
-            prefix: EventJournal() for prefix in sorted(ordered)
-        }
+        self._backend = backend
+        self._shards = {prefix: make_journal(backend) for prefix in sorted(ordered)}
         if catch_all:
-            self._shards[CATCH_ALL] = EventJournal()
+            self._shards[CATCH_ALL] = make_journal(backend)
+        self._route_cache: dict[str, str | None] = {}
         self._attached = False
         for event in source.events():
             self._ingest(event)
@@ -89,13 +96,29 @@ class ShardedJournal:
     # -- routing -------------------------------------------------------------
 
     def route(self, key: str) -> str | None:
-        """Shard id for ``key`` (``None`` when the key is dropped)."""
+        """Shard id for ``key`` (``None`` when the key is dropped).
+
+        Decisions are cached per key: config keys repeat for months, so
+        the prefix scan runs once per *distinct* key, not once per event
+        (the cache is bounded by the key universe, which the store already
+        holds in full).
+        """
+        try:
+            return self._route_cache[key]
+        except KeyError:
+            pass
+        shard: str | None
         if self._key_filter is not None and not key.startswith(self._key_filter):
-            return None
-        for prefix in self._route_order:
-            if key.startswith(prefix):
-                return prefix
-        return CATCH_ALL if self._catch_all else None
+            shard = None
+        else:
+            for prefix in self._route_order:
+                if key.startswith(prefix):
+                    shard = prefix
+                    break
+            else:
+                shard = CATCH_ALL if self._catch_all else None
+        self._route_cache[key] = shard
+        return shard
 
     def _ingest(self, event: Event) -> None:
         shard = self.route(event[1])
@@ -122,7 +145,12 @@ class ShardedJournal:
     def key_filter(self) -> str | None:
         return self._key_filter
 
-    def shard(self, shard_id: str) -> EventJournal:
+    @property
+    def backend(self) -> str:
+        """The configured per-shard journal backend name."""
+        return self._backend
+
+    def shard(self, shard_id: str):
         """The journal of one shard (:data:`CATCH_ALL` for the catch-all)."""
         try:
             return self._shards[shard_id]

@@ -166,9 +166,11 @@ class TTKV:
     (``value_at`` / ``versions_between``).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, journal_backend: str = "list") -> None:
+        from repro.ttkv.columnar import make_journal  # local to avoid cycle
+
         self._records: dict[str, KeyRecord] = {}
-        self._journal = EventJournal()
+        self._journal = make_journal(journal_backend)
 
     # -- recording ---------------------------------------------------------
 

@@ -320,7 +320,7 @@ class TestProcessBoundary:
         task = engine.export_task()
         assert task["state"] is None
         assert task["components"] is None
-        assert len(task["events"]) == 1
+        assert len(task["events"]["t"]) == 1
         assert task["result_position"] == 1
         pipeline.close()
 
@@ -334,7 +334,7 @@ class TestProcessBoundary:
         engine = pipeline._engines["app_a/"]
         task = engine.export_task()
         # the consumed prefix stays behind: only the unread slice ships
-        assert len(task["events"]) == 1
+        assert len(task["events"]["t"]) == 1
         assert task["state"] is not None
         result, state, components = run_shard_task(task)
         adopted = engine.adopt_update(task, result, state, components)
@@ -404,7 +404,7 @@ class TestProcessBoundary:
         # the fast path ships no checkpoint in either direction
         assert slice_task["mode"] == "slice"
         assert "state" not in slice_task
-        assert len(slice_task["events"]) == 1
+        assert len(slice_task["events"]["t"]) == 1
         # a full-task worker computes the identical result the sticky
         # worker would — adopt it through the slice path
         result, _state, components = run_shard_task(engine.export_task())

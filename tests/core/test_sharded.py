@@ -282,9 +282,9 @@ class TestCheckpointValidation:
         with pytest.raises(ValueError):
             ShardedPipeline.from_state(TTKV(), {"version": 99})
 
-    def test_checkpoints_are_written_at_version_2(self):
+    def test_checkpoints_are_written_at_version_3(self):
         pipeline = ShardedPipeline(TTKV(), shard_prefixes=("a/",))
-        assert pipeline.to_state()["version"] == 2
+        assert pipeline.to_state()["version"] == 3
         pipeline.close()
 
     def test_legacy_v1_checkpoint_loads_and_compacts(self):
@@ -294,9 +294,16 @@ class TestCheckpointValidation:
         store = TTKV()
         pipeline = ShardedPipeline(store, shard_prefixes=("a/",))
         # pin the matrices to the uncompacted v1 behaviour so to_state()
-        # emits the legacy layout
+        # emits the legacy layout (batch observation folds internally, so
+        # it must be routed back through plain update_groups as well)
         for engine in pipeline._engines.values():
-            engine._matrix.compact = lambda keep_from: 0
+            matrix = engine._matrix
+            matrix.compact = lambda keep_from: 0
+            matrix.observe_groups_batch = (
+                lambda start, groups, _m=matrix: _m.update_groups(
+                    added=list(enumerate(groups, start))
+                )
+            )
         for t in range(12):
             store.record_write("a/x", t, t * 100.0)
             store.record_write("a/y", t, t * 100.0 + 0.2)
@@ -314,7 +321,7 @@ class TestCheckpointValidation:
         store.record_write("a/y", 99, 5000.2)
         resumed.update()
         state = resumed.to_state()
-        assert state["version"] == 2
+        assert state["version"] == 3
         for shard_state in state["shards"].values():
             assert len(shard_state["groups"]) <= 1
         assert state["shards"]["a/"]["compacted"] is not None
