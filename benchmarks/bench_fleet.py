@@ -1,0 +1,283 @@
+"""Fleet aggregation: incremental merge vs a serial per-machine rebuild loop.
+
+The scenario is the deployment story the paper implies at fleet scale:
+many machines log concurrently, but at any instant only a few are active
+— most of the fleet is quiet.  Both arms warm on the bulk of every
+machine's trace, then the remaining tail lands in per-round slices that
+each hit a *single* (rotating) machine:
+
+- **naive**: the pre-fleet-tier aggregation — every round walks all
+  machines serially, then rebuilds the fleet model from scratch (sum all
+  machines' evidence snapshots into a fresh matrix, re-agglomerate every
+  component).
+- **fleet**: :class:`repro.fleet.FleetPipeline.update` — ``needs_update()``
+  polls skip the quiet machines, the
+  :class:`~repro.fleet.merge.FleetCorrelationMerge` applies only the hot
+  machine's evidence *diff*, and only fleet components that diff touched
+  re-agglomerate.
+
+The headline ``fleet_speedup`` is the within-run ratio of the two arms'
+update totals (machine-speed variance cancels).  Two invariants gate the
+run: the fleet model equals the naive from-scratch model after every
+round (``fleet_equals_naive``), and the final model equals the
+independent concatenated-batch reference
+(:func:`repro.fleet.merge.concatenated_batch_clusters`,
+``fleet_equals_batch``).
+
+Run as a script for CI/quick use::
+
+    python benchmarks/bench_fleet.py --quick --out benchmarks/out/BENCH_fleet.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.clustering import flat_clusters
+from repro.core.correlation import CorrelationMatrix
+from repro.core.sharded import ShardedPipeline
+from repro.fleet import FleetPipeline, concatenated_batch_clusters
+from repro.ttkv.store import TTKV
+from repro.workload.machines import MachineProfile, PLATFORM_LINUX
+from repro.workload.tracegen import generate_trace
+
+#: The applications every fleet machine runs (duplicate prefixes across
+#: machines: fleet evidence sums on canonical key identity).
+APPS = (
+    "Chrome Browser",
+    "GNOME Edit",
+    "Eye of GNOME",
+    "Acrobat Reader",
+)
+
+#: Fraction of each machine's stream appended after the warm-up.
+TAIL_FRACTION = 0.05
+
+#: Trace-generation seed; recorded in the JSON so the CI regression gate
+#: only ever compares runs over the identical traces.
+SEED = 4099
+
+
+def _profile(quick: bool, seed: int) -> MachineProfile:
+    return MachineProfile(
+        name="bench-fleet",
+        platform=PLATFORM_LINUX,
+        days=3 if quick else 12,
+        apps=APPS,
+        sessions_per_day=5,
+        actions_per_session=10,
+        pref_edits_per_day=3.0,
+        noise_keys=60 if quick else 120,
+        noise_writes_per_day=250 if quick else 800,
+        reads_per_day=0,
+        seed=seed,
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _key_sets(cluster_set) -> list[tuple[str, ...]]:
+    return sorted(tuple(cluster.sorted_keys()) for cluster in cluster_set)
+
+
+def _naive_model(pipelines, correlation_threshold=2.0):
+    """From-scratch fleet aggregation: sum every snapshot, recut everything."""
+    matrix = CorrelationMatrix()
+    for pipeline in pipelines.values():
+        counts, common = pipeline.pairwise_counts()
+        matrix.apply_count_deltas(counts, common)
+    return sorted(
+        tuple(sorted(keys))
+        for keys in flat_clusters(
+            matrix, correlation_threshold=correlation_threshold
+        )
+    )
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    machines = 4 if quick else 8
+    rounds_target = 24 if quick else 60
+
+    machine_events: dict[str, list] = {}
+    machine_prefixes: dict[str, tuple[str, ...]] = {}
+    for index in range(machines):
+        machine_id = f"m{index:03d}"
+        trace = generate_trace(_profile(quick, SEED + index))
+        machine_events[machine_id] = trace.ttkv.write_events()
+        machine_prefixes[machine_id] = tuple(
+            trace.apps[name].key_prefix for name in APPS
+        )
+    total_events = sum(len(events) for events in machine_events.values())
+
+    splits = {
+        machine_id: int(len(events) * (1.0 - TAIL_FRACTION))
+        for machine_id, events in machine_events.items()
+    }
+    tails = {
+        machine_id: events[splits[machine_id] :]
+        for machine_id, events in machine_events.items()
+    }
+    # per-round slices, one (rotating) hot machine per round
+    per_machine_rounds = max(1, rounds_target // machines)
+    slices: list[tuple[str, list]] = []
+    for turn in range(per_machine_rounds):
+        for machine_id, tail in tails.items():
+            size = max(1, -(-len(tail) // per_machine_rounds))
+            part = tail[turn * size : (turn + 1) * size]
+            if part:
+                slices.append((machine_id, part))
+
+    # -- naive arm: serial walk + from-scratch aggregation every round -------
+    naive_stores = {m: TTKV() for m in machine_events}
+    naive_pipelines = {
+        m: ShardedPipeline(naive_stores[m], machine_prefixes[m])
+        for m in machine_events
+    }
+    for machine_id, events in machine_events.items():
+        naive_stores[machine_id].record_events(events[: splits[machine_id]])
+        naive_pipelines[machine_id].update()  # warm
+    _naive_model(naive_pipelines)  # warm the aggregation path too
+    naive_seconds = 0.0
+    naive_models = []
+    for machine_id, part in slices:
+        naive_stores[machine_id].record_events(part)
+
+        def naive_round():
+            for pipeline in naive_pipelines.values():
+                pipeline.update()
+            return _naive_model(naive_pipelines)
+
+        elapsed, model = _timed(naive_round)
+        naive_seconds += elapsed
+        naive_models.append(model)
+
+    # -- fleet arm: needs_update polling + incremental evidence merge --------
+    fleet_stores = {m: TTKV() for m in machine_events}
+    fleet = FleetPipeline()
+    for machine_id in machine_events:
+        fleet.add_machine(
+            machine_id, fleet_stores[machine_id], machine_prefixes[machine_id]
+        )
+    for machine_id, events in machine_events.items():
+        fleet_stores[machine_id].record_events(events[: splits[machine_id]])
+    fleet.update()  # warm
+    fleet_seconds = 0.0
+    machines_updated = 0
+    fleet_equals_naive = True
+    for round_index, (machine_id, part) in enumerate(slices):
+        fleet_stores[machine_id].record_events(part)
+        elapsed, clusters = _timed(fleet.update)
+        fleet_seconds += elapsed
+        machines_updated += fleet.last_stats.machines_updated
+        if _key_sets(clusters) != naive_models[round_index]:
+            fleet_equals_naive = False
+
+    reference = sorted(
+        tuple(sorted(keys))
+        for keys in concatenated_batch_clusters(
+            machine_events, machine_prefixes
+        )
+    )
+    fleet_equals_batch = _key_sets(fleet.clusters()) == reference
+
+    record = {
+        "events": total_events,
+        "tail_events": sum(len(part) for _, part in slices),
+        "machines": machines,
+        "rounds": len(slices),
+        "seed": SEED,
+        "quick": quick,
+        "naive_seconds": naive_seconds,
+        "fleet_seconds": fleet_seconds,
+        "fleet_speedup": (
+            naive_seconds / fleet_seconds if fleet_seconds else float("inf")
+        ),
+        "fleet_events_per_second": (
+            sum(len(part) for _, part in slices) / fleet_seconds
+            if fleet_seconds
+            else float("inf")
+        ),
+        "mean_machines_updated": (
+            machines_updated / len(slices) if slices else 0.0
+        ),
+        "clusters": len(fleet.clusters()),
+        "fleet_equals_naive": fleet_equals_naive,
+        "fleet_equals_batch": fleet_equals_batch,
+    }
+    fleet.close()
+    for pipeline in naive_pipelines.values():
+        pipeline.close()
+    return record
+
+
+def render(record: dict) -> str:
+    return (
+        "fleet incremental merge vs serial per-machine rebuild "
+        f"({record['machines']} machines, {record['events']} events, "
+        f"{record['tail_events']} appended over {record['rounds']} rounds):\n"
+        f"  naive update total   : {record['naive_seconds'] * 1000:8.2f} ms\n"
+        f"  fleet update total   : {record['fleet_seconds'] * 1000:8.2f} ms\n"
+        f"  fleet speedup        : {record['fleet_speedup']:8.1f}x "
+        f"(mean {record['mean_machines_updated']:.1f}/{record['machines']} "
+        "machines updated per round)\n"
+        f"  fleet throughput     : {record['fleet_events_per_second']:8.0f} "
+        "tail events/s\n"
+        f"  clusters             : {record['clusters']}; "
+        f"equal to naive per round: {record['fleet_equals_naive']}; "
+        f"equal to concatenated batch: {record['fleet_equals_batch']}"
+    )
+
+
+def test_fleet_speedup(benchmark, report):
+    record = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    report("bench_fleet", render(record))
+    (Path(__file__).parent / "out" / "BENCH_fleet.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    assert record["fleet_equals_naive"]
+    assert record["fleet_equals_batch"]
+    assert record["fleet_speedup"] >= 2.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small traces, no speedup gate"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the JSON record here"
+    )
+    args = parser.parse_args(argv)
+    record = run_benchmark(quick=args.quick)
+    print(render(record))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    if not record["fleet_equals_naive"]:
+        print("ERROR: fleet merge diverged from the naive rebuild", file=sys.stderr)
+        return 1
+    if not record["fleet_equals_batch"]:
+        print(
+            "ERROR: fleet merge diverged from the concatenated batch",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.quick and record["fleet_speedup"] < 2.0:
+        print("ERROR: fleet speedup below the 2x acceptance floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

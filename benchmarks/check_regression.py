@@ -11,7 +11,8 @@ compares like with like).
 Headline metrics are deliberately *ratios* (incremental-vs-batch speedup,
 sharded-vs-global speedup, union-find-vs-scan speedup, thread-vs-serial
 wall ratio, splice-vs-rebuild repair speedup, numpy-kernel-vs-Python
-agglomeration speedup): ratios measured within one run cancel out most
+agglomeration speedup, fleet-merge-vs-serial-rebuild speedup): ratios
+measured within one run cancel out most
 of the machine-to-machine absolute-speed variance that makes wall-clock
 gates flaky on shared CI runners.
 
@@ -23,6 +24,7 @@ Usage::
     python benchmarks/bench_splice.py      --quick --out benchmarks/out/BENCH_splice.json
     python benchmarks/bench_kernel.py      --quick --out benchmarks/out/BENCH_kernel.json
     python benchmarks/bench_ingest.py      --quick --out benchmarks/out/BENCH_ingest.json
+    python benchmarks/bench_fleet.py       --quick --out benchmarks/out/BENCH_fleet.json
     python benchmarks/check_regression.py
 
 Refreshing a baseline (after a deliberate perf change) is the same run
@@ -89,6 +91,11 @@ GATES: dict[str, dict] = {
         ],
         "invariants": ["columnar_equals_list"],
         "identity": ["seed", "quick", "groups", "events"],
+    },
+    "BENCH_fleet.json": {
+        "headline": [("fleet_speedup", "higher")],
+        "invariants": ["fleet_equals_naive", "fleet_equals_batch"],
+        "identity": ["events", "seed", "machines", "quick"],
     },
 }
 

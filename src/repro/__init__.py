@@ -114,6 +114,7 @@ from repro.core import (
     make_executor,
     singleton_clusters,
 )
+from repro.fleet import FleetCorrelationMerge, FleetPipeline, FleetQueryServer
 from repro.apps import SimulatedApplication, Screenshot, create_app, app_names
 from repro.workload import generate_trace, profile_by_name, PROFILES
 from repro.errors import ERROR_CASES, case_by_id, prepare_scenario
@@ -146,6 +147,9 @@ __all__ = [
     "UpdateStats",
     "cluster_settings",
     "singleton_clusters",
+    "FleetCorrelationMerge",
+    "FleetPipeline",
+    "FleetQueryServer",
     "SimulatedApplication",
     "Screenshot",
     "create_app",

@@ -12,6 +12,7 @@ Usage::
     python -m repro stream --app "Chrome Browser" --chunks 10
     python -m repro stream --shards 4 --state session.json
     python -m repro stream --shards 8 --executor thread --workers 4 --timings
+    python -m repro fleet --machines 4 --chunks 6 --state fleet-state/
     python -m repro repair --case 13 [--bfs] [--spurious 2]
     python -m repro list-cases
 """
@@ -160,6 +161,51 @@ def build_parser() -> argparse.ArgumentParser:
         "dendrogram-repair counters (merges spliced vs recomputed) and "
         "kernel dispatch (components on the numpy kernel) to each "
         "progress line",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="drive a fleet of machines through the asyncio aggregation tier",
+    )
+    fleet.add_argument(
+        "--machines", type=int, default=3,
+        help="number of simulated machines (each gets its own seeded trace)",
+    )
+    fleet.add_argument(
+        "--profile", default="Linux-1",
+        help="machine profile every fleet member runs "
+        "(see repro.workload.machines.PROFILES)",
+    )
+    fleet.add_argument("--days", type=int, default=2)
+    fleet.add_argument(
+        "--seed", type=int, default=7,
+        help="base trace seed; machine i streams the trace seeded seed+i",
+    )
+    fleet.add_argument(
+        "--chunks", type=int, default=5,
+        help="feed each machine's trace in this many chunks (one per round)",
+    )
+    fleet.add_argument("--window", type=float, default=1.0)
+    fleet.add_argument("--threshold", type=float, default=2.0)
+    fleet.add_argument(
+        "--state", default=None, metavar="DIR",
+        help="fleet checkpoint directory: resume from it if it exists, and "
+        "write per-machine checkpoints plus a manifest back on exit",
+    )
+    fleet.add_argument(
+        "--executor", choices=("serial", "thread"), default="serial",
+        help="shard execution strategy shared by all machines (the process "
+        "executor's worker-affinity cache is per-session state, so it is "
+        "not offered here)",
+    )
+    fleet.add_argument(
+        "--workers", type=_worker_count, default=None, metavar="N",
+        help="worker count for --executor thread (ignored by serial)",
+    )
+    fleet.add_argument(
+        "--max-lag", type=int, default=None, dest="max_lag", metavar="N",
+        help="per-machine backpressure bound: stop feeding a machine once "
+        "it has N journaled-but-unconsumed events (default: unbounded)",
     )
 
     repair = sub.add_parser("repair", help="repair one Table III error")
@@ -456,6 +502,110 @@ def _cmd_stream(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_fleet(args) -> str:
+    import asyncio
+    from pathlib import Path
+
+    from repro.core.executors import make_executor
+    from repro.fleet import FleetPipeline
+    from repro.ttkv.store import TTKV
+    from repro.workload.machines import profile_by_name
+    from repro.workload.tracegen import generate_trace
+
+    if args.machines < 1:
+        raise ValueError(f"--machines must be at least 1, got {args.machines}")
+    profile = profile_by_name(args.profile)
+    machine_events: dict[str, list] = {}
+    machine_prefixes: dict[str, tuple[str, ...]] = {}
+    for index in range(args.machines):
+        machine_id = f"m{index:03d}"
+        trace = generate_trace(profile, days=args.days, seed=args.seed + index)
+        machine_events[machine_id] = trace.ttkv.write_events()
+        machine_prefixes[machine_id] = tuple(
+            app.key_prefix for app in trace.apps.values()
+        )
+    total_events = sum(len(events) for events in machine_events.values())
+    state_dir = Path(args.state) if args.state else None
+    executor = make_executor(args.executor, args.workers)
+    lines = []
+
+    try:
+        if state_dir is not None and (state_dir / "fleet.json").exists():
+            # Resume: each machine re-opens its recorded store; the
+            # restored sessions pick up at their checkpointed cursors and
+            # the merge rebuilds from their live evidence snapshots.
+            stores = {}
+            for machine_id, events in machine_events.items():
+                store = TTKV()
+                store.record_events(events)
+                stores[machine_id] = store
+            fleet = FleetPipeline.from_state_dir(
+                state_dir, stores, executor=executor, max_lag=args.max_lag
+            )
+            clusters = fleet.update()
+            stats = fleet.last_stats
+            lines.append(
+                f"resumed fleet session from {state_dir} "
+                f"({len(stores)} machine checkpoint(s))"
+            )
+            lines.append(
+                f"  {stats.events_consumed} new event(s) consumed, "
+                f"{total_events - stats.events_consumed} already-read "
+                f"event(s) skipped -> {len(clusters)} fleet clusters "
+                f"({len(clusters.multi_clusters())} multi-key)"
+            )
+        else:
+            fleet = FleetPipeline(
+                window=args.window,
+                correlation_threshold=args.threshold,
+                executor=executor,
+                max_lag=args.max_lag,
+            )
+            for machine_id in machine_events:
+                fleet.add_machine(
+                    machine_id, TTKV(), machine_prefixes[machine_id]
+                )
+            concurrency = (
+                f" [{args.executor} executor]"
+                if args.executor != "serial"
+                else ""
+            )
+            lines.append(
+                f"fleet of {args.machines} machine(s) [{args.profile}] "
+                f"streaming {total_events} events over {args.chunks} "
+                f"round(s){concurrency}"
+            )
+            feeds = {}
+            for machine_id, events in machine_events.items():
+                size = max(1, -(-len(events) // max(1, args.chunks)))
+                feeds[machine_id] = [
+                    events[start : start + size]
+                    for start in range(0, len(events), size)
+                ]
+
+            def on_round(report):
+                lines.append(
+                    f"  round {report.index}: +{report.events_fed:5d} events "
+                    f"-> {len(report.clusters):4d} fleet clusters "
+                    f"({len(report.clusters.multi_clusters())} multi-key); "
+                    f"{report.machines_updated}/{report.machines_total} "
+                    "machines updated; "
+                    f"{report.merge.components_reclustered}/"
+                    f"{report.merge.components_total} "
+                    "fleet components re-agglomerated"
+                )
+
+            asyncio.run(fleet.drive(feeds, on_round=on_round))
+
+        if state_dir is not None:
+            fleet.to_state_dir(state_dir)
+            lines.append(f"fleet state checkpointed to {state_dir}")
+        fleet.close()
+    finally:
+        executor.close()
+    return "\n".join(lines)
+
+
 def _cmd_repair(args) -> str:
     from repro.common.format import format_mmss
     from repro.core.search import SearchStrategy
@@ -523,6 +673,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _cmd_ablations()
     elif command == "stream":
         output = _cmd_stream(args)
+    elif command == "fleet":
+        output = _cmd_fleet(args)
     elif command == "repair":
         output = _cmd_repair(args)
     else:

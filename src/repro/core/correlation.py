@@ -560,6 +560,167 @@ class CorrelationMatrix:
             if not self._uf_stale:
                 self._uf.union_many((key_a, key_b))
 
+    def pairwise_counts(
+        self,
+    ) -> tuple[dict[str, int], dict[tuple[str, str], int]]:
+        """The matrix's raw evidence: per-key and per-pair group counts.
+
+        Returns ``(counts, common)`` where ``counts[key]`` is the
+        effective number of write groups the key appears in (retained
+        groups plus the compacted baseline) and ``common[(a, b)]`` — pair
+        keys are sorted 2-tuples — is the effective intersection count of
+        each co-occurring pair.  Every correlation this matrix can report
+        is a pure function of these counts, so two matrices with equal
+        ``pairwise_counts()`` are observationally identical.
+
+        This is the hand-off format of the fleet aggregation tier
+        (:mod:`repro.fleet`): per-machine evidence is extracted with this
+        method, summed across machines keyed by canonical key identity,
+        and re-installed via :meth:`apply_count_deltas`.
+        """
+        counts = {key: self._count_of(key) for key in self._key_groups}
+        common: dict[tuple[str, str], int] = {}
+        for pair in self._common.keys() | self._base_common.keys():
+            key_a, key_b = sorted(pair)
+            common[(key_a, key_b)] = self._common_of(pair)
+        return counts, common
+
+    def apply_count_deltas(
+        self,
+        key_deltas: Mapping[str, int],
+        pair_deltas: Mapping[tuple[str, str], int],
+    ) -> set[str]:
+        """Adjust the aggregate baseline by signed evidence deltas.
+
+        The fleet-merge analog of :meth:`update_groups`: instead of
+        observing write groups, the caller supplies how much each key's
+        group count and each pair's intersection count changed (the
+        difference between two :meth:`pairwise_counts` snapshots).  Keys
+        whose effective count reaches zero are removed; pairs whose
+        effective intersection reaches zero lose their neighbour edge.
+        Any such loss marks the union-find stale and bumps
+        ``structure_version`` — exactly the rebuild-on-retraction policy
+        group retractions follow — while growth-only deltas stay on the
+        O(α) incremental path.
+
+        The whole batch is validated before any state is touched: a delta
+        driving a count negative, a pair delta naming a key absent after
+        the key deltas apply, or a pair delta on a never-observed pair
+        with a non-positive value all raise ``ValueError`` and leave the
+        matrix unchanged.  Returns the dirty key set (every key whose
+        correlations may have changed), like :meth:`update_groups`.
+        """
+        keyed = {key: int(delta) for key, delta in key_deltas.items() if delta}
+        paired = {
+            (min(pair), max(pair)): int(delta)
+            for pair, delta in pair_deltas.items()
+            if delta
+        }
+        next_counts: dict[str, int] = {}
+        for key, delta in keyed.items():
+            current = self._count_of(key) if key in self._key_groups else 0
+            if current + delta < 0:
+                raise ValueError(
+                    f"count delta {delta} for {key!r} drives its group "
+                    f"count below zero (currently {current})"
+                )
+            if current + delta < len(self._key_groups.get(key, ())):
+                raise ValueError(
+                    f"count delta {delta} for {key!r} cuts into retained "
+                    "groups; retract them instead"
+                )
+            next_counts[key] = current + delta
+        surviving = set(self._key_groups) - {
+            key for key, total in next_counts.items() if total == 0
+        }
+        surviving.update(key for key, total in next_counts.items() if total)
+        next_common: dict[tuple[str, str], int] = {}
+        for (key_a, key_b), delta in paired.items():
+            if key_a == key_b:
+                raise ValueError(f"pair delta names a single key {key_a!r}")
+            pair = frozenset((key_a, key_b))
+            current = self._common_of(pair)
+            if current + delta < 0:
+                raise ValueError(
+                    f"intersection delta {delta} for {key_a!r}/{key_b!r} "
+                    f"drives the pair count below zero (currently {current})"
+                )
+            if current + delta < self._common.get(pair, 0):
+                raise ValueError(
+                    f"intersection delta {delta} for {key_a!r}/{key_b!r} "
+                    "cuts into retained groups; retract them instead"
+                )
+            if current + delta > 0:
+                for key in (key_a, key_b):
+                    if key not in surviving:
+                        raise ValueError(
+                            f"pair delta for {key_a!r}/{key_b!r} names key "
+                            f"{key!r}, which has no group count"
+                        )
+            next_common[(key_a, key_b)] = current + delta
+        for key, total in next_counts.items():
+            if total == 0:
+                for other in self._neighbors.get(key, ()):
+                    if next_common.get((min(key, other), max(key, other))) != 0:
+                        raise ValueError(
+                            f"count delta removes {key!r} but leaves its "
+                            f"pair with {other!r} non-zero; zero the pair "
+                            "in the same call"
+                        )
+
+        dirty: set[str] = set(keyed)
+        lost_keys: set[str] = set()
+        lost_pairs = False
+        for key, total in next_counts.items():
+            if key not in self._key_groups:
+                self._key_groups[key] = set()
+                self._neighbors[key] = set()
+                if not self._uf_stale:
+                    self._uf.add(key)
+            self._base_counts[key] = total - len(self._key_groups[key])
+            if not self._base_counts[key]:
+                del self._base_counts[key]
+            if total == 0:
+                lost_keys.add(key)
+        for (key_a, key_b), total in next_common.items():
+            dirty.update((key_a, key_b))
+            pair = frozenset((key_a, key_b))
+            retained = self._common.get(pair, 0)
+            base = total - retained
+            if base:
+                self._base_common[pair] = base
+            else:
+                self._base_common.pop(pair, None)
+            if total:
+                newly = key_b not in self._neighbors[key_a]
+                self._neighbors[key_a].add(key_b)
+                self._neighbors[key_b].add(key_a)
+                if newly and not self._uf_stale:
+                    self._uf.union_many((key_a, key_b))
+            elif retained == 0:
+                self._neighbors[key_a].discard(key_b)
+                self._neighbors[key_b].discard(key_a)
+                lost_pairs = True
+        for key in lost_keys:
+            if self._neighbors[key]:
+                for other in self._neighbors[key]:
+                    self._neighbors[other].discard(key)
+                lost_pairs = True
+            del self._key_groups[key]
+            del self._neighbors[key]
+        if lost_pairs or lost_keys:
+            self._uf_stale = True
+            self._structure_version += 1
+            self._blocks.clear()
+            self._block_of_key.clear()
+            self._block_dirty.clear()
+        elif self._blocks:
+            for key in dirty:
+                covering = self._block_of_key.get(key)
+                if covering is not None:
+                    self._block_dirty.setdefault(covering, set()).add(key)
+        return dirty
+
     @property
     def structure_version(self) -> int:
         """Bumped whenever a lossy update voids incremental component state.
@@ -839,6 +1000,11 @@ class CorrelationMatrixView:
     def finite_pairs(self) -> Iterable[tuple[str, str, float]]:
         return self._matrix.finite_pairs()
 
+    def pairwise_counts(
+        self,
+    ) -> tuple[dict[str, int], dict[tuple[str, str], int]]:
+        return self._matrix.pairwise_counts()
+
     def component_distance_block(self, component: frozenset[str] | set[str]):
         return self._matrix.component_distance_block(component)
 
@@ -877,5 +1043,6 @@ class CorrelationMatrixView:
     retract_group = _read_only
     update_groups = _read_only
     observe_groups_batch = _read_only
+    apply_count_deltas = _read_only
     compact = _read_only
     install_compacted = _read_only

@@ -80,6 +80,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import replace
@@ -155,14 +156,18 @@ class ThreadShardExecutor(ShardExecutor):
     def __init__(self, workers: int | None = None) -> None:
         self.workers = _checked_workers(workers)
         self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
 
     def _live_pool(self) -> concurrent.futures.ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = concurrent.futures.ThreadPoolExecutor(
-                max_workers=self.workers,
-                thread_name_prefix="shard-update",
-            )
-        return self._pool
+        # A fleet driver shares one executor across machines whose
+        # updates run concurrently, so first use may race.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="shard-update",
+                )
+            return self._pool
 
     def map_shards(self, engines: Sequence[ShardEngine]) -> list[ShardUpdate]:
         engines = list(engines)

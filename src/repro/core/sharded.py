@@ -1244,6 +1244,51 @@ class ShardedPipeline:
         """Read-only view of one shard's live correlation matrix."""
         return self._engine(shard_id).matrix
 
+    def needs_update(self) -> bool:
+        """O(shards): would :meth:`update` do any work right now?
+
+        True when a parameter was retuned (the next update restarts the
+        session) or when any shard journal advanced past its engine's
+        cursor.  The fleet driver polls this to skip machines whose
+        streams are quiet.
+        """
+        if self._params() != self._active_params:
+            return True
+        return any(
+            not engine.ready or engine.needs_update()
+            for engine in self._engines.values()
+        )
+
+    @property
+    def pending_events(self) -> int:
+        """Journaled events not yet consumed by any shard engine."""
+        return sum(
+            len(engine.journal) - engine.cursor_position
+            for engine in self._engines.values()
+        )
+
+    def pairwise_counts(
+        self,
+    ) -> tuple[dict[str, int], dict[tuple[str, str], int]]:
+        """This machine's correlation evidence, summed over all shards.
+
+        The union of every shard matrix's
+        :meth:`~repro.core.correlation.CorrelationMatrix.pairwise_counts`
+        — shards partition the key space, so the per-shard dicts are
+        disjoint and the sum is a plain merge.  This is the snapshot a
+        :class:`~repro.fleet.merge.FleetCorrelationMerge` diffs between
+        updates to produce count deltas.
+        """
+        counts: dict[str, int] = {}
+        common: dict[tuple[str, str], int] = {}
+        for engine in self._engines.values():
+            shard_counts, shard_common = engine.matrix.pairwise_counts()
+            for key, count in shard_counts.items():
+                counts[key] = counts.get(key, 0) + count
+            for pair, count in shard_common.items():
+                common[pair] = common.get(pair, 0) + count
+        return counts, common
+
     def _engine(self, shard_id: str) -> ShardEngine:
         try:
             return self._engines[shard_id]

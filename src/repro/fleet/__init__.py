@@ -1,0 +1,47 @@
+"""Fleet aggregation tier: many machines' evidence, one cluster model.
+
+Everything below :mod:`repro.core` clusters one machine's event stream in
+one process.  This package is the deployment story the paper implies — a
+fleet of machines whose configuration-correlation evidence is aggregated
+into fleet-level cluster models and served over a query API while ingest
+continues:
+
+- :class:`FleetCorrelationMerge` (:mod:`repro.fleet.merge`) sums
+  per-machine pairwise evidence keyed by canonical app/key identity and
+  re-agglomerates only the fleet components whose evidence changed — the
+  cross-machine analog of the engines' ``install_components``.  It is
+  property-tested equal to concatenating all machines' write groups into
+  one batch matrix (:func:`repro.fleet.merge.concatenated_batch_clusters`).
+- :class:`FleetPipeline` (:mod:`repro.fleet.pipeline`) owns one
+  :class:`~repro.core.sharded.ShardedPipeline` per machine behind an
+  asyncio driver: poll ``needs_update()``, interleave shard updates
+  (on the existing executor layer via ``run_in_executor``) with logging
+  I/O, apply per-machine backpressure, checkpoint per machine.
+- :class:`FleetQueryServer` (:mod:`repro.fleet.api`) serves
+  ``GET /clusters``, ``GET /machines/<id>/status`` and ``GET /health``
+  from asyncio streams while the driver keeps ingesting.
+
+``python -m repro fleet`` wires the three together from the command line.
+"""
+
+from repro.fleet.api import FleetQueryServer
+from repro.fleet.merge import (
+    FleetCorrelationMerge,
+    MergeStats,
+    concatenated_batch_clusters,
+)
+from repro.fleet.pipeline import (
+    FleetPipeline,
+    FleetRound,
+    FleetUpdateStats,
+)
+
+__all__ = [
+    "FleetCorrelationMerge",
+    "MergeStats",
+    "concatenated_batch_clusters",
+    "FleetPipeline",
+    "FleetRound",
+    "FleetUpdateStats",
+    "FleetQueryServer",
+]

@@ -1,0 +1,129 @@
+"""Fleet query API: three GET routes over raw asyncio streams.
+
+No framework, no threads: :class:`FleetQueryServer` is an
+``asyncio.start_server`` handler that parses the request line, drains
+the headers and answers from the fleet's last coherent snapshots —
+:meth:`~repro.fleet.pipeline.FleetPipeline.clusters_payload`,
+:meth:`~repro.fleet.pipeline.FleetPipeline.machine_status` and
+:meth:`~repro.fleet.pipeline.FleetPipeline.health` are all plain dict
+reads refreshed by the driver, so a query during live ingest never
+blocks on (or races) an in-flight update.
+
+Routes::
+
+    GET /clusters                 the merged fleet cluster model
+    GET /machines/<id>/status     one machine's last status snapshot
+    GET /health                   liveness + fleet-level counters
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.fleet.pipeline import FleetPipeline
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+}
+
+
+class FleetQueryServer:
+    """Serve fleet cluster/status queries while ingest continues.
+
+    Usage (inside a running event loop, e.g. alongside
+    :meth:`~repro.fleet.pipeline.FleetPipeline.drive`)::
+
+        server = FleetQueryServer(fleet)
+        host, port = await server.start()   # port 0: pick a free port
+        ...
+        await server.close()
+
+    ``async with FleetQueryServer(fleet) as server:`` does the same.
+    """
+
+    def __init__(self, fleet: FleetPipeline) -> None:
+        self._fleet = fleet
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); raises before :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(self._handle, host, port)
+        return self.address
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "FleetQueryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def _route(self, method: str, path: str) -> tuple[int, dict]:
+        if method != "GET":
+            return 405, {"error": f"method {method} not allowed"}
+        if path == "/health":
+            return 200, self._fleet.health()
+        if path == "/clusters":
+            return 200, self._fleet.clusters_payload()
+        if path.startswith("/machines/") and path.endswith("/status"):
+            machine_id = path[len("/machines/") : -len("/status")].rstrip("/")
+            status = self._fleet.machine_status(machine_id)
+            if status is None:
+                return 404, {"error": f"no machine {machine_id!r}"}
+            return 200, status
+        return 404, {"error": f"no route {path!r}"}
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) >= 2:
+                method, path = parts[0], parts[1].split("?", 1)[0]
+                # drain the headers; all routes are bodyless GETs
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                status, payload = self._route(method, path)
+            else:
+                status, payload = 400, {"error": "malformed request line"}
+            body = json.dumps(payload).encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass

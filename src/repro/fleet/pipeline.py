@@ -1,0 +1,486 @@
+"""FleetPipeline: many machines' sharded pipelines behind one asyncio driver.
+
+One :class:`~repro.core.sharded.ShardedPipeline` per machine, one
+:class:`~repro.fleet.merge.FleetCorrelationMerge` summing their evidence.
+The synchronous :meth:`FleetPipeline.update` sweeps the fleet once in the
+calling thread; the asyncio :meth:`FleetPipeline.drive` runs the full
+ingest loop — feed each machine's next slice of events (the logging I/O),
+update every machine whose journal advanced (CPU work, pushed onto the
+event loop's default executor so queries stay responsive; the machines'
+own shard updates still go through whatever
+:class:`~repro.core.executors.ShardExecutor` the fleet was built with),
+merge the changed machines' evidence, and repeat.
+
+Determinism: rounds are barriers.  Every machine's feed for a round is
+appended before any update starts, all updates finish before the merge,
+and the merge runs on the event-loop thread — so the per-round event
+counts, cluster models and progress lines are byte-identical whatever
+the executor strategy (the CLI smoke test asserts exactly this).
+
+Backpressure: ``max_lag`` bounds how many journaled-but-unconsumed
+events a machine may accumulate.  The feed stage stops pulling from a
+machine's chunk iterator once its backlog would exceed the bound; the
+leftover events are buffered and drain over subsequent rounds, so a slow
+machine throttles its own feed instead of growing without bound.
+
+Checkpoints are per machine: :meth:`to_state_dir` writes one
+``machine-<id>.json`` (the machine's full
+:meth:`~repro.core.sharded.ShardedPipeline.to_state`) plus a
+``fleet.json`` manifest; :meth:`from_state_dir` restores every machine
+over its re-opened store and the next update consumes only events the
+checkpoint had not read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.cluster_model import ClusterSet
+from repro.core.clustering import LINKAGE_COMPLETE
+from repro.core.hac_kernel import KERNEL_AUTO
+from repro.core.pipeline import DEFAULT_CORRELATION_THRESHOLD, DEFAULT_WINDOW
+from repro.core.sharded import ShardedPipeline
+from repro.fleet.merge import FleetCorrelationMerge, MergeStats
+from repro.ttkv.columnar import BACKEND_AUTO
+from repro.ttkv.store import TTKV
+
+STATE_VERSION = 1
+
+#: Machine ids become checkpoint file names, so keep them path-safe.
+_MACHINE_ID = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+@dataclass(frozen=True)
+class FleetUpdateStats:
+    """What one synchronous :meth:`FleetPipeline.update` sweep did."""
+
+    events_consumed: int
+    machines_updated: int
+    machines_total: int
+    merge: MergeStats | None
+
+
+@dataclass(frozen=True)
+class FleetRound:
+    """One round of the asyncio driver (passed to ``on_round``)."""
+
+    index: int
+    events_fed: int
+    events_consumed: int
+    machines_updated: int
+    machines_total: int
+    clusters: ClusterSet
+    merge: MergeStats | None
+
+
+class FleetPipeline:
+    """A fleet of per-machine pipelines plus the fleet-level merge.
+
+    Parameters mirror the per-machine pipelines (``window``,
+    ``correlation_threshold``, ``linkage``, ``kernel``,
+    ``journal_backend``) and apply to every machine.  ``executor`` is the
+    shard execution strategy shared by all machines — caller-owned, like
+    the sharded pipeline's; only strategies safe for concurrent
+    ``map_shards`` calls belong here (serial constructs per-call state,
+    the thread pool is locked; the process executor's worker-affinity
+    cache is per-session state and must not be shared across machines
+    updating concurrently).  ``max_lag`` is the per-machine backpressure
+    bound used by :meth:`drive` (``None``: unbounded).
+    """
+
+    def __init__(
+        self,
+        *,
+        window: float = DEFAULT_WINDOW,
+        correlation_threshold: float = DEFAULT_CORRELATION_THRESHOLD,
+        linkage: str = LINKAGE_COMPLETE,
+        kernel: str = KERNEL_AUTO,
+        journal_backend: str = BACKEND_AUTO,
+        executor=None,
+        max_lag: int | None = None,
+    ) -> None:
+        if max_lag is not None and max_lag < 1:
+            raise ValueError(f"max_lag must be at least 1, got {max_lag}")
+        self.window = window
+        self.correlation_threshold = correlation_threshold
+        self.linkage = linkage
+        self.kernel = kernel
+        self.journal_backend = journal_backend
+        self.executor = executor
+        self.max_lag = max_lag
+        self._machines: dict[str, ShardedPipeline] = {}
+        self._merge = FleetCorrelationMerge(
+            window=window,
+            correlation_threshold=correlation_threshold,
+            linkage=linkage,
+            kernel=kernel,
+        )
+        self._status: dict[str, dict] = {}
+        self._rounds = 0
+        self.last_stats: FleetUpdateStats | None = None
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def machine_ids(self) -> tuple[str, ...]:
+        return tuple(self._machines)
+
+    @property
+    def rounds(self) -> int:
+        """Completed driver rounds (survives checkpoints)."""
+        return self._rounds
+
+    def machine(self, machine_id: str) -> ShardedPipeline:
+        try:
+            return self._machines[machine_id]
+        except KeyError:
+            raise KeyError(
+                f"no machine {machine_id!r}; machines: {list(self._machines)}"
+            ) from None
+
+    def add_machine(
+        self,
+        machine_id: str,
+        store: TTKV,
+        shard_prefixes: Sequence[str] = (),
+    ) -> ShardedPipeline:
+        """Attach a machine's store; its evidence joins the next update."""
+        if not _MACHINE_ID.match(machine_id):
+            raise ValueError(
+                f"machine id {machine_id!r} is not path-safe "
+                "(letters, digits, dot, underscore, dash)"
+            )
+        if machine_id in self._machines:
+            raise ValueError(f"machine {machine_id!r} already attached")
+        pipeline = ShardedPipeline(
+            store,
+            shard_prefixes=tuple(shard_prefixes),
+            window=self.window,
+            correlation_threshold=self.correlation_threshold,
+            linkage=self.linkage,
+            kernel=self.kernel,
+            journal_backend=self.journal_backend,
+            executor=self.executor,
+        )
+        self._machines[machine_id] = pipeline
+        self._refresh_status(machine_id)
+        return pipeline
+
+    def remove_machine(self, machine_id: str) -> None:
+        """Detach a machine and subtract its evidence from the fleet model."""
+        pipeline = self.machine(machine_id)
+        pipeline.close()
+        del self._machines[machine_id]
+        self._status.pop(machine_id, None)
+        if machine_id in self._merge.machine_ids:
+            self._merge.retire(machine_id)
+
+    def close(self) -> None:
+        """Detach every machine (the caller owns the executor)."""
+        for pipeline in self._machines.values():
+            pipeline.close()
+
+    # -- querying ------------------------------------------------------------
+
+    @property
+    def cluster_set(self) -> ClusterSet | None:
+        """The last merged fleet cluster model, without recomputing."""
+        return self._merge.last_clusters
+
+    def clusters(self) -> ClusterSet:
+        """The fleet cluster model, refreshing dirty components."""
+        return self._merge.clusters()
+
+    def machine_status(self, machine_id: str) -> dict | None:
+        """The machine's last status snapshot (``None``: unknown machine).
+
+        Snapshots are (re)written on the driver thread after each round,
+        so readers on the event loop never race an in-flight update.
+        """
+        return self._status.get(machine_id)
+
+    def health(self) -> dict:
+        """Fleet-level liveness summary for the query API."""
+        clusters = self._merge.last_clusters
+        return {
+            "status": "ok",
+            "machines": len(self._machines),
+            "rounds": self._rounds,
+            "fleet_keys": len(self._merge.matrix.pairwise_counts()[0]),
+            "clusters": None if clusters is None else len(clusters),
+        }
+
+    def clusters_payload(self) -> dict:
+        """JSON-safe body for ``GET /clusters`` (last coherent model)."""
+        clusters = self._merge.last_clusters
+        return {
+            "machines": len(self._machines),
+            "rounds": self._rounds,
+            "count": 0 if clusters is None else len(clusters),
+            "multi": 0 if clusters is None else len(clusters.multi_clusters()),
+            "clusters": (
+                []
+                if clusters is None
+                else [cluster.sorted_keys() for cluster in clusters]
+            ),
+        }
+
+    def _refresh_status(self, machine_id: str) -> None:
+        pipeline = self._machines[machine_id]
+        clusters = pipeline.cluster_set
+        stats = pipeline.last_stats
+        self._status[machine_id] = {
+            "machine": machine_id,
+            "shards": len(pipeline.shard_ids),
+            "pending_events": pipeline.pending_events,
+            "needs_update": pipeline.needs_update(),
+            "clusters": None if clusters is None else len(clusters),
+            "events_consumed": None if stats is None else stats.events_consumed,
+        }
+
+    # -- updating ------------------------------------------------------------
+
+    def _sweep(self) -> tuple[int, int]:
+        """Update machines that need it; ingest their evidence.
+
+        Returns ``(events_consumed, machines_updated)``.  A machine not
+        yet represented in the merge (fresh attach, or a resume — the
+        merge rebuilds from live snapshots rather than being
+        checkpointed) is swept even if its journal is quiet, so its
+        evidence always reaches the fleet model.
+        """
+        consumed = updated = 0
+        merged = set(self._merge.machine_ids)
+        for machine_id, pipeline in self._machines.items():
+            if pipeline.needs_update() or machine_id not in merged:
+                pipeline.update()
+                consumed += pipeline.last_stats.events_consumed
+                updated += 1
+                self._merge.ingest(machine_id, *pipeline.pairwise_counts())
+            self._refresh_status(machine_id)
+        return consumed, updated
+
+    def update(self) -> ClusterSet:
+        """One synchronous fleet sweep; returns the merged cluster model."""
+        consumed, updated = self._sweep()
+        clusters = self._merge.clusters()
+        self.last_stats = FleetUpdateStats(
+            events_consumed=consumed,
+            machines_updated=updated,
+            machines_total=len(self._machines),
+            merge=self._merge.last_stats,
+        )
+        return clusters
+
+    async def drive(
+        self,
+        feeds: Mapping[str, Iterable[Sequence[tuple]]],
+        *,
+        on_round: Callable[[FleetRound], None] | None = None,
+    ) -> list[FleetRound]:
+        """Drive the fleet until every feed is exhausted.
+
+        ``feeds`` maps machine ids to iterables of event chunks (each a
+        sequence of ``(timestamp, key, value)`` modification events for
+        that machine's store).  Per round: append each machine's next
+        slice — throttled to ``max_lag`` un-consumed events per machine —
+        then update every machine whose journal advanced concurrently on
+        the event loop's executor, then merge on the loop thread.
+        ``on_round`` (and the returned list) observe every round.
+        """
+        unknown = set(feeds) - set(self._machines)
+        if unknown:
+            raise KeyError(
+                f"feeds for unattached machine(s) {sorted(unknown)}; "
+                f"machines: {list(self._machines)}"
+            )
+        loop = asyncio.get_running_loop()
+        iterators: dict[str, Iterator] = {
+            machine_id: iter(chunks) for machine_id, chunks in feeds.items()
+        }
+        buffers: dict[str, list] = {machine_id: [] for machine_id in feeds}
+
+        def refill(machine_id: str, buffer: list) -> None:
+            """Pull chunks until the buffer is non-empty or the feed ends."""
+            while not buffer and machine_id in iterators:
+                chunk = next(iterators[machine_id], None)
+                if chunk is None:
+                    del iterators[machine_id]
+                else:
+                    buffer.extend(chunk)
+
+        rounds: list[FleetRound] = []
+        while iterators or any(buffers.values()):
+            fed = 0
+            for machine_id in list(buffers):
+                if machine_id not in self._machines:
+                    # removed mid-drive: drop its remaining feed
+                    buffers.pop(machine_id)
+                    iterators.pop(machine_id, None)
+                    continue
+                buffer = buffers[machine_id]
+                refill(machine_id, buffer)
+                if not buffer:
+                    buffers.pop(machine_id)
+                    continue
+                pipeline = self._machines[machine_id]
+                if self.max_lag is None:
+                    take = len(buffer)
+                else:
+                    take = min(
+                        len(buffer),
+                        max(0, self.max_lag - pipeline.pending_events),
+                    )
+                if take:
+                    # the logging I/O: journal appends interleave with
+                    # any in-flight query handlers at this await point
+                    pipeline.store.record_events(buffer[:take])
+                    del buffer[:take]
+                    fed += take
+                await asyncio.sleep(0)
+                # eager refill so an exhausted feed ends the drive this
+                # round instead of adding a trailing no-op round
+                refill(machine_id, buffer)
+                if not buffer and machine_id not in iterators:
+                    buffers.pop(machine_id)
+            merged = set(self._merge.machine_ids)
+            pending = [
+                (machine_id, pipeline)
+                for machine_id, pipeline in self._machines.items()
+                if pipeline.needs_update() or machine_id not in merged
+            ]
+            # CPU stage: machine updates run concurrently on the loop's
+            # executor (their shard updates go through self.executor);
+            # the barrier before the merge keeps rounds deterministic.
+            await asyncio.gather(
+                *(
+                    loop.run_in_executor(None, pipeline.update)
+                    for _, pipeline in pending
+                )
+            )
+            consumed = updated = 0
+            for machine_id, pipeline in pending:
+                consumed += pipeline.last_stats.events_consumed
+                updated += 1
+                self._merge.ingest(machine_id, *pipeline.pairwise_counts())
+            for machine_id in self._machines:
+                self._refresh_status(machine_id)
+            clusters = self._merge.clusters()
+            self._rounds += 1
+            self.last_stats = FleetUpdateStats(
+                events_consumed=consumed,
+                machines_updated=updated,
+                machines_total=len(self._machines),
+                merge=self._merge.last_stats,
+            )
+            report = FleetRound(
+                index=self._rounds,
+                events_fed=fed,
+                events_consumed=consumed,
+                machines_updated=updated,
+                machines_total=len(self._machines),
+                clusters=clusters,
+                merge=self._merge.last_stats,
+            )
+            rounds.append(report)
+            if on_round is not None:
+                on_round(report)
+        return rounds
+
+    # -- checkpointing -------------------------------------------------------
+
+    def to_state_dir(self, path: str | Path) -> None:
+        """Checkpoint the fleet: one JSON file per machine plus a manifest.
+
+        The merge itself is not persisted — it is a pure function of the
+        machines' evidence and is rebuilt from their snapshots on the
+        first post-resume update.
+        """
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        for machine_id, pipeline in self._machines.items():
+            (directory / f"machine-{machine_id}.json").write_text(
+                json.dumps(pipeline.to_state()) + "\n", encoding="utf-8"
+            )
+        manifest = {
+            "version": STATE_VERSION,
+            "rounds": self._rounds,
+            "machines": list(self._machines),
+            "params": {
+                "window": self.window,
+                "correlation_threshold": self.correlation_threshold,
+                "linkage": self.linkage,
+                "kernel": self.kernel,
+                "journal_backend": self.journal_backend,
+                "max_lag": self.max_lag,
+            },
+        }
+        (directory / "fleet.json").write_text(
+            json.dumps(manifest) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def from_state_dir(
+        cls,
+        path: str | Path,
+        stores: Mapping[str, TTKV],
+        *,
+        executor=None,
+        kernel: str | None = None,
+        journal_backend: str | None = None,
+        max_lag: int | None = None,
+    ) -> "FleetPipeline":
+        """Restore a fleet over re-opened per-machine stores.
+
+        ``stores`` must provide a store for every machine named in the
+        manifest, each holding (at least) the journal that machine's
+        checkpoint had consumed.  ``executor`` is runtime configuration,
+        like the sharded pipeline's; ``kernel``/``journal_backend``
+        override the checkpointed values when given; ``max_lag``
+        overrides the checkpointed backpressure bound.
+        """
+        directory = Path(path)
+        manifest = json.loads((directory / "fleet.json").read_text(encoding="utf-8"))
+        if manifest.get("version") != STATE_VERSION:
+            raise ValueError(
+                f"unsupported fleet state version {manifest.get('version')!r} "
+                f"(expected {STATE_VERSION})"
+            )
+        params = manifest["params"]
+        missing = [m for m in manifest["machines"] if m not in stores]
+        if missing:
+            raise ValueError(
+                f"no store was provided for checkpointed machine(s) {missing}"
+            )
+        fleet = cls(
+            window=params["window"],
+            correlation_threshold=params["correlation_threshold"],
+            linkage=params["linkage"],
+            kernel=kernel if kernel is not None else params["kernel"],
+            journal_backend=(
+                journal_backend
+                if journal_backend is not None
+                else params["journal_backend"]
+            ),
+            executor=executor,
+            max_lag=max_lag if max_lag is not None else params["max_lag"],
+        )
+        for machine_id in manifest["machines"]:
+            state = json.loads(
+                (directory / f"machine-{machine_id}.json").read_text(encoding="utf-8")
+            )
+            fleet._machines[machine_id] = ShardedPipeline.from_state(
+                stores[machine_id],
+                state,
+                executor=executor,
+                kernel=kernel,
+                journal_backend=journal_backend,
+            )
+            fleet._refresh_status(machine_id)
+        fleet._rounds = manifest["rounds"]
+        return fleet

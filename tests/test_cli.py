@@ -199,3 +199,101 @@ class TestStreamCommand:
             for kernel in ("auto", "numpy", "python")
         }
         assert outputs["auto"] == outputs["numpy"] == outputs["python"]
+
+
+class TestFleetExecutorFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.machines == 3
+        assert args.profile == "Linux-1"
+        assert args.executor == "serial"
+        assert args.workers is None
+        assert args.max_lag is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "fleet", "--machines", "4", "--executor", "thread",
+                "--workers", "2", "--max-lag", "50", "--state", "dir",
+            ]
+        )
+        assert args.machines == 4
+        assert args.executor == "thread"
+        assert args.workers == 2
+        assert args.max_lag == 50
+        assert args.state == "dir"
+
+    def test_process_executor_rejected(self):
+        # the process executor's worker-affinity cache is per-session
+        # state, so the fleet deliberately does not offer it
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--executor", "process"])
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--workers", "0"])
+
+
+class TestFleetCommand:
+    ARGS = ["fleet", "--machines", "2", "--days", "1", "--chunks", "3"]
+
+    def _run(self, capsys, *extra):
+        assert main(self.ARGS + list(extra)) == 0
+        return capsys.readouterr().out.splitlines()
+
+    def test_identical_output_across_executors(self, capsys, tmp_path):
+        """Same fleet, same rounds, same clusters — whatever the executor.
+
+        The header line names the executor, so everything after it must
+        match byte for byte; the checkpoint line names the per-executor
+        state directory, so it is dropped too.
+        """
+        outputs = {}
+        for executor in ("serial", "thread"):
+            state = tmp_path / executor
+            lines = self._run(
+                capsys,
+                "--executor", executor, "--workers", "2", "--state", str(state),
+            )
+            assert (state / "fleet.json").exists()
+            assert (state / "machine-m000.json").exists()
+            outputs[executor] = lines[1:-1]
+        assert outputs["serial"] == outputs["thread"]
+
+    def test_resume_consumes_nothing_new(self, capsys, tmp_path):
+        state = tmp_path / "fleet-state"
+        first = self._run(capsys, "--state", str(state))
+        assert any("checkpointed" in line for line in first)
+        resumed = self._run(
+            capsys,
+            "--executor", "thread", "--workers", "2", "--state", str(state),
+        )
+        assert any("resumed fleet session" in line for line in resumed)
+        assert any("0 new event(s) consumed" in line for line in resumed)
+
+    def test_resume_matches_uninterrupted_run(self, capsys, tmp_path):
+        """Checkpoint/resume lands on the same fleet cluster model.
+
+        The uninterrupted run's final cluster count must reappear in the
+        resumed run's summary line — byte-identical tail."""
+        straight = self._run(capsys)
+        state = tmp_path / "fleet-state"
+        self._run(capsys, "--state", str(state))
+        resumed = self._run(capsys, "--state", str(state))
+        # "-> N fleet clusters (M multi-key)" must match the last round
+        model = straight[-1].split("->", 1)[1].split(";", 1)[0].strip()
+        assert "fleet clusters" in model
+        assert any(model in line for line in resumed)
+
+    def test_backpressure_bounds_feed(self, capsys):
+        lines = self._run(capsys, "--max-lag", "40")
+        fed = [
+            int(line.split("+", 1)[1].split()[0])
+            for line in lines
+            if line.lstrip().startswith("round")
+        ]
+        # 2 machines x 40 events max per round
+        assert fed and all(count <= 80 for count in fed)
+        # throttling converges to the same model as the unthrottled run
+        model = lines[-1].split("->", 1)[1].split(";", 1)[0]
+        assert model == self._run(capsys)[-1].split("->", 1)[1].split(";", 1)[0]
