@@ -1,0 +1,269 @@
+"""Adversarial scenario fleets: every committed hostile regime, gated.
+
+Each committed ``scenarios/*.yaml`` regime — flash-crowd rollout,
+registry-scale churn storm, clock-skew + duplicate/late-event flood,
+heterogeneous skewed population — is built from its pinned seed and
+driven end to end through :func:`repro.scenarios.runner.run_fleet_scenario`
+(join/leave schedule, backpressure and all).  Quick mode shrinks the
+committed scenarios through the config system's own environment-override
+layer (``REPRO__POPULATION__0__MACHINES=…``) rather than forking the
+YAML, so the benchmark exercises exactly the three-layer loading path CI
+validates.
+
+Per regime the record carries:
+
+- ``<regime>_equal_to_batch`` — the fleet model after the full hostile
+  drive equals the independent
+  :func:`~repro.fleet.merge.concatenated_batch_clusters` reference over
+  the machines still attached (the ``fleet_equals_batch`` guarantee,
+  extended to hostile inputs); checked *outside* the timed region;
+- drive wall time, event and cluster counts.
+
+The headline ``merge_speedup`` is a within-run ratio: the incremental
+drive total versus the naive recompute-the-batch-every-round cost model
+(one measured from-scratch reference recompute × the rounds driven), so
+it transfers across machines of different speeds.  The clock-skew
+scenario additionally replays one machine through the single-pipeline
+stream runner and records its exact ``reorders_absorbed``/``rebuilds``
+counters — seeded, hence deterministic — with an invariant that the
+flood actually exercised the reorder machinery.
+
+Run as a script for CI/quick use::
+
+    python benchmarks/bench_adversarial.py --quick --out benchmarks/out/BENCH_adversarial.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet import concatenated_batch_clusters
+from repro.scenarios.build import build_scenario
+from repro.scenarios.config import load_scenario
+from repro.scenarios.runner import run_fleet_scenario, run_stream_scenario
+from repro.ttkv.store import TTKV
+
+SCENARIO_DIR = Path(__file__).resolve().parent.parent / "scenarios"
+
+#: The committed regime catalog, in report order.
+SCENARIOS = ("flash_crowd", "churn_storm", "clock_skew", "heterogeneous")
+
+#: Quick-mode shrink, expressed as the config system's own env-override
+#: layer (list indices address population groups positionally).
+QUICK_ENV: dict[str, dict[str, str]] = {
+    "flash_crowd": {
+        "REPRO__POPULATION__0__MACHINES": "3",
+        "REPRO__POPULATION__1__MACHINES": "1",
+        "REPRO__POPULATION__2__MACHINES": "1",
+    },
+    "churn_storm": {
+        "REPRO__POPULATION__0__MACHINES": "2",
+        "REPRO__REGIME__KEYS": "2000",
+        "REPRO__REGIME__WRITES_PER_MACHINE": "400",
+    },
+    "clock_skew": {
+        "REPRO__POPULATION__0__MACHINES": "3",
+        "REPRO__POPULATION__0__DAYS": "1",
+    },
+    "heterogeneous": {
+        "REPRO__POPULATION__0__MACHINES": "1",
+        "REPRO__POPULATION__1__MACHINES": "1",
+        "REPRO__POPULATION__2__MACHINES": "1",
+    },
+}
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _key_sets(cluster_set) -> list[tuple[str, ...]]:
+    return sorted(tuple(cluster.sorted_keys()) for cluster in cluster_set)
+
+
+def _reference(built, machines_final):
+    """The from-scratch concatenated-batch model over the live machines."""
+    machine_events, machine_prefixes = {}, {}
+    for machine in built.machines:
+        if machine.machine_id not in machines_final:
+            continue
+        store = TTKV()
+        store.record_events(machine.delivery)
+        machine_events[machine.machine_id] = store.write_events()
+        machine_prefixes[machine.machine_id] = machine.shard_prefixes
+    pipeline = built.config.pipeline
+    return sorted(
+        tuple(sorted(keys))
+        for keys in concatenated_batch_clusters(
+            machine_events,
+            machine_prefixes,
+            window=pipeline.window,
+            correlation_threshold=pipeline.correlation_threshold,
+            linkage=pipeline.linkage,
+        )
+    )
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    record: dict = {"quick": quick, "regimes": {}}
+    seeds = []
+    total_events = total_machines = 0
+    naive_total = fleet_total = 0.0
+    for name in SCENARIOS:
+        env = QUICK_ENV[name] if quick else {}
+        config = load_scenario(SCENARIO_DIR / f"{name}.yaml", env=env)
+        seeds.append(config.seed)
+        built = build_scenario(config)
+
+        # the gate recomputes the batch reference; keep it out of the
+        # timed drive so fleet_seconds measures the incremental path only
+        fleet_seconds, result = _timed(
+            lambda b=built: run_fleet_scenario(b, check_equality=False)
+        )
+        # median of three from-scratch recomputes: the single-shot times
+        # are small enough for scheduler noise to move the headline ratio
+        samples = sorted(
+            (
+                _timed(
+                    lambda b=built, r=result: _reference(b, r.machines_final)
+                )
+                for _ in range(3)
+            ),
+            key=lambda sample: sample[0],
+        )
+        batch_seconds, reference = samples[1]
+        equal = _key_sets(result.clusters) == reference
+        rounds = len(result.rounds)
+        naive_seconds = batch_seconds * rounds
+
+        regime = {
+            "machines": config.total_machines,
+            "machines_final": len(result.machines_final),
+            "events": built.total_events,
+            "rounds": rounds,
+            "clusters": len(result.clusters),
+            "fleet_seconds": fleet_seconds,
+            "naive_seconds": naive_seconds,
+            "equal_to_batch": equal,
+        }
+        if name == "clock_skew":
+            stream = run_stream_scenario(built, chunk_events=25)
+            regime["reorders_absorbed"] = stream.reorders_absorbed
+            regime["rebuilds"] = stream.rebuilds
+            duplicates = sum(
+                machine.notes.get("duplicates", 0)
+                for machine in built.machines
+            )
+            regime["duplicates"] = duplicates
+            record["clock_skew_flood_exercised"] = bool(
+                duplicates > 0
+                and (stream.reorders_absorbed > 0 or stream.rebuilds > 0)
+            )
+        record["regimes"][name] = regime
+        record[f"{name}_equal_to_batch"] = equal
+        total_events += built.total_events
+        total_machines += config.total_machines
+        naive_total += naive_seconds
+        fleet_total += fleet_seconds
+
+    record.update(
+        seeds=seeds,
+        events=total_events,
+        machines=total_machines,
+        fleet_seconds=fleet_total,
+        naive_seconds=naive_total,
+        merge_speedup=(
+            naive_total / fleet_total if fleet_total else float("inf")
+        ),
+        events_per_second=(
+            total_events / fleet_total if fleet_total else float("inf")
+        ),
+    )
+    return record
+
+
+def render(record: dict) -> str:
+    lines = [
+        "adversarial scenario fleets "
+        f"({record['machines']} machines, {record['events']} events, "
+        f"{'quick' if record['quick'] else 'full'} mode):"
+    ]
+    for name, regime in record["regimes"].items():
+        extra = ""
+        if name == "clock_skew":
+            extra = (
+                f"; {regime['duplicates']} dups, "
+                f"{regime['reorders_absorbed']} absorbed / "
+                f"{regime['rebuilds']} rebuilds"
+            )
+        lines.append(
+            f"  {name:<14}: {regime['events']:6d} events, "
+            f"{regime['machines']:2d} machines, {regime['rounds']:2d} rounds "
+            f"-> {regime['clusters']:4d} clusters in "
+            f"{regime['fleet_seconds'] * 1000:8.1f} ms; "
+            f"equal to batch: {regime['equal_to_batch']}{extra}"
+        )
+    lines.append(
+        f"  merge speedup  : {record['merge_speedup']:8.1f}x vs "
+        "recompute-every-round "
+        f"({record['events_per_second']:.0f} events/s incremental)"
+    )
+    return "\n".join(lines)
+
+
+def test_adversarial_scenarios(benchmark, report):
+    record = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    report("bench_adversarial", render(record))
+    (Path(__file__).parent / "out" / "BENCH_adversarial.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    for name in SCENARIOS:
+        assert record[f"{name}_equal_to_batch"]
+    assert record["clock_skew_flood_exercised"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink the committed scenarios via env overrides",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the JSON record here"
+    )
+    args = parser.parse_args(argv)
+    record = run_benchmark(quick=args.quick)
+    print(render(record))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    status = 0
+    for name in SCENARIOS:
+        if not record[f"{name}_equal_to_batch"]:
+            print(
+                f"ERROR: {name} fleet model diverged from the "
+                "concatenated-batch reference",
+                file=sys.stderr,
+            )
+            status = 1
+    if not record["clock_skew_flood_exercised"]:
+        print(
+            "ERROR: the clock-skew flood never exercised the reorder "
+            "machinery",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ Usage::
     python benchmarks/bench_kernel.py      --quick --out benchmarks/out/BENCH_kernel.json
     python benchmarks/bench_ingest.py      --quick --out benchmarks/out/BENCH_ingest.json
     python benchmarks/bench_fleet.py       --quick --out benchmarks/out/BENCH_fleet.json
+    python benchmarks/bench_adversarial.py --quick --out benchmarks/out/BENCH_adversarial.json
     python benchmarks/check_regression.py
 
 Refreshing a baseline (after a deliberate perf change) is the same run
@@ -96,6 +97,17 @@ GATES: dict[str, dict] = {
         "headline": [("fleet_speedup", "higher")],
         "invariants": ["fleet_equals_naive", "fleet_equals_batch"],
         "identity": ["events", "seed", "machines", "quick"],
+    },
+    "BENCH_adversarial.json": {
+        "headline": [("merge_speedup", "higher")],
+        "invariants": [
+            "flash_crowd_equal_to_batch",
+            "churn_storm_equal_to_batch",
+            "clock_skew_equal_to_batch",
+            "heterogeneous_equal_to_batch",
+            "clock_skew_flood_exercised",
+        ],
+        "identity": ["events", "seeds", "machines", "quick"],
     },
 }
 

@@ -12,7 +12,10 @@ Usage::
     python -m repro stream --app "Chrome Browser" --chunks 10
     python -m repro stream --shards 4 --state session.json
     python -m repro stream --shards 8 --executor thread --workers 4 --timings
+    python -m repro stream --scenario scenarios/clock_skew.yaml
     python -m repro fleet --machines 4 --chunks 6 --state fleet-state/
+    python -m repro fleet --scenario scenarios/flash_crowd.yaml
+    python -m repro validate-scenarios
     python -m repro repair --case 13 [--bfs] [--spurious 2]
     python -m repro list-cases
 """
@@ -154,6 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--state resume the flag overrides the checkpointed backend",
     )
     stream.add_argument(
+        "--scenario", default=None, metavar="YAML",
+        help="run one machine of a declarative scenario config instead of "
+        "the ad-hoc trace flags; the YAML (plus REPRO__* environment "
+        "overrides) governs profile, regime and pipeline parameters, and "
+        "the run is gated on incremental clusters equalling the batch "
+        "reference (needs the 'scenarios' extra; incompatible with "
+        "--state)",
+    )
+    stream.add_argument(
         "--timings", action="store_true",
         help="append ingest timing (journal append + shard routing, "
         "separate from compute and hand-off), per-shard timing (slowest "
@@ -205,7 +217,28 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--max-lag", type=int, default=None, dest="max_lag", metavar="N",
         help="per-machine backpressure bound: stop feeding a machine once "
-        "it has N journaled-but-unconsumed events (default: unbounded)",
+        "it has N journaled-but-unconsumed events (default: unbounded; "
+        "with --scenario the flag overrides the config as a "
+        "REPRO__FLEET__MAX_LAG environment override would)",
+    )
+    fleet.add_argument(
+        "--scenario", default=None, metavar="YAML",
+        help="drive a declarative scenario config instead of the ad-hoc "
+        "fleet flags; the YAML (plus REPRO__* environment overrides) "
+        "governs the population, regime, schedule and pipeline "
+        "parameters, and the run is gated on the fleet merge equalling "
+        "the concatenated-batch reference (needs the 'scenarios' extra; "
+        "incompatible with --state)",
+    )
+
+    validate = sub.add_parser(
+        "validate-scenarios",
+        help="load every committed scenario YAML through the full "
+        "three-layer config path (schema drift fails the command)",
+    )
+    validate.add_argument(
+        "paths", nargs="*", metavar="YAML",
+        help="scenario files to validate (default: scenarios/*.yaml)",
     )
 
     repair = sub.add_parser("repair", help="repair one Table III error")
@@ -606,6 +639,164 @@ def _cmd_fleet(args) -> str:
     return "\n".join(lines)
 
 
+def _load_cli_scenario(path: str, extra_env: dict | None = None):
+    """Load a scenario through all three layers, env overrides included.
+
+    CLI flags that shadow config fields (``--max-lag``) are folded in as
+    synthetic ``REPRO__*`` variables, so flag > environment > YAML >
+    default precedence falls out of the one override mechanism.
+    """
+    import os
+
+    from repro.scenarios import load_scenario
+
+    env = dict(os.environ)
+    if extra_env:
+        env.update(extra_env)
+    return load_scenario(path, env)
+
+
+def _cmd_stream_scenario(args) -> str:
+    from repro.core.executors import make_executor
+    from repro.scenarios import build_scenario, run_stream_scenario
+
+    if args.state is not None:
+        raise ValueError(
+            "--scenario and --state are incompatible: scenario runs are "
+            "self-contained equality gates, not resumable sessions"
+        )
+    config = _load_cli_scenario(args.scenario)
+    built = build_scenario(config)
+    machine = built.machines[0]
+    lines = [
+        f"scenario {config.name!r} [{config.regime.kind}]: streaming "
+        f"machine {machine.machine_id} ({machine.profile_name}), "
+        f"{len(machine.delivery)} delivered event(s) on "
+        f"{len(machine.shard_prefixes)} shard prefix(es)"
+    ]
+
+    def on_update(events_so_far: int, clusters: int) -> None:
+        lines.append(
+            f"  {events_so_far:6d} events -> {clusters:4d} clusters"
+        )
+
+    chunk_events = max(1, -(-len(machine.delivery) // max(1, args.chunks)))
+    executor = make_executor(args.executor, args.workers)
+    try:
+        result = run_stream_scenario(
+            built,
+            chunk_events=chunk_events,
+            executor=executor,
+            on_update=on_update,
+        )
+    finally:
+        executor.close()
+    lines.append(
+        f"  {result.updates} update(s); "
+        f"{result.reorders_absorbed} reorder(s) absorbed, "
+        f"{result.rebuilds} rebuild(s); "
+        f"{len(result.clusters)} clusters "
+        f"({len(result.clusters.multi_clusters())} multi-key)"
+    )
+    lines.append("  gate: incremental equals batch: passed")
+    return "\n".join(lines)
+
+
+def _cmd_fleet_scenario(args) -> str:
+    from repro.core.executors import make_executor
+    from repro.scenarios import build_scenario, run_fleet_scenario
+
+    if args.state is not None:
+        raise ValueError(
+            "--scenario and --state are incompatible: scenario runs are "
+            "self-contained equality gates, not resumable sessions"
+        )
+    extra_env = (
+        {"REPRO__FLEET__MAX_LAG": str(args.max_lag)}
+        if args.max_lag is not None
+        else None
+    )
+    config = _load_cli_scenario(args.scenario, extra_env)
+    built = build_scenario(config)
+    population = ", ".join(
+        f"{group.machines}x {group.profile}" for group in config.population
+    )
+    lines = [
+        f"scenario {config.name!r} [{config.regime.kind}]: "
+        f"{config.total_machines} machine(s) ({population}), "
+        f"{built.total_events} event(s) over {config.fleet.rounds} "
+        "scheduled round(s)"
+        + (
+            f", max_lag {config.fleet.max_lag}"
+            if config.fleet.max_lag is not None
+            else ""
+        )
+    ]
+
+    def on_round(report) -> None:
+        line = (
+            f"  round {report.index}: +{report.events_fed:5d} events "
+            f"-> {len(report.clusters):4d} fleet clusters "
+            f"({len(report.clusters.multi_clusters())} multi-key); "
+            f"{report.machines_updated}/{report.machines_total} "
+            "machines updated"
+        )
+        if report.merge is not None:
+            line += (
+                f"; {report.merge.components_reclustered}/"
+                f"{report.merge.components_total} "
+                "fleet components re-agglomerated"
+            )
+        lines.append(line)
+
+    executor = make_executor(args.executor, args.workers)
+    try:
+        result = run_fleet_scenario(built, executor=executor, on_round=on_round)
+    finally:
+        executor.close()
+    lines.append(
+        f"  {len(result.rounds)} round(s) driven, "
+        f"{result.events_consumed} event(s) consumed, "
+        f"{len(result.machines_final)} machine(s) attached at the end"
+    )
+    lines.append("  gate: fleet merge equals concatenated batch: passed")
+    return "\n".join(lines)
+
+
+def _cmd_validate_scenarios(args) -> str:
+    from pathlib import Path
+
+    from repro.scenarios import ScenarioConfigError, load_scenario
+
+    paths = [Path(p) for p in args.paths] or sorted(
+        Path("scenarios").glob("*.yaml")
+    )
+    if not paths:
+        raise ValueError(
+            "no scenario files found (looked in scenarios/*.yaml); "
+            "pass explicit paths"
+        )
+    lines = []
+    failures = []
+    for path in paths:
+        try:
+            # env={}: validate the file exactly as committed, without
+            # whatever REPRO__* happens to be set in this shell
+            config = load_scenario(path, env={})
+        except ScenarioConfigError as error:
+            failures.append(str(error))
+            lines.append(f"FAIL  {path}")
+        else:
+            lines.append(
+                f"ok    {path}: {config.name!r} [{config.regime.kind}] "
+                f"{config.total_machines} machine(s), "
+                f"{config.fleet.rounds} round(s), seed {config.seed}"
+            )
+    if failures:
+        raise SystemExit("\n".join(lines + [""] + failures))
+    return "\n".join(lines)
+
+
 def _cmd_repair(args) -> str:
     from repro.common.format import format_mmss
     from repro.core.search import SearchStrategy
@@ -672,9 +863,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif command == "ablations":
         output = _cmd_ablations()
     elif command == "stream":
-        output = _cmd_stream(args)
+        output = (
+            _cmd_stream_scenario(args) if args.scenario else _cmd_stream(args)
+        )
     elif command == "fleet":
-        output = _cmd_fleet(args)
+        output = (
+            _cmd_fleet_scenario(args) if args.scenario else _cmd_fleet(args)
+        )
+    elif command == "validate-scenarios":
+        output = _cmd_validate_scenarios(args)
     elif command == "repair":
         output = _cmd_repair(args)
     else:

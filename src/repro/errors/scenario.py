@@ -72,6 +72,7 @@ def _seed_events(
     offending_locals: list[str],
     injection_time: float,
     precision: float,
+    seed: int | None = None,
 ) -> list[tuple[float, str, Any]]:
     """Good-value writes for offending-group keys lacking history.
 
@@ -117,8 +118,16 @@ def _seed_events(
                 if value is None:
                     value = app.spec(member).default
                 if value is None:
+                    # Sampling falls back to a per-key RNG so repeated
+                    # preparations agree; when the caller provides a
+                    # scenario seed it participates in the derivation so
+                    # distinct scenarios draw distinct values (and a
+                    # fixed seed stays byte-reproducible).
+                    token = (
+                        member if seed is None else f"{seed}:{member}"
+                    )
                     value = app.spec(member).domain.sample(
-                        random.Random(stable_hash(member, mask=0xFFFF))
+                        random.Random(stable_hash(token, mask=0xFFFF))
                     )
                 events.append((base + offset * 0.01, canonical, value))
     return events
@@ -134,12 +143,16 @@ def prepare_scenario(
     days_before_end: float = 14.0,
     spurious_writes: int = 0,
     precision: float = 1.0,
+    seed: int | None = None,
 ) -> ErrorScenario:
     """Assemble the repair environment for ``case`` on ``trace``.
 
     ``days_before_end`` positions the injection (the paper uses 14);
     ``spurious_writes`` (0–2) adds the user's failed fix attempts from the
-    case's ``spurious_options``.
+    case's ``spurious_options``.  ``seed`` scopes the (rare) sampled
+    seed-event values to the caller's scenario so every random choice in
+    an assembled scenario derives from one configured seed; ``None``
+    keeps the legacy per-key derivation byte-for-byte.
     """
     if case.app_name not in trace.apps:
         raise InjectionError(
@@ -162,7 +175,7 @@ def prepare_scenario(
     }
 
     events: list[tuple[float, str, Any]] = _seed_events(
-        app, trace.ttkv, offending_locals, injection_time, precision
+        app, trace.ttkv, offending_locals, injection_time, precision, seed
     )
 
     # The application worked until the error occurred: write the case's

@@ -282,6 +282,9 @@ class FleetPipeline:
         feeds: Mapping[str, Iterable[Sequence[tuple]]],
         *,
         on_round: Callable[[FleetRound], None] | None = None,
+        schedule: Callable[
+            [int], Mapping[str, Iterable[Sequence[tuple]]] | None
+        ] | None = None,
     ) -> list[FleetRound]:
         """Drive the fleet until every feed is exhausted.
 
@@ -292,6 +295,14 @@ class FleetPipeline:
         then update every machine whose journal advanced concurrently on
         the event loop's executor, then merge on the loop thread.
         ``on_round`` (and the returned list) observe every round.
+
+        ``schedule`` models fleet churn: it is called on the loop thread
+        at the start of each round with the upcoming round index and may
+        mutate membership — :meth:`add_machine` for arrivals (returning
+        their feeds, merged into the drive) and :meth:`remove_machine`
+        for departures (their remaining buffered feed is dropped, their
+        evidence retired).  Returning ``None`` retires the hook: the
+        drive then ends once the remaining feeds drain.
         """
         unknown = set(feeds) - set(self._machines)
         if unknown:
@@ -315,7 +326,23 @@ class FleetPipeline:
                     buffer.extend(chunk)
 
         rounds: list[FleetRound] = []
-        while iterators or any(buffers.values()):
+        while schedule is not None or iterators or any(buffers.values()):
+            if schedule is not None:
+                arrivals = schedule(self._rounds + 1)
+                if arrivals is None:
+                    schedule = None
+                    if not iterators and not any(buffers.values()):
+                        break  # nothing left to feed: no trailing no-op round
+                else:
+                    late = set(arrivals) - set(self._machines)
+                    if late:
+                        raise KeyError(
+                            f"scheduled feeds for unattached machine(s) "
+                            f"{sorted(late)}; machines: {list(self._machines)}"
+                        )
+                    for machine_id, chunks in arrivals.items():
+                        iterators[machine_id] = iter(chunks)
+                        buffers.setdefault(machine_id, [])
             fed = 0
             for machine_id in list(buffers):
                 if machine_id not in self._machines:

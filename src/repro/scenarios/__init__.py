@@ -1,0 +1,101 @@
+"""Declarative hostile-workload scenarios (``pip install repro[scenarios]``).
+
+The scenario subsystem composes machine populations, workload regimes and
+fault injections into runnable fleet experiments, configured through
+three layers: committed YAML, pydantic validation, ``REPRO__``-prefixed
+environment overrides.  See ``docs/ARCHITECTURE.md`` ("Scenario
+configs") and the committed regimes under ``scenarios/``.
+
+pydantic and PyYAML are optional extras; this package keeps the core
+import-clean by resolving its exports lazily (PEP 562) and translating a
+missing dependency into one actionable error.  The pure regime
+generators (:mod:`repro.scenarios.regimes`) never need the extras and
+may be imported directly.
+"""
+
+from __future__ import annotations
+
+_CONFIG_EXPORTS = {
+    "ENV_PREFIX",
+    "ScenarioConfig",
+    "ScenarioConfigError",
+    "PopulationGroup",
+    "FleetSection",
+    "PipelineSection",
+    "InjectCaseSection",
+    "FlashCrowdRegime",
+    "ChurnStormRegime",
+    "ClockSkewRegime",
+    "HeterogeneousRegime",
+    "apply_env_overrides",
+    "load_scenario",
+    "scenario_from_dict",
+}
+_BUILD_EXPORTS = {"BuiltMachine", "BuiltScenario", "build_scenario", "derive_seed"}
+_RUNNER_EXPORTS = {
+    "FleetScenarioResult",
+    "ScenarioGateError",
+    "StreamScenarioResult",
+    "run_fleet_scenario",
+    "run_stream_scenario",
+}
+#: Pure generators — importable without the extras installed.
+_REGIME_EXPORTS = {
+    "churn_storm_events",
+    "churn_storm_keys",
+    "flash_crowd_events",
+    "flooded_delivery",
+    "skew_timestamps",
+    "zipf_activity_scale",
+}
+
+__all__ = sorted(
+    _CONFIG_EXPORTS
+    | _BUILD_EXPORTS
+    | _RUNNER_EXPORTS
+    | _REGIME_EXPORTS
+    | {"scenarios_available"}
+)
+
+
+def scenarios_available() -> bool:
+    """True when the ``scenarios`` extra (pydantic + PyYAML) is installed."""
+    try:
+        import pydantic  # noqa: F401
+        import yaml  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _module_for(name: str) -> str | None:
+    if name in _CONFIG_EXPORTS:
+        return "repro.scenarios.config"
+    if name in _BUILD_EXPORTS:
+        return "repro.scenarios.build"
+    if name in _RUNNER_EXPORTS:
+        return "repro.scenarios.runner"
+    if name in _REGIME_EXPORTS:
+        return "repro.scenarios.regimes"
+    return None
+
+
+def __getattr__(name: str):
+    module_name = _module_for(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as error:
+        raise RuntimeError(
+            "the scenario subsystem needs the optional 'scenarios' extra "
+            "(pydantic + PyYAML); install it with "
+            "'pip install repro-ocasta[scenarios]'"
+        ) from error
+    return getattr(module, name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,304 @@
+"""Scenario builder: a validated config → per-machine event streams.
+
+The builder expands the population groups into concrete machines, each
+with its own seeded Table-I trace, applies the scenario's hostile regime
+(generated fault events merged via :mod:`repro.errors.injection`, or a
+delivery-order transform for the flood regimes), and returns a
+:class:`BuiltScenario` — plain per-machine event lists plus the shard
+prefixes and join/leave schedule the fleet runner needs.
+
+Every random decision derives from ``config.seed`` through
+:func:`~repro.common.hashing.stable_hash` (CRC-based, immune to
+``PYTHONHASHSEED``): per-machine trace seeds, regime participation,
+per-machine clock offsets, delivery shuffles.  Building the same config
+twice therefore produces byte-identical streams — the determinism test
+pins this end to end through the journal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.format import SECONDS_PER_DAY
+from repro.common.hashing import stable_hash
+from repro.errors.cases import case_by_id
+from repro.errors.injection import inject_events
+from repro.errors.scenario import prepare_scenario
+from repro.exceptions import InjectionError
+from repro.scenarios.config import (
+    ChurnStormRegime,
+    ClockSkewRegime,
+    FlashCrowdRegime,
+    ScenarioConfig,
+    ScenarioConfigError,
+)
+from repro.scenarios.regimes import (
+    Event,
+    churn_storm_events,
+    churn_storm_keys,
+    flash_crowd_events,
+    flooded_delivery,
+    skew_timestamps,
+    zipf_activity_scale,
+)
+from repro.workload.machines import profile_by_name
+from repro.workload.tracegen import generate_trace
+
+#: Mask for derived RNG seeds (full 32-bit CRC).
+_SEED_MASK = 0xFFFFFFFF
+
+
+def derive_seed(config_seed: int, *parts: object) -> int:
+    """A stable child seed for one named random decision.
+
+    ``stable_hash`` over the joined path keeps derived seeds independent
+    of each other and identical across processes and platforms.
+    """
+    path = ":".join(str(part) for part in (config_seed, *parts))
+    return stable_hash(path, mask=_SEED_MASK)
+
+
+def derive_rng(config_seed: int, *parts: object) -> random.Random:
+    return random.Random(derive_seed(config_seed, *parts))
+
+
+@dataclass
+class BuiltMachine:
+    """One concrete machine of a built scenario."""
+
+    machine_id: str
+    profile_name: str
+    #: Canonical journal-ordered modification stream (timestamp-sorted).
+    events: list[Event]
+    #: The order events are *delivered* to the pipeline.  Identical to
+    #: ``events`` except under flood regimes, where it is a per-key-order-
+    #: preserving shuffle with duplicates — the store's journal absorbs
+    #: the difference, which is the point.
+    delivery: list[Event]
+    shard_prefixes: tuple[str, ...]
+    join_round: int = 1
+    leave_round: int | None = None
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def end_time(self) -> float:
+        return self.events[-1][0] if self.events else 0.0
+
+
+@dataclass
+class BuiltScenario:
+    """A fully expanded scenario, ready for the fleet or stream runners."""
+
+    config: ScenarioConfig
+    machines: list[BuiltMachine]
+
+    def machine(self, machine_id: str) -> BuiltMachine:
+        for machine in self.machines:
+            if machine.machine_id == machine_id:
+                return machine
+        raise KeyError(
+            f"no machine {machine_id!r}; machines: "
+            f"{[m.machine_id for m in self.machines]}"
+        )
+
+    @property
+    def total_events(self) -> int:
+        return sum(len(machine.delivery) for machine in self.machines)
+
+
+def _effective_days(config: ScenarioConfig) -> list[float]:
+    return [
+        float(group.days if group.days is not None else
+              profile_by_name(group.profile).days)
+        for group in config.population
+    ]
+
+
+def _flash_crowd_keys(config: ScenarioConfig) -> list[str]:
+    """The rollout's canonical target keys, shared fleet-wide.
+
+    Canonical keys depend only on the app (store path + setting name),
+    so one machine's throwaway app instances name them for everyone.
+    """
+    regime = config.regime
+    assert isinstance(regime, FlashCrowdRegime)
+    from repro.apps.catalog import create_app
+    from repro.common.clock import SimClock
+
+    app = create_app(regime.app, clock=SimClock(0.0))
+    names = sorted(app.schema.names())
+    rng = derive_rng(config.seed, "flash-crowd-keys")
+    chosen = (
+        names
+        if regime.keys >= len(names)
+        else sorted(rng.sample(names, regime.keys))
+    )
+    return [app.canonical_key(name) for name in chosen]
+
+
+def build_scenario(config: ScenarioConfig) -> BuiltScenario:
+    """Expand ``config`` into concrete per-machine event streams."""
+    regime = config.regime
+    days_by_group = _effective_days(config)
+    # Regimes anchor on the *shortest* machine's span so every machine
+    # is still alive when the hostile phase starts.
+    min_span = min(days_by_group) * SECONDS_PER_DAY
+
+    crowd_keys: list[str] = []
+    crowd_start = 0.0
+    if isinstance(regime, FlashCrowdRegime):
+        crowd_keys = _flash_crowd_keys(config)
+        crowd_start = regime.start_fraction * min_span
+    scatter_pool: list[str] = []
+    if isinstance(regime, ChurnStormRegime):
+        scatter_pool = churn_storm_keys(regime.keys, regime.key_prefix)
+
+    machines: list[BuiltMachine] = []
+    global_index = 0
+    for group_index, group in enumerate(config.population):
+        profile = profile_by_name(group.profile)
+        days = days_by_group[group_index]
+        for rank in range(group.machines):
+            machine_id = f"m{global_index:03d}"
+            scale = group.activity_scale * zipf_activity_scale(
+                rank, group.activity_skew
+            )
+            scale = min(10.0, max(scale, 1e-3))
+            trace = generate_trace(
+                profile,
+                days=days,
+                scale=scale,
+                seed=derive_seed(config.seed, "trace", machine_id),
+            )
+            notes: dict = {"scale": scale}
+
+            if (
+                config.inject_case is not None
+                and config.inject_case.machine_index == global_index
+            ):
+                case = case_by_id(config.inject_case.case_id)
+                if case.app_name not in profile.apps:
+                    raise ScenarioConfigError(
+                        f"inject_case: case #{case.case_id} needs "
+                        f"{case.app_name!r}, but machine {machine_id} "
+                        f"({profile.name}) runs {list(profile.apps)}"
+                    )
+                try:
+                    error = prepare_scenario(
+                        trace,
+                        case,
+                        days_before_end=config.inject_case.days_before_end,
+                        spurious_writes=config.inject_case.spurious_writes,
+                        seed=derive_seed(config.seed, "inject", machine_id),
+                    )
+                except InjectionError as exc:
+                    raise ScenarioConfigError(f"inject_case: {exc}") from exc
+                trace.ttkv = error.ttkv
+                notes["injected_case"] = case.case_id
+
+            events, delivery, regime_notes = _apply_regime(
+                config,
+                trace,
+                machine_id=machine_id,
+                profile_apps=profile.apps,
+                crowd_keys=crowd_keys,
+                crowd_start=crowd_start,
+                scatter_pool=scatter_pool,
+                span=days * SECONDS_PER_DAY,
+            )
+            notes.update(regime_notes)
+
+            machines.append(
+                BuiltMachine(
+                    machine_id=machine_id,
+                    profile_name=profile.name,
+                    events=events,
+                    delivery=delivery,
+                    shard_prefixes=tuple(
+                        trace.apps[name].key_prefix for name in profile.apps
+                    ),
+                    join_round=group.join_round,
+                    leave_round=group.leave_round,
+                    notes=notes,
+                )
+            )
+            global_index += 1
+    return BuiltScenario(config=config, machines=machines)
+
+
+def _apply_regime(
+    config: ScenarioConfig,
+    trace,
+    *,
+    machine_id: str,
+    profile_apps: tuple[str, ...],
+    crowd_keys: list[str],
+    crowd_start: float,
+    scatter_pool: list[str],
+    span: float,
+) -> tuple[list[Event], list[Event], dict]:
+    """Apply the scenario regime to one machine's trace.
+
+    Returns ``(events, delivery, notes)`` — the canonical journal-ordered
+    stream, the delivery order to feed, and bookkeeping for reports.
+    """
+    regime = config.regime
+    seed = config.seed
+
+    if isinstance(regime, FlashCrowdRegime):
+        participates = regime.app in profile_apps and (
+            regime.coverage >= 1.0
+            or derive_rng(seed, "coverage", machine_id).random()
+            < regime.coverage
+        )
+        if participates:
+            crowd = flash_crowd_events(
+                keys=crowd_keys,
+                start_time=crowd_start,
+                waves=regime.waves,
+                window_seconds=regime.window_seconds,
+                rng=derive_rng(seed, "crowd", machine_id),
+            )
+            store = inject_events(trace.ttkv, crowd)
+            events = store.write_events()
+        else:
+            events = trace.ttkv.write_events()
+        return events, events, {"flash_crowd": participates}
+
+    if isinstance(regime, ChurnStormRegime):
+        start = regime.start_fraction * span
+        end = min(span, start + regime.duration_fraction * span)
+        scatter = churn_storm_events(
+            keys=scatter_pool,
+            writes=regime.writes_per_machine,
+            bucket_size=regime.bucket_size,
+            start_time=start,
+            end_time=end,
+            min_gap_seconds=regime.min_gap_seconds,
+            rng=derive_rng(seed, "storm", machine_id),
+        )
+        store = inject_events(trace.ttkv, scatter)
+        events = store.write_events()
+        return events, events, {"scatter_writes": len(scatter)}
+
+    if isinstance(regime, ClockSkewRegime):
+        skewed = skew_timestamps(
+            trace.ttkv.write_events(),
+            max_skew_seconds=regime.max_skew_seconds,
+            rng=derive_rng(seed, "skew", machine_id),
+        )
+        delivery = flooded_delivery(
+            skewed,
+            duplicate_fraction=regime.duplicate_fraction,
+            late_fraction=regime.late_fraction,
+            max_displacement=regime.max_displacement,
+            rng=derive_rng(seed, "flood", machine_id),
+        )
+        return skewed, delivery, {
+            "duplicates": len(delivery) - len(skewed),
+        }
+
+    # heterogeneous: the population mix *is* the regime
+    events = trace.ttkv.write_events()
+    return events, events, {}

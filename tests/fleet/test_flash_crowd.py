@@ -1,0 +1,112 @@
+"""Scenario-built flash-crowd fleets: churn mid-rollout, gated vs batch.
+
+These are the fleet-tier regression tests for the scenario subsystem's
+flagship regime: a rollout makes (nearly) every machine rewrite the same
+app-config keys inside one window, while the population itself churns —
+one cohort joins mid-rollout, another leaves right after it.  Every run
+is gated on the fleet merge equalling
+:func:`repro.fleet.merge.concatenated_batch_clusters` over the machines
+still attached, and the backpressure test pins that ``max_lag`` actually
+throttles the feed stage rather than just existing as a parameter.
+"""
+
+import pytest
+
+pytest.importorskip("pydantic", reason="scenario configs need the scenarios extra")
+pytest.importorskip("yaml", reason="scenario configs need the scenarios extra")
+
+from repro.scenarios.build import build_scenario
+from repro.scenarios.config import (
+    FleetSection,
+    PopulationGroup,
+    ScenarioConfig,
+)
+from repro.scenarios.runner import run_fleet_scenario
+
+
+def _flash_config(**fleet_overrides) -> ScenarioConfig:
+    """A compact flash-crowd population with a late cohort and a leaver."""
+    return ScenarioConfig(
+        name="test-flash-crowd",
+        seed=4242,
+        population=[
+            PopulationGroup(
+                profile="Linux-2", machines=3, days=2, activity_scale=4.0
+            ),
+            PopulationGroup(
+                profile="Linux-2",
+                machines=2,
+                days=2,
+                activity_scale=4.0,
+                join_round=2,
+            ),
+            PopulationGroup(
+                profile="Linux-1", machines=1, days=1, leave_round=3
+            ),
+        ],
+        regime={
+            "kind": "flash_crowd",
+            "app": "Chrome Browser",
+            "keys": 5,
+            "waves": 2,
+            "start_fraction": 0.5,
+            "window_seconds": 30.0,
+            "coverage": 1.0,
+        },
+        fleet=FleetSection(rounds=4, **fleet_overrides),
+    )
+
+
+def test_flash_crowd_with_churn_equals_concatenated_batch():
+    """Merge ≡ batch across a rollout with joins and leaves mid-drive."""
+    built = build_scenario(_flash_config())
+    result = run_fleet_scenario(built)  # raises ScenarioGateError on divergence
+    assert result.equal_to_batch is True
+    # the late cohort joined, the bystander left
+    assert result.machines_final == ("m000", "m001", "m002", "m003", "m004")
+    totals = [round_.machines_total for round_ in result.rounds]
+    assert totals[0] == 4  # initial cohorts: 3 + the later-leaving machine
+    assert max(totals) == 6  # everyone attached between join and leave
+    assert totals[-1] == 5  # leaver gone
+    # every delivered event was consumed by the barrier rounds
+    assert result.events_consumed == result.events_fed == built.total_events
+
+
+def test_rollout_writes_reach_the_fleet_model():
+    """The crowd keys carry fleet evidence (participation was not a no-op)."""
+    built = build_scenario(_flash_config())
+    chrome_machines = [
+        machine
+        for machine in built.machines
+        if machine.profile_name == "Linux-2"
+    ]
+    assert chrome_machines, "population lost its rollout cohort"
+    assert all(
+        machine.notes.get("flash_crowd") is True for machine in chrome_machines
+    )
+    # all participants burst on the same canonical keys
+    prefix = chrome_machines[0].shard_prefixes[0]
+    crowd_keys = set()
+    for machine in chrome_machines:
+        keys = {
+            key for _t, key, _v in machine.events if key.startswith(prefix)
+        }
+        crowd_keys = crowd_keys & keys if crowd_keys else keys
+    assert len(crowd_keys) >= 5
+
+
+def test_max_lag_backpressure_engages():
+    """A tight max_lag stretches the drive into strictly more rounds."""
+    unbounded = run_fleet_scenario(build_scenario(_flash_config()))
+    throttled_config = _flash_config(max_lag=8)
+    throttled = run_fleet_scenario(build_scenario(throttled_config))
+
+    assert throttled.equal_to_batch is True
+    assert len(throttled.rounds) > len(unbounded.rounds)
+    live_bound = max(r.machines_total for r in throttled.rounds) * 8
+    assert all(r.events_fed <= live_bound for r in throttled.rounds)
+    # throttling reshapes delivery, not the destination
+    def key_sets(cluster_set):
+        return sorted(tuple(c.sorted_keys()) for c in cluster_set)
+
+    assert key_sets(throttled.clusters) == key_sets(unbounded.clusters)

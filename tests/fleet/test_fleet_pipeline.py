@@ -107,6 +107,59 @@ def test_machines_joining_and_leaving_mid_stream(first, second, late, chunks):
     fleet.close()
 
 
+@given(
+    _machine_events,
+    _machine_events,
+    _machine_events,
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_schedule_hook_joins_and_leaves_within_one_drive(
+    first, second, late, chunks
+):
+    """The driver's ``schedule`` hook churns membership inside one drive.
+
+    ``late`` joins at round 2 with its own feed, ``m1`` is removed at
+    round 3 (its evidence retired, its remaining buffered feed dropped);
+    the final model must equal the batch reference over the machines
+    still attached, fed exactly what they delivered.
+    """
+    streams = {
+        "m0": sorted(first, key=lambda e: e[0]),
+        "m1": sorted(second, key=lambda e: e[0]),
+        "late": sorted(late, key=lambda e: e[0]),
+    }
+    fleet = FleetPipeline()
+    fleet.add_machine("m0", TTKV(), _PREFIXES)
+    fleet.add_machine("m1", TTKV(), _PREFIXES)
+
+    def schedule(round_index):
+        if round_index == 2:
+            fleet.add_machine("late", TTKV(), _PREFIXES)
+            return {"late": _chunked(streams["late"], chunks)}
+        if round_index == 3:
+            fleet.remove_machine("m1")
+            return {}
+        if round_index > 3:
+            return None
+        return {}
+
+    feeds = {
+        machine_id: _chunked(streams[machine_id], chunks)
+        for machine_id in ("m0", "m1")
+    }
+    rounds = asyncio.run(fleet.drive(feeds, schedule=schedule))
+    live = {"m0": streams["m0"], "late": streams["late"]}
+    assert "m1" not in fleet.machine_ids
+    assert "late" in fleet.machine_ids
+    assert _cluster_sets(fleet.clusters()) == _reference(live)
+    # membership totals step with the schedule
+    if len(rounds) >= 3:
+        assert rounds[1].machines_total == 3
+        assert rounds[2].machines_total == 2
+    fleet.close()
+
+
 def _profile_fleet(profile_name, *, machines=2, days=1, executor=None, max_lag=None):
     """A fleet of same-profile machines with per-machine seeded traces."""
     profile = profile_by_name(profile_name)

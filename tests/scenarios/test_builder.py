@@ -1,0 +1,186 @@
+"""Scenario builder: populations, regimes and the stream runner's gate."""
+
+import pytest
+
+pytest.importorskip("pydantic", reason="scenario builder needs the scenarios extra")
+pytest.importorskip("yaml", reason="scenario builder needs the scenarios extra")
+
+from repro.scenarios.build import build_scenario, derive_seed
+from repro.scenarios.config import scenario_from_dict
+from repro.scenarios.runner import run_stream_scenario
+
+
+def _config(**overrides):
+    data = {
+        "name": "build-unit",
+        "seed": 1234,
+        "population": [{"profile": "Linux-1", "machines": 2, "days": 1}],
+        "regime": {"kind": "clock_skew"},
+        "fleet": {"rounds": 3},
+    }
+    data.update(overrides)
+    return scenario_from_dict(data, env={})
+
+
+def test_population_expands_with_schedule_and_prefixes():
+    config = _config(
+        population=[
+            {"profile": "Linux-1", "machines": 2, "days": 1},
+            {"profile": "Linux-2", "machines": 1, "days": 1, "join_round": 2},
+            {"profile": "Linux-1", "machines": 1, "days": 1, "leave_round": 2},
+        ],
+        regime={"kind": "heterogeneous", "min_profiles": 2},
+    )
+    built = build_scenario(config)
+    assert [m.machine_id for m in built.machines] == [
+        "m000", "m001", "m002", "m003",
+    ]
+    assert built.machines[2].profile_name == "Linux-2"
+    assert built.machines[2].join_round == 2
+    assert built.machines[3].leave_round == 2
+    for machine in built.machines:
+        assert machine.shard_prefixes, "machines must carry shard prefixes"
+        assert machine.events, "every machine generates a trace"
+        # heterogeneous regime leaves delivery == canonical order
+        assert machine.delivery == machine.events
+    assert built.machine("m001") is built.machines[1]
+    with pytest.raises(KeyError, match="ghost"):
+        built.machine("ghost")
+
+
+def test_activity_skew_decays_down_the_rank_order():
+    config = _config(
+        population=[
+            {
+                "profile": "Linux-1",
+                "machines": 3,
+                "days": 1,
+                "activity_scale": 4.0,
+                "activity_skew": 1.0,
+            }
+        ],
+        regime={"kind": "clock_skew", "late_fraction": 0.0,
+                "duplicate_fraction": 0.0, "max_skew_seconds": 0.0},
+    )
+    built = build_scenario(config)
+    scales = [machine.notes["scale"] for machine in built.machines]
+    assert scales == sorted(scales, reverse=True)
+    assert scales[0] == pytest.approx(4.0)
+    assert scales[1] == pytest.approx(2.0)
+
+
+def test_flash_crowd_participants_share_canonical_keys():
+    config = _config(
+        population=[{"profile": "Linux-2", "machines": 3, "days": 1}],
+        regime={
+            "kind": "flash_crowd",
+            "app": "Chrome Browser",
+            "keys": 4,
+            "waves": 2,
+            "coverage": 1.0,
+            "window_seconds": 20.0,
+        },
+    )
+    built = build_scenario(config)
+    assert all(m.notes["flash_crowd"] is True for m in built.machines)
+    per_machine_keys = []
+    for machine in built.machines:
+        keys = {key for _t, key, _v in machine.events}
+        per_machine_keys.append(keys)
+    shared = set.intersection(*per_machine_keys)
+    prefix = built.machines[0].shard_prefixes[0]
+    crowd = {key for key in shared if key.startswith(prefix)}
+    assert len(crowd) >= 4, "the rollout keys must appear on every machine"
+
+
+def test_flash_crowd_coverage_zero_point_means_bystanders():
+    config = _config(
+        population=[{"profile": "Linux-2", "machines": 6, "days": 1}],
+        regime={
+            "kind": "flash_crowd",
+            "app": "Chrome Browser",
+            "keys": 3,
+            "coverage": 0.4,
+        },
+    )
+    built = build_scenario(config)
+    flags = [m.notes["flash_crowd"] for m in built.machines]
+    assert any(flags) and not all(flags), (
+        "partial coverage should split the population (seeded, so stable)"
+    )
+
+
+def test_churn_storm_scatters_bounded_bucket_bursts():
+    config = _config(
+        population=[{"profile": "Linux-1", "machines": 1, "days": 1}],
+        regime={
+            "kind": "churn_storm",
+            "keys": 200,
+            "writes_per_machine": 120,
+            "bucket_size": 10,
+            "min_gap_seconds": 3.0,
+        },
+    )
+    built = build_scenario(config)
+    machine = built.machines[0]
+    assert machine.notes["scatter_writes"] >= 120
+    scatter_keys = {
+        key for _t, key, _v in machine.events if key.startswith("scatter/")
+    }
+    assert scatter_keys
+    # every scattered key comes from the fixed, zero-padded pool
+    assert all(key.startswith("scatter/key") for key in scatter_keys)
+
+
+def test_clock_skew_delivery_reorders_but_never_bends_per_key_time():
+    config = _config(
+        regime={
+            "kind": "clock_skew",
+            "max_skew_seconds": 30.0,
+            "duplicate_fraction": 0.2,
+            "late_fraction": 0.4,
+            "max_displacement": 8,
+        },
+    )
+    built = build_scenario(config)
+    reordered = 0
+    for machine in built.machines:
+        assert len(machine.delivery) >= len(machine.events)
+        if machine.delivery != machine.events:
+            reordered += 1
+        assert machine.notes["duplicates"] == (
+            len(machine.delivery) - len(machine.events)
+        )
+        last_seen = {}
+        for timestamp, key, _value in machine.delivery:
+            assert timestamp >= last_seen.get(key, float("-inf"))
+            last_seen[key] = timestamp
+    assert reordered, "the flood regime never actually shuffled a stream"
+
+
+def test_inject_case_lands_on_the_selected_machine():
+    config = _config(
+        population=[{"profile": "Linux-1", "machines": 2, "days": 1}],
+        regime={"kind": "heterogeneous", "min_profiles": 1},
+        inject_case={"case_id": 8, "machine_index": 1, "days_before_end": 0.5},
+    )
+    built = build_scenario(config)
+    assert "injected_case" not in built.machines[0].notes
+    assert built.machines[1].notes["injected_case"] == 8
+
+
+def test_derive_seed_is_stable_and_path_sensitive():
+    assert derive_seed(7, "trace", "m000") == derive_seed(7, "trace", "m000")
+    assert derive_seed(7, "trace", "m000") != derive_seed(7, "trace", "m001")
+    assert derive_seed(7, "trace", "m000") != derive_seed(8, "trace", "m000")
+    assert derive_seed(7, "a", "bc") != derive_seed(7, "ab", "c")
+
+
+def test_stream_runner_gates_incremental_against_batch():
+    built = build_scenario(_config())
+    result = run_stream_scenario(built, chunk_events=40)
+    assert result.equal_to_batch is True
+    assert result.machine_id == "m000"
+    assert result.events == len(built.machines[0].delivery)
+    assert result.updates >= 1
+    assert len(result.clusters) >= 1

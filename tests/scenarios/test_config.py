@@ -1,0 +1,257 @@
+"""Three-layer scenario config: YAML → pydantic → env overrides.
+
+Round-trips every committed ``scenarios/*.yaml`` through the loader,
+pins the override precedence (``REPRO__FLEET__MAX_LAG`` beats the YAML
+value beats the model default) and checks that invalid configs are
+rejected with field-level messages instead of misbehaving mid-run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("pydantic", reason="scenario configs need the scenarios extra")
+pytest.importorskip("yaml", reason="scenario configs need the scenarios extra")
+
+from repro.scenarios.config import (
+    ScenarioConfig,
+    ScenarioConfigError,
+    apply_env_overrides,
+    load_scenario,
+    scenario_from_dict,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+COMMITTED = sorted((REPO / "scenarios").glob("*.yaml"))
+
+
+def _base_data(**overrides) -> dict:
+    data = {
+        "name": "unit",
+        "seed": 7,
+        "population": [{"profile": "Linux-1", "machines": 2, "days": 1}],
+        "regime": {"kind": "clock_skew"},
+    }
+    data.update(overrides)
+    return data
+
+
+# -- the three layers ---------------------------------------------------------
+
+
+def test_defaults_fill_unspecified_sections():
+    config = scenario_from_dict(_base_data(), env={})
+    assert config.fleet.rounds == 6
+    assert config.fleet.max_lag is None
+    assert config.pipeline.window == 1.0
+    assert config.regime.max_skew_seconds == 45.0
+
+
+def test_env_beats_yaml_beats_defaults():
+    data = _base_data(fleet={"rounds": 4, "max_lag": 100})
+    # layer 2: YAML beats the defaults
+    from_yaml = scenario_from_dict(data, env={})
+    assert (from_yaml.fleet.rounds, from_yaml.fleet.max_lag) == (4, 100)
+    # layer 3: env beats YAML (and untouched fields keep the YAML value)
+    env = {"REPRO__FLEET__MAX_LAG": "50"}
+    overridden = scenario_from_dict(data, env=env)
+    assert overridden.fleet.max_lag == 50
+    assert overridden.fleet.rounds == 4
+    # env also beats the *default* when YAML omits the section entirely
+    sectionless = scenario_from_dict(_base_data(), env=env)
+    assert sectionless.fleet.max_lag == 50
+    assert sectionless.fleet.rounds == 6
+
+
+def test_env_values_parse_as_yaml_scalars():
+    config = scenario_from_dict(
+        _base_data(fleet={"max_lag": 9}),
+        env={
+            "REPRO__FLEET__MAX_LAG": "null",
+            "REPRO__PIPELINE__WINDOW": "2.5",
+            "REPRO__REGIME__DUPLICATE_FRACTION": "0.25",
+        },
+    )
+    assert config.fleet.max_lag is None
+    assert config.pipeline.window == 2.5
+    assert config.regime.duplicate_fraction == 0.25
+
+
+def test_env_indexes_population_groups():
+    data = _base_data(
+        population=[
+            {"profile": "Linux-1", "machines": 2, "days": 1},
+            {"profile": "Linux-2", "machines": 3, "days": 1},
+        ]
+    )
+    config = scenario_from_dict(
+        data,
+        env={
+            "REPRO__POPULATION__0__MACHINES": "5",
+            "REPRO__POPULATION__1__ACTIVITY_SCALE": "2.0",
+        },
+    )
+    assert config.population[0].machines == 5
+    assert config.population[1].machines == 3  # untouched sibling
+    assert config.population[1].activity_scale == 2.0
+
+
+def test_env_merge_is_copy_on_write():
+    data = _base_data(fleet={"rounds": 4})
+    merged = apply_env_overrides(data, env={"REPRO__FLEET__ROUNDS": "2"})
+    assert merged["fleet"]["rounds"] == 2
+    assert data["fleet"]["rounds"] == 4  # the base mapping is untouched
+
+
+def test_env_list_index_out_of_range_is_rejected():
+    with pytest.raises(ScenarioConfigError, match="out of range"):
+        scenario_from_dict(
+            _base_data(), env={"REPRO__POPULATION__7__MACHINES": "1"}
+        )
+    with pytest.raises(ScenarioConfigError, match="list index"):
+        scenario_from_dict(
+            _base_data(), env={"REPRO__POPULATION__FIRST__MACHINES": "1"}
+        )
+
+
+def test_unrelated_env_variables_are_ignored():
+    config = scenario_from_dict(
+        _base_data(), env={"PATH": "/bin", "REPROX__FLEET__ROUNDS": "99"}
+    )
+    assert config.fleet.rounds == 6
+
+
+# -- field-level rejection ----------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "data, fragment",
+    [
+        (_base_data(population=[]), "population"),
+        (_base_data(name=""), "name"),
+        (_base_data(typo_field=1), "typo_field"),
+        (_base_data(pipeline={"window": -1.0}), "pipeline.window"),
+        (_base_data(pipeline={"linkage": "median"}), "pipeline.linkage"),
+        (_base_data(fleet={"rounds": 0}), "fleet.rounds"),
+        (
+            _base_data(
+                population=[{"profile": "BeOS-1", "machines": 1}]
+            ),
+            "population.0.profile",
+        ),
+        (
+            _base_data(
+                population=[
+                    {"profile": "Linux-1", "join_round": 3, "leave_round": 2},
+                    {"profile": "Linux-1"},
+                ]
+            ),
+            "leave_round",
+        ),
+        (
+            _base_data(regime={"kind": "churn_storm", "keys": 5, "bucket_size": 20}),
+            "bucket_size",
+        ),
+        (_base_data(regime={"kind": "no_such_regime"}), "regime"),
+        (
+            _base_data(
+                regime={"kind": "clock_skew", "duplicate_fraction": 1.5}
+            ),
+            "duplicate_fraction",
+        ),
+    ],
+)
+def test_invalid_configs_fail_with_field_level_messages(data, fragment):
+    with pytest.raises(ScenarioConfigError) as excinfo:
+        scenario_from_dict(data, env={}, source="unit")
+    assert fragment in str(excinfo.value)
+
+
+def test_cross_field_coherence_is_enforced():
+    # nobody joins at round 1
+    with pytest.raises(ScenarioConfigError, match="round 1"):
+        scenario_from_dict(
+            _base_data(
+                population=[{"profile": "Linux-1", "join_round": 2}],
+                fleet={"rounds": 4},
+            ),
+            env={},
+        )
+    # a join scheduled past the drive's end
+    with pytest.raises(ScenarioConfigError, match="exceeds fleet.rounds"):
+        scenario_from_dict(
+            _base_data(
+                population=[
+                    {"profile": "Linux-1"},
+                    {"profile": "Linux-1", "join_round": 9},
+                ],
+                fleet={"rounds": 4},
+            ),
+            env={},
+        )
+    # a flash crowd no profile can participate in
+    with pytest.raises(ScenarioConfigError, match="flash crowd would be empty"):
+        scenario_from_dict(
+            _base_data(
+                regime={"kind": "flash_crowd", "app": "Chrome Browser"},
+            ),
+            env={},
+        )
+    # a "heterogeneous" population with one profile
+    with pytest.raises(ScenarioConfigError, match="distinct profiles"):
+        scenario_from_dict(
+            _base_data(regime={"kind": "heterogeneous", "min_profiles": 2}),
+            env={},
+        )
+    # an injected error pointed past the population
+    with pytest.raises(ScenarioConfigError, match="machine_index"):
+        scenario_from_dict(
+            _base_data(inject_case={"case_id": 1, "machine_index": 99}),
+            env={},
+        )
+
+
+def test_env_overrides_are_validated_too():
+    with pytest.raises(ScenarioConfigError, match="fleet.max_lag"):
+        scenario_from_dict(
+            _base_data(), env={"REPRO__FLEET__MAX_LAG": "-5"}
+        )
+
+
+# -- the committed scenarios --------------------------------------------------
+
+
+def test_committed_scenarios_exist():
+    assert len(COMMITTED) >= 4, "the hostile regime catalog shrank"
+    kinds = set()
+    for path in COMMITTED:
+        kinds.add(load_scenario(path, env={}).regime.kind)
+    assert kinds >= {
+        "flash_crowd",
+        "churn_storm",
+        "clock_skew",
+        "heterogeneous",
+    }
+
+
+@pytest.mark.parametrize("path", COMMITTED, ids=lambda p: p.stem)
+def test_committed_scenario_loads_and_reloads_identically(path):
+    first = load_scenario(path, env={})
+    second = load_scenario(path, env={})
+    assert isinstance(first, ScenarioConfig)
+    assert first == second
+    assert first.total_machines >= 1
+    assert first.seed != 0, "committed scenarios must pin a seed"
+
+
+def test_loader_reports_missing_file_and_bad_yaml(tmp_path):
+    with pytest.raises(ScenarioConfigError, match="missing.yaml"):
+        load_scenario(tmp_path / "missing.yaml", env={})
+    bad = tmp_path / "bad.yaml"
+    bad.write_text("{unclosed: [", encoding="utf-8")
+    with pytest.raises(ScenarioConfigError, match="invalid YAML"):
+        load_scenario(bad, env={})
+    scalar = tmp_path / "scalar.yaml"
+    scalar.write_text("just a string", encoding="utf-8")
+    with pytest.raises(ScenarioConfigError, match="must be a mapping"):
+        load_scenario(scalar, env={})
