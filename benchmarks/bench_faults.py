@@ -1,0 +1,254 @@
+"""Fault tolerance: supervised recovery cost and exactness under faults.
+
+Two arms over the identical multi-machine traces and round slicing:
+
+- **clean**: :class:`repro.fleet.FleetPipeline.drive` with no resilience
+  bundle — the plain driver.
+- **faulted**: the same drive under a seeded
+  :class:`~repro.fleet.resilience.FaultInjector` (machine crashes,
+  snapshot loss, torn and corrupt checkpoint writes) with supervised
+  recovery and crash-safe generation checkpoints enabled.
+
+The benchmark measures what recovery *costs* (``fault_overhead`` — the
+faulted arm's wall-clock over the clean arm's) and how often it is
+needed (``recovery_rounds`` — rounds in which at least one machine was
+restarted; deterministic for a fixed seed).  Three invariants gate the
+run: the faulted fleet's final model equals the independent
+concatenated-batch reference (``faulted_equals_batch``), every faulted
+round lands on the clean arm's per-round model
+(``faulted_matches_clean_each_round``), and a second faulted drive with
+the same seed reproduces the identical fault sequence byte-for-byte
+(``deterministic_schedule``).
+
+Run as a script for CI/quick use::
+
+    python benchmarks/bench_faults.py --quick --out benchmarks/out/BENCH_faults.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet import FleetPipeline, concatenated_batch_clusters
+from repro.fleet.resilience import (
+    FaultInjector,
+    FaultSpec,
+    FleetResilience,
+    ResilienceConfig,
+)
+from repro.ttkv.store import TTKV
+from repro.workload.machines import MachineProfile, PLATFORM_LINUX
+from repro.workload.tracegen import generate_trace
+
+APPS = (
+    "Chrome Browser",
+    "GNOME Edit",
+    "Eye of GNOME",
+    "Acrobat Reader",
+)
+
+#: Trace-generation seed; recorded in the JSON so the CI regression gate
+#: only ever compares runs over the identical traces.
+SEED = 5077
+
+#: Injector seed — the fault schedule is a pure function of this, so
+#: ``recovery_rounds`` is exact, not statistical.
+FAULT_SEED = 31337
+
+
+def _profile(quick: bool, seed: int) -> MachineProfile:
+    return MachineProfile(
+        name="bench-faults",
+        platform=PLATFORM_LINUX,
+        days=1 if quick else 4,
+        apps=APPS,
+        sessions_per_day=5,
+        actions_per_session=10,
+        pref_edits_per_day=3.0,
+        noise_keys=40 if quick else 100,
+        noise_writes_per_day=150 if quick else 500,
+        reads_per_day=0,
+        seed=seed,
+    )
+
+
+def _key_sets(cluster_set) -> list[tuple[str, ...]]:
+    return sorted(tuple(cluster.sorted_keys()) for cluster in cluster_set)
+
+
+def _chunked(events, chunks):
+    size = max(1, -(-len(events) // max(1, chunks)))
+    return [events[start : start + size] for start in range(0, len(events), size)]
+
+
+def _spec() -> FaultSpec:
+    return FaultSpec(
+        seed=FAULT_SEED,
+        crash_rate=0.15,
+        snapshot_loss_rate=0.08,
+        torn_write_rate=0.12,
+        corrupt_rate=0.08,
+    )
+
+
+def _drive(machine_events, machine_prefixes, chunks, resilience=None):
+    """One full drive; returns (seconds, per-round models, rounds, fleet model)."""
+    fleet = FleetPipeline()
+    for machine_id in machine_events:
+        fleet.add_machine(machine_id, TTKV(), machine_prefixes[machine_id])
+    feeds = {
+        machine_id: _chunked(events, chunks)
+        for machine_id, events in machine_events.items()
+    }
+    models = []
+    start = time.perf_counter()
+    rounds = asyncio.run(
+        fleet.drive(
+            feeds,
+            on_round=lambda r: models.append(_key_sets(r.clusters)),
+            resilience=resilience,
+        )
+    )
+    elapsed = time.perf_counter() - start
+    final = _key_sets(fleet.clusters())
+    fleet.close()
+    return elapsed, models, rounds, final
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    machines = 4 if quick else 6
+    chunks = 6 if quick else 12
+
+    machine_events: dict[str, list] = {}
+    machine_prefixes: dict[str, tuple[str, ...]] = {}
+    for index in range(machines):
+        machine_id = f"m{index:03d}"
+        trace = generate_trace(_profile(quick, SEED + index))
+        machine_events[machine_id] = trace.ttkv.write_events()
+        machine_prefixes[machine_id] = tuple(
+            trace.apps[name].key_prefix for name in APPS
+        )
+    total_events = sum(len(events) for events in machine_events.values())
+
+    clean_seconds, clean_models, _, _ = _drive(
+        machine_events, machine_prefixes, chunks
+    )
+
+    def resilience_bundle(state_dir):
+        # backoff at zero: the overhead metric measures recovery *work*
+        # (restarts, checkpoint verification), not injected sleeps
+        return FleetResilience(
+            injector=FaultInjector(_spec()),
+            config=ResilienceConfig(
+                failure_threshold=2, backoff_base=0.0, backoff_max=0.0
+            ),
+            state_dir=state_dir,
+        )
+
+    with tempfile.TemporaryDirectory(prefix="bench-faults-") as state:
+        resilience = resilience_bundle(Path(state) / "a")
+        faulted_seconds, faulted_models, rounds, final = _drive(
+            machine_events, machine_prefixes, chunks, resilience=resilience
+        )
+        replay = resilience_bundle(Path(state) / "b")
+        _drive(machine_events, machine_prefixes, chunks, resilience=replay)
+
+    reference = sorted(
+        tuple(sorted(keys))
+        for keys in concatenated_batch_clusters(machine_events, machine_prefixes)
+    )
+
+    record = {
+        "events": total_events,
+        "machines": machines,
+        "rounds": len(rounds),
+        "seed": SEED,
+        "fault_seed": FAULT_SEED,
+        "quick": quick,
+        "clean_seconds": clean_seconds,
+        "faulted_seconds": faulted_seconds,
+        "fault_overhead": (
+            faulted_seconds / clean_seconds if clean_seconds else float("inf")
+        ),
+        "faults_injected": resilience.injector.faults_fired,
+        "machines_restarted": sum(r.machines_restarted for r in rounds),
+        "recovery_rounds": sum(
+            1 for r in rounds if r.machines_restarted > 0
+        ),
+        "faulted_equals_batch": final == reference,
+        "faulted_matches_clean_each_round": faulted_models == clean_models,
+        "deterministic_schedule": (
+            resilience.injector.signature() == replay.injector.signature()
+        ),
+    }
+    return record
+
+
+def render(record: dict) -> str:
+    return (
+        "supervised recovery under seeded fault injection "
+        f"({record['machines']} machines, {record['events']} events, "
+        f"{record['rounds']} rounds):\n"
+        f"  clean drive          : {record['clean_seconds'] * 1000:8.2f} ms\n"
+        f"  faulted drive        : {record['faulted_seconds'] * 1000:8.2f} ms "
+        f"({record['fault_overhead']:.2f}x)\n"
+        f"  faults injected      : {record['faults_injected']} "
+        f"({record['machines_restarted']} restarts over "
+        f"{record['recovery_rounds']} recovery rounds)\n"
+        f"  faulted equals batch : {record['faulted_equals_batch']}; "
+        f"per-round equals clean: {record['faulted_matches_clean_each_round']}; "
+        f"schedule deterministic: {record['deterministic_schedule']}"
+    )
+
+
+def test_fault_recovery(benchmark, report):
+    record = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    report("bench_faults", render(record))
+    (Path(__file__).parent / "out" / "BENCH_faults.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    assert record["faulted_equals_batch"]
+    assert record["faulted_matches_clean_each_round"]
+    assert record["deterministic_schedule"]
+    assert record["faults_injected"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small traces, fewer rounds"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the JSON record here"
+    )
+    args = parser.parse_args(argv)
+    record = run_benchmark(quick=args.quick)
+    print(render(record))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    for invariant in (
+        "faulted_equals_batch",
+        "faulted_matches_clean_each_round",
+        "deterministic_schedule",
+    ):
+        if not record[invariant]:
+            print(f"ERROR: invariant {invariant} is false", file=sys.stderr)
+            return 1
+    if record["faults_injected"] == 0:
+        print("ERROR: the fault schedule never fired", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

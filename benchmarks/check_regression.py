@@ -26,6 +26,7 @@ Usage::
     python benchmarks/bench_ingest.py      --quick --out benchmarks/out/BENCH_ingest.json
     python benchmarks/bench_fleet.py       --quick --out benchmarks/out/BENCH_fleet.json
     python benchmarks/bench_adversarial.py --quick --out benchmarks/out/BENCH_adversarial.json
+    python benchmarks/bench_faults.py      --quick --out benchmarks/out/BENCH_faults.json
     python benchmarks/check_regression.py
 
 Refreshing a baseline (after a deliberate perf change) is the same run
@@ -97,6 +98,23 @@ GATES: dict[str, dict] = {
         "headline": [("fleet_speedup", "higher")],
         "invariants": ["fleet_equals_naive", "fleet_equals_batch"],
         "identity": ["events", "seed", "machines", "quick"],
+    },
+    "BENCH_faults.json": {
+        "headline": [
+            ("fault_overhead", "lower"),
+            ("recovery_rounds", "lower"),
+        ],
+        "invariants": [
+            "faulted_equals_batch",
+            "faulted_matches_clean_each_round",
+            "deterministic_schedule",
+        ],
+        # the fault schedule is a pure function of fault_seed, so the
+        # injected-fault count is identity, not a metric
+        "identity": [
+            "events", "seed", "fault_seed", "machines", "quick",
+            "faults_injected",
+        ],
     },
     "BENCH_adversarial.json": {
         "headline": [("merge_speedup", "higher")],

@@ -449,13 +449,15 @@ def _cmd_stream(args) -> str:
             # Resume: the deployment re-opens its recorded store and the
             # session picks up at its checkpointed cursors — consumed events
             # are never read again.
+            from repro.fleet.checkpointing import load_json_checkpoint
+
             live = TTKV(journal_backend=args.journal or "list")
             ingest_start = time.perf_counter()
             live.record_events(events)
             ingest_seconds = time.perf_counter() - ingest_start
             pipeline = ShardedPipeline.from_state(
                 live,
-                json.loads(state_path.read_text(encoding="utf-8")),
+                load_json_checkpoint(state_path, kind="session checkpoint"),
                 executor=executor,
                 repair_mode=args.repair_mode,
                 kernel=args.kernel,
@@ -524,10 +526,12 @@ def _cmd_stream(args) -> str:
                 lines.append(line)
 
         if state_path is not None:
+            from repro.fleet.checkpointing import atomic_write_json
+
             state_path.parent.mkdir(parents=True, exist_ok=True)
-            state_path.write_text(
-                json.dumps(pipeline.to_state()) + "\n", encoding="utf-8"
-            )
+            # tmp+fsync+rename: a crash mid-write can never leave a torn
+            # checkpoint at the final name
+            atomic_write_json(state_path, pipeline.to_state())
             lines.append(f"session state checkpointed to {state_path}")
         pipeline.close()
     finally:

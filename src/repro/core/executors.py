@@ -359,7 +359,42 @@ class ProcessShardExecutor(ShardExecutor):
             return engine.export_slice_task()
         return engine.export_task()
 
+    def _reset_slot(self, slot: int) -> None:
+        """Discard a slot's (broken) pool and its workers' cached views."""
+        pool = self._slots[slot]
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._slots[slot] = None
+        for key, key_slot in self._slot_of.items():
+            if key_slot == slot:
+                self._views.pop(key, None)
+
+    def _recovering_result(
+        self, engine: ShardEngine, slot: int, task: dict, future
+    ) -> tuple[dict, dict]:
+        """``(task, outcome)`` — surviving one worker death per engine.
+
+        A killed worker process breaks its single-process pool: every
+        pending/future submit raises ``BrokenProcessPool``.  The slot's
+        pool is recreated and the engine's *full* task (the fresh worker
+        holds no cached engine, so a slice would only miss) resubmitted
+        once; a second death on the retry propagates.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            return task, future.result()
+        except BrokenProcessPool:
+            self._reset_slot(slot)
+            task = engine.export_task()
+            outcome = (
+                self._slot_pool(slot).submit(run_affinity_task, task).result()
+            )
+            return task, outcome
+
     def map_shards(self, engines: Sequence[ShardEngine]) -> list[ShardUpdate]:
+        from concurrent.futures.process import BrokenProcessPool
+
         engines = list(engines)
         if not engines:
             return []
@@ -369,11 +404,18 @@ class ProcessShardExecutor(ShardExecutor):
                 engine.affinity_key, len(self._slot_of) % self.workers
             )
             task = self._export(engine)
-            future = self._slot_pool(slot).submit(run_affinity_task, task)
+            try:
+                future = self._slot_pool(slot).submit(run_affinity_task, task)
+            except BrokenProcessPool:
+                # the slot's worker died since the last update: recreate
+                # the pool and hand the fresh worker the full checkpoint
+                self._reset_slot(slot)
+                task = engine.export_task()
+                future = self._slot_pool(slot).submit(run_affinity_task, task)
             submissions.append((engine, slot, task, future))
         results = []
         for engine, slot, task, future in submissions:
-            outcome = future.result()
+            task, outcome = self._recovering_result(engine, slot, task, future)
             if outcome.get("miss"):
                 # the worker no longer holds the engine at the exported
                 # view (evicted, or a restarted pool): re-arm it with the

@@ -86,6 +86,7 @@ from repro.core.hac_kernel import KERNEL_AUTO, KERNEL_NUMPY, check_kernel
 from repro.core.ordering import SortedKeySets, diff_sorted
 from repro.core.pipeline import DEFAULT_CORRELATION_THRESHOLD, DEFAULT_WINDOW
 from repro.core.windowing import GROUPING_SLIDING, StreamingGroupExtractor
+from repro.exceptions import CheckpointError, CorruptCheckpointError
 from repro.ttkv.columnar import BACKEND_AUTO, journal_backend, resolve_backend
 from repro.ttkv.journal import (
     EventJournal,
@@ -1459,41 +1460,59 @@ class ShardedPipeline:
         """
         version = state.get("version")
         if version not in SUPPORTED_STATE_VERSIONS:
-            raise ValueError(
+            raise CheckpointError(
                 f"unsupported session state version {version!r} "
                 f"(expected one of {SUPPORTED_STATE_VERSIONS})"
             )
-        params = state["params"]
-        pipeline = ShardedPipeline(
-            store,
-            shard_prefixes=tuple(params["shard_prefixes"]),
-            window=params["window"],
-            correlation_threshold=params["correlation_threshold"],
-            linkage=params["linkage"],
-            key_filter=params["key_filter"],
-            grouping=params["grouping"],
-            catch_all=params["catch_all"],
-            executor=executor,
-            repair_mode=(
-                repair_mode
-                if repair_mode is not None
-                else params.get("repair_mode", REPAIR_SPLICE)
-            ),
-            kernel=(
-                kernel if kernel is not None else params.get("kernel", KERNEL_AUTO)
-            ),
-            journal_backend=(
-                journal_backend
-                if journal_backend is not None
-                else params.get("journal_backend", BACKEND_AUTO)
-            ),
-        )
-        shards = state["shards"]
+        try:
+            params = state["params"]
+            pipeline = ShardedPipeline(
+                store,
+                shard_prefixes=tuple(params["shard_prefixes"]),
+                window=params["window"],
+                correlation_threshold=params["correlation_threshold"],
+                linkage=params["linkage"],
+                key_filter=params["key_filter"],
+                grouping=params["grouping"],
+                catch_all=params["catch_all"],
+                executor=executor,
+                repair_mode=(
+                    repair_mode
+                    if repair_mode is not None
+                    else params.get("repair_mode", REPAIR_SPLICE)
+                ),
+                kernel=(
+                    kernel
+                    if kernel is not None
+                    else params.get("kernel", KERNEL_AUTO)
+                ),
+                journal_backend=(
+                    journal_backend
+                    if journal_backend is not None
+                    else params.get("journal_backend", BACKEND_AUTO)
+                ),
+            )
+            shards = state["shards"]
+        except (KeyError, TypeError, AttributeError) as error:
+            # a truncated/hand-damaged checkpoint loses fields: surface
+            # one typed error instead of the parse's bare KeyError
+            raise CorruptCheckpointError(
+                f"session checkpoint (version {version}) is truncated or "
+                f"corrupt: missing/invalid field {error!r}"
+            ) from error
         if set(shards) != set(pipeline._engines):
-            raise ValueError(
+            raise CheckpointError(
                 f"checkpoint shards {sorted(shards)} do not match the "
                 f"configured shards {sorted(pipeline._engines)}"
             )
         for shard_id, shard_state in shards.items():
-            pipeline._engines[shard_id].restore(shard_state)
+            try:
+                pipeline._engines[shard_id].restore(shard_state)
+            except CheckpointError:
+                raise
+            except (KeyError, TypeError, AttributeError) as error:
+                raise CorruptCheckpointError(
+                    f"shard {shard_id!r} checkpoint (version {version}) is "
+                    f"truncated or corrupt: missing/invalid field {error!r}"
+                ) from error
         return pipeline

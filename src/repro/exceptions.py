@@ -75,6 +75,26 @@ class PersistenceError(OcastaError):
     """The TTKV append-only log is corrupt or unreadable."""
 
 
+class CheckpointError(OcastaError, ValueError):
+    """A session or fleet checkpoint could not be loaded.
+
+    Subclasses :class:`ValueError` so pre-existing callers that guarded
+    checkpoint loads with ``except ValueError`` keep working; new code
+    should catch this type (or :class:`OcastaError`) instead.
+    """
+
+
+class CorruptCheckpointError(CheckpointError):
+    """A checkpoint file is truncated, unparseable or fails its checksum.
+
+    Raised instead of the bare ``json.JSONDecodeError`` / ``KeyError``
+    the underlying parse would surface, with the file and the nature of
+    the damage in the message.  The fleet checkpoint store additionally
+    quarantines the damaged generation and falls back to an older one
+    before giving up with this error.
+    """
+
+
 class StaleCursorError(OcastaError):
     """A journal cursor was invalidated by an out-of-order append.
 

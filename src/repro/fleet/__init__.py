@@ -18,13 +18,28 @@ continues:
   (on the existing executor layer via ``run_in_executor``) with logging
   I/O, apply per-machine backpressure, checkpoint per machine.
 - :class:`FleetQueryServer` (:mod:`repro.fleet.api`) serves
-  ``GET /clusters``, ``GET /machines/<id>/status`` and ``GET /health``
-  from asyncio streams while the driver keeps ingesting.
+  ``GET /clusters``, ``GET /machines``, ``GET /machines/<id>/status``
+  and ``GET /health`` from asyncio streams while the driver keeps
+  ingesting.
+- :mod:`repro.fleet.resilience` makes the tier fault-tolerant: a seeded
+  deterministic :class:`FaultInjector` (crash/hang/slow/torn-write/
+  corrupt-checkpoint/snapshot-loss injection points), the
+  :class:`MachineSupervisor` health state machine with circuit-breaker
+  restarts, and the :class:`FleetResilience` bundle
+  :meth:`FleetPipeline.drive` takes.  Checkpoints are crash-safe
+  generations (:mod:`repro.fleet.checkpointing`): atomic writes,
+  SHA-256 checksums, keep-last-K, quarantine-then-fallback on damage.
 
-``python -m repro fleet`` wires the three together from the command line.
+``python -m repro fleet`` wires them together from the command line.
 """
 
 from repro.fleet.api import FleetQueryServer
+from repro.fleet.checkpointing import (
+    FleetCheckpointStore,
+    atomic_write_json,
+    atomic_write_text,
+    load_json_checkpoint,
+)
 from repro.fleet.merge import (
     FleetCorrelationMerge,
     MergeStats,
@@ -35,6 +50,15 @@ from repro.fleet.pipeline import (
     FleetRound,
     FleetUpdateStats,
 )
+from repro.fleet.resilience import (
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+    FleetResilience,
+    MachineSupervisor,
+    ResilienceConfig,
+    ScheduledFault,
+)
 
 __all__ = [
     "FleetCorrelationMerge",
@@ -44,4 +68,15 @@ __all__ = [
     "FleetRound",
     "FleetUpdateStats",
     "FleetQueryServer",
+    "FleetCheckpointStore",
+    "atomic_write_json",
+    "atomic_write_text",
+    "load_json_checkpoint",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "FleetResilience",
+    "MachineSupervisor",
+    "ResilienceConfig",
+    "ScheduledFault",
 ]

@@ -12,8 +12,14 @@ blocks on (or races) an in-flight update.
 Routes::
 
     GET /clusters                 the merged fleet cluster model
+    GET /machines                 machine ids + health at a glance
     GET /machines/<id>/status     one machine's last status snapshot
     GET /health                   liveness + fleet-level counters
+
+Under a supervised drive (``drive(resilience=...)``) ``/health`` adds
+the supervision summary — worst-machine status, health counts, the
+stale-evidence machine list, restart/fault totals — and each machine's
+``/status`` carries its ``HEALTHY/DEGRADED/UNHEALTHY`` state.
 """
 
 from __future__ import annotations
@@ -83,6 +89,8 @@ class FleetQueryServer:
             return 200, self._fleet.health()
         if path == "/clusters":
             return 200, self._fleet.clusters_payload()
+        if path in ("/machines", "/machines/"):
+            return 200, self._fleet.machines_payload()
         if path.startswith("/machines/") and path.endswith("/status"):
             machine_id = path[len("/machines/") : -len("/status")].rstrip("/")
             status = self._fleet.machine_status(machine_id)

@@ -23,19 +23,32 @@ machine's chunk iterator once its backlog would exceed the bound; the
 leftover events are buffered and drain over subsequent rounds, so a slow
 machine throttles its own feed instead of growing without bound.
 
-Checkpoints are per machine: :meth:`to_state_dir` writes one
-``machine-<id>.json`` (the machine's full
-:meth:`~repro.core.sharded.ShardedPipeline.to_state`) plus a
-``fleet.json`` manifest; :meth:`from_state_dir` restores every machine
-over its re-opened store and the next update consumes only events the
-checkpoint had not read.
+Checkpoints are crash-safe generations
+(:class:`~repro.fleet.checkpointing.FleetCheckpointStore`):
+:meth:`to_state_dir` writes one ``machine-<id>.json`` per machine (its
+full :meth:`~repro.core.sharded.ShardedPipeline.to_state`) into a new
+``gen-<n>/`` directory — every file atomic (tmp+fsync+rename), SHA-256
+checksums in the manifest, the root ``fleet.json`` committed last —
+and :meth:`from_state_dir` restores from the newest verifiable
+generation, quarantining damaged ones.  The pre-generation flat layout
+(version 1) still loads.
+
+Resilience: :meth:`drive` optionally takes a
+:class:`~repro.fleet.resilience.FleetResilience` bundle — a seeded
+:class:`~repro.fleet.resilience.FaultInjector` plus supervision policy.
+Each machine's update then runs under a per-attempt timeout with
+bounded, deterministically backed-off retries; a circuit breaker
+restarts the machine from its last good checkpoint after N consecutive
+failures, and the restart immediately re-ingests the restored snapshot
+so the merge *retracts* whatever evidence the machine lost — fleet
+clusters stay ≡ the concatenated batch reference at every round.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 import re
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
@@ -45,11 +58,27 @@ from repro.core.clustering import LINKAGE_COMPLETE
 from repro.core.hac_kernel import KERNEL_AUTO
 from repro.core.pipeline import DEFAULT_CORRELATION_THRESHOLD, DEFAULT_WINDOW
 from repro.core.sharded import ShardedPipeline
+from repro.exceptions import CheckpointError, CorruptCheckpointError
+from repro.fleet.checkpointing import (
+    DEFAULT_KEEP_GENERATIONS,
+    FleetCheckpointStore,
+    load_json_checkpoint,
+)
 from repro.fleet.merge import FleetCorrelationMerge, MergeStats
+from repro.fleet.resilience import (
+    ACTION_RESTART,
+    CRASH_AFTER,
+    CRASH_BEFORE,
+    FleetResilience,
+    InjectedCrash,
+    InjectedFault,
+    UpdatePlan,
+)
 from repro.ttkv.columnar import BACKEND_AUTO
 from repro.ttkv.store import TTKV
 
-STATE_VERSION = 1
+STATE_VERSION = 2
+SUPPORTED_STATE_VERSIONS = (1, 2)
 
 #: Machine ids become checkpoint file names, so keep them path-safe.
 _MACHINE_ID = re.compile(r"^[A-Za-z0-9._-]+$")
@@ -76,6 +105,10 @@ class FleetRound:
     machines_total: int
     clusters: ClusterSet
     merge: MergeStats | None
+    #: Faults the injector fired during this round (0 without resilience).
+    faults_injected: int = 0
+    #: Machine restarts the supervisor performed during this round.
+    machines_restarted: int = 0
 
 
 class FleetPipeline:
@@ -123,6 +156,12 @@ class FleetPipeline:
         self._status: dict[str, dict] = {}
         self._rounds = 0
         self.last_stats: FleetUpdateStats | None = None
+        #: The resilience bundle of the last/current :meth:`drive` run —
+        #: kept so health queries keep answering after the drive ends.
+        self._resilience: FleetResilience | None = None
+        #: Machines restarted since the last merge: swept even when their
+        #: journal is quiet, so the merge re-syncs to their restored state.
+        self._forced_sweeps: set[str] = set()
 
     # -- membership ----------------------------------------------------------
 
@@ -177,6 +216,9 @@ class FleetPipeline:
         pipeline.close()
         del self._machines[machine_id]
         self._status.pop(machine_id, None)
+        self._forced_sweeps.discard(machine_id)
+        if self._resilience is not None:
+            self._resilience.supervisor.forget(machine_id)
         if machine_id in self._merge.machine_ids:
             self._merge.retire(machine_id)
 
@@ -205,15 +247,43 @@ class FleetPipeline:
         return self._status.get(machine_id)
 
     def health(self) -> dict:
-        """Fleet-level liveness summary for the query API."""
+        """Fleet-level liveness summary for the query API.
+
+        Without resilience the status is always ``"ok"``.  Under a
+        supervised drive the status reflects the worst machine health
+        (``ok``/``degraded``/``unhealthy``) and a ``resilience`` section
+        carries the health counts, total restarts/failures, the
+        stale-evidence machine list and the injected-fault count.
+        """
         clusters = self._merge.last_clusters
-        return {
+        payload = {
             "status": "ok",
             "machines": len(self._machines),
             "rounds": self._rounds,
             "fleet_keys": len(self._merge.matrix.pairwise_counts()[0]),
             "clusters": None if clusters is None else len(clusters),
         }
+        if self._resilience is not None:
+            report = self._resilience.supervisor.fleet_report()
+            payload["status"] = report["status"]
+            if self._resilience.injector is not None:
+                report["faults_injected"] = self._resilience.injector.faults_fired
+            payload["resilience"] = report
+        return payload
+
+    def machines_payload(self) -> dict:
+        """JSON-safe body for ``GET /machines`` (ids + health at a glance)."""
+        machines = []
+        for machine_id in self._machines:
+            status = self._status.get(machine_id, {})
+            machines.append(
+                {
+                    "machine": machine_id,
+                    "health": status.get("health", "HEALTHY"),
+                    "clusters": status.get("clusters"),
+                }
+            )
+        return {"machines": machines, "count": len(machines)}
 
     def clusters_payload(self) -> dict:
         """JSON-safe body for ``GET /clusters`` (last coherent model)."""
@@ -234,7 +304,7 @@ class FleetPipeline:
         pipeline = self._machines[machine_id]
         clusters = pipeline.cluster_set
         stats = pipeline.last_stats
-        self._status[machine_id] = {
+        status = {
             "machine": machine_id,
             "shards": len(pipeline.shard_ids),
             "pending_events": pipeline.pending_events,
@@ -242,6 +312,12 @@ class FleetPipeline:
             "clusters": None if clusters is None else len(clusters),
             "events_consumed": None if stats is None else stats.events_consumed,
         }
+        if self._resilience is not None:
+            report = self._resilience.supervisor.report(machine_id)
+            if report is not None:
+                status["health"] = report["health"]
+                status["supervision"] = report
+        self._status[machine_id] = status
 
     # -- updating ------------------------------------------------------------
 
@@ -277,6 +353,145 @@ class FleetPipeline:
         )
         return clusters
 
+    # -- supervised recovery -------------------------------------------------
+
+    @staticmethod
+    def _planned_update(pipeline: ShardedPipeline, plan: UpdatePlan | None):
+        """The callable one update attempt runs on the executor thread."""
+        if plan is None or (
+            plan.slow_seconds == 0.0
+            and plan.hang_seconds == 0.0
+            and plan.crash is None
+        ):
+            return pipeline.update
+
+        def attempt() -> None:
+            if plan.slow_seconds:
+                time.sleep(plan.slow_seconds)
+            if plan.crash == CRASH_BEFORE:
+                raise InjectedCrash("injected crash before update")
+            if plan.hang_seconds:
+                time.sleep(plan.hang_seconds)
+            pipeline.update()
+            if plan.crash == CRASH_AFTER:
+                raise InjectedCrash("injected crash after update")
+
+        return attempt
+
+    def _restart_machine(
+        self,
+        machine_id: str,
+        resilience: FleetResilience,
+        *,
+        close_old: bool,
+    ) -> ShardedPipeline:
+        """Replace a machine's pipeline from its last good checkpoint.
+
+        Falls back to a from-scratch pipeline (cursor 0 — the store's
+        journal survives the crash, so re-reading it converges to the
+        same evidence) when no verifiable checkpoint exists.  The
+        restored snapshot is re-ingested immediately, so the merge
+        *retracts* (via ``apply_count_deltas``) whatever evidence the
+        restart lost; the machine's next successful update then catches
+        it back up.  ``close_old=False`` is for timeouts: the wedged
+        update thread cannot be cancelled, so the orphaned pipeline is
+        abandoned un-closed rather than racing its in-flight update.
+        """
+        old = self._machines[machine_id]
+        if close_old:
+            old.close()
+        fresh: ShardedPipeline | None = None
+        state = resilience.load_machine_state(machine_id)
+        if state is not None:
+            try:
+                fresh = ShardedPipeline.from_state(
+                    old.store, state, executor=self.executor
+                )
+            except ValueError:
+                fresh = None  # damaged/incompatible: rebuild from scratch
+        if fresh is None:
+            fresh = ShardedPipeline(
+                old.store,
+                shard_prefixes=old.shard_prefixes,
+                window=old.window,
+                correlation_threshold=old.correlation_threshold,
+                linkage=old.linkage,
+                key_filter=old.key_filter,
+                grouping=old.grouping,
+                catch_all=old.catch_all,
+                executor=self.executor,
+                repair_mode=old.repair_mode,
+                kernel=old.kernel,
+                journal_backend=old.journal_backend,
+            )
+        self._machines[machine_id] = fresh
+        self._forced_sweeps.add(machine_id)
+        resilience.supervisor.record_restart(machine_id)
+        if machine_id in self._merge.machine_ids:
+            # the retraction: evidence drops back to the restored snapshot
+            self._merge.ingest(machine_id, *fresh.pairwise_counts())
+        self._refresh_status(machine_id)
+        return fresh
+
+    async def _supervised_update(
+        self,
+        machine_id: str,
+        resilience: FleetResilience,
+        round_index: int,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        """One machine's update under timeout/retry/circuit-breaker rules."""
+        config = resilience.config
+        supervisor = resilience.supervisor
+        attempt = 0
+        while True:
+            pipeline = self._machines[machine_id]
+            plan = (
+                resilience.injector.decide_update(
+                    machine_id, round_index, attempt
+                )
+                if resilience.injector is not None
+                else None
+            )
+            call = self._planned_update(pipeline, plan)
+            try:
+                if config.round_timeout is not None:
+                    await asyncio.wait_for(
+                        loop.run_in_executor(None, call), config.round_timeout
+                    )
+                else:
+                    await loop.run_in_executor(None, call)
+            except asyncio.TimeoutError:
+                # the wedged thread cannot be cancelled: always abandon
+                # the pipeline object and restart from the checkpoint
+                supervisor.record_failure(machine_id, "timeout", timeout=True)
+                self._restart_machine(machine_id, resilience, close_old=False)
+            except InjectedFault as fault:
+                action = supervisor.record_failure(machine_id, str(fault))
+                if action == ACTION_RESTART:
+                    self._restart_machine(
+                        machine_id, resilience, close_old=True
+                    )
+            except Exception as error:  # real failures, same supervision
+                action = supervisor.record_failure(
+                    machine_id, f"{type(error).__name__}: {error}"
+                )
+                if action == ACTION_RESTART:
+                    self._restart_machine(
+                        machine_id, resilience, close_old=True
+                    )
+            else:
+                supervisor.record_success(machine_id)
+                return
+            attempt += 1
+            if attempt >= config.max_round_attempts:
+                raise RuntimeError(
+                    f"machine {machine_id!r} could not complete round "
+                    f"{round_index} after {attempt} attempts (last fault: "
+                    f"{supervisor.record(machine_id).last_fault})"
+                )
+            await asyncio.sleep(config.backoff_seconds(attempt))
+
     async def drive(
         self,
         feeds: Mapping[str, Iterable[Sequence[tuple]]],
@@ -285,6 +500,7 @@ class FleetPipeline:
         schedule: Callable[
             [int], Mapping[str, Iterable[Sequence[tuple]]] | None
         ] | None = None,
+        resilience: FleetResilience | None = None,
     ) -> list[FleetRound]:
         """Drive the fleet until every feed is exhausted.
 
@@ -303,6 +519,17 @@ class FleetPipeline:
         for departures (their remaining buffered feed is dropped, their
         evidence retired).  Returning ``None`` retires the hook: the
         drive then ends once the remaining feeds drain.
+
+        ``resilience`` turns on supervised recovery (and, when its
+        bundle carries a :class:`~repro.fleet.resilience.FaultInjector`,
+        deterministic fault injection): every machine update runs under
+        the configured per-attempt timeout with bounded deterministic
+        backoff; timeouts and circuit-breaker trips restart the machine
+        from its last good checkpoint generation; snapshot-loss faults
+        reboot machines at round start; and a crash-safe checkpoint
+        generation is written every ``checkpoint_every`` rounds when the
+        bundle has a state dir.  Without it the drive is byte-identical
+        to earlier releases.
         """
         unknown = set(feeds) - set(self._machines)
         if unknown:
@@ -310,6 +537,8 @@ class FleetPipeline:
                 f"feeds for unattached machine(s) {sorted(unknown)}; "
                 f"machines: {list(self._machines)}"
             )
+        if resilience is not None:
+            self._resilience = resilience
         loop = asyncio.get_running_loop()
         iterators: dict[str, Iterator] = {
             machine_id: iter(chunks) for machine_id, chunks in feeds.items()
@@ -343,6 +572,23 @@ class FleetPipeline:
                     for machine_id, chunks in arrivals.items():
                         iterators[machine_id] = iter(chunks)
                         buffers.setdefault(machine_id, [])
+            faults_before = restarts_before = 0
+            if resilience is not None:
+                if resilience.injector is not None:
+                    faults_before = resilience.injector.faults_fired
+                restarts_before = resilience.supervisor.fleet_report()[
+                    "restarts"
+                ]
+                # snapshot loss: the machine reboots at round start, its
+                # in-memory state gone; restart it from the checkpoint
+                if resilience.injector is not None:
+                    for machine_id in list(self._machines):
+                        if resilience.injector.decide_snapshot_loss(
+                            machine_id, self._rounds + 1
+                        ):
+                            self._restart_machine(
+                                machine_id, resilience, close_old=True
+                            )
             fed = 0
             for machine_id in list(buffers):
                 if machine_id not in self._machines:
@@ -377,28 +623,66 @@ class FleetPipeline:
                     buffers.pop(machine_id)
             merged = set(self._merge.machine_ids)
             pending = [
-                (machine_id, pipeline)
+                machine_id
                 for machine_id, pipeline in self._machines.items()
-                if pipeline.needs_update() or machine_id not in merged
+                if pipeline.needs_update()
+                or machine_id not in merged
+                or machine_id in self._forced_sweeps
             ]
             # CPU stage: machine updates run concurrently on the loop's
             # executor (their shard updates go through self.executor);
             # the barrier before the merge keeps rounds deterministic.
-            await asyncio.gather(
-                *(
-                    loop.run_in_executor(None, pipeline.update)
-                    for _, pipeline in pending
+            # Restarts may swap a machine's pipeline object mid-round, so
+            # everything downstream re-reads self._machines by id.
+            if resilience is None:
+                await asyncio.gather(
+                    *(
+                        loop.run_in_executor(
+                            None, self._machines[machine_id].update
+                        )
+                        for machine_id in pending
+                    )
                 )
-            )
+            else:
+                await asyncio.gather(
+                    *(
+                        self._supervised_update(
+                            machine_id, resilience, self._rounds + 1, loop
+                        )
+                        for machine_id in pending
+                    )
+                )
             consumed = updated = 0
-            for machine_id, pipeline in pending:
-                consumed += pipeline.last_stats.events_consumed
+            for machine_id in pending:
+                pipeline = self._machines[machine_id]
+                stats = pipeline.last_stats
+                consumed += 0 if stats is None else stats.events_consumed
                 updated += 1
                 self._merge.ingest(machine_id, *pipeline.pairwise_counts())
+                if resilience is not None:
+                    resilience.supervisor.mark_synced(machine_id)
+            self._forced_sweeps.clear()
             for machine_id in self._machines:
                 self._refresh_status(machine_id)
             clusters = self._merge.clusters()
             self._rounds += 1
+            faults = restarts = 0
+            if resilience is not None:
+                if resilience.injector is not None:
+                    faults = (
+                        resilience.injector.faults_fired - faults_before
+                    )
+                restarts = (
+                    resilience.supervisor.fleet_report()["restarts"]
+                    - restarts_before
+                )
+                if resilience.should_checkpoint(self._rounds):
+                    self._write_checkpoint(
+                        resilience.store,
+                        payload_filter=resilience.payload_filter(
+                            self._rounds
+                        ),
+                    )
             self.last_stats = FleetUpdateStats(
                 events_consumed=consumed,
                 machines_updated=updated,
@@ -413,6 +697,8 @@ class FleetPipeline:
                 machines_total=len(self._machines),
                 clusters=clusters,
                 merge=self._merge.last_stats,
+                faults_injected=faults,
+                machines_restarted=restarts,
             )
             rounds.append(report)
             if on_round is not None:
@@ -421,23 +707,15 @@ class FleetPipeline:
 
     # -- checkpointing -------------------------------------------------------
 
-    def to_state_dir(self, path: str | Path) -> None:
-        """Checkpoint the fleet: one JSON file per machine plus a manifest.
-
-        The merge itself is not persisted — it is a pure function of the
-        machines' evidence and is rebuilt from their snapshots on the
-        first post-resume update.
-        """
-        directory = Path(path)
-        directory.mkdir(parents=True, exist_ok=True)
-        for machine_id, pipeline in self._machines.items():
-            (directory / f"machine-{machine_id}.json").write_text(
-                json.dumps(pipeline.to_state()) + "\n", encoding="utf-8"
-            )
+    def _write_checkpoint(
+        self,
+        store: FleetCheckpointStore,
+        *,
+        payload_filter=None,
+    ) -> int:
         manifest = {
             "version": STATE_VERSION,
             "rounds": self._rounds,
-            "machines": list(self._machines),
             "params": {
                 "window": self.window,
                 "correlation_threshold": self.correlation_threshold,
@@ -447,9 +725,33 @@ class FleetPipeline:
                 "max_lag": self.max_lag,
             },
         }
-        (directory / "fleet.json").write_text(
-            json.dumps(manifest) + "\n", encoding="utf-8"
+        return store.write(
+            manifest,
+            {
+                machine_id: pipeline.to_state()
+                for machine_id, pipeline in self._machines.items()
+            },
+            payload_filter=payload_filter,
         )
+
+    def to_state_dir(
+        self,
+        path: str | Path,
+        *,
+        keep: int = DEFAULT_KEEP_GENERATIONS,
+    ) -> int:
+        """Write one crash-safe checkpoint generation; returns its number.
+
+        One ``machine-<id>.json`` per machine plus a checksummed
+        manifest land in a fresh ``gen-<n>/`` directory — every file
+        written atomically (tmp+fsync+rename) and the root ``fleet.json``
+        committed last, so a crash at any instant leaves the previous
+        generation loadable.  The oldest generations beyond ``keep`` are
+        pruned.  The merge itself is not persisted — it is a pure
+        function of the machines' evidence and is rebuilt from their
+        snapshots on the first post-resume update.
+        """
+        return self._write_checkpoint(FleetCheckpointStore(path, keep=keep))
 
     @classmethod
     def from_state_dir(
@@ -470,44 +772,79 @@ class FleetPipeline:
         like the sharded pipeline's; ``kernel``/``journal_backend``
         override the checkpointed values when given; ``max_lag``
         overrides the checkpointed backpressure bound.
+
+        Restores from the newest checkpoint generation that verifies
+        (checksums + parse); damaged generations are quarantined and
+        older ones tried, and only when none survives does this raise
+        :class:`~repro.exceptions.CorruptCheckpointError`.  Version-1
+        (pre-generation, flat-layout) checkpoints still load.
         """
         directory = Path(path)
-        manifest = json.loads((directory / "fleet.json").read_text(encoding="utf-8"))
-        if manifest.get("version") != STATE_VERSION:
-            raise ValueError(
-                f"unsupported fleet state version {manifest.get('version')!r} "
-                f"(expected {STATE_VERSION})"
+        try:
+            root = load_json_checkpoint(
+                directory / "fleet.json", kind="fleet manifest"
             )
-        params = manifest["params"]
-        missing = [m for m in manifest["machines"] if m not in stores]
+        except CorruptCheckpointError:
+            # torn root manifest: the generation directories are the
+            # real source of truth, fall back to scanning them
+            root = None
+        version = None if root is None else root.get("version")
+        if root is not None and version not in SUPPORTED_STATE_VERSIONS:
+            raise CheckpointError(
+                f"unsupported fleet state version {version!r} "
+                f"(expected one of {SUPPORTED_STATE_VERSIONS})"
+            )
+        if root is not None and version == 1:
+            # legacy flat layout: machine files beside the manifest
+            manifest = root
+            machine_states = {
+                machine_id: load_json_checkpoint(
+                    directory / f"machine-{machine_id}.json",
+                    kind="machine checkpoint",
+                )
+                for machine_id in manifest.get("machines", [])
+            }
+        else:
+            manifest, machine_states = FleetCheckpointStore(directory).load()
+        try:
+            params = manifest["params"]
+            machine_ids = manifest["machines"]
+            rounds = manifest["rounds"]
+            window = params["window"]
+            correlation_threshold = params["correlation_threshold"]
+            linkage = params["linkage"]
+            state_kernel = params["kernel"]
+            state_backend = params["journal_backend"]
+            state_max_lag = params["max_lag"]
+        except (KeyError, TypeError) as error:
+            raise CorruptCheckpointError(
+                f"fleet manifest under {directory} is missing field "
+                f"{error!r}"
+            ) from error
+        missing = [m for m in machine_ids if m not in stores]
         if missing:
-            raise ValueError(
+            raise CheckpointError(
                 f"no store was provided for checkpointed machine(s) {missing}"
             )
         fleet = cls(
-            window=params["window"],
-            correlation_threshold=params["correlation_threshold"],
-            linkage=params["linkage"],
-            kernel=kernel if kernel is not None else params["kernel"],
+            window=window,
+            correlation_threshold=correlation_threshold,
+            linkage=linkage,
+            kernel=kernel if kernel is not None else state_kernel,
             journal_backend=(
-                journal_backend
-                if journal_backend is not None
-                else params["journal_backend"]
+                journal_backend if journal_backend is not None else state_backend
             ),
             executor=executor,
-            max_lag=max_lag if max_lag is not None else params["max_lag"],
+            max_lag=max_lag if max_lag is not None else state_max_lag,
         )
-        for machine_id in manifest["machines"]:
-            state = json.loads(
-                (directory / f"machine-{machine_id}.json").read_text(encoding="utf-8")
-            )
+        for machine_id in machine_ids:
             fleet._machines[machine_id] = ShardedPipeline.from_state(
                 stores[machine_id],
-                state,
+                machine_states[machine_id],
                 executor=executor,
                 kernel=kernel,
                 journal_backend=journal_backend,
             )
             fleet._refresh_status(machine_id)
-        fleet._rounds = manifest["rounds"]
+        fleet._rounds = rounds
         return fleet

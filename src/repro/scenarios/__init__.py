@@ -26,18 +26,26 @@ _CONFIG_EXPORTS = {
     "FlashCrowdRegime",
     "ChurnStormRegime",
     "ClockSkewRegime",
+    "CorrelatedFaultsRegime",
     "HeterogeneousRegime",
     "apply_env_overrides",
     "load_scenario",
     "scenario_from_dict",
 }
-_BUILD_EXPORTS = {"BuiltMachine", "BuiltScenario", "build_scenario", "derive_seed"}
+_BUILD_EXPORTS = {
+    "BuiltMachine",
+    "BuiltScenario",
+    "build_scenario",
+    "correlated_crash_machines",
+    "derive_seed",
+}
 _RUNNER_EXPORTS = {
     "FleetScenarioResult",
     "ScenarioGateError",
     "StreamScenarioResult",
     "run_fleet_scenario",
     "run_stream_scenario",
+    "scenario_resilience",
 }
 #: Pure generators — importable without the extras installed.
 _REGIME_EXPORTS = {

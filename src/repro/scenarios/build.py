@@ -29,6 +29,7 @@ from repro.exceptions import InjectionError
 from repro.scenarios.config import (
     ChurnStormRegime,
     ClockSkewRegime,
+    CorrelatedFaultsRegime,
     FlashCrowdRegime,
     ScenarioConfig,
     ScenarioConfigError,
@@ -173,6 +174,36 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
             )
             notes: dict = {"scale": scale}
 
+            if isinstance(regime, CorrelatedFaultsRegime):
+                case = case_by_id(regime.case_id)
+                covered = case.app_name in profile.apps and (
+                    regime.coverage >= 1.0
+                    or derive_rng(
+                        config.seed, "fault-coverage", machine_id
+                    ).random()
+                    < regime.coverage
+                )
+                if covered:
+                    # the *same* Table III error on every covered
+                    # machine: fleet evidence for its keys correlates
+                    # across the population
+                    try:
+                        error = prepare_scenario(
+                            trace,
+                            case,
+                            days_before_end=regime.days_before_end,
+                            spurious_writes=regime.spurious_writes,
+                            seed=derive_seed(
+                                config.seed, "correlated-inject", machine_id
+                            ),
+                        )
+                    except InjectionError as exc:
+                        raise ScenarioConfigError(
+                            f"correlated_faults: {exc}"
+                        ) from exc
+                    trace.ttkv = error.ttkv
+                    notes["injected_case"] = case.case_id
+
             if (
                 config.inject_case is not None
                 and config.inject_case.machine_index == global_index
@@ -225,6 +256,32 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
             )
             global_index += 1
     return BuiltScenario(config=config, machines=machines)
+
+
+def correlated_crash_machines(built: BuiltScenario) -> list[str]:
+    """Which machines the correlated-faults regime crashes (seeded).
+
+    Each machine flips a ``crash_coverage`` coin derived from the
+    scenario seed; when every coin misses, the first machine crashes
+    anyway so the regime always exercises recovery.
+    """
+    regime = built.config.regime
+    if not isinstance(regime, CorrelatedFaultsRegime):
+        raise ScenarioConfigError(
+            f"scenario {built.config.name!r} has no correlated_faults regime"
+        )
+    chosen = [
+        machine.machine_id
+        for machine in built.machines
+        if regime.crash_coverage >= 1.0
+        or derive_rng(
+            built.config.seed, "crash-coverage", machine.machine_id
+        ).random()
+        < regime.crash_coverage
+    ]
+    if not chosen and built.machines:
+        chosen = [built.machines[0].machine_id]
+    return chosen
 
 
 def _apply_regime(

@@ -204,6 +204,31 @@ class ClockSkewRegime(BaseModel):
     max_displacement: int = Field(default=12, ge=1)
 
 
+class CorrelatedFaultsRegime(BaseModel):
+    """The same Table III error on many machines, plus machine crashes.
+
+    Every covered machine running the case's app gets the *same*
+    configuration error injected into its trace
+    (:func:`repro.errors.scenario.prepare_scenario`), so the fleet-level
+    evidence for the error's keys is correlated across the population.
+    On top, ``crash_coverage`` of the machines suffer an injected crash
+    in round ``crash_round`` — the runner drives the fleet under
+    supervised recovery (:mod:`repro.fleet.resilience`) and the equality
+    gate proves the recovered fleet model still ≡ the concatenated
+    batch reference.
+    """
+
+    model_config = ConfigDict(extra="forbid")
+
+    kind: Literal["correlated_faults"]
+    case_id: int = Field(ge=1, le=16)
+    coverage: float = Field(default=1.0, gt=0, le=1)
+    days_before_end: float = Field(default=1.0, gt=0)
+    spurious_writes: int = Field(default=0, ge=0, le=2)
+    crash_round: int = Field(default=2, ge=1)
+    crash_coverage: float = Field(default=0.5, gt=0, le=1)
+
+
 class HeterogeneousRegime(BaseModel):
     """A mixed-profile population with skewed activity, no extra faults.
 
@@ -221,7 +246,11 @@ class HeterogeneousRegime(BaseModel):
 
 
 Regime = Union[
-    FlashCrowdRegime, ChurnStormRegime, ClockSkewRegime, HeterogeneousRegime
+    FlashCrowdRegime,
+    ChurnStormRegime,
+    ClockSkewRegime,
+    CorrelatedFaultsRegime,
+    HeterogeneousRegime,
 ]
 
 
@@ -290,6 +319,25 @@ class ScenarioConfig(BaseModel):
                 raise ValueError(
                     f"regime.app {self.regime.app!r} is not run by any "
                     "population profile — the flash crowd would be empty"
+                )
+        if isinstance(self.regime, CorrelatedFaultsRegime):
+            from repro.errors.cases import case_by_id
+
+            app_name = case_by_id(self.regime.case_id).app_name
+            runs_app = any(
+                app_name in profile_by_name(group.profile).apps
+                for group in self.population
+            )
+            if not runs_app:
+                raise ValueError(
+                    f"regime.case_id {self.regime.case_id} needs "
+                    f"{app_name!r}, which no population profile runs — "
+                    "the correlated error would land nowhere"
+                )
+            if self.regime.crash_round > self.fleet.rounds:
+                raise ValueError(
+                    f"regime.crash_round {self.regime.crash_round} exceeds "
+                    f"fleet.rounds {self.fleet.rounds}"
                 )
         if isinstance(self.regime, HeterogeneousRegime):
             distinct = {group.profile for group in self.population}

@@ -22,7 +22,21 @@ from repro.core.cluster_model import ClusterSet
 from repro.core.sharded import ShardedPipeline
 from repro.fleet.merge import concatenated_batch_clusters
 from repro.fleet.pipeline import FleetPipeline, FleetRound
-from repro.scenarios.build import BuiltMachine, BuiltScenario
+from repro.fleet.resilience import (
+    POINT_UPDATE_CRASH,
+    FaultInjector,
+    FaultSpec,
+    FleetResilience,
+    ResilienceConfig,
+    ScheduledFault,
+)
+from repro.scenarios.build import (
+    BuiltMachine,
+    BuiltScenario,
+    correlated_crash_machines,
+    derive_seed,
+)
+from repro.scenarios.config import CorrelatedFaultsRegime
 from repro.ttkv.store import TTKV
 
 
@@ -83,6 +97,41 @@ class FleetScenarioResult:
     #: ``None`` when the gate was skipped, else the verdict (a failed
     #: gate raises :class:`ScenarioGateError` instead of returning).
     equal_to_batch: bool | None
+    #: Injected faults / supervised restarts across the drive (0 when
+    #: the scenario ran without a resilience bundle).
+    faults_injected: int = 0
+    machines_restarted: int = 0
+
+
+def scenario_resilience(built: BuiltScenario) -> FleetResilience | None:
+    """The resilience bundle a scenario's regime implies (``None``: none).
+
+    The correlated-faults regime schedules one injected crash per
+    covered machine (:func:`~repro.scenarios.build.
+    correlated_crash_machines`) in its ``crash_round``, with a
+    failure-threshold-1 circuit breaker so every crash exercises the
+    full restart-and-retract recovery path.  All decisions derive from
+    the scenario seed, so two runs inject byte-identical schedules.
+    """
+    regime = built.config.regime
+    if not isinstance(regime, CorrelatedFaultsRegime):
+        return None
+    scheduled = tuple(
+        ScheduledFault(
+            round_index=regime.crash_round,
+            machine_id=machine_id,
+            point=POINT_UPDATE_CRASH,
+        )
+        for machine_id in correlated_crash_machines(built)
+    )
+    spec = FaultSpec(
+        seed=derive_seed(built.config.seed, "fault-injector"),
+        scheduled=scheduled,
+    )
+    return FleetResilience(
+        injector=FaultInjector(spec),
+        config=ResilienceConfig(failure_threshold=1),
+    )
 
 
 def run_fleet_scenario(
@@ -91,6 +140,7 @@ def run_fleet_scenario(
     executor=None,
     on_round: Callable[[FleetRound], None] | None = None,
     check_equality: bool = True,
+    resilience: FleetResilience | None = None,
 ) -> FleetScenarioResult:
     """Drive the full fleet scenario; gate against the batch reference.
 
@@ -102,8 +152,16 @@ def run_fleet_scenario(
     :func:`~repro.fleet.merge.concatenated_batch_clusters` over the
     machines still attached (departed machines' evidence is gone from
     both sides, which is the semantics of ``retire``).
+
+    ``resilience`` defaults to whatever the regime implies
+    (:func:`scenario_resilience`) — for the correlated-faults regime the
+    drive therefore runs under supervised recovery with the scheduled
+    machine crashes injected, and the unchanged equality gate is the
+    proof that recovery lost nothing.
     """
     config = built.config
+    if resilience is None:
+        resilience = scenario_resilience(built)
     stores: dict[str, TTKV] = {}
     feeds_by_machine: dict[str, list[list]] = {}
     for machine in built.machines:
@@ -170,7 +228,12 @@ def run_fleet_scenario(
 
     try:
         rounds = asyncio.run(
-            fleet.drive(initial_feeds, on_round=on_round, schedule=schedule)
+            fleet.drive(
+                initial_feeds,
+                on_round=on_round,
+                schedule=schedule,
+                resilience=resilience,
+            )
         )
         clusters = fleet.clusters()
         machines_final = fleet.machine_ids
@@ -200,6 +263,8 @@ def run_fleet_scenario(
         events_fed=sum(r.events_fed for r in rounds),
         events_consumed=sum(r.events_consumed for r in rounds),
         equal_to_batch=equal,
+        faults_injected=sum(r.faults_injected for r in rounds),
+        machines_restarted=sum(r.machines_restarted for r in rounds),
     )
 
 

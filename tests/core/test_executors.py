@@ -534,3 +534,70 @@ class TestWorkerAffinity:
                     cluster_settings(store, key_filter=prefix)
                 )
             pipeline.close()
+
+
+class TestBrokenPoolRecovery:
+    """A killed worker process must not take the session down.
+
+    Killing a slot's worker breaks its single-process pool — every later
+    submit raises ``BrokenProcessPool``.  The executor recreates the
+    pool and hands the fresh worker the engine's *full* checkpoint task
+    (its cache died with it), and the update's output must still match
+    the batch reference.
+    """
+
+    def _kill_slot(self, executor, slot):
+        import os as _os
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = executor._slots[slot]
+        assert pool is not None
+        with pytest.raises(BrokenProcessPool):
+            pool.submit(_os._exit, 1).result()
+
+    def test_update_survives_a_worker_death(self):
+        with ProcessShardExecutor(2) as executor:
+            store = TTKV()
+            pipeline = ShardedPipeline(
+                store, shard_prefixes=PREFIXES, executor=executor
+            )
+            store.record_write("app_a/k0", 1, 10.0)
+            store.record_write("app_a/k1", 1, 10.0)
+            store.record_write("app_b/k0", 1, 11.0)
+            pipeline.update()
+            victim = executor._slot_of[
+                pipeline._engines["app_a/"].affinity_key
+            ]
+            self._kill_slot(executor, victim)
+            # the dead worker's cached views are gone with it
+            store.record_write("app_a/k0", 2, 400.0)
+            store.record_write("app_b/k0", 2, 401.0)
+            pipeline.update()
+            for prefix in PREFIXES:
+                assert _key_sets(pipeline.cluster_set_for(prefix)) == _key_sets(
+                    cluster_settings(store, key_filter=prefix)
+                )
+            pipeline.close()
+
+    def test_recovery_restores_the_slice_fast_path(self):
+        with ProcessShardExecutor(1) as executor:
+            store = TTKV()
+            pipeline = ShardedPipeline(
+                store, shard_prefixes=("app_a/",), executor=executor
+            )
+            store.record_write("app_a/k0", 1, 10.0)
+            store.record_write("app_a/k1", 1, 10.0)
+            pipeline.update()
+            engine = pipeline._engines["app_a/"]
+            self._kill_slot(executor, 0)
+            store.record_write("app_a/k0", 2, 400.0)
+            pipeline.update()  # recovery round: full task to a fresh pool
+            # the fresh worker's view was recorded, so the next update
+            # ships only the journal slice again
+            store.record_write("app_a/k1", 2, 800.0)
+            assert executor._export(engine)["mode"] == "slice"
+            pipeline.update()
+            assert _key_sets(pipeline.cluster_set_for("app_a/")) == _key_sets(
+                cluster_settings(store, key_filter="app_a/")
+            )
+            pipeline.close()

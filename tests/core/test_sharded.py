@@ -377,3 +377,80 @@ class TestCheckpointValidation:
         resumed = ShardedPipeline.from_state(reopened, json.loads(blob))
         assert _key_sets(resumed.update()) == _key_sets(before)
         assert resumed.last_stats.events_consumed == 0
+
+
+class TestTypedCheckpointErrors:
+    """Damaged checkpoints raise typed errors, never bare KeyError/TypeError.
+
+    Covers every supported state version (1–3): a truncated or corrupted
+    checkpoint — missing fields, wrong-typed sections, mangled shard
+    entries — must surface as
+    :class:`~repro.exceptions.CorruptCheckpointError` with the faulty
+    field named, and an unknown version as
+    :class:`~repro.exceptions.CheckpointError`.  Both subclass
+    ``ValueError``, so pre-existing callers keep working.
+    """
+
+    def _state(self, version):
+        store = TTKV()
+        store.record_write("a/x", 1, 10.0)
+        store.record_write("a/y", 1, 10.2)
+        pipeline = ShardedPipeline(store, shard_prefixes=("a/",))
+        pipeline.update()
+        state = json.loads(json.dumps(pipeline.to_state()))
+        state["version"] = version
+        if version == 1:
+            # v1 predates the compacted baseline
+            for shard_state in state["shards"].values():
+                shard_state.pop("compacted")
+        pipeline.close()
+        return store, state
+
+    def test_unsupported_version_is_a_checkpoint_error(self):
+        from repro.exceptions import CheckpointError
+
+        with pytest.raises(CheckpointError, match="version"):
+            ShardedPipeline.from_state(TTKV(), {"version": 99})
+
+    @pytest.mark.parametrize("version", (1, 2, 3))
+    @pytest.mark.parametrize("missing", ("params", "shards"))
+    def test_missing_section_raises_corrupt_error(self, version, missing):
+        from repro.exceptions import CorruptCheckpointError
+
+        store, state = self._state(version)
+        del state[missing]
+        with pytest.raises(CorruptCheckpointError, match="truncated or corrupt"):
+            ShardedPipeline.from_state(store, state)
+
+    @pytest.mark.parametrize("version", (1, 2, 3))
+    def test_missing_param_raises_corrupt_error(self, version):
+        from repro.exceptions import CorruptCheckpointError
+
+        store, state = self._state(version)
+        del state["params"]["key_filter"]
+        with pytest.raises(CorruptCheckpointError, match="key_filter"):
+            ShardedPipeline.from_state(store, state)
+
+    @pytest.mark.parametrize("version", (1, 2, 3))
+    def test_wrong_typed_params_raise_corrupt_error(self, version):
+        from repro.exceptions import CorruptCheckpointError
+
+        store, state = self._state(version)
+        state["params"] = "not-a-dict"
+        with pytest.raises(CorruptCheckpointError):
+            ShardedPipeline.from_state(store, state)
+
+    @pytest.mark.parametrize("version", (1, 2, 3))
+    def test_mangled_shard_entry_names_the_shard(self, version):
+        from repro.exceptions import CorruptCheckpointError
+
+        store, state = self._state(version)
+        state["shards"]["a/"] = {"truncated": True}
+        with pytest.raises(CorruptCheckpointError, match="a/"):
+            ShardedPipeline.from_state(store, state)
+
+    def test_typed_errors_remain_valueerrors(self):
+        store, state = self._state(3)
+        del state["shards"]
+        with pytest.raises(ValueError):
+            ShardedPipeline.from_state(store, state)

@@ -173,3 +173,60 @@ def test_query_string_is_ignored_and_address_requires_start():
     assert status == 200
     assert payload["status"] == "ok"
     fleet.close()
+
+
+def test_machines_listing_and_supervised_health_routes():
+    """GET /machines lists the fleet; /health carries supervision state."""
+    from repro.fleet.resilience import (
+        POINT_UPDATE_CRASH,
+        FaultInjector,
+        FaultSpec,
+        FleetResilience,
+        ResilienceConfig,
+        ScheduledFault,
+    )
+
+    fleet, events = _small_fleet()
+    resilience = FleetResilience(
+        injector=FaultInjector(
+            FaultSpec(
+                seed=3,
+                scheduled=(
+                    ScheduledFault(
+                        round_index=1,
+                        machine_id="m0",
+                        point=POINT_UPDATE_CRASH,
+                    ),
+                ),
+            )
+        ),
+        config=ResilienceConfig(failure_threshold=1),
+    )
+
+    async def scenario():
+        async with FleetQueryServer(fleet) as server:
+            host, port = server.address
+            await fleet.drive(
+                {m: [machine_events] for m, machine_events in events.items()},
+                resilience=resilience,
+            )
+            return {
+                "machines": await _get(host, port, "/machines"),
+                "status_m0": await _get(host, port, "/machines/m0/status"),
+                "health": await _get(host, port, "/health"),
+            }
+
+    results = asyncio.run(scenario())
+    status, listing = results["machines"]
+    assert status == 200
+    assert listing["count"] == 2
+    assert [entry["machine"] for entry in listing["machines"]] == ["m0", "m1"]
+    assert all("health" in entry for entry in listing["machines"])
+    status, payload = results["status_m0"]
+    assert status == 200
+    assert payload["supervision"]["restarts"] >= 1
+    status, health = results["health"]
+    assert status == 200
+    assert health["resilience"]["restarts"] >= 1
+    assert health["resilience"]["faults_injected"] == 1
+    fleet.close()

@@ -184,3 +184,72 @@ def test_stream_runner_gates_incremental_against_batch():
     assert result.events == len(built.machines[0].delivery)
     assert result.updates >= 1
     assert len(result.clusters) >= 1
+
+
+class TestCorrelatedFaults:
+    def _config(self, **regime_overrides):
+        regime = {
+            "kind": "correlated_faults",
+            "case_id": 9,
+            "coverage": 0.8,
+            "days_before_end": 0.5,
+            "crash_round": 2,
+            "crash_coverage": 0.5,
+        }
+        regime.update(regime_overrides)
+        return _config(
+            population=[{"profile": "Linux-1", "machines": 4, "days": 1}],
+            regime=regime,
+            fleet={"rounds": 4},
+        )
+
+    def test_covered_machines_share_the_same_case(self):
+        from repro.scenarios.build import correlated_crash_machines
+
+        built = build_scenario(self._config(coverage=1.0))
+        injected = [
+            machine.notes.get("injected_case") for machine in built.machines
+        ]
+        assert injected == [9, 9, 9, 9]
+        crashed = correlated_crash_machines(built)
+        assert crashed
+        assert set(crashed) <= {m.machine_id for m in built.machines}
+        # the crash pick is a pure function of the seed
+        assert crashed == correlated_crash_machines(
+            build_scenario(self._config(coverage=1.0))
+        )
+
+    def test_crash_coverage_one_crashes_everyone(self):
+        from repro.scenarios.build import correlated_crash_machines
+
+        built = build_scenario(self._config(crash_coverage=1.0))
+        assert correlated_crash_machines(built) == [
+            machine.machine_id for machine in built.machines
+        ]
+
+    def test_wrong_regime_is_rejected(self):
+        from repro.scenarios.build import correlated_crash_machines
+        from repro.scenarios.config import ScenarioConfigError
+
+        built = build_scenario(_config())
+        with pytest.raises(ScenarioConfigError, match="correlated_faults"):
+            correlated_crash_machines(built)
+
+    def test_fleet_runner_recovers_through_scheduled_crashes(self):
+        from repro.scenarios.runner import (
+            run_fleet_scenario,
+            scenario_resilience,
+        )
+
+        built = build_scenario(self._config())
+        resilience = scenario_resilience(built)
+        assert resilience is not None
+        result = run_fleet_scenario(built)
+        assert result.equal_to_batch is True
+        assert result.machines_restarted >= 1
+        assert result.faults_injected >= 1
+
+    def test_non_fault_regimes_imply_no_resilience(self):
+        from repro.scenarios.runner import scenario_resilience
+
+        assert scenario_resilience(build_scenario(_config())) is None

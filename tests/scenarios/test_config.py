@@ -209,6 +209,29 @@ def test_cross_field_coherence_is_enforced():
             _base_data(inject_case={"case_id": 1, "machine_index": 99}),
             env={},
         )
+    # a correlated error no population profile can host (case 9 needs
+    # Evolution Mail; Linux-2 runs only Chrome)
+    with pytest.raises(ScenarioConfigError, match="land nowhere"):
+        scenario_from_dict(
+            _base_data(
+                population=[{"profile": "Linux-2", "machines": 2}],
+                regime={"kind": "correlated_faults", "case_id": 9},
+            ),
+            env={},
+        )
+    # correlated crashes scheduled past the drive's end
+    with pytest.raises(ScenarioConfigError, match="crash_round"):
+        scenario_from_dict(
+            _base_data(
+                regime={
+                    "kind": "correlated_faults",
+                    "case_id": 9,
+                    "crash_round": 99,
+                },
+                fleet={"rounds": 4},
+            ),
+            env={},
+        )
 
 
 def test_env_overrides_are_validated_too():
@@ -230,6 +253,7 @@ def test_committed_scenarios_exist():
         "flash_crowd",
         "churn_storm",
         "clock_skew",
+        "correlated_faults",
         "heterogeneous",
     }
 

@@ -40,12 +40,21 @@ _REGIMES = {
         "late_fraction": 0.3,
     },
     "heterogeneous": {"kind": "heterogeneous", "min_profiles": 2},
+    "correlated_faults": {
+        "kind": "correlated_faults",
+        "case_id": 9,
+        "coverage": 0.9,
+        "crash_round": 2,
+        "crash_coverage": 0.6,
+    },
 }
 
 
 def _config(kind, seed=4321):
     population = [{"profile": "Linux-2", "machines": 2, "days": 1}]
-    if kind in ("churn_storm", "clock_skew", "heterogeneous"):
+    if kind in (
+        "churn_storm", "clock_skew", "heterogeneous", "correlated_faults"
+    ):
         population = [
             {"profile": "Linux-1", "machines": 1, "days": 1},
             {"profile": "Linux-2", "machines": 1, "days": 1},

@@ -256,7 +256,9 @@ class TestFleetCommand:
                 "--executor", executor, "--workers", "2", "--state", str(state),
             )
             assert (state / "fleet.json").exists()
-            assert (state / "machine-m000.json").exists()
+            # crash-safe layout: machine files live in a generation dir
+            assert (state / "gen-000001" / "machine-m000.json").exists()
+            assert (state / "gen-000001" / "manifest.json").exists()
             outputs[executor] = lines[1:-1]
         assert outputs["serial"] == outputs["thread"]
 
